@@ -1,0 +1,25 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure: it runs the experiment
+driver, prints the rendered paper-vs-measured comparison, saves it under
+``benchmarks/output/``, and times a representative unit with
+pytest-benchmark.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable saving + printing a rendered experiment comparison."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _report

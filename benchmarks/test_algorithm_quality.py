@@ -1,0 +1,33 @@
+"""Bench: GRACE-style compression-quality comparison across algorithms.
+
+Not a paper figure -- a library feature in the spirit of the related work
+the paper cites (GRACE): ratio / error / direction-alignment metrics per
+algorithm per gradient distribution, so users can pick codecs on quality
+before CaSync optimizes their systems cost.
+"""
+
+from repro.algorithms import DGC, GradDrop, OneBit, TBQ, TernGrad, ThreeLC
+from repro.algorithms.analysis import compare
+from repro.experiments import format_table
+
+ALGORITHMS = [OneBit(), TBQ(threshold=0.25), TernGrad(bitwidth=2, seed=0),
+              DGC(rate=0.01), GradDrop(keep_rate=0.01), ThreeLC()]
+
+
+def test_algorithm_quality(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: compare(ALGORITHMS,
+                        distributions=("gaussian", "heavy-tailed", "sparse"),
+                        size=200_000),
+        rounds=1, iterations=1)
+    rows = [[m.distribution, m.algorithm, f"{m.compression_ratio:.4f}",
+             f"{m.normalized_mse:.3f}", f"{m.cosine_similarity:.3f}",
+             f"{m.energy_preserved:.3f}"] for m in results]
+    report("algorithm_quality", format_table(
+        ["distribution", "algorithm", "ratio", "nMSE", "cosine", "energy"],
+        rows))
+    # Basic sanity across the grid: everything compresses, nothing flips
+    # the update direction.
+    for m in results:
+        assert m.compression_ratio < 0.5, (m.algorithm, m.distribution)
+        assert m.cosine_similarity > 0.0, (m.algorithm, m.distribution)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 10 (local-cluster speedups vs BytePS)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, report):
+    results = benchmark.pedantic(lambda: fig10.run(num_nodes=16),
+                                 rounds=1, iterations=1)
+    report("fig10", fig10.render(results))
+    for model, result in results.items():
+        best_hipress = max(result.normalized["hipress-ps"],
+                           result.normalized["hipress-ring"])
+        best_baseline = max(result.normalized["byteps"],
+                            result.normalized["ring"])
+        assert best_hipress > best_baseline, model
+        assert best_hipress > result.normalized["byteps-oss"], model

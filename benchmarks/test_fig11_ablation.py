@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 11 (per-optimization ablation)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, report):
+    results = benchmark.pedantic(lambda: fig11.run(num_nodes=16),
+                                 rounds=1, iterations=1)
+    report("fig11", fig11.render(results))
+    for model, stages in results.items():
+        by_stage = {s.stage: s for s in stages}
+        # The full stack beats both the baseline and the unoptimized
+        # on-GPU starting point.
+        assert by_stage["+secopa"].sync_time <= \
+            by_stage["on-gpu"].sync_time * 1.001, model
+        assert by_stage["+secopa"].sync_time < \
+            by_stage["default"].sync_time, model
+        if "on-cpu" in by_stage:
+            # On-CPU compression makes sync *worse* than no compression.
+            assert by_stage["on-cpu"].sync_time > \
+                by_stage["default"].sync_time, model

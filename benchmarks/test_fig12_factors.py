@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 12 (bandwidth and compression-rate impact)."""
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, report):
+    def run_both():
+        return fig12.run_bandwidth(num_nodes=16), fig12.run_rate(num_nodes=16)
+
+    bandwidth, rates = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report("fig12", fig12.render(bandwidth, rates))
+
+    # 12a: HiPress throughput insensitive to a 4x bandwidth cut.
+    by_cluster = {}
+    for p in bandwidth:
+        by_cluster.setdefault(p.cluster, []).append(p)
+    for cluster, (high, low) in by_cluster.items():
+        drop = 1 - low.hipress_throughput / high.hipress_throughput
+        assert drop < 0.30, cluster
+
+    # 12b: throughput decreases monotonically with compression volume.
+    tern = [p.throughput for p in rates if p.algorithm == "terngrad"]
+    dgc = [p.throughput for p in rates if p.algorithm == "dgc"]
+    # Monotone non-increasing up to <1% simulator scheduling noise.
+    assert tern[0] >= tern[1] * 0.99
+    assert tern[1] >= tern[2] * 0.99
+    assert dgc[0] >= dgc[1] * 0.99
+    assert dgc[1] >= dgc[2] * 0.99

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 13 (convergence parity + time-to-quality)."""
+
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, report):
+    results = benchmark.pedantic(lambda: fig13.run(steps=240),
+                                 rounds=1, iterations=1)
+    report("fig13", fig13.render(results))
+    for task, (base, hipress) in results.items():
+        # Both reach the target quality...
+        assert base.steps_to_target > 0, task
+        assert hipress.steps_to_target > 0, task
+        # ...and HiPress gets there in less wall time.
+        assert hipress.time_to_target < base.time_to_target, task

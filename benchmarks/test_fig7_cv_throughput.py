@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 7 (CV-model throughput, weak scaling on EC2).
+
+Sweeps 4 and 16 nodes (32 / 128 GPUs) to keep runtime manageable; the
+128-GPU endpoint is where the paper's headline comparisons live.
+"""
+
+from repro.experiments import fig7
+
+NODE_COUNTS = (4, 16)
+
+
+def test_fig7(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: fig7.run(node_counts=NODE_COUNTS), rounds=1, iterations=1)
+    report("fig7", fig7.render(results))
+
+    vgg = results["vgg19"]
+    # Headline shape at 128 GPUs: HiPress beats every baseline on VGG19.
+    for baseline in ("byteps", "ring", "byteps-oss"):
+        assert vgg.speedup("hipress-ps", baseline) > 0.2, baseline
+    # UGATIT: HiPress way ahead of BytePS (paper: up to 2.1x).
+    assert results["ugatit"].speedup("hipress-ps", "byteps") > 0.5
+    # ResNet50 is compute-bound: HiPress at worst ties the best baseline.
+    assert results["resnet50"].speedup("hipress-ring", "ring") > -0.10

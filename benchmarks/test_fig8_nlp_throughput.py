@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 8 (NLP-model throughput, weak scaling on EC2)."""
+
+from repro.experiments import fig8
+
+NODE_COUNTS = (4, 16)
+
+
+def test_fig8(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: fig8.run(node_counts=NODE_COUNTS), rounds=1, iterations=1)
+    report("fig8", fig8.render(results))
+
+    bert = results["bert-large"]
+    for baseline in ("byteps", "ring", "byteps-oss"):
+        assert bert.speedup("hipress-ps", baseline) > 0.1, baseline
+    # Transformer: HiPress-Ring beats both ring baselines.
+    transformer = results["transformer"]
+    assert transformer.speedup("hipress-ring", "ring") > 0.3
+    assert transformer.speedup("hipress-ring", "ring-oss") > 0.0
+    # LSTM: large gain (paper: up to 2.1x over BytePS/Ring).
+    assert results["lstm"].speedup("hipress-ps", "ring") > 0.5

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 9 (GPU utilization, Ring vs HiPress)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, report):
+    traces = benchmark.pedantic(lambda: fig9.run(num_nodes=16),
+                                rounds=1, iterations=1)
+    report("fig9", fig9.render(traces))
+    for model, trace in traces.items():
+        # HiPress packs the same compute into less wall time: its mean
+        # utilization is at least Ring's.
+        assert trace.hipress_mean >= trace.ring_mean - 0.02, model

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 1 (motivation: compression without system
+support barely helps)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, report):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    report("table1", table1.render(rows))
+    by_key = {(r.model, r.system): r for r in rows}
+    # Shape: OSS compression lifts efficiency in both pairs, modestly.
+    assert by_key[("transformer", "ring-oss")].efficiency > \
+        by_key[("transformer", "ring")].efficiency
+    assert by_key[("bert-large", "byteps-oss")].efficiency > \
+        by_key[("bert-large", "byteps")].efficiency

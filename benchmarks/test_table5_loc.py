@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 5 (CompLL vs OSS implementation cost)."""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, report):
+    rows = benchmark(table5.run)
+    report("table5", table5.render(rows))
+    for row in rows:
+        assert row.logic_lines <= 30
+        assert row.integration_lines == 0

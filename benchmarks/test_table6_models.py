@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 6 (model statistics)."""
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, report):
+    rows = benchmark(table6.run)
+    report("table6", table6.render(rows))
+    for row in rows:
+        assert abs(row.total_mb - row.paper_total_mb) < 0.01
+        assert row.num_gradients == row.paper_num_gradients

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 7 (selective compression/partitioning plans)."""
+
+from repro.experiments import table7
+
+
+def test_table7(benchmark, report):
+    rows = benchmark(table7.run)
+    report("table7", table7.render(rows))
+    for row in rows:
+        if row.size_mb == 392:
+            assert row.compress

@@ -1,0 +1,96 @@
+"""Advanced features: Accordion-style adaptive compression and SSP.
+
+Two extensions the paper's related-work section points at:
+
+1. *Adaptive compression rates* (Accordion): detect critical learning
+   regimes from gradient-norm dynamics and compress conservatively inside
+   them, aggressively outside -- "can be employed by HiPress as an
+   advanced feature" (§7).
+2. *Stale-synchronous training* (SSP): HiPress "is expected to work with
+   other synchronization methods such as ASP and SSP" -- validated here
+   with real numerical training under bounded staleness, with
+   compression.
+
+Run:  python examples/adaptive_and_ssp.py
+"""
+
+import numpy as np
+
+from repro.algorithms import DGC, TernGrad
+from repro.hipress import AccordionController, AdaptiveAlgorithm
+from repro.minidnn import (
+    ClassificationData,
+    DataParallelTrainer,
+    Dense,
+    ReLU,
+    Sequential,
+    StalenessTrainer,
+)
+
+WORKERS = 4
+
+
+def builder(data, seed=7):
+    rng = np.random.default_rng(seed)
+
+    def build():
+        return Sequential(Dense(data.dim, 64, rng=rng), ReLU(),
+                          Dense(64, data.num_classes, rng=rng))
+
+    return build
+
+
+def adaptive_demo(data):
+    print("=== 1. Accordion-style adaptive compression ===")
+    adaptive = AdaptiveAlgorithm(
+        conservative=TernGrad(bitwidth=8, seed=0),   # critical regimes
+        aggressive=DGC(rate=0.02),                   # steady state
+        controller=AccordionController(threshold=0.75))
+    trainer = DataParallelTrainer(builder(data), num_workers=WORKERS,
+                                  lr=0.15, momentum=0.9,
+                                  algorithm=adaptive, feedback="error",
+                                  seed=3)
+    shards = [data.shard(w, WORKERS) for w in range(WORKERS)]
+    rng = np.random.default_rng(11)
+    for step in range(1, 161):
+        batch = []
+        for x, y in shards:
+            idx = rng.integers(0, len(x), size=16)
+            batch.append((x[idx], y[idx]))
+        trainer.step(batch)
+        if step in (20, 80, 160):
+            acc = trainer.accuracy(data.test_x, data.test_y)
+            print(f"  step {step:3d}: accuracy {acc:.3f}, "
+                  f"critical fraction so far "
+                  f"{adaptive.critical_fraction:.1%}")
+    print("  the controller tracks per-tensor norm dynamics: steps whose "
+          "(residual-corrected) gradients move the norm baseline get the "
+          "high-fidelity codec, steady steps get aggressive "
+          "sparsification -- and accuracy matches plain training.")
+
+
+def ssp_demo(data):
+    print("\n=== 2. Stale-synchronous parallel with compression ===")
+    for staleness in (0, 2, None):
+        trainer = StalenessTrainer(builder(data), num_workers=WORKERS,
+                                   lr=0.08, momentum=0.9,
+                                   algorithm=TernGrad(bitwidth=4, seed=1),
+                                   feedback="error", staleness=staleness,
+                                   seed=5)
+        shards = [data.shard(w, WORKERS) for w in range(WORKERS)]
+        done = trainer.run(shards, total_ticks=600, batch_size=16,
+                           skew=[1, 1, 2, 6])  # worker 3 runs 6x faster
+        acc = trainer.accuracy(data.test_x, data.test_y)
+        label = "ASP (unbounded)" if staleness is None else f"SSP s={staleness}"
+        print(f"  {label:16s}: {done:3d}/600 productive ticks, "
+              f"{trainer.blocked_ticks:3d} staleness-blocked, "
+              f"max lag {trainer.max_observed_lag}, accuracy {acc:.3f}")
+    print("  tighter staleness bounds block fast workers more but keep "
+          "updates fresher; all settings converge on this task.")
+
+
+if __name__ == "__main__":
+    data = ClassificationData(num_classes=8, dim=20, train_size=1200,
+                              noise=1.3, seed=4)
+    adaptive_demo(data)
+    ssp_demo(data)

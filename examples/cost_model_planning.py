@@ -1,0 +1,70 @@
+"""Explore the selective compression & partitioning cost model (§3.3).
+
+Shows how the planner's decisions shift with gradient size, cluster
+scale, network bandwidth, and algorithm -- the machinery behind Table 7.
+
+Run:  python examples/cost_model_planning.py
+"""
+
+from repro.algorithms import DGC, OneBit, TernGrad
+from repro.casync import CostModel, SelectivePlanner
+from repro.cluster import ec2_v100_cluster
+from repro.experiments import format_table
+from repro.models import MB, GradientSpec, get_model
+
+
+def plan_grid():
+    print("=== Plans vs gradient size and scale (onebit, CaSync-Ring) ===")
+    rows = []
+    for nodes in (4, 8, 16):
+        planner = SelectivePlanner(CostModel(
+            ec2_v100_cluster(nodes), OneBit(), strategy="ring"))
+        row = [f"{nodes} nodes"]
+        for size_mb in (1, 4, 16, 64, 392):
+            plan = planner.plan_gradient(GradientSpec("g", size_mb * MB))
+            row.append(f"<{'yes' if plan.compress else 'no'},"
+                       f"{plan.partitions}>")
+        rows.append(row)
+    print(format_table(
+        ["cluster", "1MB", "4MB", "16MB", "64MB", "392MB"], rows))
+
+
+def thresholds_vs_bandwidth():
+    print("\n=== Compression threshold vs network bandwidth "
+          "(16 nodes, onebit) ===")
+    rows = []
+    for gbps in (10, 25, 56, 100, 200):
+        planner = SelectivePlanner(CostModel(
+            ec2_v100_cluster(16, bandwidth_gbps=gbps), OneBit(),
+            strategy="ring"))
+        threshold = planner.compression_threshold()
+        rows.append([f"{gbps} Gbps",
+                     f"{threshold / MB:.2f} MB" if threshold else "never"])
+    print(format_table(["bandwidth", "compress gradients larger than"],
+                       rows))
+    print("Faster networks push the threshold up: transfers get cheap "
+          "while compression costs stay constant.")
+
+
+def algorithms_differ():
+    print("\n=== Same model, different algorithms (bert-large, 16 nodes, "
+          "CaSync-PS) ===")
+    model = get_model("bert-large")
+    rows = []
+    for algo in (OneBit(), TernGrad(bitwidth=2), DGC(rate=0.001)):
+        planner = SelectivePlanner(CostModel(
+            ec2_v100_cluster(16), algo, strategy="ps_colocated"))
+        plans = planner.plan_model(model.gradients)
+        compressed = sum(1 for p in plans.values() if p.compress)
+        avg_k = (sum(p.partitions for p in plans.values() if p.compress)
+                 / max(1, compressed))
+        rows.append([algo.name, f"{compressed}/{len(plans)}",
+                     f"{avg_k:.1f}"])
+    print(format_table(
+        ["algorithm", "gradients compressed", "mean partitions"], rows))
+
+
+if __name__ == "__main__":
+    plan_grid()
+    thresholds_vs_bandwidth()
+    algorithms_differ()

@@ -1,0 +1,38 @@
+"""Compare every system on a communication-bound workload across scales.
+
+The intro's motivating scenario: training Bert-large on an EC2-class
+cluster, where gradient synchronization dominates.  This sweeps cluster
+sizes and prints throughput for the non-compression baselines (BytePS,
+Ring), the bolted-on OSS compression (BytePS(OSS-onebit)), and HiPress
+with both CaSync strategies -- the Figure 7/8 experiment at your chosen
+scale.
+
+Run:  python examples/distributed_training_speedup.py [model] [algorithm]
+"""
+
+import sys
+
+from repro.experiments import SYSTEMS, format_table, render_sweep, sweep
+
+
+def main(model: str = "bert-large", algorithm: str = "onebit"):
+    systems = ("byteps", "ring", "byteps-oss", "hipress-ps", "hipress-ring")
+    node_counts = (2, 4, 8, 16)
+    print(f"Weak-scaling sweep: {model} + {algorithm} on EC2 V100 nodes "
+          f"(8 GPUs each); BytePS runs TCP (no EFA support), rest RDMA.\n")
+    result = sweep(model, systems, algorithm=algorithm,
+                   node_counts=node_counts)
+    print(render_sweep(result, f"{model} throughput (samples/s)"))
+
+    print("\nSpeedup of HiPress over each baseline at "
+          f"{result.gpu_counts[-1]} GPUs:")
+    rows = []
+    for hipress in ("hipress-ps", "hipress-ring"):
+        for baseline in ("byteps", "ring", "byteps-oss"):
+            rows.append([SYSTEMS[hipress].label, SYSTEMS[baseline].label,
+                         f"{result.speedup(hipress, baseline):+.1%}"])
+    print(format_table(["HiPress variant", "baseline", "speedup"], rows))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

@@ -1,0 +1,17 @@
+"""HiPress reproduction: compression-aware data-parallel DNN training.
+
+Reproduces *Gradient Compression Supercharged High-Performance Data Parallel
+DNN Training* (SOSP 2021): the CaSync synchronization architecture, the
+CompLL compression toolkit and DSL, five gradient-compression algorithms,
+the baselines the paper compares against, and the full evaluation harness.
+
+Public entry points:
+
+* :mod:`repro.algorithms` -- real encode/decode gradient compression.
+* :mod:`repro.compll` -- the DSL toolchain and common-operator library.
+* :mod:`repro.casync` -- compression-aware synchronization architecture.
+* :mod:`repro.hipress` -- top-level training-job facade.
+* :mod:`repro.experiments` -- drivers that regenerate every paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,55 @@
+"""Gradient compression algorithms (real NumPy encode/decode).
+
+The five algorithms the paper builds with CompLL -- onebit, TBQ, TernGrad,
+DGC, GradDrop -- plus the two §4.4 extensibility case studies, AdaComp and
+3LC.  All are registered in the algorithm registry so CaSync / HiPress can
+instantiate them by name.
+"""
+
+from .adacomp import AdaComp
+from .base import (
+    FLOAT_BYTES,
+    CompressionAlgorithm,
+    KernelProfile,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from .dgc import DGC
+from .feedback import DGCMomentum, ErrorFeedback
+from .graddrop import GradDrop
+from .onebit import OneBit
+from .packing import ByteReader, ByteWriter, pack_uint, unpack_uint
+from .tbq import TBQ
+from .terngrad import TernGrad
+from .threelc import ThreeLC
+
+register_algorithm("onebit", OneBit)
+register_algorithm("tbq", TBQ)
+register_algorithm("terngrad", TernGrad)
+register_algorithm("dgc", DGC)
+register_algorithm("graddrop", GradDrop)
+register_algorithm("adacomp", AdaComp)
+register_algorithm("3lc", ThreeLC)
+
+__all__ = [
+    "AdaComp",
+    "ByteReader",
+    "ByteWriter",
+    "CompressionAlgorithm",
+    "DGC",
+    "DGCMomentum",
+    "ErrorFeedback",
+    "FLOAT_BYTES",
+    "GradDrop",
+    "KernelProfile",
+    "OneBit",
+    "TBQ",
+    "TernGrad",
+    "ThreeLC",
+    "available_algorithms",
+    "get_algorithm",
+    "pack_uint",
+    "register_algorithm",
+    "unpack_uint",
+]

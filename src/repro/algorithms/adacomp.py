@@ -1,0 +1,82 @@
+"""AdaComp (Chen et al., 2018) -- adaptive residual gradient compression.
+
+One of the paper's §4.4 extensibility case studies ("AdaComp needs map,
+reduce, filter, concat and extract").  AdaComp partitions the gradient into
+fixed-size bins and, within each bin, selects elements whose magnitude is
+within a factor of the bin's local maximum -- so the selection rate adapts
+to the local gradient distribution rather than using a single global
+threshold.
+
+This reproduction implements the self-adjusting bin-local selection rule
+(select ``|g_i| >= bin_max / 2``, i.e. elements that would cross the bin
+max after one more accumulation step); the residual accumulation of the
+full algorithm composes via
+:class:`repro.algorithms.feedback.ErrorFeedback`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressionAlgorithm, KernelProfile
+from .packing import ByteReader, ByteWriter
+
+__all__ = ["AdaComp"]
+
+
+class AdaComp(CompressionAlgorithm):
+    """Bin-local adaptive sparsification."""
+
+    name = "adacomp"
+    category = "sparsification"
+    profile = KernelProfile(encode_passes=3, decode_passes=1,
+                            encode_kernels=4, decode_kernels=1)
+
+    METADATA_BYTES = 8
+
+    def __init__(self, bin_size: int = 512, expected_density: float = 0.12):
+        if bin_size < 1:
+            raise ValueError(f"bin_size must be >= 1, got {bin_size}")
+        if not 0 < expected_density <= 1:
+            raise ValueError(
+                f"expected_density must be in (0, 1], got {expected_density}")
+        self.bin_size = int(bin_size)
+        self.expected_density = float(expected_density)
+
+    def encode(self, gradient: np.ndarray) -> np.ndarray:
+        grad = np.ascontiguousarray(gradient, dtype=np.float32).ravel()
+        if grad.size == 0:
+            raise ValueError("cannot compress an empty gradient")
+        magnitudes = np.abs(grad)
+        n = grad.size
+        nbins = (n + self.bin_size - 1) // self.bin_size
+        padded = np.zeros(nbins * self.bin_size, dtype=np.float32)
+        padded[:n] = magnitudes
+        bin_max = padded.reshape(nbins, self.bin_size).max(axis=1)
+        thresholds = np.repeat(bin_max / 2.0, self.bin_size)[:n]
+        selected = np.nonzero(magnitudes >= np.maximum(thresholds, 1e-30))[0]
+        if selected.size == 0:
+            selected = np.asarray([int(np.argmax(magnitudes))])
+        indices = selected.astype(np.uint32)
+        return (ByteWriter()
+                .scalar(n, "u4")
+                .scalar(indices.size, "u4")
+                .array(indices)
+                .array(grad[selected])
+                .finish())
+
+    def decode(self, compressed: np.ndarray) -> np.ndarray:
+        reader = ByteReader(compressed)
+        count = int(reader.scalar("u4"))
+        k = int(reader.scalar("u4"))
+        indices = reader.array(np.uint32, k)
+        values = reader.array(np.float32, k)
+        out = np.zeros(count, dtype=np.float32)
+        out[indices] = values
+        return out
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        if num_elements <= 0:
+            raise ValueError(f"need positive element count, got {num_elements}")
+        k = max(1, int(num_elements * self.expected_density))
+        return self.METADATA_BYTES + 8 * k

@@ -1,0 +1,73 @@
+"""Deep Gradient Compression (Lin et al., 2018) -- top-k sparsification.
+
+DGC transmits only the ``rate`` fraction (default 0.1 %, the paper's
+setting) of gradient elements with the largest magnitude, as
+(index, value) pairs.  The full DGC recipe also applies momentum correction
+and local gradient clipping on the *training* side; those live in
+:class:`repro.algorithms.feedback.DGCMomentum` so this codec stays pure.
+
+Buffer layout: ``count:u4 | k:u4 | indices:u4[k] | values:f4[k]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressionAlgorithm, KernelProfile
+from .packing import ByteReader, ByteWriter
+
+__all__ = ["DGC"]
+
+
+class DGC(CompressionAlgorithm):
+    """Top-k magnitude sparsification at a fixed rate."""
+
+    name = "dgc"
+    category = "sparsification"
+    # The GPU implementation estimates the k-th magnitude from a sample,
+    # then compacts: sample pass + select pass + compact pass.
+    profile = KernelProfile(encode_passes=3, decode_passes=1,
+                            encode_kernels=4, decode_kernels=1)
+
+    METADATA_BYTES = 8
+
+    def __init__(self, rate: float = 0.001):
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.rate = float(rate)
+
+    def top_k(self, num_elements: int) -> int:
+        return max(1, int(num_elements * self.rate))
+
+    def encode(self, gradient: np.ndarray) -> np.ndarray:
+        grad = np.ascontiguousarray(gradient, dtype=np.float32).ravel()
+        if grad.size == 0:
+            raise ValueError("cannot compress an empty gradient")
+        k = self.top_k(grad.size)
+        if k >= grad.size:
+            indices = np.arange(grad.size, dtype=np.uint32)
+        else:
+            indices = np.argpartition(np.abs(grad), grad.size - k)[-k:]
+            indices = np.sort(indices).astype(np.uint32)
+        values = grad[indices]
+        return (ByteWriter()
+                .scalar(grad.size, "u4")
+                .scalar(indices.size, "u4")
+                .array(indices)
+                .array(values)
+                .finish())
+
+    def decode(self, compressed: np.ndarray) -> np.ndarray:
+        reader = ByteReader(compressed)
+        count = int(reader.scalar("u4"))
+        k = int(reader.scalar("u4"))
+        indices = reader.array(np.uint32, k)
+        values = reader.array(np.float32, k)
+        out = np.zeros(count, dtype=np.float32)
+        out[indices] = values
+        return out
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        if num_elements <= 0:
+            raise ValueError(f"need positive element count, got {num_elements}")
+        return self.METADATA_BYTES + 8 * self.top_k(num_elements)

@@ -1,0 +1,84 @@
+"""Gradient Dropping (Aji & Heafield, 2017) -- the paper's "GradDrop".
+
+Drops all but (approximately) the top ``keep_rate`` fraction of elements by
+magnitude.  Unlike DGC's exact top-k, GradDrop estimates the magnitude
+threshold from a subsample of the gradient (cheap on GPU) and keeps every
+element above it, so the selected count is only approximately
+``keep_rate * n`` -- which is faithful to the original algorithm.
+
+Buffer layout is the sparse (index, value) layout shared with DGC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressionAlgorithm, KernelProfile
+from .packing import ByteReader, ByteWriter
+
+__all__ = ["GradDrop"]
+
+
+class GradDrop(CompressionAlgorithm):
+    """Sampled-threshold magnitude dropping."""
+
+    name = "graddrop"
+    category = "sparsification"
+    # Sample pass (strided, cheap) + select + compact.
+    profile = KernelProfile(encode_passes=2.2, decode_passes=1,
+                            encode_kernels=3, decode_kernels=1)
+
+    METADATA_BYTES = 8
+    #: Fraction of elements sampled to estimate the drop threshold.
+    SAMPLE_RATE = 0.01
+    #: Minimum sample size for a stable threshold estimate.
+    MIN_SAMPLE = 256
+
+    def __init__(self, keep_rate: float = 0.01):
+        if not 0 < keep_rate <= 1:
+            raise ValueError(f"keep_rate must be in (0, 1], got {keep_rate}")
+        self.keep_rate = float(keep_rate)
+
+    def _threshold(self, magnitudes: np.ndarray) -> float:
+        """Estimate the (1 - keep_rate) magnitude quantile from a subsample."""
+        n = magnitudes.size
+        sample_size = max(self.MIN_SAMPLE, int(n * self.SAMPLE_RATE))
+        if sample_size >= n:
+            sample = magnitudes
+        else:
+            stride = n // sample_size
+            sample = magnitudes[::stride]
+        return float(np.quantile(sample, 1.0 - self.keep_rate))
+
+    def encode(self, gradient: np.ndarray) -> np.ndarray:
+        grad = np.ascontiguousarray(gradient, dtype=np.float32).ravel()
+        if grad.size == 0:
+            raise ValueError("cannot compress an empty gradient")
+        magnitudes = np.abs(grad)
+        threshold = self._threshold(magnitudes)
+        selected = np.nonzero(magnitudes >= threshold)[0]
+        if selected.size == 0:  # degenerate all-equal gradients
+            selected = np.asarray([int(np.argmax(magnitudes))])
+        indices = selected.astype(np.uint32)
+        return (ByteWriter()
+                .scalar(grad.size, "u4")
+                .scalar(indices.size, "u4")
+                .array(indices)
+                .array(grad[selected])
+                .finish())
+
+    def decode(self, compressed: np.ndarray) -> np.ndarray:
+        reader = ByteReader(compressed)
+        count = int(reader.scalar("u4"))
+        k = int(reader.scalar("u4"))
+        indices = reader.array(np.uint32, k)
+        values = reader.array(np.float32, k)
+        out = np.zeros(count, dtype=np.float32)
+        out[indices] = values
+        return out
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        if num_elements <= 0:
+            raise ValueError(f"need positive element count, got {num_elements}")
+        k = max(1, int(num_elements * self.keep_rate))
+        return self.METADATA_BYTES + 8 * k

@@ -1,0 +1,123 @@
+"""Bit- and byte-packing helpers shared by all compression codecs.
+
+The paper's CompLL packs sub-byte types (uint1/uint2/uint4) into consecutive
+bits "with the minimal zero padding to ensure the total number of bits is a
+multiple of 8" (§4.3).  These helpers implement exactly that contract on
+NumPy arrays, plus a tiny sequential byte-stream writer/reader used to build
+the self-describing compressed buffers (metadata + payload, mirroring the
+DSL's ``concat``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["pack_uint", "unpack_uint", "ByteWriter", "ByteReader"]
+
+_SCALAR_DTYPES = {
+    "f4": np.float32,
+    "u4": np.uint32,
+    "u1": np.uint8,
+    "i4": np.int32,
+}
+
+
+def pack_uint(values: np.ndarray, bitwidth: int) -> np.ndarray:
+    """Pack non-negative integers < 2**bitwidth into a dense uint8 buffer.
+
+    Values are laid out MSB-first, zero-padded to a whole number of bytes.
+    """
+    if not 1 <= bitwidth <= 16:
+        raise ValueError(f"bitwidth must be in [1, 16], got {bitwidth}")
+    values = np.ascontiguousarray(values)
+    if values.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    if np.any(values < 0) or np.any(values >= (1 << bitwidth)):
+        raise ValueError(f"values do not fit in {bitwidth} bits")
+    vals = values.astype(np.uint32).ravel()
+    shifts = np.arange(bitwidth - 1, -1, -1, dtype=np.uint32)
+    bits = ((vals[:, None] >> shifts) & 1).astype(np.uint8).ravel()
+    return np.packbits(bits)
+
+
+def unpack_uint(buffer: np.ndarray, bitwidth: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_uint`; returns ``count`` uint32 values."""
+    if not 1 <= bitwidth <= 16:
+        raise ValueError(f"bitwidth must be in [1, 16], got {bitwidth}")
+    if count < 0:
+        raise ValueError(f"negative count {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.uint32)
+    needed_bits = count * bitwidth
+    buffer = np.ascontiguousarray(buffer, dtype=np.uint8)
+    if buffer.size * 8 < needed_bits:
+        raise ValueError(
+            f"buffer has {buffer.size * 8} bits, need {needed_bits}")
+    bits = np.unpackbits(buffer)[:needed_bits].astype(np.uint32)
+    bits = bits.reshape(count, bitwidth)
+    shifts = np.arange(bitwidth - 1, -1, -1, dtype=np.uint32)
+    return (bits << shifts).sum(axis=1, dtype=np.uint32)
+
+
+class ByteWriter:
+    """Builds a flat uint8 buffer from scalars and arrays, in order."""
+
+    def __init__(self):
+        self._chunks = []
+
+    def scalar(self, value, dtype: str) -> "ByteWriter":
+        np_dtype = _SCALAR_DTYPES.get(dtype)
+        if np_dtype is None:
+            raise ValueError(f"unsupported scalar dtype {dtype!r}")
+        self._chunks.append(np.asarray([value], dtype=np_dtype).view(np.uint8))
+        return self
+
+    def array(self, values: np.ndarray) -> "ByteWriter":
+        arr = np.ascontiguousarray(values)
+        self._chunks.append(arr.view(np.uint8).ravel())
+        return self
+
+    def finish(self) -> np.ndarray:
+        if not self._chunks:
+            return np.empty(0, dtype=np.uint8)
+        return np.concatenate(self._chunks)
+
+
+class ByteReader:
+    """Sequentially decodes a buffer produced by :class:`ByteWriter`."""
+
+    def __init__(self, buffer: np.ndarray):
+        self._buf = np.ascontiguousarray(buffer, dtype=np.uint8)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return self._buf.size - self._pos
+
+    def scalar(self, dtype: str):
+        np_dtype = _SCALAR_DTYPES.get(dtype)
+        if np_dtype is None:
+            raise ValueError(f"unsupported scalar dtype {dtype!r}")
+        nbytes = np.dtype(np_dtype).itemsize
+        raw = self._take(nbytes)
+        return raw.copy().view(np_dtype)[0]
+
+    def array(self, dtype: Union[str, np.dtype], count: int) -> np.ndarray:
+        np_dtype = np.dtype(dtype)
+        raw = self._take(np_dtype.itemsize * count)
+        return raw.copy().view(np_dtype)
+
+    def rest(self) -> np.ndarray:
+        raw = self._buf[self._pos:]
+        self._pos = self._buf.size
+        return raw
+
+    def _take(self, nbytes: int) -> np.ndarray:
+        if self._pos + nbytes > self._buf.size:
+            raise ValueError(
+                f"buffer underrun: need {nbytes} bytes, have {self.remaining}")
+        raw = self._buf[self._pos:self._pos + nbytes]
+        self._pos += nbytes
+        return raw

@@ -1,0 +1,85 @@
+"""TernGrad-style stochastic linear quantization (Wen et al., 2017).
+
+This follows the paper's own CompLL rendition of TernGrad (Fig. 5): the
+gradient range ``[min, max]`` is divided into ``2**bitwidth - 1`` gaps and
+each element is *stochastically* rounded to a ``bitwidth``-bit level, which
+keeps the quantizer unbiased: ``E[decode(encode(g))] = g``.  Bitwidth 2 is
+the classic ternary-ish setting; Fig. 12b sweeps 2/4/8 bits.
+
+Buffer layout: ``bitwidth:u1 | count:u4 | min:f4 | max:f4 | packed levels``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import CompressionAlgorithm, KernelProfile
+from .packing import ByteReader, ByteWriter, pack_uint, unpack_uint
+
+__all__ = ["TernGrad"]
+
+
+class TernGrad(CompressionAlgorithm):
+    """Stochastic ``bitwidth``-bit linear quantization."""
+
+    name = "terngrad"
+    category = "quantization"
+    # Encode: min/max reduction pass + quantize/pack pass.
+    profile = KernelProfile(encode_passes=2, decode_passes=1,
+                            encode_kernels=3, decode_kernels=1)
+
+    METADATA_BYTES = 13
+
+    def __init__(self, bitwidth: int = 2, seed: Optional[int] = 0):
+        if not 1 <= bitwidth <= 8:
+            raise ValueError(f"bitwidth must be in [1, 8], got {bitwidth}")
+        self.bitwidth = int(bitwidth)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def levels(self) -> int:
+        return (1 << self.bitwidth) - 1
+
+    def encode(self, gradient: np.ndarray) -> np.ndarray:
+        grad = np.ascontiguousarray(gradient, dtype=np.float32).ravel()
+        if grad.size == 0:
+            raise ValueError("cannot compress an empty gradient")
+        lo = float(grad.min())
+        hi = float(grad.max())
+        gap = (hi - lo) / self.levels
+        if gap > 0:
+            noise = self._rng.random(grad.size, dtype=np.float32)
+            q = np.floor((grad - lo) / gap + noise).astype(np.int64)
+            np.clip(q, 0, self.levels, out=q)
+        else:
+            q = np.zeros(grad.size, dtype=np.int64)
+        return (ByteWriter()
+                .scalar(self.bitwidth, "u1")
+                .scalar(grad.size, "u4")
+                .scalar(lo, "f4")
+                .scalar(hi, "f4")
+                .array(pack_uint(q, self.bitwidth))
+                .finish())
+
+    def decode(self, compressed: np.ndarray) -> np.ndarray:
+        reader = ByteReader(compressed)
+        bitwidth = int(reader.scalar("u1"))
+        count = int(reader.scalar("u4"))
+        lo = float(reader.scalar("f4"))
+        hi = float(reader.scalar("f4"))
+        levels = (1 << bitwidth) - 1
+        gap = (hi - lo) / levels if levels else 0.0
+        q = unpack_uint(reader.rest(), bitwidth, count)
+        return (np.float32(lo) + q.astype(np.float32) * np.float32(gap))
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        if num_elements <= 0:
+            raise ValueError(f"need positive element count, got {num_elements}")
+        return self.METADATA_BYTES + (num_elements * self.bitwidth + 7) // 8
+
+    def quantization_gap(self, gradient: np.ndarray) -> float:
+        """The decode error bound for ``gradient`` (one quantization step)."""
+        grad = np.asarray(gradient, dtype=np.float32)
+        return float((grad.max() - grad.min()) / self.levels)

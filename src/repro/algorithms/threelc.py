@@ -1,0 +1,127 @@
+"""3LC (Lim et al., 2018) -- ternary quantization with zero-run encoding.
+
+The paper's second §4.4 extensibility case study.  3LC quantizes each
+element to {-1, 0, +1} scaled by the tensor's max magnitude, packs five
+ternary digits per byte (3**5 = 243 <= 256), and then run-length-encodes
+runs of the all-zero byte -- gradient tensors are mostly near-zero, so the
+all-zero quintet dominates and the stream shrinks well below the 1.6
+bits/element of plain base-3 packing.
+
+Buffer layout: ``count:u4 | scale:f4 | body_len:u4 | rle bytes``.
+Bytes 0..242 are literal quintets; bytes 243..255 encode a run of
+2..14 all-zero quintets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressionAlgorithm, KernelProfile
+from .packing import ByteReader, ByteWriter
+
+__all__ = ["ThreeLC"]
+
+_POWERS = np.asarray([81, 27, 9, 3, 1], dtype=np.uint32)
+#: The byte value of a quintet of ternary digit 1 (= quantized zero).
+_ZERO_BYTE = int((_POWERS * 1).sum())  # 121
+_RUN_BASE = 243
+_MAX_RUN = 255 - _RUN_BASE + 2  # runs of 2..14
+
+
+class ThreeLC(CompressionAlgorithm):
+    """Ternary quantization + base-3^5 packing + zero-run encoding."""
+
+    name = "3lc"
+    category = "quantization"
+    profile = KernelProfile(encode_passes=3, decode_passes=2,
+                            encode_kernels=4, decode_kernels=2)
+
+    METADATA_BYTES = 12
+
+    def __init__(self, sparsity_multiplier: float = 1.0):
+        if sparsity_multiplier <= 0:
+            raise ValueError(
+                f"sparsity_multiplier must be positive, got {sparsity_multiplier}")
+        self.sparsity_multiplier = float(sparsity_multiplier)
+
+    # -- quantization -------------------------------------------------------
+
+    def _quantize(self, grad: np.ndarray) -> tuple:
+        scale = float(np.abs(grad).max()) * self.sparsity_multiplier
+        if scale == 0.0:
+            return np.full(grad.size, 1, dtype=np.uint8), 0.0
+        digits = np.rint(grad / scale).astype(np.int8)
+        np.clip(digits, -1, 1, out=digits)
+        return (digits + 1).astype(np.uint8), scale  # ternary digits 0/1/2
+
+    # -- run-length encoding over quintet bytes ----------------------------
+
+    @staticmethod
+    def _rle_encode(body: np.ndarray) -> np.ndarray:
+        out = []
+        i = 0
+        n = body.size
+        while i < n:
+            byte = int(body[i])
+            if byte == _ZERO_BYTE:
+                run = 1
+                while (i + run < n and run < _MAX_RUN
+                       and int(body[i + run]) == _ZERO_BYTE):
+                    run += 1
+                if run >= 2:
+                    out.append(_RUN_BASE + run - 2)
+                    i += run
+                    continue
+            out.append(byte)
+            i += 1
+        return np.asarray(out, dtype=np.uint8)
+
+    @staticmethod
+    def _rle_decode(stream: np.ndarray) -> np.ndarray:
+        out = []
+        for byte in stream:
+            byte = int(byte)
+            if byte >= _RUN_BASE:
+                out.extend([_ZERO_BYTE] * (byte - _RUN_BASE + 2))
+            else:
+                out.append(byte)
+        return np.asarray(out, dtype=np.uint8)
+
+    # -- codec --------------------------------------------------------------
+
+    def encode(self, gradient: np.ndarray) -> np.ndarray:
+        grad = np.ascontiguousarray(gradient, dtype=np.float32).ravel()
+        if grad.size == 0:
+            raise ValueError("cannot compress an empty gradient")
+        digits, scale = self._quantize(grad)
+        pad = (-digits.size) % 5
+        if pad:
+            digits = np.concatenate(
+                [digits, np.full(pad, 1, dtype=np.uint8)])
+        quintets = digits.reshape(-1, 5).astype(np.uint32)
+        body = (quintets * _POWERS).sum(axis=1).astype(np.uint8)
+        rle = self._rle_encode(body)
+        return (ByteWriter()
+                .scalar(grad.size, "u4")
+                .scalar(scale, "f4")
+                .scalar(rle.size, "u4")
+                .array(rle)
+                .finish())
+
+    def decode(self, compressed: np.ndarray) -> np.ndarray:
+        reader = ByteReader(compressed)
+        count = int(reader.scalar("u4"))
+        scale = float(reader.scalar("f4"))
+        body_len = int(reader.scalar("u4"))
+        body = self._rle_decode(reader.array(np.uint8, body_len))
+        quintets = body.astype(np.uint32)[:, None]
+        digits = (quintets // _POWERS) % 3
+        digits = digits.ravel()[:count].astype(np.int8) - 1
+        return digits.astype(np.float32) * np.float32(scale)
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        """Planning estimate: assume ~60 % of quintet bytes RLE away."""
+        if num_elements <= 0:
+            raise ValueError(f"need positive element count, got {num_elements}")
+        quintet_bytes = (num_elements + 4) // 5
+        return self.METADATA_BYTES + max(1, int(quintet_bytes * 0.4))

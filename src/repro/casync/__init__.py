@@ -1,0 +1,43 @@
+"""CaSync: compression-aware gradient synchronization architecture."""
+
+from .planner import (
+    STEP_COUNT_PRESETS,
+    CostModel,
+    GradientPlan,
+    SelectivePlanner,
+    StepCounts,
+    plans_from_json,
+    plans_to_json,
+)
+from .memory import buffer_lifetimes, peak_buffer_memory
+from .topology import Role, Topology, ps_topology, ring_topology
+from .tasks import (
+    COMPUTE_KINDS,
+    Coordinator,
+    NodeEngine,
+    Task,
+    TaskGraph,
+    run_graph,
+)
+
+__all__ = [
+    "COMPUTE_KINDS",
+    "Role",
+    "buffer_lifetimes",
+    "peak_buffer_memory",
+    "Topology",
+    "ps_topology",
+    "plans_from_json",
+    "plans_to_json",
+    "ring_topology",
+    "Coordinator",
+    "CostModel",
+    "GradientPlan",
+    "NodeEngine",
+    "STEP_COUNT_PRESETS",
+    "SelectivePlanner",
+    "StepCounts",
+    "Task",
+    "TaskGraph",
+    "run_graph",
+]

@@ -1,0 +1,72 @@
+"""GPU communication-buffer memory accounting.
+
+§5: "CompLL reuses gradients produced by DNN computation and only
+allocates buffers for the much smaller compressed gradients to avoid the
+GPU memory contention."  This module makes that claim measurable: after a
+task graph executes, :func:`peak_buffer_memory` sweeps each node's buffer
+lifetimes -- a task that materializes a buffer (``out_nbytes``) holds it
+from its completion until the last task depending on it completes -- and
+reports the peak simultaneous communication-buffer footprint per node.
+
+OSS-style integrations allocate full-size staging copies per gradient
+(the ``copy`` tasks), so their peaks sit far above CaSync's
+compressed-buffers-only footprint; `tests/test_memory.py` pins this down
+and `benchmarks/test_ablations.py`-style comparisons can quantify it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .tasks import Task, TaskGraph
+
+__all__ = ["buffer_lifetimes", "peak_buffer_memory"]
+
+
+def buffer_lifetimes(graph: TaskGraph) -> List[Tuple[int, float, float, float]]:
+    """(node, alloc_time, free_time, nbytes) for every materialized buffer.
+
+    Must be called after the graph has executed (tasks need timestamps).
+    A buffer is allocated when its producing task finishes and freed when
+    the last consumer finishes (or immediately, if nothing consumes it).
+    """
+    consumers: Dict[int, List[Task]] = {}
+    for task in graph.tasks:
+        for dep in graph._deps[task.id]:
+            if isinstance(dep, Task):
+                consumers.setdefault(dep.id, []).append(task)
+
+    lifetimes = []
+    for task in graph.tasks:
+        if task.out_nbytes is None or task.out_nbytes <= 0:
+            continue
+        if task.finished_at is None:
+            raise ValueError(
+                f"{task!r} has no timestamps; run the graph first")
+        alloc = task.finished_at
+        free = alloc
+        for consumer in consumers.get(task.id, ()):
+            if consumer.finished_at is not None:
+                free = max(free, consumer.finished_at)
+        lifetimes.append((task.node, alloc, free, float(task.out_nbytes)))
+    return lifetimes
+
+
+def peak_buffer_memory(graph: TaskGraph) -> Dict[int, float]:
+    """Peak simultaneous communication-buffer bytes per node."""
+    events: Dict[int, List[Tuple[float, float]]] = {}
+    for node, alloc, free, nbytes in buffer_lifetimes(graph):
+        node_events = events.setdefault(node, [])
+        node_events.append((alloc, nbytes))
+        node_events.append((free, -nbytes))
+    peaks: Dict[int, float] = {}
+    for node, node_events in events.items():
+        # Frees sort before allocations at the same instant (buffer reuse).
+        node_events.sort(key=lambda e: (e[0], e[1]))
+        current = 0.0
+        peak = 0.0
+        for _, delta in node_events:
+            current += delta
+            peak = max(peak, current)
+        peaks[node] = peak
+    return peaks

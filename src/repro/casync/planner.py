@@ -1,0 +1,205 @@
+"""Selective compression and partitioning (§3.3): cost model and planner.
+
+For every gradient the planner compares the synchronization time without
+compression (Eq. 1) against the time with compression (Eq. 2)::
+
+    T_orig(m, K) = alpha * T_send(m / K)
+    T_cpr(m, K)  = alpha * T_send(r * m / K)
+                 + beta * T_enc(m / K) + gamma * T_dec(r * m / K)
+
+where (alpha, beta, gamma) count the serial communication steps and the
+non-overlapped encode/decode operators of the chosen synchronization
+strategy (Table 3), and r, T_enc, T_dec come from profiling the
+compression algorithm on the target GPU.  The planner picks, per gradient,
+whether to compress and the partition count K that minimizes the cost --
+"avoid over-compression penalties and further leverage parallelism".
+
+Step-count presets:
+
+* ``ring``:         alpha = 2(N-1), beta = N,     gamma = N        (Table 3)
+* ``ps``:           alpha = 2N,     beta = K + 1, gamma = N + 1    (Table 3)
+* ``ps_colocated``: alpha = 2(N-1), beta = K,     gamma = N        (§6.1's
+  deployment, where a worker never talks to its co-located aggregator)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..algorithms.base import CompressionAlgorithm, FLOAT_BYTES
+from ..cluster import ClusterSpec
+from ..models import GradientSpec
+
+__all__ = ["StepCounts", "STEP_COUNT_PRESETS", "CostModel", "GradientPlan",
+           "SelectivePlanner", "plans_to_json", "plans_from_json"]
+
+
+@dataclass(frozen=True)
+class StepCounts:
+    """(alpha, beta, gamma) for a synchronization strategy at scale N."""
+
+    alpha: int
+    beta: int
+    gamma: int
+
+
+def _ring_counts(n: int, k: int) -> StepCounts:
+    return StepCounts(alpha=2 * (n - 1), beta=n, gamma=n)
+
+
+def _ps_counts(n: int, k: int) -> StepCounts:
+    return StepCounts(alpha=2 * n, beta=k + 1, gamma=n + 1)
+
+
+def _ps_colocated_counts(n: int, k: int) -> StepCounts:
+    return StepCounts(alpha=2 * (n - 1), beta=max(k, 1), gamma=n)
+
+
+STEP_COUNT_PRESETS = {
+    "ring": _ring_counts,
+    "ps": _ps_counts,
+    "ps_colocated": _ps_colocated_counts,
+}
+
+
+class CostModel:
+    """Evaluates Eqs. (1)-(2) for one (cluster, algorithm, strategy) triple."""
+
+    def __init__(self, cluster: ClusterSpec,
+                 algorithm: CompressionAlgorithm,
+                 strategy: str = "ps_colocated"):
+        if strategy not in STEP_COUNT_PRESETS:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"available: {sorted(STEP_COUNT_PRESETS)}")
+        self.cluster = cluster
+        self.algorithm = algorithm
+        self.strategy = strategy
+        self._counts = STEP_COUNT_PRESETS[strategy]
+
+    # -- profiled primitives (Table 2) ---------------------------------------
+
+    def t_send(self, nbytes: float) -> float:
+        return self.cluster.network.transfer_time(nbytes)
+
+    def t_enc(self, nbytes: float) -> float:
+        return self.algorithm.encode_time(nbytes, self.cluster.node.gpu)
+
+    def t_dec(self, nbytes: float) -> float:
+        """Decode cost, parameterized by the *original* gradient size."""
+        return self.algorithm.decode_time(nbytes, self.cluster.node.gpu)
+
+    def compression_rate(self, nbytes: float) -> float:
+        elements = max(1, int(nbytes) // FLOAT_BYTES)
+        return self.algorithm.compression_rate(elements)
+
+    # -- Eq. (1) and Eq. (2) ----------------------------------------------------
+
+    def t_sync_orig(self, nbytes: float, partitions: int) -> float:
+        counts = self._counts(self.cluster.num_nodes, partitions)
+        return counts.alpha * self.t_send(nbytes / partitions)
+
+    def t_sync_compressed(self, nbytes: float, partitions: int) -> float:
+        counts = self._counts(self.cluster.num_nodes, partitions)
+        part = nbytes / partitions
+        rate = self.compression_rate(part)
+        # K beyond N is grouped into ceil(K/N) pipelined batches (§3.3).
+        groups = -(-partitions // self.cluster.num_nodes)
+        return groups * (counts.alpha * self.t_send(rate * part)
+                         + counts.beta * self.t_enc(part)
+                         + counts.gamma * self.t_dec(part))
+
+
+@dataclass(frozen=True)
+class GradientPlan:
+    """The planner's verdict for one gradient (Table 7 tuples)."""
+
+    name: str
+    nbytes: int
+    compress: bool
+    partitions: int
+    predicted_time: float
+
+    @property
+    def partition_nbytes(self) -> float:
+        return self.nbytes / self.partitions
+
+
+class SelectivePlanner:
+    """Produces per-gradient <compress?, K> plans (§3.3, Table 7).
+
+    ``max_partitions`` defaults to N (the paper explores K in [1, N], with
+    an extension to K > N via batch grouping).
+    """
+
+    def __init__(self, cost_model: CostModel,
+                 max_partitions: Optional[int] = None):
+        self.cost_model = cost_model
+        n = cost_model.cluster.num_nodes
+        # §3.3 relaxes K beyond N by grouping partitions into ceil(K/N)
+        # pipelined batches, so the search space extends past N.
+        self.max_partitions = max_partitions if max_partitions else max(n, 16)
+
+    def plan_gradient(self, gradient: GradientSpec) -> GradientPlan:
+        best: Optional[Tuple[float, bool, int]] = None
+        for k in range(1, self.max_partitions + 1):
+            for compress in (False, True):
+                if compress:
+                    cost = self.cost_model.t_sync_compressed(
+                        gradient.nbytes, k)
+                else:
+                    cost = self.cost_model.t_sync_orig(gradient.nbytes, k)
+                key = (cost, compress, k)
+                if best is None or cost < best[0]:
+                    best = key
+        cost, compress, k = best
+        return GradientPlan(name=gradient.name, nbytes=gradient.nbytes,
+                            compress=compress, partitions=k,
+                            predicted_time=cost)
+
+    def plan_model(self, gradients: Iterable[GradientSpec]
+                   ) -> Dict[str, GradientPlan]:
+        return {g.name: self.plan_gradient(g) for g in gradients}
+
+    def compression_threshold(self, probe_sizes: Iterable[int] = ()
+                              ) -> Optional[int]:
+        """Smallest probed gradient size for which compression wins.
+
+        Used by the experiments to report the "compress gradients larger
+        than X" thresholds of §6.1.
+        """
+        sizes = sorted(probe_sizes) or [
+            1 << s for s in range(10, 31)]  # 1KB .. 1GB
+        for nbytes in sizes:
+            plan = self.plan_gradient(
+                GradientSpec(name="probe", nbytes=int(nbytes)))
+            if plan.compress:
+                return int(nbytes)
+        return None
+
+
+# -- plan persistence ---------------------------------------------------------
+
+def plans_to_json(plans: Dict[str, GradientPlan]) -> str:
+    """Serialize a plan table (the §5 planner's output artifact)."""
+    import json
+    return json.dumps({
+        name: {"nbytes": plan.nbytes, "compress": plan.compress,
+               "partitions": plan.partitions,
+               "predicted_time": plan.predicted_time}
+        for name, plan in plans.items()}, indent=1, sort_keys=True)
+
+
+def plans_from_json(text: str) -> Dict[str, GradientPlan]:
+    """Inverse of :func:`plans_to_json`."""
+    import json
+    raw = json.loads(text)
+    plans = {}
+    for name, fields in raw.items():
+        plans[name] = GradientPlan(
+            name=name, nbytes=int(fields["nbytes"]),
+            compress=bool(fields["compress"]),
+            partitions=int(fields["partitions"]),
+            predicted_time=float(fields["predicted_time"]))
+    return plans

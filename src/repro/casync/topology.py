@@ -1,0 +1,146 @@
+"""Communication topologies: the §3.1 directed-graph abstraction.
+
+"We first decouple the communication topology from gradient synchronization
+strategies.  We represent the topology as a directed graph, where the
+vertex set contains training nodes and the edge set specifies the
+connections between these nodes" -- with two fundamental roles, *worker*
+and *aggregator*.  PS builds bipartite connections between workers and
+aggregators; Ring-allreduce gives every node both roles and clockwise
+edges.
+
+Strategies consult a :class:`Topology` for neighbor/role queries; the task
+manager then knows where sends go without the strategy hard-coding
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Flag, auto
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+__all__ = ["Role", "Topology", "ring_topology", "ps_topology"]
+
+
+class Role(Flag):
+    """Node roles in gradient synchronization (§3.1)."""
+
+    WORKER = auto()
+    AGGREGATOR = auto()
+    BOTH = WORKER | AGGREGATOR
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A directed communication graph plus role assignment."""
+
+    num_nodes: int
+    edges: FrozenSet[Tuple[int, int]]
+    roles: Tuple[Role, ...]
+    name: str = "topology"
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ValueError("need at least one node")
+        if len(self.roles) != self.num_nodes:
+            raise ValueError(
+                f"{len(self.roles)} roles for {self.num_nodes} nodes")
+        for src, dst in self.edges:
+            if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+                raise ValueError(f"edge ({src}, {dst}) out of range")
+            if src == dst:
+                raise ValueError(f"self-loop on node {src}")
+
+    # -- queries --------------------------------------------------------------
+
+    def successors(self, node: int) -> Tuple[int, ...]:
+        return tuple(sorted(d for s, d in self.edges if s == node))
+
+    def predecessors(self, node: int) -> Tuple[int, ...]:
+        return tuple(sorted(s for s, d in self.edges if d == node))
+
+    def successor(self, node: int) -> int:
+        """The unique successor (rings); raises if not unique."""
+        succ = self.successors(node)
+        if len(succ) != 1:
+            raise ValueError(
+                f"node {node} has {len(succ)} successors, expected 1")
+        return succ[0]
+
+    def has_role(self, node: int, role: Role) -> bool:
+        return bool(self.roles[node] & role)
+
+    def workers(self) -> Tuple[int, ...]:
+        return tuple(n for n in range(self.num_nodes)
+                     if self.has_role(n, Role.WORKER))
+
+    def aggregators(self) -> Tuple[int, ...]:
+        return tuple(n for n in range(self.num_nodes)
+                     if self.has_role(n, Role.AGGREGATOR))
+
+    def is_strongly_connected(self) -> bool:
+        """Every node can reach every other (gradient values must spread)."""
+        if self.num_nodes == 1:
+            return True
+        adjacency: Dict[int, Set[int]] = {}
+        reverse: Dict[int, Set[int]] = {}
+        for s, d in self.edges:
+            adjacency.setdefault(s, set()).add(d)
+            reverse.setdefault(d, set()).add(s)
+
+        def reaches_all(start: int, adj: Dict[int, Set[int]]) -> bool:
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for nxt in adj.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            return len(seen) == self.num_nodes
+
+        return reaches_all(0, adjacency) and reaches_all(0, reverse)
+
+
+def ring_topology(num_nodes: int) -> Topology:
+    """Clockwise ring; every node is worker and aggregator (Fig. 1b)."""
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    edges = frozenset((i, (i + 1) % num_nodes) for i in range(num_nodes)
+                      if num_nodes > 1)
+    return Topology(num_nodes=num_nodes, edges=edges,
+                    roles=tuple(Role.BOTH for _ in range(num_nodes)),
+                    name=f"ring-{num_nodes}")
+
+
+def ps_topology(num_nodes: int, colocated: bool = True) -> Topology:
+    """Bipartite worker<->aggregator connections (Fig. 1a).
+
+    With ``colocated=True`` (the deployment §6.1 tunes for) every node is
+    both a worker and an aggregator and talks to every *other* node; with
+    ``colocated=False`` the first half are workers, the second half
+    aggregators.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if colocated:
+        edges = frozenset((w, a) for w in range(num_nodes)
+                          for a in range(num_nodes) if w != a)
+        edges = edges | frozenset((a, w) for w, a in edges)
+        return Topology(num_nodes=num_nodes, edges=edges,
+                        roles=tuple(Role.BOTH for _ in range(num_nodes)),
+                        name=f"ps-colocated-{num_nodes}")
+    if num_nodes < 2:
+        raise ValueError("separated PS needs at least 2 nodes")
+    half = num_nodes // 2
+    workers = range(half)
+    aggregators = range(half, num_nodes)
+    edges = set()
+    for w in workers:
+        for a in aggregators:
+            edges.add((w, a))
+            edges.add((a, w))
+    roles = tuple(Role.WORKER if n < half else Role.AGGREGATOR
+                  for n in range(num_nodes))
+    return Topology(num_nodes=num_nodes, edges=frozenset(edges),
+                    roles=roles, name=f"ps-{num_nodes}")

@@ -1,0 +1,20 @@
+"""Cluster topology specs and the paper's two testbed profiles."""
+
+from .spec import (
+    ClusterSpec,
+    InterconnectSpec,
+    NodeSpec,
+    ec2_v100_cluster,
+    local_1080ti_cluster,
+)
+from .spec import NVLINK, PCIE3
+
+__all__ = [
+    "ClusterSpec",
+    "InterconnectSpec",
+    "NodeSpec",
+    "NVLINK",
+    "PCIE3",
+    "ec2_v100_cluster",
+    "local_1080ti_cluster",
+]

@@ -1,0 +1,132 @@
+"""Cluster topology specifications and the paper's two testbeds.
+
+A :class:`ClusterSpec` is everything a synchronization strategy needs to
+know about the hardware: how many nodes, GPUs per node, intra-node
+interconnect (NVLink / PCIe) for local aggregation, and the inter-node
+network.  The two profiles mirror the paper's §6.1 machine configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..gpu import GTX1080TI, GpuSpec, V100
+from ..net import NetworkSpec
+
+__all__ = ["InterconnectSpec", "NodeSpec", "ClusterSpec",
+           "ec2_v100_cluster", "local_1080ti_cluster"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Intra-node GPU interconnect (NVLink or a PCIe switch)."""
+
+    name: str
+    bandwidth_gbs: float  # GB/s per direction
+    latency_us: float = 2.0
+
+    def __post_init__(self):
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("interconnect bandwidth must be positive")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+    def transfer_time(self, nbytes: float) -> float:
+        return self.latency_us * 1e-6 + nbytes / self.bytes_per_second
+
+
+#: NVLink 2.0 (V100 class, per-direction aggregate as seen by allreduce).
+NVLINK = InterconnectSpec(name="NVLink", bandwidth_gbs=150.0)
+#: PCIe 3.0 x16 switch (1080 Ti class).
+PCIE3 = InterconnectSpec(name="PCIe3", bandwidth_gbs=10.0)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One training node: homogeneous GPUs behind an intra-node interconnect.
+
+    ``cpu_agg_bytes_per_s`` is the host's effective gradient-summation
+    bandwidth (PCIe hop + vectorized add) -- what BytePS-style CPU servers
+    can sustain.  EC2 p3dn hosts (96 vCPUs) far outclass the local
+    cluster's dual E5-2620s.
+    """
+
+    gpus_per_node: int
+    gpu: GpuSpec
+    interconnect: InterconnectSpec
+    cpu_agg_bytes_per_s: float = 30e9
+
+    def __post_init__(self):
+        if self.gpus_per_node < 1:
+            raise ValueError("need at least one GPU per node")
+
+    def local_aggregation_time(self, nbytes: float) -> float:
+        """Time for an intra-node allreduce of ``nbytes`` across local GPUs.
+
+        Ring allreduce over ``g`` GPUs moves ``2 (g-1)/g * nbytes`` through
+        each GPU's interconnect port (bandwidth-optimal); with one GPU it is
+        free.  HiPress performs this *before* compression (§5, "Local
+        aggregation").
+        """
+        g = self.gpus_per_node
+        if g == 1 or nbytes == 0:
+            return 0.0
+        volume = 2 * (g - 1) / g * nbytes
+        return 2 * (g - 1) * self.interconnect.latency_us * 1e-6 \
+            + volume / self.interconnect.bytes_per_second
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The full testbed: ``num_nodes`` identical nodes plus a network."""
+
+    name: str
+    num_nodes: int
+    node: NodeSpec
+    network: NetworkSpec
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ValueError("need at least one node")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus_per_node
+
+    def with_nodes(self, num_nodes: int) -> "ClusterSpec":
+        """Same hardware, different scale (for weak-scaling sweeps)."""
+        return replace(self, num_nodes=num_nodes)
+
+    def with_bandwidth(self, bandwidth_gbps: float) -> "ClusterSpec":
+        """Same cluster with a different network (for Fig. 12a sweeps)."""
+        return replace(self, network=replace(
+            self.network, bandwidth_gbps=bandwidth_gbps))
+
+
+def ec2_v100_cluster(num_nodes: int = 16,
+                     bandwidth_gbps: float = 100.0) -> ClusterSpec:
+    """The paper's AWS testbed: p3dn.24xlarge, 8xV100 + NVLink, 100 Gbps."""
+    return ClusterSpec(
+        name=f"ec2-v100-{num_nodes}n",
+        num_nodes=num_nodes,
+        node=NodeSpec(gpus_per_node=8, gpu=V100, interconnect=NVLINK),
+        network=NetworkSpec(bandwidth_gbps=bandwidth_gbps, latency_us=8.0,
+                            efficiency=0.65),
+    )
+
+
+def local_1080ti_cluster(num_nodes: int = 16,
+                         bandwidth_gbps: float = 56.0) -> ClusterSpec:
+    """The paper's local testbed: 2x1080Ti + PCIe switch, 56 Gbps IB."""
+    return ClusterSpec(
+        name=f"local-1080ti-{num_nodes}n",
+        num_nodes=num_nodes,
+        node=NodeSpec(gpus_per_node=2, gpu=GTX1080TI, interconnect=PCIE3,
+                      cpu_agg_bytes_per_s=6e9),
+        # The NIC shares the PCIe switch with both GPUs, so achievable
+        # network throughput sits well below line rate under training load.
+        network=NetworkSpec(bandwidth_gbps=bandwidth_gbps, latency_us=3.0,
+                            efficiency=0.55),
+    )

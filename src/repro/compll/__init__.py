@@ -1,0 +1,44 @@
+"""CompLL: the gradient-compression toolkit (DSL, compiler, operators).
+
+Pipeline: :func:`parse` -> :func:`analyze` -> :func:`generate` ->
+:func:`compile_algorithm`, matching the paper's lex/parse/AST-traverse/
+substitute code-generation flow (§4.3) with a NumPy backend.
+"""
+
+from .codegen import CodegenError, generate
+from .lexer import LexError, Lexer, Token
+from .library import BUNDLED_ALGORITHMS, build, dsl_source, terngrad_source
+from .operators import Cursor, Runtime
+from .parser import ParseError, parse
+from .printer import format_expression, format_program
+from .semantics import ProgramInfo, SemanticError, analyze
+from .toolkit import CompiledAlgorithm, LocStats, compile_algorithm, loc_stats
+from .verify import Check, ValidationReport, validate_algorithm
+
+__all__ = [
+    "BUNDLED_ALGORITHMS",
+    "CodegenError",
+    "CompiledAlgorithm",
+    "Cursor",
+    "LexError",
+    "Lexer",
+    "LocStats",
+    "ParseError",
+    "ProgramInfo",
+    "Runtime",
+    "SemanticError",
+    "Token",
+    "Check",
+    "ValidationReport",
+    "analyze",
+    "build",
+    "compile_algorithm",
+    "dsl_source",
+    "format_expression",
+    "format_program",
+    "generate",
+    "loc_stats",
+    "parse",
+    "terngrad_source",
+    "validate_algorithm",
+]

@@ -1,0 +1,207 @@
+"""Typed abstract syntax tree for the CompLL DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+__all__ = [
+    "TypeRef", "Program", "ParamBlock", "ParamField", "GlobalDecl",
+    "Function", "Parameter",
+    "Block", "Declaration", "Assignment", "Return", "If", "ExprStatement",
+    "Number", "Name", "Member", "Index", "Call", "Unary", "Binary",
+    "Expression", "Statement",
+]
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A DSL type: base name plus pointer (array) flag.
+
+    ``uint2*`` is an array of 2-bit uints; ``float`` a scalar float.
+    """
+
+    base: str
+    pointer: bool = False
+
+    def __str__(self) -> str:
+        return self.base + ("*" if self.pointer else "")
+
+    @property
+    def bitwidth(self) -> Optional[int]:
+        """Bit width for uintN types, else None."""
+        if self.base.startswith("uint"):
+            return int(self.base[4:])
+        return None
+
+    @property
+    def is_sub_byte(self) -> bool:
+        return self.base in ("uint1", "uint2", "uint4")
+
+    @property
+    def serialization_tag(self) -> str:
+        """Tag understood by the operator runtime's concat/extract."""
+        mapping = {
+            "uint1": "b1", "uint2": "b2", "uint4": "b4",
+            "uint8": "u1", "uint16": "u2", "uint32": "u4",
+            "int32": "i4", "float": "f4",
+        }
+        try:
+            return mapping[self.base]
+        except KeyError:
+            raise ValueError(
+                f"type {self.base!r} cannot be serialized") from None
+
+
+# -- expressions ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Number:
+    text: str
+
+    @property
+    def value(self) -> Union[int, float]:
+        return float(self.text) if ("." in self.text or "e" in self.text
+                                    or "E" in self.text) else int(self.text)
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+
+
+@dataclass(frozen=True)
+class Member:
+    """``obj.field`` -- e.g. ``params.bitwidth`` or ``gradient.size``."""
+
+    obj: "Expression"
+    field: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """``arr[i]``."""
+
+    obj: "Expression"
+    index: "Expression"
+
+
+@dataclass(frozen=True)
+class Call:
+    """``fn(args)`` with optional template type: ``random<float>(0, 1)``.
+
+    ``type_args`` also carries the type operand of ``extract(buf, uint2, n)``.
+    """
+
+    func: str
+    args: tuple
+    type_args: tuple = ()
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+Expression = Union[Number, Name, Member, Index, Call, Unary, Binary]
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Declaration:
+    type: TypeRef
+    names: tuple                 # one or more identifiers
+    value: Optional[Expression]  # initializer (only with a single name)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    target: Expression           # Name, Member or Index
+    value: Expression
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: tuple
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expression
+    then_block: Block
+    else_block: Optional[Block]
+
+
+@dataclass(frozen=True)
+class ExprStatement:
+    expr: Expression
+
+
+Statement = Union[Declaration, Assignment, Return, If, ExprStatement]
+
+
+# -- top-level items ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParamField:
+    type: TypeRef
+    name: str
+
+
+@dataclass(frozen=True)
+class ParamBlock:
+    name: str
+    fields: tuple
+
+
+@dataclass(frozen=True)
+class GlobalDecl:
+    type: TypeRef
+    names: tuple
+
+
+@dataclass(frozen=True)
+class Parameter:
+    type: TypeRef
+    name: str
+
+
+@dataclass(frozen=True)
+class Function:
+    return_type: TypeRef
+    name: str
+    parameters: tuple
+    body: Block
+
+
+@dataclass(frozen=True)
+class Program:
+    param_blocks: tuple
+    globals: tuple
+    functions: tuple
+
+    def function(self, name: str) -> Optional[Function]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None
+
+    def param_block(self, name: str) -> Optional[ParamBlock]:
+        for block in self.param_blocks:
+            if block.name == name:
+                return block
+        return None

@@ -1,0 +1,132 @@
+"""Tokenizer for the CompLL domain-specific language (§4.3).
+
+The DSL is a small C-like language: ``param`` blocks, typed declarations,
+user-defined functions, and calls to the common operators.  Line
+continuations with a trailing backslash are allowed (Fig. 5 uses them), as
+are ``//`` line comments and ``/* */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "Lexer", "LexError", "KEYWORDS", "TYPE_NAMES"]
+
+#: Primitive type names the DSL supports (§4.3).
+TYPE_NAMES = {
+    "uint1", "uint2", "uint4", "uint8", "uint16", "uint32",
+    "int32", "float", "void",
+}
+
+KEYWORDS = {"param", "return", "if", "else"} | TYPE_NAMES
+
+_SYMBOLS = [
+    # longest first
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+]
+
+
+class LexError(SyntaxError):
+    """Raised on malformed DSL source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'ident' | 'number' | 'keyword' | 'symbol' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts DSL source into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+
+    def tokens(self) -> List[Token]:
+        return list(self._scan())
+
+    def _scan(self) -> Iterator[Token]:
+        src = self.source
+        i = 0
+        line = 1
+        col = 1
+        n = len(src)
+        while i < n:
+            ch = src[i]
+            # Line continuation: backslash followed by newline.
+            if ch == "\\" and i + 1 < n and src[i + 1] == "\n":
+                i += 2
+                line += 1
+                col = 1
+                continue
+            if ch == "\n":
+                i += 1
+                line += 1
+                col = 1
+                continue
+            if ch in " \t\r":
+                i += 1
+                col += 1
+                continue
+            if src.startswith("//", i):
+                while i < n and src[i] != "\n":
+                    i += 1
+                continue
+            if src.startswith("/*", i):
+                end = src.find("*/", i + 2)
+                if end < 0:
+                    raise LexError(f"unterminated block comment at line {line}")
+                skipped = src[i:end + 2]
+                line += skipped.count("\n")
+                if "\n" in skipped:
+                    col = len(skipped) - skipped.rfind("\n")
+                else:
+                    col += len(skipped)
+                i = end + 2
+                continue
+            if ch.isdigit() or (ch == "." and i + 1 < n and src[i + 1].isdigit()):
+                start = i
+                while i < n and (src[i].isdigit() or src[i] == "."):
+                    i += 1
+                # exponent
+                if i < n and src[i] in "eE":
+                    j = i + 1
+                    if j < n and src[j] in "+-":
+                        j += 1
+                    if j < n and src[j].isdigit():
+                        i = j
+                        while i < n and src[i].isdigit():
+                            i += 1
+                text = src[start:i]
+                if text.count(".") > 1:
+                    raise LexError(f"malformed number {text!r} at line {line}")
+                yield Token("number", text, line, col)
+                col += i - start
+                continue
+            if ch.isalpha() or ch == "_":
+                start = i
+                while i < n and (src[i].isalnum() or src[i] == "_"):
+                    i += 1
+                text = src[start:i]
+                kind = "keyword" if text in KEYWORDS else "ident"
+                yield Token(kind, text, line, col)
+                col += i - start
+                continue
+            for symbol in _SYMBOLS:
+                if src.startswith(symbol, i):
+                    yield Token("symbol", symbol, line, col)
+                    i += len(symbol)
+                    col += len(symbol)
+                    break
+            else:
+                raise LexError(
+                    f"unexpected character {ch!r} at line {line}, column {col}")
+        yield Token("eof", "", line, col)

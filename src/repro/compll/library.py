@@ -1,0 +1,76 @@
+"""Bundled DSL programs for the paper's five algorithms (§4.4, Table 5).
+
+``dsl_source(name)`` loads the shipped ``.cll`` program; ``build(name)``
+compiles it into a ready codec.  TernGrad's payload width is a type in the
+DSL (Fig. 5 "assume bitwidth = 2 for clarity"), so ``terngrad_source``
+rewrites the payload type for other bitwidths exactly as a practitioner
+would edit the program.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..algorithms.base import KernelProfile
+from .toolkit import CompiledAlgorithm, compile_algorithm
+
+__all__ = ["dsl_source", "terngrad_source", "build", "BUNDLED_ALGORITHMS"]
+
+_SOURCE_DIR = Path(__file__).parent / "dsl_sources"
+
+#: Default parameters matching the hand-written codecs' defaults.
+BUNDLED_ALGORITHMS: Dict[str, Dict] = {
+    "onebit": {},
+    "tbq": {"threshold": 0.01},
+    "terngrad": {"bitwidth": 2},
+    "dgc": {"rate": 0.001},
+    "graddrop": {"keep_rate": 0.01},
+    # §4.4 extensibility case studies, built on registered operators.
+    "adacomp": {"bin_size": 512},
+    "threelc": {},
+}
+
+#: Kernel profiles mirroring the hand-written codecs (for the cost model).
+_PROFILES: Dict[str, KernelProfile] = {
+    "onebit": KernelProfile(2, 1, encode_kernels=2, decode_kernels=1),
+    "tbq": KernelProfile(2, 1, encode_kernels=2, decode_kernels=1),
+    "terngrad": KernelProfile(2, 1, encode_kernels=3, decode_kernels=1),
+    "dgc": KernelProfile(3, 1, encode_kernels=4, decode_kernels=1),
+    "graddrop": KernelProfile(2.2, 1, encode_kernels=3, decode_kernels=1),
+    "adacomp": KernelProfile(3, 1, encode_kernels=4, decode_kernels=1),
+    "threelc": KernelProfile(3, 2, encode_kernels=4, decode_kernels=2),
+}
+
+
+def dsl_source(name: str) -> str:
+    """Raw DSL text of a bundled algorithm."""
+    path = _SOURCE_DIR / f"{name}.cll"
+    if not path.exists():
+        raise KeyError(f"no bundled DSL program named {name!r}")
+    return path.read_text()
+
+
+def terngrad_source(bitwidth: int = 2) -> str:
+    """TernGrad DSL at an arbitrary payload bitwidth (2/4/8)."""
+    if bitwidth not in (1, 2, 4, 8):
+        raise ValueError(f"bitwidth must be 1, 2, 4 or 8, got {bitwidth}")
+    return dsl_source("terngrad").replace("uint2", f"uint{bitwidth}")
+
+
+def build(name: str, params: Optional[Dict] = None,
+          seed: int = 0) -> CompiledAlgorithm:
+    """Compile a bundled algorithm, with optional parameter overrides."""
+    if name not in BUNDLED_ALGORITHMS:
+        raise KeyError(
+            f"no bundled algorithm {name!r}; "
+            f"available: {sorted(BUNDLED_ALGORITHMS)}")
+    merged = dict(BUNDLED_ALGORITHMS[name])
+    merged.update(params or {})
+    if name == "terngrad":
+        source = terngrad_source(int(merged.get("bitwidth", 2)))
+    else:
+        source = dsl_source(name)
+    return compile_algorithm(
+        source, name=f"compll-{name}", params=merged,
+        profile=_PROFILES.get(name), seed=seed)

@@ -1,0 +1,315 @@
+"""Recursive-descent parser for the CompLL DSL (§4.3).
+
+Grammar (simplified)::
+
+    program     := (param_block | global_decl | function)*
+    param_block := 'param' IDENT '{' (type IDENT ';')* '}'
+    global_decl := type IDENT (',' IDENT)* ';'
+    function    := type IDENT '(' parameters ')' block
+    block       := '{' statement* '}'
+    statement   := declaration | assignment | 'return' expr? ';'
+                 | 'if' '(' expr ')' block ('else' block)? | expr ';'
+    declaration := type IDENT ('=' expr)? ';' | type IDENT (',' IDENT)+ ';'
+    expression  := C-style precedence: || && == != < > <= >= << >> + - * / % unary
+    call        := IDENT ('<' type '>')? '(' args ')'     (random<float>(0,1))
+
+Types used as call arguments (``extract(buf, uint2, n)``) are captured as
+``type_args`` on the Call node.  The DSL deliberately has no loops (§4.3:
+"it is often unnecessary to include loops ... iterative processing
+semantics are covered by the common operators").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast_nodes import (
+    Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
+    GlobalDecl, If, Index, Member, Name, Number, ParamBlock, ParamField,
+    Parameter, Program, Return, TypeRef, Unary,
+)
+from .lexer import Lexer, Token, TYPE_NAMES
+
+__all__ = ["Parser", "ParseError", "parse"]
+
+
+class ParseError(SyntaxError):
+    """Raised on grammatically invalid DSL source."""
+
+
+#: Binary operator precedence levels, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+def parse(source: str) -> Program:
+    """Parse DSL source into a :class:`Program`."""
+    return Parser(source).parse_program()
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = Lexer(source).tokens()
+        self._pos = 0
+        #: Param-block names double as types for function parameters.
+        self._param_types = set()
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, got {token.text!r} at line {token.line}")
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _at_type(self) -> bool:
+        token = self._peek()
+        if token.kind == "keyword" and token.text in TYPE_NAMES:
+            return True
+        return token.kind == "ident" and token.text in self._param_types
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        param_blocks: List[ParamBlock] = []
+        globals_: List[GlobalDecl] = []
+        functions: List[Function] = []
+        while self._peek().kind != "eof":
+            if self._peek().kind == "keyword" and self._peek().text == "param":
+                param_blocks.append(self._parse_param_block())
+            elif self._at_type():
+                item = self._parse_global_or_function()
+                if isinstance(item, Function):
+                    functions.append(item)
+                else:
+                    globals_.append(item)
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"unexpected {token.text!r} at line {token.line}")
+        return Program(param_blocks=tuple(param_blocks),
+                       globals=tuple(globals_),
+                       functions=tuple(functions))
+
+    def _parse_param_block(self) -> ParamBlock:
+        self._expect("keyword", "param")
+        name = self._expect("ident").text
+        self._param_types.add(name)
+        self._expect("symbol", "{")
+        fields: List[ParamField] = []
+        while not self._accept("symbol", "}"):
+            ftype = self._parse_type()
+            fname = self._expect("ident").text
+            self._expect("symbol", ";")
+            fields.append(ParamField(type=ftype, name=fname))
+        return ParamBlock(name=name, fields=tuple(fields))
+
+    def _parse_type(self) -> TypeRef:
+        token = self._peek()
+        if token.kind == "keyword" and token.text in TYPE_NAMES:
+            self._next()
+            base = token.text
+        elif token.kind == "ident" and token.text in self._param_types:
+            self._next()
+            base = token.text
+        else:
+            raise ParseError(
+                f"expected a type, got {token.text!r} at line {token.line}")
+        pointer = bool(self._accept("symbol", "*"))
+        return TypeRef(base=base, pointer=pointer)
+
+    def _parse_global_or_function(self):
+        type_ref = self._parse_type()
+        name = self._expect("ident").text
+        if self._peek().kind == "symbol" and self._peek().text == "(":
+            return self._parse_function_rest(type_ref, name)
+        names = [name]
+        while self._accept("symbol", ","):
+            names.append(self._expect("ident").text)
+        self._expect("symbol", ";")
+        return GlobalDecl(type=type_ref, names=tuple(names))
+
+    def _parse_function_rest(self, return_type: TypeRef,
+                             name: str) -> Function:
+        self._expect("symbol", "(")
+        parameters: List[Parameter] = []
+        if not self._accept("symbol", ")"):
+            while True:
+                ptype = self._parse_type()
+                pname = self._expect("ident").text
+                parameters.append(Parameter(type=ptype, name=pname))
+                if self._accept("symbol", ")"):
+                    break
+                self._expect("symbol", ",")
+        body = self._parse_block()
+        return Function(return_type=return_type, name=name,
+                        parameters=tuple(parameters), body=body)
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        self._expect("symbol", "{")
+        statements = []
+        while not self._accept("symbol", "}"):
+            statements.append(self._parse_statement())
+        return Block(statements=tuple(statements))
+
+    def _parse_statement(self):
+        token = self._peek()
+        if token.kind == "keyword" and token.text == "return":
+            self._next()
+            if self._accept("symbol", ";"):
+                return Return(value=None)
+            value = self._parse_expression()
+            self._expect("symbol", ";")
+            return Return(value=value)
+        if token.kind == "keyword" and token.text == "if":
+            return self._parse_if()
+        if self._at_type():
+            return self._parse_declaration()
+        expr = self._parse_expression()
+        if self._accept("symbol", "="):
+            if not isinstance(expr, (Name, Member, Index)):
+                raise ParseError(
+                    f"invalid assignment target at line {token.line}")
+            value = self._parse_expression()
+            self._expect("symbol", ";")
+            return Assignment(target=expr, value=value)
+        self._expect("symbol", ";")
+        return ExprStatement(expr=expr)
+
+    def _parse_if(self) -> If:
+        self._expect("keyword", "if")
+        self._expect("symbol", "(")
+        condition = self._parse_expression()
+        self._expect("symbol", ")")
+        then_block = self._parse_block()
+        else_block = None
+        if self._accept("keyword", "else"):
+            if self._peek().kind == "keyword" and self._peek().text == "if":
+                else_block = Block(statements=(self._parse_if(),))
+            else:
+                else_block = self._parse_block()
+        return If(condition=condition, then_block=then_block,
+                  else_block=else_block)
+
+    def _parse_declaration(self) -> Declaration:
+        type_ref = self._parse_type()
+        names = [self._expect("ident").text]
+        value = None
+        if self._accept("symbol", "="):
+            value = self._parse_expression()
+        else:
+            while self._accept("symbol", ","):
+                names.append(self._expect("ident").text)
+        self._expect("symbol", ";")
+        return Declaration(type=type_ref, names=tuple(names), value=value)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _parse_expression(self):
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int):
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            if token.kind == "symbol" and token.text in _PRECEDENCE[level]:
+                # Disambiguate '<' starting a template call: handled in
+                # _parse_postfix before we ever get here, so plain '<' is
+                # always comparison by now.
+                self._next()
+                right = self._parse_binary(level + 1)
+                left = Binary(op=token.text, left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.kind == "symbol" and token.text in ("-", "!"):
+            self._next()
+            return Unary(op=token.text, operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            if self._accept("symbol", "."):
+                field = self._expect("ident").text
+                expr = Member(obj=expr, field=field)
+            elif self._accept("symbol", "["):
+                index = self._parse_expression()
+                self._expect("symbol", "]")
+                expr = Index(obj=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            return Number(text=token.text)
+        if token.kind == "symbol" and token.text == "(":
+            self._next()
+            expr = self._parse_expression()
+            self._expect("symbol", ")")
+            return expr
+        if token.kind in ("ident",):
+            return self._parse_name_or_call()
+        raise ParseError(
+            f"unexpected {token.text!r} at line {token.line}")
+
+    def _parse_name_or_call(self):
+        name = self._expect("ident").text
+        type_args = []
+        # Template call: random<float>(...)  -- only treat '<' as template
+        # brackets when a type name follows and '>' then '(' close it.
+        if (self._peek().kind == "symbol" and self._peek().text == "<"
+                and self._peek(1).kind == "keyword"
+                and self._peek(1).text in TYPE_NAMES
+                and self._peek(2).kind == "symbol" and self._peek(2).text == ">"
+                and self._peek(3).kind == "symbol"
+                and self._peek(3).text == "("):
+            self._next()  # <
+            type_args.append(self._parse_type())
+            self._expect("symbol", ">")
+        if self._peek().kind == "symbol" and self._peek().text == "(":
+            self._next()
+            args = []
+            if not self._accept("symbol", ")"):
+                while True:
+                    if self._at_type():
+                        type_args.append(self._parse_type())
+                    else:
+                        args.append(self._parse_expression())
+                    if self._accept("symbol", ")"):
+                        break
+                    self._expect("symbol", ",")
+            return Call(func=name, args=tuple(args),
+                        type_args=tuple(type_args))
+        return Name(ident=name)

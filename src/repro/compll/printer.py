@@ -1,0 +1,125 @@
+"""DSL pretty-printer: AST -> canonical CompLL source.
+
+Closes the compiler loop: ``parse(format_program(parse(src)))`` yields the
+same AST as ``parse(src)`` (round-trip property, enforced by tests).  Used
+for normalizing user programs, diffing algorithm versions, and emitting
+the programs that tools generate programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
+    GlobalDecl, If, Index, Member, Name, Number, ParamBlock, Program,
+    Return, TypeRef, Unary,
+)
+
+__all__ = ["format_program", "format_expression"]
+
+_INDENT = "    "
+
+#: Precedence levels matching the parser's table (loosest = 0).
+_PRECEDENCE = {
+    "||": 0, "&&": 1, "==": 2, "!=": 2,
+    "<": 3, ">": 3, "<=": 3, ">=": 3,
+    "<<": 4, ">>": 4, "+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+
+
+def format_expression(expr, parent_prec: int = -1) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Number):
+        return expr.text
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, Member):
+        return f"{format_expression(expr.obj, 99)}.{expr.field}"
+    if isinstance(expr, Index):
+        return (f"{format_expression(expr.obj, 99)}"
+                f"[{format_expression(expr.index)}]")
+    if isinstance(expr, Unary):
+        text = f"{expr.op}{format_expression(expr.operand, 98)}"
+        return text
+    if isinstance(expr, Call):
+        parts = []
+        type_args = list(expr.type_args)
+        template = ""
+        if expr.func == "random" and type_args:
+            template = f"<{type_args.pop(0)}>"
+        if expr.func == "extract" and expr.args:
+            # extract(buf, T) / extract(buf, T, n): type goes second.
+            parts.append(format_expression(expr.args[0]))
+            parts.extend(str(t) for t in type_args)
+            parts.extend(format_expression(a) for a in expr.args[1:])
+        else:
+            parts.extend(str(t) for t in type_args)
+            parts.extend(format_expression(a) for a in expr.args)
+        return f"{expr.func}{template}({', '.join(parts)})"
+    if isinstance(expr, Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expression(expr.left, prec)
+        # Right side binds one tighter (operators are left-associative).
+        right = format_expression(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot format expression {expr!r}")
+
+
+def _format_statement(stmt, depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, Declaration):
+        if stmt.value is not None:
+            lines.append(f"{pad}{stmt.type} {stmt.names[0]} = "
+                         f"{format_expression(stmt.value)};")
+        else:
+            lines.append(f"{pad}{stmt.type} {', '.join(stmt.names)};")
+    elif isinstance(stmt, Assignment):
+        lines.append(f"{pad}{format_expression(stmt.target, 99)} = "
+                     f"{format_expression(stmt.value)};")
+    elif isinstance(stmt, Return):
+        if stmt.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {format_expression(stmt.value)};")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({format_expression(stmt.condition)}) {{")
+        _format_block(stmt.then_block, depth + 1, lines)
+        if stmt.else_block is not None:
+            lines.append(f"{pad}}} else {{")
+            _format_block(stmt.else_block, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ExprStatement):
+        lines.append(f"{pad}{format_expression(stmt.expr)};")
+    else:
+        raise TypeError(f"cannot format statement {stmt!r}")
+
+
+def _format_block(block: Block, depth: int, lines: List[str]) -> None:
+    for stmt in block.statements:
+        _format_statement(stmt, depth, lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program as canonical DSL source."""
+    lines: List[str] = []
+    for block in program.param_blocks:
+        lines.append(f"param {block.name} {{")
+        for field in block.fields:
+            lines.append(f"{_INDENT}{field.type} {field.name};")
+        lines.append("}")
+        lines.append("")
+    for decl in program.globals:
+        lines.append(f"{decl.type} {', '.join(decl.names)};")
+    if program.globals:
+        lines.append("")
+    for fn in program.functions:
+        params = ", ".join(f"{p.type} {p.name}" for p in fn.parameters)
+        lines.append(f"{fn.return_type} {fn.name}({params}) {{")
+        _format_block(fn.body, 1, lines)
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,284 @@
+"""Semantic analysis for CompLL DSL programs.
+
+Builds symbol tables (globals, param blocks, per-function locals) and
+enforces the rules the code generator relies on:
+
+* every name is declared before use;
+* the unified API signatures hold for ``encode`` / ``decode`` (Fig. 4):
+  encode(float* in, uint8* out, Params) and decode(uint8* in, float* out,
+  Params);
+* ``concat`` arguments are identifiers or ``params.x`` members whose
+  declared type is known (the serializer needs the bit layout);
+* user-defined functions return a declared (serializable) type;
+* calls reference known operators, builtins, or udfs defined in the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from .ast_nodes import (
+    Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
+    If, Index, Member, Name, Number, Program, Return, TypeRef, Unary,
+)
+from .operators import BUILTIN_ORDERS, BUILTIN_UDFS
+
+__all__ = ["SemanticError", "ProgramInfo", "analyze"]
+
+#: Common operators: Table 4's seven, plus registered extensions (§4.4:
+#: "CompLL is open and allows registering them into the common operator
+#: library").
+OPERATORS = {
+    # Table 4
+    "sort", "filter", "map", "reduce", "random", "concat", "extract",
+    # registered extensions used by the bundled algorithms
+    "scatter", "gather", "argfilter", "sample", "quantile", "argmax",
+    # registered for AdaComp
+    "bin_threshold", "argfilter_ge_abs",
+    # registered for 3LC
+    "pack_ternary", "unpack_ternary", "rle", "unrle",
+}
+
+#: Scalar builtins callable inside udf bodies and function logic.
+SCALAR_BUILTINS = {"floor", "ceil", "abs", "sqrt", "exp", "max2", "min2"}
+
+
+class SemanticError(Exception):
+    """Raised when a DSL program is grammatical but ill-formed."""
+
+
+@dataclass
+class FunctionInfo:
+    function: Function
+    locals: Dict[str, TypeRef] = field(default_factory=dict)
+    params: Dict[str, TypeRef] = field(default_factory=dict)
+
+
+@dataclass
+class ProgramInfo:
+    """Everything codegen needs to know about a checked program."""
+
+    program: Program
+    globals: Dict[str, TypeRef]
+    param_fields: Dict[str, Dict[str, TypeRef]]  # block name -> field -> type
+    functions: Dict[str, FunctionInfo]
+
+    def type_of_name(self, func: str, name: str) -> Optional[TypeRef]:
+        info = self.functions[func]
+        return (info.locals.get(name) or info.params.get(name)
+                or self.globals.get(name))
+
+    def udf_return_type(self, name: str) -> Optional[TypeRef]:
+        info = self.functions.get(name)
+        return info.function.return_type if info else None
+
+
+def analyze(program: Program) -> ProgramInfo:
+    """Check ``program`` and return its symbol tables.
+
+    Raises :class:`SemanticError` on any violation.
+    """
+    globals_: Dict[str, TypeRef] = {}
+    for decl in program.globals:
+        for name in decl.names:
+            if name in globals_:
+                raise SemanticError(f"duplicate global {name!r}")
+            globals_[name] = decl.type
+
+    param_fields = {
+        block.name: {f.name: f.type for f in block.fields}
+        for block in program.param_blocks
+    }
+
+    functions: Dict[str, FunctionInfo] = {}
+    for fn in program.functions:
+        if fn.name in functions:
+            raise SemanticError(f"duplicate function {fn.name!r}")
+        if fn.name in OPERATORS or fn.name in SCALAR_BUILTINS:
+            raise SemanticError(
+                f"function {fn.name!r} shadows a builtin operator")
+        functions[fn.name] = FunctionInfo(
+            function=fn,
+            params={p.name: p.type for p in fn.parameters})
+
+    info = ProgramInfo(program=program, globals=globals_,
+                       param_fields=param_fields, functions=functions)
+
+    _check_api_signatures(info)
+    for fn in program.functions:
+        _collect_locals(info, fn)
+    for fn in program.functions:
+        _Checker(info, fn).check()
+    return info
+
+
+def _check_api_signatures(info: ProgramInfo) -> None:
+    encode = info.functions.get("encode")
+    if encode is not None:
+        _check_entry(encode.function, in_type="float", out_type="uint8")
+    decode = info.functions.get("decode")
+    if decode is not None:
+        _check_entry(decode.function, in_type="uint8", out_type="float")
+
+
+def _check_entry(fn: Function, in_type: str, out_type: str) -> None:
+    if len(fn.parameters) != 3:
+        raise SemanticError(
+            f"{fn.name} must take (input*, output*, params); "
+            f"got {len(fn.parameters)} parameters")
+    p_in, p_out, _p_params = fn.parameters
+    if p_in.type != TypeRef(in_type, pointer=True):
+        raise SemanticError(
+            f"{fn.name}'s first parameter must be {in_type}*, got {p_in.type}")
+    if p_out.type != TypeRef(out_type, pointer=True):
+        raise SemanticError(
+            f"{fn.name}'s second parameter must be {out_type}*, "
+            f"got {p_out.type}")
+    if fn.return_type != TypeRef("void"):
+        raise SemanticError(f"{fn.name} must return void")
+
+
+def _collect_locals(info: ProgramInfo, fn: Function) -> None:
+    locals_ = info.functions[fn.name].locals
+
+    def walk(block: Block) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, Declaration):
+                for name in stmt.names:
+                    if name in locals_:
+                        raise SemanticError(
+                            f"duplicate local {name!r} in {fn.name}")
+                    locals_[name] = stmt.type
+            elif isinstance(stmt, If):
+                walk(stmt.then_block)
+                if stmt.else_block:
+                    walk(stmt.else_block)
+
+    walk(fn.body)
+
+
+class _Checker:
+    """Per-function name-resolution and structural checks."""
+
+    def __init__(self, info: ProgramInfo, fn: Function):
+        self.info = info
+        self.fn = fn
+        self.fn_info = info.functions[fn.name]
+
+    def check(self) -> None:
+        self._walk_block(self.fn.body)
+
+    # -- statements ----------------------------------------------------------
+
+    def _walk_block(self, block: Block) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, Declaration):
+                if stmt.value is not None:
+                    self._expr(stmt.value)
+            elif isinstance(stmt, Assignment):
+                self._assign_target(stmt.target)
+                self._expr(stmt.value)
+            elif isinstance(stmt, Return):
+                if stmt.value is not None:
+                    self._expr(stmt.value)
+            elif isinstance(stmt, If):
+                self._expr(stmt.condition)
+                self._walk_block(stmt.then_block)
+                if stmt.else_block:
+                    self._walk_block(stmt.else_block)
+            elif isinstance(stmt, ExprStatement):
+                self._expr(stmt.expr)
+
+    def _assign_target(self, target) -> None:
+        if isinstance(target, Name):
+            self._resolve(target.ident)
+        elif isinstance(target, (Member, Index)):
+            self._expr(target.obj)
+        else:
+            raise SemanticError(f"invalid assignment target {target!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self, expr) -> None:
+        if isinstance(expr, Number):
+            return
+        if isinstance(expr, Name):
+            self._resolve(expr.ident)
+            return
+        if isinstance(expr, Member):
+            self._member(expr)
+            return
+        if isinstance(expr, Index):
+            self._expr(expr.obj)
+            self._expr(expr.index)
+            return
+        if isinstance(expr, Unary):
+            self._expr(expr.operand)
+            return
+        if isinstance(expr, Binary):
+            self._expr(expr.left)
+            self._expr(expr.right)
+            return
+        if isinstance(expr, Call):
+            self._call(expr)
+            return
+        raise SemanticError(f"unknown expression node {expr!r}")
+
+    def _member(self, expr: Member) -> None:
+        if isinstance(expr.obj, Name):
+            base = expr.obj.ident
+            base_type = self.info.type_of_name(self.fn.name, base)
+            if base_type is None:
+                raise SemanticError(
+                    f"undeclared name {base!r} in {self.fn.name}")
+            if base_type.base in self.info.param_fields:
+                fields = self.info.param_fields[base_type.base]
+                if expr.field not in fields:
+                    raise SemanticError(
+                        f"param block {base_type.base!r} has no field "
+                        f"{expr.field!r}")
+                return
+            if expr.field == "size":
+                return
+            raise SemanticError(
+                f"unknown member {expr.field!r} on {base!r}")
+        raise SemanticError("member access requires a simple base name")
+
+    def _call(self, call: Call) -> None:
+        name = call.func
+        if name == "concat":
+            for arg in call.args:
+                if not isinstance(arg, (Name, Member)):
+                    raise SemanticError(
+                        "concat arguments must be identifiers or "
+                        "params.<field> members (the serializer needs their "
+                        "declared types)")
+                self._expr(arg)
+            return
+        if name == "extract":
+            if not call.args or not isinstance(call.args[0], Name):
+                raise SemanticError(
+                    "extract's first argument must be the compressed buffer")
+            if not call.type_args:
+                raise SemanticError(
+                    "extract needs a type operand, e.g. extract(buf, uint32)")
+            for arg in call.args:
+                self._expr(arg)
+            return
+        known = (name in OPERATORS or name in SCALAR_BUILTINS
+                 or name in self.info.functions)
+        if not known:
+            raise SemanticError(
+                f"call to unknown function {name!r} in {self.fn.name}")
+        for arg in call.args:
+            self._expr(arg)
+
+    def _resolve(self, name: str) -> None:
+        if self.info.type_of_name(self.fn.name, name) is not None:
+            return
+        if (name in self.info.functions or name in BUILTIN_UDFS
+                or name in BUILTIN_ORDERS):
+            return  # udf handle passed to map/reduce/sort
+        raise SemanticError(
+            f"undeclared name {name!r} in {self.fn.name}")

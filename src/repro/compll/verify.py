@@ -1,0 +1,135 @@
+"""Algorithm validation harness.
+
+§2.5 observes that the OSS co-design "makes it difficult to verify the
+correctness of the implemented algorithms".  Because every CompLL codec
+sits behind the same encode/decode contract, correctness checking can be
+systematic: :func:`validate_algorithm` exercises any
+:class:`~repro.algorithms.base.CompressionAlgorithm` -- hand-written,
+DSL-generated, or adaptive -- against the contract every gradient
+compression scheme must satisfy, and returns a structured report.
+
+Checks:
+
+* round-trips preserve shape, dtype (float32) and finiteness across sizes;
+* decode output never amplifies beyond the input's max magnitude;
+* the buffer is uint8 and, for large gradients, genuinely smaller;
+* ``compressed_nbytes`` predicts the real buffer within a factor;
+* decode is a pure function of the buffer (two decodes agree bit-exactly);
+* degenerate inputs (constant, all-zero, single-element) survive;
+* empty gradients are rejected with ValueError.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.base import CompressionAlgorithm
+
+__all__ = ["Check", "ValidationReport", "validate_algorithm"]
+
+
+@dataclass(frozen=True)
+class Check:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    algorithm: str
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> List[Check]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        lines = [f"validation of {self.algorithm!r}: "
+                 f"{'PASS' if self.ok else 'FAIL'}"]
+        for check in self.checks:
+            mark = "ok " if check.passed else "FAIL"
+            suffix = f" ({check.detail})" if check.detail else ""
+            lines.append(f"  [{mark}] {check.name}{suffix}")
+        return "\n".join(lines)
+
+
+def _probe(rng, size: int) -> np.ndarray:
+    return (rng.standard_normal(size) * 0.1).astype(np.float32)
+
+
+def validate_algorithm(algorithm: CompressionAlgorithm,
+                       sizes: Sequence[int] = (1, 7, 1000, 100_000),
+                       size_estimate_tolerance: float = 3.0,
+                       seed: int = 0) -> ValidationReport:
+    """Run the full contract check-suite against ``algorithm``."""
+    report = ValidationReport(algorithm=algorithm.name)
+    rng = np.random.default_rng(seed)
+
+    def record(name: str, passed: bool, detail: str = "") -> None:
+        report.checks.append(Check(name=name, passed=bool(passed),
+                                   detail=detail))
+
+    for size in sizes:
+        grad = _probe(rng, size)
+        try:
+            buf = algorithm.encode(grad)
+            out = algorithm.decode(buf)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            record(f"roundtrip n={size}", False, f"raised {exc!r}")
+            continue
+        record(f"roundtrip n={size}",
+               out.shape == grad.shape and out.dtype == np.float32
+               and bool(np.all(np.isfinite(out))),
+               f"shape {out.shape}, dtype {out.dtype}")
+        record(f"buffer dtype n={size}", buf.dtype == np.uint8,
+               str(buf.dtype))
+        peak = float(np.abs(grad).max())
+        record(f"no amplification n={size}",
+               float(np.abs(out).max()) <= peak * 1.001 + 1e-6)
+        out2 = algorithm.decode(buf)
+        record(f"decode deterministic n={size}",
+               np.array_equal(out, out2))
+
+    big = _probe(rng, 1_000_000)
+    buf = algorithm.encode(big)
+    record("compresses large gradients", buf.size < big.nbytes,
+           f"{buf.size} vs {big.nbytes}")
+    try:
+        estimate = algorithm.compressed_nbytes(big.size)
+        ratio = max(estimate, 1) / max(buf.size, 1)
+        record("size estimate sane",
+               1 / size_estimate_tolerance <= ratio <= size_estimate_tolerance,
+               f"estimated {estimate}, actual {buf.size}")
+    except Exception as exc:  # noqa: BLE001
+        record("size estimate sane", False, f"raised {exc!r}")
+
+    for label, degenerate in (
+            ("constant", np.full(256, 0.5, dtype=np.float32)),
+            ("all-zero", np.zeros(256, dtype=np.float32)),
+            ("single", np.asarray([1.0], dtype=np.float32))):
+        try:
+            out = algorithm.decode(algorithm.encode(degenerate))
+            record(f"degenerate {label}",
+                   out.shape == degenerate.shape
+                   and bool(np.all(np.isfinite(out))))
+        except Exception as exc:  # noqa: BLE001
+            record(f"degenerate {label}", False, f"raised {exc!r}")
+
+    try:
+        algorithm.encode(np.empty(0, dtype=np.float32))
+        record("rejects empty gradient", False, "no exception raised")
+    except ValueError:
+        record("rejects empty gradient", True)
+    except Exception as exc:  # noqa: BLE001
+        record("rejects empty gradient", False,
+               f"raised {type(exc).__name__}, expected ValueError")
+
+    return report

@@ -1,0 +1,46 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run(...)`` (returns structured results) and
+``render(results)`` (returns the printable paper-vs-measured comparison).
+The corresponding benchmarks in ``benchmarks/`` call these and print the
+rendered output.
+"""
+
+from . import (
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    kernel_speed,
+    table1,
+    table5,
+    table6,
+    table7,
+)
+from .common import SYSTEMS, default_algorithm, format_table, run_system
+from .throughput import ThroughputSweep, render_sweep, sweep
+
+__all__ = [
+    "SYSTEMS",
+    "ThroughputSweep",
+    "default_algorithm",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig7",
+    "fig8",
+    "fig9",
+    "format_table",
+    "kernel_speed",
+    "render_sweep",
+    "run_system",
+    "sweep",
+    "table1",
+    "table5",
+    "table6",
+    "table7",
+]

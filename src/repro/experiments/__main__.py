@@ -1,0 +1,97 @@
+"""CLI: regenerate paper tables and figures.
+
+Usage::
+
+    python -m repro.experiments               # everything (minutes)
+    python -m repro.experiments table1 fig11  # selected artifacts
+    python -m repro.experiments --list
+    python -m repro.experiments --quick       # smaller clusters, faster
+
+Rendered outputs print to stdout and are saved under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import (
+    fig7, fig8, fig9, fig10, fig11, fig12, fig13, kernel_speed,
+    table1, table5, table6, table7,
+)
+
+
+def _runner(module, **kwargs):
+    def run():
+        return module.render(module.run(**kwargs))
+    return run
+
+
+def _fig12_runner(**kwargs):
+    def run():
+        return fig12.render(fig12.run_bandwidth(**kwargs),
+                            fig12.run_rate(**kwargs))
+    return run
+
+
+def build_registry(quick: bool):
+    nodes = 8 if quick else 16
+    sweep_nodes = (4, 8) if quick else (4, 16)
+    return {
+        "table1": _runner(table1, num_nodes=nodes),
+        "table5": _runner(table5),
+        "table6": _runner(table6),
+        "table7": _runner(table7),
+        "fig7": _runner(fig7, node_counts=sweep_nodes),
+        "fig8": _runner(fig8, node_counts=sweep_nodes),
+        "fig9": _runner(fig9, num_nodes=nodes),
+        "fig10": _runner(fig10, num_nodes=nodes),
+        "fig11": _runner(fig11, num_nodes=nodes),
+        "fig12": _fig12_runner(num_nodes=nodes),
+        "fig13": _runner(fig13),
+        "kernel_speed": _runner(kernel_speed),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("artifacts", nargs="*",
+                        help="artifact names (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available artifacts")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller clusters for a fast pass")
+    parser.add_argument("--output-dir", default="results",
+                        help="directory for rendered text outputs")
+    args = parser.parse_args(argv)
+
+    registry = build_registry(quick=args.quick)
+    if args.list:
+        print("\n".join(sorted(registry)))
+        return 0
+
+    selected = args.artifacts or sorted(registry)
+    unknown = [a for a in selected if a not in registry]
+    if unknown:
+        parser.error(f"unknown artifacts: {unknown}; "
+                     f"available: {sorted(registry)}")
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in selected:
+        start = time.time()
+        text = registry[name]()
+        elapsed = time.time() - start
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        print(f"[{name} regenerated in {elapsed:.1f}s -> "
+              f"{out_dir / (name + '.txt')}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

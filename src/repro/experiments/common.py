@@ -1,0 +1,146 @@
+"""Shared infrastructure for the paper-reproduction experiment drivers.
+
+Defines the *systems under test* exactly as §6.1 configures them:
+
+* ``byteps`` / ``ring`` -- the no-compression baselines.  BytePS runs over
+  TCP on EC2 (it "does not support the Elastic Fabric Adapter", §6.1) and
+  over RDMA on the local cluster; everything else uses RDMA everywhere.
+* ``byteps-oss`` -- BytePS(OSS-onebit)-style bolted-on compression.
+* ``ring-oss`` -- Ring(OSS-DGC)-style coarse compressed allgather.
+* ``hipress-ps`` / ``hipress-ring`` -- HiPress: CaSync with pipelining,
+  bulk synchronization (coordinator + batch compression), and selective
+  compression/partitioning, using CompLL-profiled algorithms.
+
+``run_system`` is the single entry every table/figure driver uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional
+
+from ..algorithms import get_algorithm
+from ..algorithms.base import CompressionAlgorithm
+from ..cluster import ClusterSpec
+from ..models import ModelSpec, get_model
+from ..strategies import (
+    BytePS,
+    BytePSOSSCompression,
+    CaSyncPS,
+    CaSyncRing,
+    RingAllreduce,
+    RingOSSCompression,
+    Strategy,
+)
+from ..training import IterationResult, make_plans, simulate_iteration
+
+__all__ = ["SystemConfig", "SYSTEMS", "run_system", "default_algorithm",
+           "ec2_tcp_network", "format_table"]
+
+#: §6.1 default algorithm parameters ("we inherit the parameter settings
+#: from their original papers").
+ALGORITHM_DEFAULTS: Dict[str, Dict] = {
+    "onebit": {},
+    "dgc": {"rate": 0.001},
+    "terngrad": {"bitwidth": 2},
+    "tbq": {"threshold": 0.05},
+    "graddrop": {"keep_rate": 0.01},
+}
+
+
+def default_algorithm(name: str, **overrides) -> CompressionAlgorithm:
+    params = dict(ALGORITHM_DEFAULTS.get(name, {}))
+    params.update(overrides)
+    return get_algorithm(name, **params)
+
+
+def ec2_tcp_network(cluster: ClusterSpec) -> ClusterSpec:
+    """BytePS-on-EC2 network: TCP over the 100 Gbps ENA, no RDMA."""
+    return replace(cluster, network=replace(
+        cluster.network, efficiency=0.35, latency_us=40.0))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One system under test, as configured in §6.1."""
+
+    key: str
+    label: str
+    strategy_factory: Callable[[], Strategy]
+    compression: bool = False
+    planner_kind: Optional[str] = None   # selective planning preset
+    use_coordinator: bool = False
+    batch_compression: bool = False
+    tcp_on_ec2: bool = False
+
+
+SYSTEMS: Dict[str, SystemConfig] = {
+    "byteps": SystemConfig(
+        key="byteps", label="BytePS",
+        strategy_factory=BytePS, tcp_on_ec2=True),
+    "ring": SystemConfig(
+        key="ring", label="Ring",
+        strategy_factory=RingAllreduce),
+    "byteps-oss": SystemConfig(
+        key="byteps-oss", label="BytePS(OSS)",
+        strategy_factory=BytePSOSSCompression, compression=True,
+        tcp_on_ec2=True),
+    "ring-oss": SystemConfig(
+        key="ring-oss", label="Ring(OSS)",
+        strategy_factory=RingOSSCompression, compression=True),
+    "hipress-ps": SystemConfig(
+        key="hipress-ps", label="HiPress-CaSync-PS",
+        strategy_factory=CaSyncPS, compression=True,
+        planner_kind="ps_colocated", use_coordinator=True,
+        batch_compression=True),
+    "hipress-ring": SystemConfig(
+        key="hipress-ring", label="HiPress-CaSync-Ring",
+        strategy_factory=CaSyncRing, compression=True,
+        planner_kind="ring", use_coordinator=True,
+        batch_compression=True),
+}
+
+
+def run_system(system: str, model, cluster: ClusterSpec,
+               algorithm: Optional[str] = None,
+               algorithm_params: Optional[Dict] = None,
+               on_ec2: bool = True) -> IterationResult:
+    """Simulate one iteration of ``model`` under a named system.
+
+    ``model`` may be a ModelSpec or a zoo name.  ``algorithm`` is required
+    for compression-enabled systems.
+    """
+    config = SYSTEMS[system]
+    if isinstance(model, str):
+        model = get_model(model)
+    if config.tcp_on_ec2 and on_ec2:
+        cluster = ec2_tcp_network(cluster)
+    algo = None
+    plans = None
+    if config.compression:
+        if algorithm is None:
+            raise ValueError(f"system {system!r} needs an algorithm")
+        algo = default_algorithm(algorithm, **(algorithm_params or {}))
+        if config.planner_kind is not None:
+            plans = make_plans(model, cluster, algo, config.planner_kind)
+    strategy = config.strategy_factory()
+    return simulate_iteration(
+        model, cluster, strategy, algorithm=algo, plans=plans,
+        use_coordinator=config.use_coordinator,
+        batch_compression=config.batch_compression)
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table renderer used by every experiment driver."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt(headers), sep]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

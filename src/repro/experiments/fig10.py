@@ -1,0 +1,78 @@
+"""Figure 10: local-cluster speedups normalized to BytePS.
+
+Bert-base and VGG19 atop MXNet with onebit on the 16-node / 32x1080Ti /
+56 Gbps InfiniBand cluster (RDMA for everything, including BytePS).
+Paper: HiPress beats the non-compression baselines by up to 133.1% and
+BytePS(OSS-onebit) by up to 53.3%; surprisingly, BytePS(OSS-onebit) runs
+8.5% *slower* than non-compression Ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..cluster import local_1080ti_cluster
+from .common import SYSTEMS, format_table, run_system
+
+__all__ = ["PAPER", "run", "render"]
+
+SYSTEM_KEYS = ("byteps", "ring", "byteps-oss", "hipress-ps", "hipress-ring")
+
+#: Paper claims (§6.2.2).
+PAPER = {
+    "max_gain_over_noncompression": 1.331,
+    "max_gain_over_oss": 0.533,
+    "oss_vs_ring_slowdown": -0.085,
+}
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    model: str
+    #: system key -> speedup normalized to BytePS (1.0 = BytePS).
+    normalized: Dict[str, float]
+
+
+def run(models: Sequence[str] = ("bert-base", "vgg19"),
+        num_nodes: int = 16) -> Dict[str, Fig10Result]:
+    cluster = local_1080ti_cluster(num_nodes)
+    out = {}
+    for model in models:
+        throughput = {}
+        for system in SYSTEM_KEYS:
+            algo = "onebit" if SYSTEMS[system].compression else None
+            result = run_system(system, model, cluster, algorithm=algo,
+                                on_ec2=False)
+            throughput[system] = result.throughput
+        base = throughput["byteps"]
+        out[model] = Fig10Result(
+            model=model,
+            normalized={k: v / base for k, v in throughput.items()})
+    return out
+
+
+def render(results: Dict[str, Fig10Result]) -> str:
+    headers = ["model"] + [SYSTEMS[s].label for s in SYSTEM_KEYS]
+    rows = []
+    for model, result in results.items():
+        rows.append([model] + [f"{result.normalized[s]:.2f}x"
+                               for s in SYSTEM_KEYS])
+    lines = ["Figure 10 -- local cluster (32x1080Ti, 56Gbps), "
+             "speedup normalized to BytePS",
+             format_table(headers, rows)]
+    for model, result in results.items():
+        best_hipress = max(result.normalized["hipress-ps"],
+                           result.normalized["hipress-ring"])
+        best_base = max(result.normalized["byteps"],
+                        result.normalized["ring"])
+        lines.append(
+            f"  {model}: HiPress vs best non-compression "
+            f"+{best_hipress / best_base - 1:.1%} (paper: up to "
+            f"+{PAPER['max_gain_over_noncompression']:.1%}); "
+            f"vs OSS +{best_hipress / result.normalized['byteps-oss'] - 1:.1%}"
+            f" (paper: up to +{PAPER['max_gain_over_oss']:.1%}); "
+            f"OSS vs Ring "
+            f"{result.normalized['byteps-oss'] / result.normalized['ring'] - 1:+.1%}"
+            f" (paper: {PAPER['oss_vs_ring_slowdown']:+.1%})")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Figure 7: throughput of computer-vision models on EC2 (weak scaling).
+
+(a) VGG19 atop MXNet with onebit (BytePS, Ring, BytePS(OSS-onebit),
+    HiPress-CaSync-PS/Ring);
+(b) ResNet50 atop TensorFlow with DGC (BytePS, Ring, Ring(OSS-DGC),
+    HiPress-CaSync-Ring);
+(c) UGATIT atop PyTorch with TernGrad (BytePS, Ring, HiPress-CaSync-PS --
+    PyTorch has no OSS compression baseline, §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .throughput import ThroughputSweep, render_sweep, sweep
+
+__all__ = ["PAPER_SPEEDUPS", "run", "render"]
+
+#: §6.2 headline comparisons at 128 GPUs: (model, system, baseline) ->
+#: paper speedup (fraction).
+PAPER_SPEEDUPS: Dict[Tuple[str, str, str], float] = {
+    ("vgg19", "hipress-ps", "byteps"): 1.105,
+    ("vgg19", "hipress-ps", "ring"): 0.604,
+    ("vgg19", "hipress-ps", "byteps-oss"): 0.695,
+    ("resnet50", "hipress-ring", "ring-oss"): 0.207,  # "up to 20.7%"
+    ("ugatit", "hipress-ps", "ring"): 1.1,            # "up to 2.1x"
+}
+
+PANELS = {
+    "vgg19": dict(
+        systems=("byteps", "ring", "byteps-oss", "hipress-ps",
+                 "hipress-ring"),
+        algorithm="onebit"),
+    "resnet50": dict(
+        systems=("byteps", "ring", "ring-oss", "hipress-ring"),
+        algorithm="dgc"),
+    "ugatit": dict(
+        systems=("byteps", "ring", "hipress-ps"),
+        algorithm="terngrad"),
+}
+
+
+def run(node_counts: Sequence[int] = (1, 2, 4, 8, 16)
+        ) -> Dict[str, ThroughputSweep]:
+    return {
+        model: sweep(model, node_counts=node_counts, **panel)
+        for model, panel in PANELS.items()
+    }
+
+
+def render(results: Dict[str, ThroughputSweep]) -> str:
+    parts = []
+    for model, result in results.items():
+        parts.append(render_sweep(
+            result, f"Figure 7 -- {model} throughput "
+                    f"({result.model}, {result.algorithm})"))
+        for (m, system, baseline), paper in PAPER_SPEEDUPS.items():
+            if m != model or system not in result.series \
+                    or baseline not in result.series:
+                continue
+            ours = result.speedup(system, baseline)
+            parts.append(
+                f"  {system} vs {baseline} at {result.gpu_counts[-1]} GPUs: "
+                f"paper=+{paper:.1%} ours=+{ours:.1%}")
+    return "\n".join(parts)

@@ -1,0 +1,62 @@
+"""Figure 8: throughput of NLP models on EC2 (weak scaling).
+
+(a) Bert-large atop MXNet with onebit;
+(b) Transformer atop TensorFlow with DGC;
+(c) LSTM atop PyTorch with TernGrad.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .throughput import ThroughputSweep, render_sweep, sweep
+
+__all__ = ["PAPER_SPEEDUPS", "run", "render"]
+
+#: §6.2 headline comparisons at 128 GPUs.
+PAPER_SPEEDUPS: Dict[Tuple[str, str, str], float] = {
+    ("bert-large", "hipress-ps", "byteps"): 0.323,
+    ("bert-large", "hipress-ps", "ring"): 0.441,
+    ("bert-large", "hipress-ps", "byteps-oss"): 0.233,
+    ("transformer", "hipress-ring", "ring-oss"): 0.411,
+    ("transformer", "hipress-ring", "ring"): 1.014,  # "up to 101.4%"
+    ("lstm", "hipress-ps", "ring"): 1.1,             # "up to 2.1x"
+}
+
+PANELS = {
+    "bert-large": dict(
+        systems=("byteps", "ring", "byteps-oss", "hipress-ps",
+                 "hipress-ring"),
+        algorithm="onebit"),
+    "transformer": dict(
+        systems=("byteps", "ring", "ring-oss", "hipress-ring"),
+        algorithm="dgc"),
+    "lstm": dict(
+        systems=("byteps", "ring", "hipress-ps"),
+        algorithm="terngrad"),
+}
+
+
+def run(node_counts: Sequence[int] = (1, 2, 4, 8, 16)
+        ) -> Dict[str, ThroughputSweep]:
+    return {
+        model: sweep(model, node_counts=node_counts, **panel)
+        for model, panel in PANELS.items()
+    }
+
+
+def render(results: Dict[str, ThroughputSweep]) -> str:
+    parts = []
+    for model, result in results.items():
+        parts.append(render_sweep(
+            result, f"Figure 8 -- {model} throughput "
+                    f"({result.model}, {result.algorithm})"))
+        for (m, system, baseline), paper in PAPER_SPEEDUPS.items():
+            if m != model or system not in result.series \
+                    or baseline not in result.series:
+                continue
+            ours = result.speedup(system, baseline)
+            parts.append(
+                f"  {system} vs {baseline} at {result.gpu_counts[-1]} GPUs: "
+                f"paper=+{paper:.1%} ours=+{ours:.1%}")
+    return "\n".join(parts)

@@ -1,0 +1,66 @@
+"""Table 1: the motivating measurement.
+
+Training Bert-large (BytePS +/- onebit) and Transformer (Ring +/- DGC) on
+16 EC2 nodes / 128 V100s, reporting scaling efficiency and communication
+ratio.  The paper's point: even with compression bolted on, scaling barely
+improves -- compression needs system support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cluster import ec2_v100_cluster
+from .common import format_table, run_system
+
+__all__ = ["PAPER", "run", "render"]
+
+#: Paper values: (scaling efficiency, communication ratio).
+PAPER: Dict[Tuple[str, str], Tuple[float, float]] = {
+    ("transformer", "ring"): (0.47, 0.768),
+    ("transformer", "ring-oss"): (0.61, 0.703),
+    ("bert-large", "byteps"): (0.71, 0.636),
+    ("bert-large", "byteps-oss"): (0.76, 0.609),
+}
+
+ROWS = [
+    ("transformer", "ring", None),
+    ("transformer", "ring-oss", "dgc"),
+    ("bert-large", "byteps", None),
+    ("bert-large", "byteps-oss", "onebit"),
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    model: str
+    system: str
+    efficiency: float
+    comm_ratio: float
+    paper_efficiency: float
+    paper_comm_ratio: float
+
+
+def run(num_nodes: int = 16) -> List[Table1Row]:
+    cluster = ec2_v100_cluster(num_nodes)
+    rows = []
+    for model, system, algorithm in ROWS:
+        result = run_system(system, model, cluster, algorithm=algorithm)
+        paper_eff, paper_comm = PAPER[(model, system)]
+        rows.append(Table1Row(
+            model=model, system=system,
+            efficiency=result.scaling_efficiency,
+            comm_ratio=result.comm_ratio,
+            paper_efficiency=paper_eff, paper_comm_ratio=paper_comm))
+    return rows
+
+
+def render(rows: List[Table1Row]) -> str:
+    table = format_table(
+        ["model", "system", "scaling eff (paper)", "scaling eff (ours)",
+         "comm ratio (paper)", "comm ratio (ours)"],
+        [[r.model, r.system, f"{r.paper_efficiency:.2f}",
+          f"{r.efficiency:.2f}", f"{r.paper_comm_ratio:.1%}",
+          f"{r.comm_ratio:.1%}"] for r in rows])
+    return "Table 1 -- motivation: compression without system support\n" + table

@@ -1,0 +1,74 @@
+"""Table 5: implementation/integration cost of CompLL-based algorithms.
+
+Counts our real DSL sources the way the paper counts theirs: lines of
+algorithm logic (encode/decode), lines of user-defined functions, number
+of distinct common operators, and integration lines (always 0 -- CompLL
+integrates generated code automatically).  Paper OSS and CompLL numbers
+are embedded for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..compll import dsl_source, loc_stats
+from .common import format_table
+
+__all__ = ["PAPER", "run", "render"]
+
+#: Paper Table 5: algorithm -> (oss_logic, oss_integration,
+#:                              compll_logic, compll_udf, compll_ops).
+PAPER: Dict[str, Tuple[Optional[int], Optional[int], int, int, int]] = {
+    "onebit": (80, 445, 21, 9, 4),
+    "tbq": (100, 384, 13, 18, 3),
+    "terngrad": (170, 513, 23, 7, 5),
+    "dgc": (1298, 1869, 29, 15, 6),
+    "graddrop": (None, None, 29, 21, 6),
+}
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    algorithm: str
+    logic_lines: int
+    udf_lines: int
+    operators: int
+    integration_lines: int
+    paper_logic: int
+    paper_udf: int
+    paper_operators: int
+    paper_oss_logic: Optional[int]
+    paper_oss_integration: Optional[int]
+
+
+def run() -> List[Table5Row]:
+    rows = []
+    for name, (oss_logic, oss_integ, p_logic, p_udf, p_ops) in PAPER.items():
+        stats = loc_stats(dsl_source(name))
+        rows.append(Table5Row(
+            algorithm=name,
+            logic_lines=stats.logic_lines,
+            udf_lines=stats.udf_lines,
+            operators=stats.operators_used,
+            integration_lines=stats.integration_lines,
+            paper_logic=p_logic, paper_udf=p_udf, paper_operators=p_ops,
+            paper_oss_logic=oss_logic, paper_oss_integration=oss_integ))
+    return rows
+
+
+def render(rows: List[Table5Row]) -> str:
+    table = format_table(
+        ["algorithm", "OSS logic (paper)", "OSS integ (paper)",
+         "logic paper/ours", "udf paper/ours", "#ops paper/ours",
+         "integration (ours)"],
+        [[r.algorithm,
+          r.paper_oss_logic if r.paper_oss_logic is not None else "N/A",
+          (r.paper_oss_integration
+           if r.paper_oss_integration is not None else "N/A"),
+          f"{r.paper_logic}/{r.logic_lines}",
+          f"{r.paper_udf}/{r.udf_lines}",
+          f"{r.paper_operators}/{r.operators}",
+          r.integration_lines] for r in rows])
+    return ("Table 5 -- implementation & integration cost "
+            "(lines of code)\n" + table)

@@ -1,0 +1,59 @@
+"""Table 6: statistics of the trained models (model-zoo verification)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..models import MB, all_models
+from .common import format_table
+
+__all__ = ["PAPER", "run", "render"]
+
+#: Paper Table 6: name -> (total MB, max gradient MB, #gradients).
+PAPER: Dict[str, Tuple[float, float, int]] = {
+    "vgg19": (548.05, 392.0, 38),
+    "resnet50": (97.46, 9.0, 155),
+    "ugatit": (2558.75, 1024.0, 148),
+    "ugatit-light": (511.25, 128.0, 148),
+    "bert-base": (420.02, 89.42, 207),
+    "bert-large": (1282.60, 119.23, 399),
+    "lstm": (327.97, 190.42, 10),
+    "transformer": (234.08, 65.84, 185),
+}
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    model: str
+    total_mb: float
+    max_mb: float
+    num_gradients: int
+    paper_total_mb: float
+    paper_max_mb: float
+    paper_num_gradients: int
+
+
+def run() -> List[Table6Row]:
+    rows = []
+    for model in all_models():
+        p_total, p_max, p_count = PAPER[model.name]
+        rows.append(Table6Row(
+            model=model.name,
+            total_mb=model.total_nbytes / MB,
+            max_mb=model.max_gradient_nbytes / MB,
+            num_gradients=model.num_gradients,
+            paper_total_mb=p_total, paper_max_mb=p_max,
+            paper_num_gradients=p_count))
+    return rows
+
+
+def render(rows: List[Table6Row]) -> str:
+    table = format_table(
+        ["model", "total MB paper/ours", "max grad MB paper/ours",
+         "#gradients paper/ours"],
+        [[r.model,
+          f"{r.paper_total_mb:.2f}/{r.total_mb:.2f}",
+          f"{r.paper_max_mb:.2f}/{r.max_mb:.2f}",
+          f"{r.paper_num_gradients}/{r.num_gradients}"] for r in rows])
+    return "Table 6 -- statistics of trained models\n" + table

@@ -1,0 +1,62 @@
+"""Weak-scaling throughput sweeps shared by Figures 7, 8 and 10."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import ClusterSpec, ec2_v100_cluster
+from .common import SYSTEMS, format_table, run_system
+
+__all__ = ["ThroughputSweep", "sweep", "render_sweep", "speedup"]
+
+
+@dataclass(frozen=True)
+class ThroughputSweep:
+    """Throughput (samples or tokens / s) per system per GPU count."""
+
+    model: str
+    algorithm: Optional[str]
+    gpu_counts: Tuple[int, ...]
+    #: system key -> tuple of throughput values aligned with gpu_counts.
+    series: Dict[str, Tuple[float, ...]]
+
+    def speedup(self, system: str, baseline: str,
+                index: int = -1) -> float:
+        """Relative throughput gain of ``system`` over ``baseline``."""
+        return (self.series[system][index] / self.series[baseline][index]
+                - 1.0)
+
+
+def sweep(model: str, systems: Sequence[str],
+          algorithm: Optional[str] = None,
+          node_counts: Sequence[int] = (1, 2, 4, 8, 16),
+          cluster_fn: Callable[[int], ClusterSpec] = ec2_v100_cluster,
+          on_ec2: bool = True) -> ThroughputSweep:
+    """Run the weak-scaling sweep of Fig. 7/8: throughput vs #GPUs."""
+    series: Dict[str, List[float]] = {s: [] for s in systems}
+    gpus = []
+    for nodes in node_counts:
+        cluster = cluster_fn(nodes)
+        gpus.append(cluster.total_gpus)
+        for system in systems:
+            algo = algorithm if SYSTEMS[system].compression else None
+            result = run_system(system, model, cluster, algorithm=algo,
+                                on_ec2=on_ec2)
+            series[system].append(result.throughput)
+    return ThroughputSweep(
+        model=model, algorithm=algorithm, gpu_counts=tuple(gpus),
+        series={k: tuple(v) for k, v in series.items()})
+
+
+def render_sweep(result: ThroughputSweep, title: str) -> str:
+    headers = ["system"] + [f"{g} GPUs" for g in result.gpu_counts]
+    rows = []
+    for system, values in result.series.items():
+        rows.append([SYSTEMS[system].label]
+                    + [f"{v:,.0f}" for v in values])
+    return f"{title}\n" + format_table(headers, rows)
+
+
+def speedup(result: ThroughputSweep, system: str, baseline: str) -> float:
+    return result.speedup(system, baseline)

@@ -1,0 +1,19 @@
+"""DNN-system integration adapters (MXNet / TensorFlow / PyTorch flavoured)."""
+
+from .adapters import (
+    FrameworkAdapter,
+    MXNetAdapter,
+    PyTorchAdapter,
+    SessionHandle,
+    TensorFlowAdapter,
+    get_adapter,
+)
+
+__all__ = [
+    "FrameworkAdapter",
+    "MXNetAdapter",
+    "PyTorchAdapter",
+    "SessionHandle",
+    "TensorFlowAdapter",
+    "get_adapter",
+]

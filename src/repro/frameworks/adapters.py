@@ -1,0 +1,115 @@
+"""DNN-system integration adapters (§5 "DNN systems integration").
+
+HiPress integrates with MXNet, TensorFlow and PyTorch through thin
+adapters that (1) wrap encode/decode so they can reach gradients in the
+training context, (2) instrument the training script with CaSync calls,
+and (3) provide a task queue plus a dedicated scheduler thread for
+engines that need one (MXNet/TensorFlow have an execution engine to hook;
+"PyTorch does not have such an execution engine, thus we implement one").
+
+Each adapter exposes the same surface:
+
+* ``name`` / ``has_execution_engine`` -- what we are integrating with;
+* ``wrap(job)`` -- returns a :class:`SessionHandle` whose ``run_iteration``
+  drives the simulated engine exactly the way that framework schedules
+  encode/decode (through its engine queue, or through the adapter-owned
+  one for PyTorch);
+* ``instrument(script)`` -- the §5 "adaptor" that rewrites a training
+  script's synchronization calls to CaSync (string-level here, faithful
+  to what the real adaptors do to Python training scripts).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..hipress import TrainingJob
+from ..training import IterationResult
+
+__all__ = ["SessionHandle", "FrameworkAdapter", "MXNetAdapter",
+           "TensorFlowAdapter", "PyTorchAdapter", "get_adapter"]
+
+
+@dataclass
+class SessionHandle:
+    """A framework-flavoured handle on a running HiPress job."""
+
+    framework: str
+    job: TrainingJob
+    engine_queue: List[str] = field(default_factory=list)
+    iterations_run: int = 0
+    last_result: Optional[IterationResult] = None
+
+    def run_iteration(self) -> IterationResult:
+        # The dedicated scheduler thread drains encode/decode operators
+        # through the engine's task queue; here that queue records which
+        # operators the iteration scheduled (for inspection/testing).
+        plans = self.job.plans
+        self.engine_queue.clear()
+        for name, plan in plans.items():
+            if plan.compress:
+                self.engine_queue.append(f"encode:{name}")
+                self.engine_queue.append(f"decode:{name}")
+        self.last_result = self.job.run()
+        self.iterations_run += 1
+        return self.last_result
+
+
+class FrameworkAdapter:
+    """Base integration adapter."""
+
+    name = "framework"
+    #: Whether the engine has its own operator scheduler to hook into.
+    has_execution_engine = True
+    #: The synchronization call the adaptor rewrites in training scripts.
+    _sync_pattern = re.compile(r"allreduce\(([^)]*)\)")
+
+    def wrap(self, job: TrainingJob) -> SessionHandle:
+        return SessionHandle(framework=self.name, job=job)
+
+    def instrument(self, script: str) -> str:
+        """Rewrite a training script's gradient sync to CaSync calls."""
+        return self._sync_pattern.sub(
+            r"casync.synchronize(\1, compression=True)", script)
+
+
+class MXNetAdapter(FrameworkAdapter):
+    """MXNet: hook the KVStore path through the engine's task queue."""
+
+    name = "mxnet"
+    has_execution_engine = True
+    _sync_pattern = re.compile(r"kvstore\.push_pull\(([^)]*)\)")
+
+
+class TensorFlowAdapter(FrameworkAdapter):
+    """TensorFlow: hook the Horovod DistributedOptimizer path."""
+
+    name = "tensorflow"
+    has_execution_engine = True
+    _sync_pattern = re.compile(r"hvd\.allreduce\(([^)]*)\)")
+
+
+class PyTorchAdapter(FrameworkAdapter):
+    """PyTorch: no engine to hook, so HiPress brings its own (§5)."""
+
+    name = "pytorch"
+    has_execution_engine = False
+    _sync_pattern = re.compile(r"dist\.all_reduce\(([^)]*)\)")
+
+
+_ADAPTERS: Dict[str, FrameworkAdapter] = {
+    "mxnet": MXNetAdapter(),
+    "tensorflow": TensorFlowAdapter(),
+    "pytorch": PyTorchAdapter(),
+}
+
+
+def get_adapter(framework: str) -> FrameworkAdapter:
+    try:
+        return _ADAPTERS[framework]
+    except KeyError:
+        raise KeyError(
+            f"unknown framework {framework!r}; "
+            f"available: {sorted(_ADAPTERS)}") from None

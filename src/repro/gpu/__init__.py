@@ -1,0 +1,5 @@
+"""GPU execution model (kernel cost, streams, utilization accounting)."""
+
+from .model import GTX1080TI, Gpu, GpuSpec, IntervalLog, V100
+
+__all__ = ["GTX1080TI", "Gpu", "GpuSpec", "IntervalLog", "V100"]

@@ -1,0 +1,161 @@
+"""GPU execution model: kernel cost, streams, and busy-interval accounting.
+
+Gradient-compression kernels are memory-bound scans (the paper, §2.5: they
+"scan large gradient matrices multiple times").  Their runtime is therefore
+modelled as::
+
+    launch_overhead + bytes_touched / effective_memory_bandwidth
+
+which is also exactly the functional form the paper's selective-compression
+cost model profiles for ``T_enc`` / ``T_dec`` (§3.3, "fit the compression
+cost curves").  DNN forward/backward compute occupies a separate *compute*
+stream; compression kernels run on a *communication* stream, so compression
+overlaps DNN compute the way CUDA streams allow (§5: a dedicated queue
+schedules encode/decode on GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim import Environment, Resource
+
+__all__ = ["GpuSpec", "Gpu", "IntervalLog", "V100", "GTX1080TI"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static capabilities of one GPU.
+
+    mem_bandwidth_gbs: peak memory bandwidth in GB/s.
+    kernel_launch_us: fixed per-kernel launch + driver overhead.
+    fp32_tflops: peak fp32 throughput (used only for documentation and
+        relative compute scaling of model zoo calibration).
+    mem_efficiency: achievable fraction of peak bandwidth for streaming
+        scans (bank-conflict-free, coalesced kernels reach ~0.6-0.75).
+    """
+
+    name: str
+    mem_bandwidth_gbs: float
+    kernel_launch_us: float = 10.0
+    fp32_tflops: float = 15.0
+    mem_efficiency: float = 0.65
+
+    def __post_init__(self):
+        if self.mem_bandwidth_gbs <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if not 0 < self.mem_efficiency <= 1:
+            raise ValueError("mem_efficiency must be in (0, 1]")
+
+    @property
+    def effective_bytes_per_second(self) -> float:
+        return self.mem_bandwidth_gbs * 1e9 * self.mem_efficiency
+
+    def kernel_time(self, bytes_touched: float, kernels: int = 1) -> float:
+        """Seconds to run a scan kernel touching ``bytes_touched`` bytes.
+
+        ``kernels`` counts distinct launches (a fused operator is 1).
+        """
+        if bytes_touched < 0:
+            raise ValueError(f"negative bytes_touched {bytes_touched}")
+        if kernels < 1:
+            raise ValueError(f"kernels must be >= 1, got {kernels}")
+        return (kernels * self.kernel_launch_us * 1e-6
+                + bytes_touched / self.effective_bytes_per_second)
+
+
+#: NVIDIA Tesla V100 (the paper's EC2 p3dn.24xlarge GPUs).
+V100 = GpuSpec(name="V100", mem_bandwidth_gbs=900.0, kernel_launch_us=10.0,
+               fp32_tflops=15.7, mem_efficiency=0.65)
+
+#: NVIDIA GTX 1080 Ti (the paper's local-cluster GPUs).
+GTX1080TI = GpuSpec(name="1080Ti", mem_bandwidth_gbs=484.0,
+                    kernel_launch_us=12.0, fp32_tflops=11.3,
+                    mem_efficiency=0.60)
+
+
+class IntervalLog:
+    """Busy intervals by category, e.g. 'compute' / 'compression'.
+
+    Powers the Figure-9 GPU-utilization reproduction: the simulator records
+    when each stream is busy, and the experiment driver bins the intervals
+    into a utilization time series.
+    """
+
+    def __init__(self):
+        self._intervals: List[Tuple[float, float, str]] = []
+
+    def record(self, start: float, end: float, category: str) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        self._intervals.append((start, end, category))
+
+    @property
+    def intervals(self) -> Tuple[Tuple[float, float, str], ...]:
+        return tuple(self._intervals)
+
+    def busy_time(self, category: Optional[str] = None,
+                  until: Optional[float] = None) -> float:
+        total = 0.0
+        for start, end, cat in self._intervals:
+            if category is not None and cat != category:
+                continue
+            if until is not None:
+                end = min(end, until)
+            if end > start:
+                total += end - start
+        return total
+
+    def utilization_series(self, bin_width: float, horizon: float,
+                           category: Optional[str] = None) -> List[float]:
+        """Fraction-busy per time bin over [0, horizon)."""
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        nbins = max(1, int(round(horizon / bin_width)))
+        bins = [0.0] * nbins
+        for start, end, cat in self._intervals:
+            if category is not None and cat != category:
+                continue
+            first = max(0, int(start / bin_width))
+            last = min(nbins - 1, int(end / bin_width))
+            for b in range(first, last + 1):
+                lo = max(start, b * bin_width)
+                hi = min(end, (b + 1) * bin_width)
+                if hi > lo:
+                    bins[b] += hi - lo
+        return [min(1.0, b / bin_width) for b in bins]
+
+
+class Gpu:
+    """One simulated GPU: a compute stream plus a communication stream.
+
+    DNN forward/backward run on :attr:`compute`; compression kernels run on
+    :attr:`comm_stream`.  Both streams log busy intervals into :attr:`log`.
+    """
+
+    def __init__(self, env: Environment, spec: GpuSpec, index: int = 0):
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self.compute = Resource(env, capacity=1)
+        self.comm_stream = Resource(env, capacity=1)
+        self.log = IntervalLog()
+
+    def run_compute(self, seconds: float, category: str = "compute"):
+        """Generator: occupy the compute stream for ``seconds``."""
+        yield from self._run(self.compute, seconds, category)
+
+    def run_kernel(self, seconds: float, category: str = "compression"):
+        """Generator: occupy the communication stream for ``seconds``."""
+        yield from self._run(self.comm_stream, seconds, category)
+
+    def _run(self, stream: Resource, seconds: float, category: str):
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        req = stream.request()
+        yield req
+        start = self.env.now
+        yield self.env.timeout(seconds)
+        stream.release(req)
+        self.log.record(start, self.env.now, category)

@@ -1,0 +1,7 @@
+"""HiPress: the top-level compression-aware training framework facade."""
+
+from .adaptive import AccordionController, AdaptiveAlgorithm
+from .framework import Profile, TrainingJob
+
+__all__ = ["AccordionController", "AdaptiveAlgorithm", "Profile",
+           "TrainingJob"]

@@ -1,0 +1,144 @@
+"""HiPress: the top-level compression-aware training framework (§5).
+
+``TrainingJob`` is the user-facing entry point: pick a model, a cluster, a
+synchronization strategy (CaSync-PS or CaSync-Ring), and a compression
+algorithm (by name, from the registry that CompLL auto-populates).  The
+job then performs the steps §5 describes:
+
+1. *profiling pass* -- measure T_enc/T_dec on the GPU model and T_send on
+   the network (the "first training iteration" measurement);
+2. *planning* -- run the selective compression & partitioning planner;
+3. *execution* -- simulate iterations under the CaSync architecture with
+   bulk synchronization and batch compression enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..algorithms.base import CompressionAlgorithm
+from ..casync.planner import (CostModel, GradientPlan,
+                              SelectivePlanner, plans_from_json,
+                              plans_to_json)
+from ..cluster import ClusterSpec, ec2_v100_cluster
+from ..experiments.common import default_algorithm
+from ..models import ModelSpec, get_model
+from ..strategies import CaSyncPS, CaSyncRing, Strategy
+from ..training import IterationResult, simulate_iteration
+
+__all__ = ["Profile", "TrainingJob"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Profiled cost-model primitives (§3.3, Table 2) at probe sizes."""
+
+    probe_sizes: tuple
+    t_enc: tuple
+    t_dec: tuple
+    t_send: tuple
+    compression_rate: tuple
+
+
+class TrainingJob:
+    """A compression-aware data-parallel training job.
+
+    Example::
+
+        job = TrainingJob(model="bert-large", algorithm="onebit",
+                          strategy="casync-ps")
+        result = job.run()
+        print(result.throughput, job.plans["bert-large.g000"].partitions)
+    """
+
+    STRATEGIES = {"casync-ps": (CaSyncPS, "ps_colocated"),
+                  "casync-ring": (CaSyncRing, "ring")}
+
+    def __init__(self, model, algorithm="onebit",
+                 strategy: str = "casync-ps",
+                 cluster: Optional[ClusterSpec] = None,
+                 algorithm_params: Optional[Dict] = None):
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"available: {sorted(self.STRATEGIES)}")
+        self.model: ModelSpec = (get_model(model) if isinstance(model, str)
+                                 else model)
+        self.algorithm: CompressionAlgorithm = (
+            default_algorithm(algorithm, **(algorithm_params or {}))
+            if isinstance(algorithm, str) else algorithm)
+        self.strategy_name = strategy
+        self.cluster = cluster or ec2_v100_cluster()
+        strategy_cls, planner_kind = self.STRATEGIES[strategy]
+        self._strategy_cls = strategy_cls
+        self._planner_kind = planner_kind
+        self._plans: Optional[Dict[str, GradientPlan]] = None
+        self._profile: Optional[Profile] = None
+
+    # -- step 1: profiling ---------------------------------------------------
+
+    def profile(self, probe_sizes=(64 * 1024, 1 << 20, 16 << 20, 128 << 20)
+                ) -> Profile:
+        """Measure the cost-model primitives (the first-iteration pass)."""
+        if self._profile is None:
+            gpu = self.cluster.node.gpu
+            net = self.cluster.network
+            self._profile = Profile(
+                probe_sizes=tuple(probe_sizes),
+                t_enc=tuple(self.algorithm.encode_time(s, gpu)
+                            for s in probe_sizes),
+                t_dec=tuple(self.algorithm.decode_time(s, gpu)
+                            for s in probe_sizes),
+                t_send=tuple(net.transfer_time(s) for s in probe_sizes),
+                compression_rate=tuple(
+                    self.algorithm.compression_rate(s // 4)
+                    for s in probe_sizes))
+        return self._profile
+
+    # -- step 2: planning ----------------------------------------------------
+
+    @property
+    def plans(self) -> Dict[str, GradientPlan]:
+        if self._plans is None:
+            planner = SelectivePlanner(CostModel(
+                self.cluster, self.algorithm, strategy=self._planner_kind))
+            self._plans = planner.plan_model(self.model.gradients)
+        return self._plans
+
+    # -- step 3: execution -----------------------------------------------------
+
+    def run(self, pipelining: bool = True, bulk: bool = True,
+            selective: bool = True) -> IterationResult:
+        """Simulate one steady-state iteration; returns its metrics."""
+        strategy: Strategy = self._strategy_cls(
+            pipelining=pipelining, bulk=bulk, selective=selective)
+        return simulate_iteration(
+            self.model, self.cluster, strategy, algorithm=self.algorithm,
+            plans=self.plans if selective else None,
+            use_coordinator=bulk, batch_compression=bulk)
+
+    def save_plans(self, path) -> None:
+        """Persist the planner's per-gradient decisions as JSON."""
+        from pathlib import Path
+        Path(path).write_text(plans_to_json(self.plans))
+
+    def load_plans(self, path) -> None:
+        """Load previously saved plans instead of re-planning."""
+        from pathlib import Path
+        plans = plans_from_json(Path(path).read_text())
+        missing = {g.name for g in self.model.gradients} - set(plans)
+        if missing:
+            raise ValueError(
+                f"plan file misses {len(missing)} gradients, "
+                f"e.g. {sorted(missing)[:3]}")
+        self._plans = plans
+
+    def summary(self) -> str:
+        plans = self.plans
+        compressed = sum(1 for p in plans.values() if p.compress)
+        return (
+            f"HiPress job: {self.model.name} x {self.cluster.name} "
+            f"({self.cluster.total_gpus} GPUs), {self.strategy_name} + "
+            f"{self.algorithm.name}; plan compresses {compressed}/"
+            f"{len(plans)} gradients")

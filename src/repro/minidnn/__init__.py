@@ -1,0 +1,45 @@
+"""Mini NumPy DNN library for real convergence experiments (Fig. 13)."""
+
+from .data import ClassificationData, MarkovTextData
+from .layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    Layer,
+    Parameter,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+    softmax,
+)
+from .optim import Adam, SGD
+from .parallel import DataParallelTrainer, TrainLog, WorkerCompressionState
+from .staleness import StalenessTrainer
+
+__all__ = [
+    "Adam",
+    "ClassificationData",
+    "BatchNorm",
+    "Conv2d",
+    "DataParallelTrainer",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "Layer",
+    "MarkovTextData",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "StalenessTrainer",
+    "Tanh",
+    "TrainLog",
+    "WorkerCompressionState",
+    "softmax",
+]

@@ -1,0 +1,120 @@
+"""Synthetic datasets standing in for the paper's training corpora.
+
+The convergence experiments need two statistical roles:
+
+* a classification task (ResNet50/ImageNet's role: accuracy target) --
+  Gaussian clusters with class overlap, hard enough that training takes
+  many iterations but learnable to high accuracy;
+* a language-modelling task (LSTM/wikitext-2's role: perplexity target)
+  -- a Markov-chain token stream whose transition structure a model must
+  learn; perplexity of the true process lower-bounds what training can
+  reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["ClassificationData", "MarkovTextData"]
+
+
+@dataclass
+class ClassificationData:
+    """Gaussian-cluster classification with controllable difficulty."""
+
+    num_classes: int = 10
+    dim: int = 32
+    train_size: int = 2000
+    test_size: int = 500
+    noise: float = 1.2
+    seed: int = 0
+
+    def __post_init__(self):
+        rng = np.random.default_rng(self.seed)
+        self.centers = rng.standard_normal(
+            (self.num_classes, self.dim)).astype(np.float32) * 2.0
+        self.train_x, self.train_y = self._sample(rng, self.train_size)
+        self.test_x, self.test_y = self._sample(rng, self.test_size)
+
+    def _sample(self, rng, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, self.num_classes, size=n)
+        points = (self.centers[labels]
+                  + rng.standard_normal((n, self.dim)) * self.noise)
+        return points.astype(np.float32), labels.astype(np.int64)
+
+    def shard(self, worker: int, num_workers: int
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Worker ``worker``'s partition of the training set."""
+        if not 0 <= worker < num_workers:
+            raise ValueError(f"worker {worker} outside [0, {num_workers})")
+        return (self.train_x[worker::num_workers],
+                self.train_y[worker::num_workers])
+
+    def batches(self, x: np.ndarray, y: np.ndarray, batch_size: int,
+                rng: np.random.Generator) -> Iterator[Tuple[np.ndarray,
+                                                            np.ndarray]]:
+        order = rng.permutation(len(x))
+        for start in range(0, len(x) - batch_size + 1, batch_size):
+            idx = order[start:start + batch_size]
+            yield x[idx], y[idx]
+
+
+@dataclass
+class MarkovTextData:
+    """Token stream from a random sparse Markov chain.
+
+    Each token's successor distribution concentrates on a few tokens, so a
+    model that learns the transitions reaches a perplexity far below vocab
+    size.
+    """
+
+    vocab: int = 64
+    context: int = 4
+    train_tokens: int = 20000
+    test_tokens: int = 4000
+    branching: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        rng = np.random.default_rng(self.seed)
+        # Sparse transition matrix: each row has `branching` likely successors.
+        self.transitions = np.full((self.vocab, self.vocab),
+                                   1e-3, dtype=np.float64)
+        for token in range(self.vocab):
+            succ = rng.choice(self.vocab, size=self.branching, replace=False)
+            self.transitions[token, succ] += rng.dirichlet(
+                np.ones(self.branching)) * 1.0
+        self.transitions /= self.transitions.sum(axis=1, keepdims=True)
+        self.train_stream = self._generate(rng, self.train_tokens)
+        self.test_stream = self._generate(rng, self.test_tokens)
+
+    def _generate(self, rng, length: int) -> np.ndarray:
+        stream = np.empty(length, dtype=np.int64)
+        stream[0] = rng.integers(self.vocab)
+        for i in range(1, length):
+            stream[i] = rng.choice(self.vocab,
+                                   p=self.transitions[stream[i - 1]])
+        return stream
+
+    def windows(self, stream: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        """(contexts, next-token labels) over a token stream."""
+        n = len(stream) - self.context
+        idx = np.arange(n)[:, None] + np.arange(self.context)[None, :]
+        return stream[idx], stream[self.context:]
+
+    def shard(self, worker: int, num_workers: int
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        x, y = self.windows(self.train_stream)
+        return x[worker::num_workers], y[worker::num_workers]
+
+    @property
+    def entropy_perplexity(self) -> float:
+        """Perplexity of the true Markov process (training's floor)."""
+        stationary = np.linalg.matrix_power(self.transitions, 256)[0]
+        h = -(stationary[:, None] * self.transitions
+              * np.log(self.transitions)).sum()
+        return float(np.exp(h))

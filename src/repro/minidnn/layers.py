@@ -1,0 +1,338 @@
+"""A small, real NumPy neural-network library.
+
+This substrate exists so the convergence claims (Fig. 13) can be validated
+with *actual numerical training*: gradients here are real gradients, and
+the compression algorithms are applied to them exactly as HiPress applies
+them -- per layer, with error feedback -- in a simulated data-parallel
+setting (:mod:`repro.minidnn.parallel`).
+
+Layers implement ``forward(x)`` and ``backward(grad_out)``; parameters are
+exposed as :class:`Parameter` objects holding the value and its gradient.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer", "Dense", "ReLU", "Tanh", "Embedding",
+           "Flatten", "Conv2d", "BatchNorm", "Dropout", "Sequential",
+           "softmax", "SoftmaxCrossEntropy"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base layer: stateless unless it declares parameters."""
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int,
+            shape: Tuple[int, ...]) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+class Dense(Layer):
+    """Fully connected layer: y = x W + b."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "dense"):
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            _glorot(rng, in_features, out_features,
+                    (in_features, out_features)), name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32),
+                              name=f"{name}.bias")
+        self._x: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Tanh(Layer):
+    def __init__(self):
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._y ** 2)
+
+
+class Embedding(Layer):
+    """Token embedding over integer inputs of shape (batch, seq)."""
+
+    def __init__(self, vocab: int, dim: int,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "embedding"):
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            (rng.standard_normal((vocab, dim)) * 0.1).astype(np.float32),
+            name=f"{name}.weight")
+        self._tokens: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight]
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        self._tokens = np.asarray(tokens, dtype=np.int64)
+        emb = self.weight.value[self._tokens]
+        return emb.reshape(emb.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        tokens = self._tokens
+        dim = self.weight.value.shape[1]
+        grad = grad_out.reshape(tokens.shape[0], tokens.shape[1], dim)
+        np.add.at(self.weight.grad, tokens.ravel(),
+                  grad.reshape(-1, dim))
+        return grad_out  # no meaningful upstream gradient for tokens
+
+
+class Flatten(Layer):
+    def __init__(self):
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int) -> np.ndarray:
+    """(B, C, H, W) -> (B, H', W', C*kh*kw) valid-padding patches."""
+    b, c, h, w = x.shape
+    oh, ow = h - kh + 1, w - kw + 1
+    strides = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x, shape=(b, c, oh, ow, kh, kw),
+        strides=(strides[0], strides[1], strides[2], strides[3],
+                 strides[2], strides[3]))
+    return patches.transpose(0, 2, 3, 1, 4, 5).reshape(b, oh, ow, c * kh * kw)
+
+
+class Conv2d(Layer):
+    """Valid-padding 2-D convolution via im2col."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "conv"):
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.kernel = kernel
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.weight = Parameter(
+            _glorot(rng, fan_in, out_channels, (fan_in, out_channels)),
+            name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32),
+                              name=f"{name}.bias")
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        cols = _im2col(x, self.kernel, self.kernel)
+        self._cols = cols
+        out = cols @ self.weight.value + self.bias.value
+        return out.transpose(0, 3, 1, 2)  # (B, out_ch, H', W')
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out.transpose(0, 2, 3, 1)  # (B, H', W', out_ch)
+        b, oh, ow, oc = grad.shape
+        flat_grad = grad.reshape(-1, oc)
+        flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
+        self.weight.grad += flat_cols.T @ flat_grad
+        self.bias.grad += flat_grad.sum(axis=0)
+        dcols = (flat_grad @ self.weight.value.T).reshape(
+            b, oh, ow, -1)
+        # col2im (scatter-add patches back)
+        _, c, h, w = self._x_shape
+        k = self.kernel
+        dx = np.zeros(self._x_shape, dtype=dcols.dtype)
+        dcols = dcols.reshape(b, oh, ow, c, k, k)
+        for i in range(k):
+            for j in range(k):
+                dx[:, :, i:i + oh, j:j + ow] += dcols[
+                    :, :, :, :, i, j].transpose(0, 3, 1, 2)
+        return dx
+
+
+class BatchNorm(Layer):
+    """1-D batch normalization with learnable scale/shift.
+
+    Uses batch statistics in training and running averages in eval mode
+    (``train=False``); backward implements the full batch-stat gradient.
+    """
+
+    def __init__(self, features: int, momentum: float = 0.9,
+                 eps: float = 1e-5, name: str = "bn"):
+        self.gamma = Parameter(np.ones(features, dtype=np.float32),
+                               name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(features, dtype=np.float32),
+                              name=f"{name}.beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.train = True
+        self.running_mean = np.zeros(features, dtype=np.float32)
+        self.running_var = np.ones(features, dtype=np.float32)
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.train:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (self.momentum * self.running_mean
+                                 + (1 - self.momentum) * mean)
+            self.running_var = (self.momentum * self.running_var
+                                + (1 - self.momentum) * var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        n = grad_out.shape[0]
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        if not self.train:
+            return grad_out * self.gamma.value * inv_std
+        dx_hat = grad_out * self.gamma.value
+        return (inv_std / n) * (
+            n * dx_hat - dx_hat.sum(axis=0)
+            - x_hat * (dx_hat * x_hat).sum(axis=0))
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0):
+        if not 0 <= rate < 1:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.train = True
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.train or self.rate == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Sequential(Layer):
+    """Layer container; forwards in order, backwards in reverse."""
+
+    def __init__(self, *layers: Layer):
+        self.layers = list(layers)
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax + cross-entropy with integer labels."""
+
+    def __init__(self):
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        self._probs = softmax(logits)
+        self._labels = np.asarray(labels, dtype=np.int64)
+        picked = self._probs[np.arange(len(labels)), self._labels]
+        return float(-np.log(np.maximum(picked, 1e-12)).mean())
+
+    def backward(self) -> np.ndarray:
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)

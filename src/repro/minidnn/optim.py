@@ -1,0 +1,102 @@
+"""Optimizers for the mini DNN library."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """SGD with classical momentum and optional weight decay.
+
+    ``step`` applies the gradients currently stored on the parameters; the
+    data-parallel trainer writes aggregated (possibly compression-distorted)
+    gradients into ``param.grad`` before calling it.
+    """
+
+    def __init__(self, parameters: List[Parameter], lr: float = 0.1,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                if vel is None:
+                    vel = np.zeros_like(param.value)
+                vel = self.momentum * vel + grad
+                self._velocity[id(param)] = vel
+                grad = vel
+            param.value -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    Included because compression interacts differently with adaptive
+    optimizers: the second-moment estimate sees the *compressed* gradient,
+    so error feedback matters even more (the Bert/Transformer models the
+    paper trains all use Adam-family optimizers).
+    """
+
+    def __init__(self, parameters: List[Parameter], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1 - self.beta1 ** self._step
+        bias2 = 1 - self.beta2 ** self._step
+        for param in self.parameters:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.value)
+                v = np.zeros_like(param.value)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()

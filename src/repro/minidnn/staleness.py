@@ -1,0 +1,134 @@
+"""Stale-synchronous and asynchronous parallel training (§7 extension).
+
+The paper focuses on BSP "given its wide adoption" but expects HiPress to
+work with ASP and SSP too.  This module validates that claim numerically:
+:class:`StalenessTrainer` runs W workers against a shared parameter store
+with a *bounded staleness* protocol (Ho et al., 2013):
+
+* each worker computes gradients against its own (possibly stale) snapshot
+  of the parameters;
+* pushed gradients -- optionally compressed with any registered codec plus
+  error feedback -- are applied to the global parameters immediately
+  (asynchronously);
+* a worker may run ahead of the slowest worker by at most ``staleness``
+  clock ticks; ``staleness=0`` degenerates to BSP-like lockstep and
+  ``staleness=None`` is ASP (unbounded).
+
+Worker progress is deterministic-pseudorandomly skewed so staleness
+actually materializes in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.base import CompressionAlgorithm
+from .layers import Sequential, SoftmaxCrossEntropy, softmax
+from .optim import SGD
+from .parallel import WorkerCompressionState
+
+__all__ = ["StalenessTrainer"]
+
+
+class StalenessTrainer:
+    """SSP/ASP data-parallel training over W in-process workers."""
+
+    def __init__(self, build_model: Callable[[], Sequential],
+                 num_workers: int = 4, lr: float = 0.1,
+                 momentum: float = 0.0,
+                 algorithm: Optional[CompressionAlgorithm] = None,
+                 feedback: str = "error",
+                 staleness: Optional[int] = 1,
+                 seed: int = 0):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if staleness is not None and staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.model = build_model()
+        self.loss_fn = SoftmaxCrossEntropy()
+        self.optimizer = SGD(self.model.parameters(), lr=lr,
+                             momentum=momentum)
+        self.num_workers = num_workers
+        self.staleness = staleness
+        self.rng = np.random.default_rng(seed)
+        self.workers = [WorkerCompressionState(algorithm, feedback)
+                        for _ in range(num_workers)]
+        params = self.model.parameters()
+        #: Per-worker stale snapshots of the parameter values.
+        self._snapshots: List[List[np.ndarray]] = [
+            [p.value.copy() for p in params] for _ in range(num_workers)]
+        self.clocks = [0] * num_workers
+        self.blocked_ticks = 0
+
+    # -- protocol -------------------------------------------------------------
+
+    def _eligible(self, worker: int) -> bool:
+        if self.staleness is None:
+            return True
+        return self.clocks[worker] - min(self.clocks) <= self.staleness
+
+    def tick(self, worker: int, x: np.ndarray, y: np.ndarray) -> Optional[float]:
+        """One asynchronous step by ``worker``; None if staleness-blocked."""
+        if not self._eligible(worker):
+            self.blocked_ticks += 1
+            return None
+        params = self.model.parameters()
+        snapshot = self._snapshots[worker]
+        # Compute gradients against the worker's stale view.
+        global_values = [p.value.copy() for p in params]
+        for p, stale in zip(params, snapshot):
+            p.value[...] = stale
+        self.model.zero_grad()
+        logits = self.model.forward(x)
+        loss = self.loss_fn.forward(logits, y)
+        self.model.backward(self.loss_fn.backward())
+        worker_grads = [p.grad.copy() for p in params]
+        # Restore global parameters and apply the (compressed) push.
+        for p, value in zip(params, global_values):
+            p.value[...] = value
+        for i, p in enumerate(params):
+            received = self.workers[worker].roundtrip(
+                f"{p.name}#{i}", worker_grads[i])
+            p.grad[...] = received / self.num_workers
+        self.optimizer.step()
+        # Pull: refresh the worker's snapshot from the global parameters.
+        self._snapshots[worker] = [p.value.copy() for p in params]
+        self.clocks[worker] += 1
+        return loss
+
+    def run(self, shards: Sequence[Tuple[np.ndarray, np.ndarray]],
+            total_ticks: int, batch_size: int = 16,
+            skew: Optional[Sequence[float]] = None) -> int:
+        """Drive ``total_ticks`` scheduling attempts with skewed progress.
+
+        ``skew`` weights each worker's chance of being scheduled (defaults
+        to a mild built-in skew so fast workers outrun slow ones).
+        Returns the number of successful (non-blocked) ticks.
+        """
+        if len(shards) != self.num_workers:
+            raise ValueError(
+                f"need {self.num_workers} shards, got {len(shards)}")
+        if skew is None:
+            skew = np.linspace(1.0, 2.0, self.num_workers)
+        weights = np.asarray(skew, dtype=np.float64)
+        weights = weights / weights.sum()
+        done = 0
+        for _ in range(total_ticks):
+            worker = int(self.rng.choice(self.num_workers, p=weights))
+            x, y = shards[worker]
+            idx = self.rng.integers(0, len(x), size=batch_size)
+            if self.tick(worker, x[idx], y[idx]) is not None:
+                done += 1
+        return done
+
+    # -- evaluation ------------------------------------------------------------
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        logits = self.model.forward(x)
+        return float((logits.argmax(axis=1) == y).mean())
+
+    @property
+    def max_observed_lag(self) -> int:
+        return max(self.clocks) - min(self.clocks)

@@ -1,0 +1,13 @@
+"""Model zoo: Table 6 workloads as gradient-level specs."""
+
+from .zoo import (
+    MB,
+    MODEL_NAMES,
+    GradientSpec,
+    ModelSpec,
+    all_models,
+    get_model,
+)
+
+__all__ = ["MB", "MODEL_NAMES", "GradientSpec", "ModelSpec", "all_models",
+           "get_model"]

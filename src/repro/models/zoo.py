@@ -1,0 +1,185 @@
+"""Model zoo: the eight DNNs of Table 6 as gradient-level workload specs.
+
+The synchronization substrate does not need real weights -- it needs each
+model's *gradient signature*: how many gradient tensors, their sizes, the
+order and timing with which backward produces them, and how long one
+iteration of single-GPU compute takes.  Table 6 pins the totals (total
+size, max gradient, gradient count); the per-layer distribution is
+generated deterministically to match those totals, with a bimodal shape
+(many small bias/LayerNorm tensors plus a few big weight matrices) that
+mirrors real models -- the paper leans on this shape, e.g. "62.7% of
+Bert-base's gradients are below 16KB" (§6.3).
+
+Single-GPU iteration times are calibrated to public V100 fp32 throughput
+figures for each model at the paper's batch sizes and scale with the GPU's
+relative fp32 rate for other GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..gpu import GpuSpec, V100
+
+__all__ = ["GradientSpec", "ModelSpec", "MB", "get_model", "all_models",
+           "MODEL_NAMES"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class GradientSpec:
+    """One gradient tensor: a name and its fp32 size in bytes."""
+
+    name: str
+    nbytes: int
+
+    @property
+    def num_elements(self) -> int:
+        return self.nbytes // 4
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A DNN training workload from the synchronization layer's viewpoint.
+
+    gradients are listed in *backward order* (last layer first), which is
+    the order synchronization can start on them.
+    """
+
+    name: str
+    gradients: Tuple[GradientSpec, ...]
+    batch_size: int
+    batch_unit: str           # "images", "sequences", "tokens"
+    v100_iteration_s: float   # single-GPU fwd+bwd time on a V100, fp32
+    forward_fraction: float = 0.33
+    framework: str = "mxnet"  # the engine the paper evaluates it on
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(g.nbytes for g in self.gradients)
+
+    @property
+    def max_gradient_nbytes(self) -> int:
+        return max(g.nbytes for g in self.gradients)
+
+    @property
+    def num_gradients(self) -> int:
+        return len(self.gradients)
+
+    def iteration_time(self, gpu: GpuSpec) -> float:
+        """Single-GPU compute time for one iteration on ``gpu``."""
+        return self.v100_iteration_s * (V100.fp32_tflops / gpu.fp32_tflops)
+
+    def forward_time(self, gpu: GpuSpec) -> float:
+        return self.iteration_time(gpu) * self.forward_fraction
+
+    def backward_time(self, gpu: GpuSpec) -> float:
+        return self.iteration_time(gpu) * (1.0 - self.forward_fraction)
+
+    def backward_schedule(self, gpu: GpuSpec):
+        """Yield (offset_into_backward_s, GradientSpec) in production order.
+
+        Each gradient becomes available when the backward pass has spent
+        compute proportional to its parameter share; the largest layers
+        take the longest to differentiate.
+        """
+        total = self.total_nbytes
+        backward = self.backward_time(gpu)
+        elapsed = 0.0
+        for grad in self.gradients:
+            elapsed += backward * (grad.nbytes / total)
+            yield (elapsed, grad)
+
+
+def _layer_sizes(total_mb: float, max_mb: float, count: int,
+                 small_fraction: float, seed: str) -> Tuple[int, ...]:
+    """Deterministic per-layer sizes matching (total, max, count).
+
+    One tensor is the max; a ``small_fraction`` share of the rest are tiny
+    (1-64 KB, log-uniform: biases, LayerNorm gains); the remaining large
+    tensors are log-spread and rescaled so everything sums to ``total``.
+    """
+    if count < 1:
+        raise ValueError("need at least one gradient")
+    rng = np.random.default_rng(abs(hash(seed)) % (2**32))
+    total = int(total_mb * MB)
+    biggest = int(max_mb * MB)
+    if count == 1:
+        return (total,)
+    remaining = count - 1
+    n_small = int(round(remaining * small_fraction))
+    n_large = remaining - n_small
+    small = np.exp(rng.uniform(np.log(1024), np.log(15 * 1024), n_small))
+    small = np.round(small).astype(np.int64)
+    budget = total - biggest - int(small.sum())
+    if n_large > 0:
+        raw = np.exp(rng.uniform(np.log(0.02), np.log(0.9), n_large))
+        raw = raw / raw.sum() * budget
+        large = np.maximum(np.round(raw).astype(np.int64), 65 * 1024)
+        # Cap below the declared max and rebalance the residue onto the
+        # largest remaining tensor.
+        large = np.minimum(large, biggest - 1)
+        drift = budget - int(large.sum())
+        large[np.argmax(large)] = max(65 * 1024,
+                                      int(large[np.argmax(large)]) + drift)
+        large[np.argmax(large)] = min(int(large[np.argmax(large)]),
+                                      biggest - 1)
+        sizes = np.concatenate([[biggest], large, small])
+    else:
+        sizes = np.concatenate([[biggest], small])
+    # 4-byte align (fp32 elements).
+    sizes = (np.maximum(sizes, 1024) // 4) * 4
+    order = rng.permutation(len(sizes))
+    return tuple(int(s) for s in sizes[order])
+
+
+def _make_model(name: str, total_mb: float, max_mb: float, count: int,
+                batch_size: int, batch_unit: str, v100_s: float,
+                framework: str, small_fraction: float) -> ModelSpec:
+    sizes = _layer_sizes(total_mb, max_mb, count, small_fraction, seed=name)
+    gradients = tuple(
+        GradientSpec(name=f"{name}.g{i:03d}", nbytes=size)
+        for i, size in enumerate(sizes))
+    return ModelSpec(name=name, gradients=gradients, batch_size=batch_size,
+                     batch_unit=batch_unit, v100_iteration_s=v100_s,
+                     framework=framework)
+
+
+# Table 6 statistics + §6.1 batch sizes; iteration times calibrated to
+# public V100 fp32 throughput at those batch sizes.
+_CATALOG: Dict[str, ModelSpec] = {}
+
+for _spec in (
+    # name            total_mb  max_mb   #g  batch  unit       v100_s  fw         small%
+    ("vgg19",          548.05,  392.00,  38,  32, "images",     0.190, "mxnet",      0.45),
+    ("resnet50",        97.46,    9.00, 155,  64, "images",     0.175, "tensorflow", 0.50),
+    ("ugatit",        2558.75, 1024.00, 148,   2, "images",     0.620, "pytorch",    0.35),
+    ("ugatit-light",   511.25,  128.00, 148,   2, "images",     0.170, "pytorch",    0.35),
+    ("bert-base",      420.02,   89.42, 207,  32, "sequences",  0.210, "mxnet",      0.62),
+    ("bert-large",    1282.60,  119.23, 399,  32, "sequences",  0.500, "mxnet",      0.60),
+    ("lstm",           327.97,  190.42,  10,  80, "sequences",  0.085, "pytorch",    0.20),
+    ("transformer",    234.08,   65.84, 185, 2048, "tokens",    0.055, "tensorflow", 0.55),
+):
+    _name, _total, _max, _count, _batch, _unit, _v100, _fw, _small = _spec
+    _CATALOG[_name] = _make_model(_name, _total, _max, _count, _batch,
+                                  _unit, _v100, _fw, _small)
+
+MODEL_NAMES = tuple(sorted(_CATALOG))
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a Table 6 model by name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(_CATALOG)}"
+        ) from None
+
+
+def all_models() -> Tuple[ModelSpec, ...]:
+    return tuple(_CATALOG[n] for n in MODEL_NAMES)

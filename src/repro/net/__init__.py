@@ -1,0 +1,5 @@
+"""Network fabric model (full-duplex NICs, tagged message passing)."""
+
+from .fabric import Fabric, Message, NetworkSpec, Nic, TransferStats
+
+__all__ = ["Fabric", "Message", "NetworkSpec", "Nic", "TransferStats"]

@@ -1,0 +1,206 @@
+"""Network fabric model: full-duplex NICs, point-to-point transfers, mailboxes.
+
+The model matches the assumptions the paper's cost analysis (§3.3) is built
+on: homogeneous nodes, each with a full-duplex NIC, where sending an
+``m``-byte message costs ``latency + m / bandwidth`` and the two directions
+of a NIC are independent resources (Ring-allreduce exploits exactly this:
+each node sends to its successor while receiving from its predecessor).
+
+Contention is modelled by serializing transfers per NIC direction: a
+transfer holds the sender's *uplink* and the receiver's *downlink* for its
+serialization time.  Wire latency is added after serialization and does not
+occupy either endpoint, so back-to-back messages pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..sim import Environment, Store
+
+__all__ = ["NetworkSpec", "Nic", "Fabric", "Message", "TransferStats"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Capacity of the inter-node network.
+
+    bandwidth_gbps: per-direction NIC bandwidth in Gigabits/s (marketing
+        units, e.g. 100 for the paper's EC2 cluster).
+    latency_us: one-way wire latency in microseconds.
+    efficiency: achievable fraction of line rate (protocol overheads);
+        RDMA fabrics typically reach ~0.9.
+    """
+
+    bandwidth_gbps: float
+    latency_us: float = 5.0
+    efficiency: float = 0.9
+
+    def __post_init__(self):
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_gbps}")
+        if self.latency_us < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_us}")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Effective payload bandwidth in bytes/s per direction."""
+        return self.bandwidth_gbps * 1e9 / 8 * self.efficiency
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_us * 1e-6
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Uncontended time to move ``nbytes`` point-to-point."""
+        return self.latency_s + nbytes / self.bytes_per_second
+
+
+@dataclass
+class TransferStats:
+    """Aggregate accounting of fabric usage, for experiment reporting."""
+
+    bytes_sent: float = 0.0
+    messages: int = 0
+    per_node_bytes: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, src: int, nbytes: float) -> None:
+        self.bytes_sent += nbytes
+        self.messages += 1
+        self.per_node_bytes[src] = self.per_node_bytes.get(src, 0.0) + nbytes
+
+
+class Nic:
+    """A full-duplex network interface.
+
+    Each direction is a FIFO serialization server tracked by a next-free
+    timestamp.  Transfers reserve (sender-up, receiver-down) atomically at
+    issue time, which models "a node talks to one peer at a time per
+    direction" without the hold-and-wait deadlock a two-resource acquire
+    would allow.
+    """
+
+    def __init__(self, env: Environment, spec: NetworkSpec):
+        self.env = env
+        self.spec = spec
+        #: Simulated timestamps at which each direction becomes free.
+        self.up_free = 0.0
+        self.down_free = 0.0
+        #: Cumulative seconds each direction spent busy (for utilization).
+        self.up_busy = 0.0
+        self.down_busy = 0.0
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered payload with its transfer metadata."""
+
+    src: int
+    dst: int
+    tag: Hashable
+    payload: Any
+    nbytes: float
+    sent_at: float
+    delivered_at: float
+
+
+class Fabric:
+    """A cluster-wide network of ``num_nodes`` NICs plus tagged mailboxes.
+
+    Two interfaces:
+
+    * :meth:`transfer` -- timing-only point-to-point move (generator).
+    * :meth:`send` / :meth:`recv` -- message passing with tags; ``send``
+      spawns a background transfer process and ``recv`` blocks on the
+      (dst, tag) mailbox.  Tags make protocols self-synchronizing without
+      global barriers.
+    """
+
+    def __init__(self, env: Environment, num_nodes: int, spec: NetworkSpec):
+        if num_nodes < 1:
+            raise ValueError(f"need at least 1 node, got {num_nodes}")
+        self.env = env
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.nics = [Nic(env, spec) for _ in range(num_nodes)]
+        self._mailboxes: Dict[Tuple[int, Hashable], Store] = {}
+        self.stats = TransferStats()
+
+    # -- timing-only transfers -------------------------------------------
+
+    def transfer(self, src: int, dst: int, nbytes: float):
+        """Generator: completes when ``nbytes`` from src arrive at dst.
+
+        Holds src's uplink and dst's downlink for the serialization time;
+        wire latency is appended without occupying either NIC.  A loopback
+        (src == dst) is free: local data never touches the NIC.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if src == dst:
+            return
+        env = self.env
+        sender, receiver = self.nics[src], self.nics[dst]
+        serialize = nbytes / self.spec.bytes_per_second
+        # Each direction is an independent fluid FIFO: the sender's uplink
+        # and the receiver's downlink each process the bytes when they get
+        # to them, and delivery completes when the slower side has.  This
+        # avoids convoy collapse under incast (an idle uplink is never
+        # blocked just because the peer's downlink is backed up).
+        up_finish = max(env.now, sender.up_free) + serialize
+        down_finish = max(env.now, receiver.down_free) + serialize
+        sender.up_free = up_finish
+        receiver.down_free = down_finish
+        sender.up_busy += serialize
+        receiver.down_busy += serialize
+        finish = max(up_finish, down_finish)
+        yield env.timeout(finish + self.spec.latency_s - env.now)
+        self.stats.record(src, nbytes)
+
+    # -- tagged message passing ------------------------------------------
+
+    def _mailbox(self, dst: int, tag: Hashable) -> Store:
+        key = (dst, tag)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = Store(self.env)
+            self._mailboxes[key] = box
+        return box
+
+    def send(self, src: int, dst: int, tag: Hashable, payload: Any,
+             nbytes: float):
+        """Start an asynchronous tagged send; returns the transfer Process."""
+        sent_at = self.env.now
+
+        def _send():
+            yield from self.transfer(src, dst, nbytes)
+            msg = Message(src=src, dst=dst, tag=tag, payload=payload,
+                          nbytes=nbytes, sent_at=sent_at,
+                          delivered_at=self.env.now)
+            self._mailbox(dst, tag).put(msg)
+
+        return self.env.process(_send(), name=f"send:{src}->{dst}:{tag}")
+
+    def recv(self, dst: int, tag: Hashable):
+        """Event firing with the next :class:`Message` for (dst, tag)."""
+        self._check_node(dst)
+        return self._mailbox(dst, tag).get()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Mean busy fraction across all NIC directions over ``horizon``."""
+        horizon = self.env.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        busy = sum(n.up_busy + n.down_busy for n in self.nics)
+        return busy / (2 * self.num_nodes * horizon)

@@ -1,0 +1,21 @@
+"""Gradient synchronization strategies: baselines and CaSync variants."""
+
+from .base import Strategy, SyncContext, TaskBuilder
+from .casync import CaSyncPS, CaSyncRing
+from .oss import BytePSOSSCompression, RingOSSCompression
+from .ps import BytePS, partition_sizes
+from .ring import RingAllreduce, bucketize
+
+__all__ = [
+    "BytePS",
+    "BytePSOSSCompression",
+    "CaSyncPS",
+    "CaSyncRing",
+    "RingAllreduce",
+    "RingOSSCompression",
+    "Strategy",
+    "SyncContext",
+    "TaskBuilder",
+    "bucketize",
+    "partition_sizes",
+]

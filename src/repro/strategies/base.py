@@ -1,0 +1,205 @@
+"""Strategy framework: shared context and task-construction helpers.
+
+A :class:`Strategy` turns (model, cluster, algorithm, plan) into a
+:class:`~repro.casync.tasks.TaskGraph` for one training iteration.  The
+graph's sources are per-(node, gradient) *ready events* fired by the
+simulated backward pass; its sinks mark each node's view of "all gradients
+synchronized".
+
+Cost conventions (all on the node's GPU unless stated):
+
+* encode/decode durations come from the algorithm's
+  :class:`~repro.algorithms.base.KernelProfile`;
+* ``merge`` of an m-byte accumulation reads two buffers and writes one
+  (3 m bytes, one launch);
+* ``copy`` models an extra device-to-device memory copy (read + write =
+  2 m bytes) -- the overhead the paper attributes to OSS integrations;
+* CPU-side work (BytePS servers aggregate on host CPUs) runs ``cpu_factor``
+  times slower than the GPU per byte, reflecting §2.5's measured 35.6x
+  gap for on-CPU compression.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..algorithms.base import CompressionAlgorithm
+from ..casync.planner import GradientPlan
+from ..casync.tasks import Coordinator, NodeEngine, Task, TaskGraph
+from ..cluster import ClusterSpec
+from ..gpu import Gpu
+from ..models import GradientSpec, ModelSpec
+from ..net import Fabric
+from ..sim import Environment, Event
+
+__all__ = ["SyncContext", "Strategy", "TaskBuilder"]
+
+
+@dataclass
+class SyncContext:
+    """Everything a strategy needs to build one iteration's task graph."""
+
+    env: Environment
+    cluster: ClusterSpec
+    fabric: Fabric
+    gpus: List[Gpu]
+    engines: List[NodeEngine]
+    ready: Dict[Tuple[int, str], Event]  # (node, gradient name) -> event
+    algorithm: Optional[CompressionAlgorithm] = None
+    plans: Optional[Dict[str, GradientPlan]] = None
+    coordinator: Optional[Coordinator] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cluster.num_nodes
+
+    def ready_event(self, node: int, grad: GradientSpec) -> Event:
+        return self.ready[(node, grad.name)]
+
+    def plan_for(self, grad: GradientSpec) -> Optional[GradientPlan]:
+        if self.plans is None:
+            return None
+        return self.plans.get(grad.name)
+
+
+class TaskBuilder:
+    """Constructs correctly-costed tasks for one context."""
+
+    #: Host-side (CPU) throughput penalty per byte relative to the GPU,
+    #: calibrated to the paper's 35.6x on-CPU vs on-GPU compression gap.
+    CPU_FACTOR = 35.0
+
+    def __init__(self, ctx: SyncContext):
+        self.ctx = ctx
+        self.gpu_spec = ctx.cluster.node.gpu
+        self._launch = self.gpu_spec.kernel_launch_us * 1e-6
+
+    # -- size bookkeeping --------------------------------------------------
+
+    def compressed_nbytes(self, nbytes: float) -> float:
+        algo = self.ctx.algorithm
+        if algo is None:
+            return nbytes
+        return float(algo.compressed_nbytes(max(1, int(nbytes) // 4)))
+
+    # -- computing tasks ------------------------------------------------------
+
+    def encode(self, node: int, nbytes: float, label: str = "encode",
+               on_cpu: bool = False) -> Task:
+        algo = self.ctx.algorithm
+        duration = algo.encode_time(nbytes, self.gpu_spec)
+        if on_cpu:
+            duration *= self.CPU_FACTOR
+        launch = self._launch * algo.profile.encode_kernels
+        return Task(node, "encode", label, duration=duration,
+                    launch_overhead=launch, nbytes=nbytes,
+                    out_nbytes=self.compressed_nbytes(nbytes))
+
+    def decode(self, node: int, nbytes: float, label: str = "decode",
+               on_cpu: bool = False, allocates_output: bool = False) -> Task:
+        """Decode a compressed buffer.
+
+        CaSync decodes *into the existing gradient tensor* (§5: "CompLL
+        reuses gradients produced by DNN computation"), so by default no
+        new buffer is charged; OSS-style integrations pass
+        ``allocates_output=True`` for their separate output allocations.
+        """
+        algo = self.ctx.algorithm
+        duration = algo.decode_time(nbytes, self.gpu_spec)
+        if on_cpu:
+            duration *= self.CPU_FACTOR
+        launch = self._launch * algo.profile.decode_kernels
+        return Task(node, "decode", label, duration=duration,
+                    launch_overhead=launch, nbytes=nbytes,
+                    out_nbytes=nbytes if allocates_output else None)
+
+    def decode_merge(self, node: int, nbytes: float,
+                     label: str = "decode+merge") -> Task:
+        """CaSync's fused decode-and-aggregate kernel (§5: "we also fuse
+        the decode and merge operators")."""
+        algo = self.ctx.algorithm
+        duration = (algo.decode_time(nbytes, self.gpu_spec)
+                    + self.gpu_spec.kernel_time(nbytes, kernels=1)
+                    - self._launch)
+        launch = self._launch * algo.profile.decode_kernels
+        return Task(node, "decode", label, duration=duration,
+                    launch_overhead=launch, nbytes=nbytes)
+
+    def aggregate_received(self, node: int, nbytes: float,
+                           label: str = "agg", on_cpu: bool = False) -> Task:
+        """Aggregate one received compressed buffer into a dense partial.
+
+        For sparsification codecs this is a scatter-add touching only the
+        transmitted (index, value) pairs; for quantizers the buffer must be
+        decoded to dense form and added (the fused decode+merge kernel).
+        """
+        algo = self.ctx.algorithm
+        if algo is not None and algo.category == "sparsification":
+            compressed = self.compressed_nbytes(nbytes)
+            duration = self.gpu_spec.kernel_time(3 * compressed, kernels=1)
+            if on_cpu:
+                duration *= self.CPU_FACTOR
+            return Task(node, "merge", label, duration=duration,
+                        launch_overhead=self._launch, nbytes=compressed)
+        return self.decode_merge(node, nbytes, label)
+
+    def merge(self, node: int, nbytes: float, label: str = "merge",
+              on_cpu: bool = False) -> Task:
+        duration = self.gpu_spec.kernel_time(3 * nbytes, kernels=1)
+        if on_cpu:
+            # Host summation: memory-bound at host DRAM speed; fold the
+            # GPU<->host PCIe hops into the same factor-of-slower model.
+            duration = self.gpu_spec.kernel_time(3 * nbytes, kernels=1) * 6
+        return Task(node, "merge", label, duration=duration,
+                    launch_overhead=self._launch, nbytes=nbytes)
+
+    def copy(self, node: int, nbytes: float, label: str = "copy") -> Task:
+        duration = self.gpu_spec.kernel_time(2 * nbytes, kernels=1)
+        return Task(node, "copy", label, duration=duration,
+                    launch_overhead=self._launch, nbytes=nbytes,
+                    out_nbytes=nbytes)
+
+    def cpu_aggregate(self, node: int, nbytes: float,
+                      label: str = "cpu-agg") -> Task:
+        """Host-side summation of an ``nbytes`` partition (BytePS server).
+
+        Bandwidth comes from the node spec: the PCIe hop plus vectorized
+        summation the host can sustain.
+        """
+        duration = nbytes / self.ctx.cluster.node.cpu_agg_bytes_per_s
+        return Task(node, "cpu", label, duration=duration, nbytes=nbytes)
+
+    def cpu_work(self, node: int, duration: float,
+                 label: str = "cpu") -> Task:
+        """Arbitrary host-side work of a fixed duration."""
+        return Task(node, "cpu", label, duration=duration)
+
+    # -- communication tasks ------------------------------------------------------
+
+    def send(self, src: int, dst: int, nbytes: float, label: str = "send",
+             bulk: bool = False) -> Task:
+        return Task(src, "send", label, nbytes=nbytes, dst=dst, bulk=bulk)
+
+    def notify(self, node: int, label: str = "done") -> Task:
+        return Task(node, "notify", label)
+
+
+class Strategy(ABC):
+    """A gradient synchronization strategy.
+
+    ``build`` must return a TaskGraph whose completion means every node has
+    the fully aggregated value of every gradient of ``model``.
+    """
+
+    name: str = "strategy"
+    #: Whether this strategy compresses gradients.
+    compression: bool = False
+
+    @abstractmethod
+    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
+        """Construct the task graph for one iteration."""
+
+    def __repr__(self) -> str:
+        return f"<Strategy {self.name}>"

@@ -1,0 +1,302 @@
+"""CaSync synchronization strategies: CaSync-PS and CaSync-Ring (§3).
+
+Both strategies compose the five primitives under the task-graph
+architecture, with the three CaSync optimizations individually switchable
+for the Fig. 11 ablation:
+
+* ``pipelining`` -- partition gradients (per the plan's K) so encode of
+  one partition overlaps the transfer of another, and fuse decode+merge;
+  with pipelining off, a gradient is encoded whole before any byte moves
+  and decoded whole after every byte arrives (the OSS co-design shape).
+* ``bulk`` -- route small transfers through the global coordinator
+  (message batching per link) and enable batch compression on the GPU
+  (one launch for many small kernels).  Enable via
+  ``simulate_iteration(use_coordinator=True, batch_compression=True)``;
+  the strategy marks which sends are eligible.
+* ``selective`` -- honor the §3.3 planner's per-gradient <compress?, K>
+  plan; with it off, everything is compressed and K falls back to a fixed
+  partitioning rule.
+
+CaSync aggregators run on the GPU (unlike BytePS's host-CPU servers), and
+workers co-locate with aggregators (§6.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..casync.planner import GradientPlan
+from ..casync.tasks import TaskGraph
+from ..casync.topology import Topology, ps_topology, ring_topology
+from ..models import GradientSpec, ModelSpec
+from .base import Strategy, SyncContext, TaskBuilder
+
+__all__ = ["CaSyncPS", "CaSyncRing"]
+
+#: Transfers below this size are routed through the bulk coordinator.
+BULK_ELIGIBLE_BYTES = 256 * 1024
+#: Fallback partition size when selective planning is off.
+DEFAULT_PART_BYTES = 4 * 1024 * 1024
+
+
+class _CaSyncBase(Strategy):
+    compression = True
+
+    def __init__(self, pipelining: bool = True, bulk: bool = True,
+                 selective: bool = True):
+        self.pipelining = pipelining
+        self.bulk = bulk
+        self.selective = selective
+
+    def _plan(self, ctx: SyncContext, grad: GradientSpec) -> GradientPlan:
+        if self.selective:
+            plan = ctx.plan_for(grad)
+            if plan is None:
+                raise ValueError(
+                    f"selective mode needs a plan for {grad.name}; "
+                    "pass plans= to simulate_iteration")
+            if not self.pipelining and plan.partitions > 1:
+                plan = GradientPlan(plan.name, plan.nbytes, plan.compress,
+                                    1, plan.predicted_time)
+            return plan
+        if self.pipelining:
+            k = min(ctx.num_nodes,
+                    max(1, math.ceil(grad.nbytes / DEFAULT_PART_BYTES)))
+        else:
+            k = 1
+        return GradientPlan(name=grad.name, nbytes=grad.nbytes,
+                            compress=True, partitions=k, predicted_time=0.0)
+
+    def _bulk_flag(self, nbytes: float) -> bool:
+        return self.bulk and nbytes < BULK_ELIGIBLE_BYTES
+
+
+class CaSyncPS(_CaSyncBase):
+    """CaSync parameter server with GPU-side, co-located aggregators."""
+
+    name = "casync-ps"
+
+    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
+        if ctx.algorithm is None:
+            raise ValueError(f"{self.name} requires a compression algorithm")
+        graph = TaskGraph(ctx.env)
+        builder = TaskBuilder(ctx)
+        n = ctx.num_nodes
+        # §3.1: the bipartite worker<->aggregator topology is decoupled
+        # from the strategy; aggregators rotate over the topology's
+        # aggregator set for load balance.
+        topology = ps_topology(n, colocated=True)
+        aggregator_pool = topology.aggregators()
+        agg_rr = 0
+        for grad in model.gradients:
+            plan = self._plan(ctx, grad)
+            k = plan.partitions
+            part = grad.nbytes / k
+            compressed = builder.compressed_nbytes(part)
+            wire = compressed if plan.compress else part
+            for p in range(k):
+                aggregator = aggregator_pool[agg_rr % len(aggregator_pool)]
+                agg_rr += 1
+                label = f"{grad.name}.p{p}"
+
+                merges = []
+                for w in range(n):
+                    src_dep = ctx.ready_event(w, grad)
+                    if plan.compress:
+                        enc = graph.add(
+                            builder.encode(w, part, f"enc:{label}@{w}"),
+                            deps=[src_dep])
+                        src_dep = enc
+                    if w != aggregator:
+                        src_dep = graph.add(
+                            builder.send(w, aggregator, wire,
+                                         f"push:{label}@{w}",
+                                         bulk=self._bulk_flag(wire)),
+                            deps=[src_dep])
+                    # GPU-side aggregation; decode fuses with merge.
+                    if plan.compress:
+                        agg = graph.add(
+                            builder.aggregate_received(
+                                aggregator, part, f"agg:{label}@{w}"),
+                            deps=[src_dep])
+                    else:
+                        agg = graph.add(
+                            builder.merge(aggregator, part,
+                                          f"agg:{label}@{w}"),
+                            deps=[src_dep])
+                    merges.append(agg)
+
+                tail = merges
+                if plan.compress:
+                    tail = [graph.add(
+                        builder.encode(aggregator, part, f"enc-out:{label}"),
+                        deps=merges)]
+                for w in range(n):
+                    if w == aggregator:
+                        graph.add(builder.notify(w, f"done:{label}@{w}"),
+                                  deps=tail)
+                        continue
+                    pull = graph.add(
+                        builder.send(aggregator, w, wire,
+                                     f"pull:{label}@{w}",
+                                     bulk=self._bulk_flag(wire)),
+                        deps=tail)
+                    if plan.compress:
+                        dec = graph.add(
+                            builder.decode(w, part, f"dec:{label}@{w}"),
+                            deps=[pull])
+                        graph.add(builder.notify(w, f"done:{label}@{w}"),
+                                  deps=[dec])
+                    else:
+                        graph.add(builder.notify(w, f"done:{label}@{w}"),
+                                  deps=[pull])
+        return graph
+
+
+class CaSyncRing(_CaSyncBase):
+    """CaSync ring: hop-wise decode+merge+encode, chunk-pipelined."""
+
+    name = "casync-ring"
+
+    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
+        if ctx.algorithm is None:
+            raise ValueError(f"{self.name} requires a compression algorithm")
+        graph = TaskGraph(ctx.env)
+        builder = TaskBuilder(ctx)
+        n = ctx.num_nodes
+        if n == 1:
+            for grad in model.gradients:
+                graph.add(builder.notify(0, f"done:{grad.name}"),
+                          deps=[ctx.ready_event(0, grad)])
+            return graph
+        # §3.1: clockwise ring edges come from the topology graph.
+        topology = ring_topology(n)
+
+        # Bulk communication on a ring topology: gradients the planner left
+        # uncompressed are fused into buckets and allreduced raw, instead of
+        # paying 2(N-1) per-gradient micro-hops (§3.2's batched time slots).
+        raw: List[GradientSpec] = []
+        for grad in model.gradients:
+            plan = self._plan(ctx, grad)
+            if not plan.compress:
+                raw.append(grad)
+                continue
+            k = plan.partitions
+            part = grad.nbytes / k
+            compressed = builder.compressed_nbytes(part)
+            wire = compressed if plan.compress else part
+            for c in range(k):
+                start = c % n
+                label = f"{grad.name}.c{c}"
+                # Aggregation: n-1 hops; each hop encodes its partial
+                # (if compressing), sends, and the receiver decode+merges.
+                prev = None
+                for step in range(n - 1):
+                    holder = (start + step) % n
+                    nxt = topology.successor(holder)
+                    deps = [ctx.ready_event(holder, grad)]
+                    if prev is not None:
+                        deps.append(prev)
+                    if plan.compress:
+                        enc = graph.add(
+                            builder.encode(holder, part,
+                                           f"enc:{label}.{step}"),
+                            deps=deps)
+                        deps = [enc]
+                    # Ring hops are serial chains: routing them through the
+                    # coordinator would add a flush delay per hop, so
+                    # CaSync-Ring's bulk benefits come from batch
+                    # compression and raw-bucket fusion instead.
+                    send = graph.add(
+                        builder.send(holder, nxt, wire,
+                                     f"hop:{label}.{step}"),
+                        deps=deps)
+                    recv_deps = [send, ctx.ready_event(nxt, grad)]
+                    if plan.compress:
+                        prev = graph.add(
+                            builder.aggregate_received(nxt, part,
+                                                       f"agg:{label}.{step}"),
+                            deps=recv_deps)
+                    else:
+                        prev = graph.add(
+                            builder.merge(nxt, part, f"agg:{label}.{step}"),
+                            deps=recv_deps)
+
+                # Dissemination: encode the final value once, then forward
+                # the compressed buffer n-1 hops; receivers decode locally
+                # (overlapping the next hop's transfer).
+                final_holder = (start + n - 1) % n
+                if plan.compress:
+                    head = graph.add(
+                        builder.encode(final_holder, part,
+                                       f"enc-final:{label}"),
+                        deps=[prev])
+                else:
+                    head = prev
+                done_marks = {final_holder: graph.add(
+                    builder.notify(final_holder, f"done:{label}"),
+                    deps=[prev])}
+                hop_dep = head
+                for step in range(n - 1):
+                    holder = (final_holder + step) % n
+                    nxt = topology.successor(holder)
+                    send = graph.add(
+                        builder.send(holder, nxt, wire,
+                                     f"bcast:{label}.{step}"),
+                        deps=[hop_dep])
+                    hop_dep = send
+                    if plan.compress:
+                        dec = graph.add(
+                            builder.decode(nxt, part, f"dec:{label}.{step}"),
+                            deps=[send])
+                        done_marks[nxt] = graph.add(
+                            builder.notify(nxt, f"done:{label}@{nxt}"),
+                            deps=[dec])
+                    else:
+                        done_marks[nxt] = graph.add(
+                            builder.notify(nxt, f"done:{label}@{nxt}"),
+                            deps=[send])
+
+        self._raw_ring(ctx, graph, builder, raw)
+        return graph
+
+    def _raw_ring(self, ctx: SyncContext, graph: TaskGraph,
+                  builder: TaskBuilder, raw: List[GradientSpec],
+                  bucket_bytes: float = 4 * 1024 * 1024) -> None:
+        """Fused raw allreduce of the planner's uncompressed gradients."""
+        from .ring import bucketize  # local import avoids a cycle
+
+        n = ctx.num_nodes
+        for b, bucket in enumerate(bucketize(raw, bucket_bytes)):
+            size = sum(g.nbytes for g in bucket)
+            chunk = size / n
+            ready = [[ctx.ready_event(i, g) for g in bucket]
+                     for i in range(n)]
+            sends = {}
+            merges = {}
+            for step in range(n - 1):
+                for i in range(n):
+                    deps = (list(ready[i]) if step == 0
+                            else [merges[(i, step - 1)]])
+                    sends[(i, step)] = graph.add(
+                        builder.send(i, (i + 1) % n, chunk,
+                                     f"raw-rs{b}.{step}@{i}"),
+                        deps=deps)
+                for i in range(n):
+                    merges[(i, step)] = graph.add(
+                        builder.merge(i, chunk, f"raw-mrg{b}.{step}@{i}"),
+                        deps=[sends[((i - 1) % n, step)]] + list(ready[i]))
+            ag = {}
+            for step in range(n - 1):
+                for i in range(n):
+                    deps = ([merges[(i, n - 2)]] if step == 0
+                            else [ag[((i - 1) % n, step - 1)]])
+                    ag[(i, step)] = graph.add(
+                        builder.send(i, (i + 1) % n, chunk,
+                                     f"raw-ag{b}.{step}@{i}"),
+                        deps=deps)
+            for i in range(n):
+                deps = [merges[(i, n - 2)]] + [
+                    ag[((i - 1) % n, step)] for step in range(n - 1)]
+                graph.add(builder.notify(i, f"raw-done{b}@{i}"), deps=deps)

@@ -1,0 +1,182 @@
+"""Compression-enabled baselines: the industry OSS integrations (§2.5, §6.1).
+
+These reproduce the *co-design* the paper criticizes -- compression logic
+"separated and scattered across gradient synchronization":
+
+* :class:`BytePSOSSCompression` -- BytePS with worker-side on-GPU
+  compression bolted on (the paper's fair-comparison setup).  Workers
+  encode each partition on the GPU with an extra staging memory copy; but
+  BytePS servers are *host-CPU* processes, so aggregation must decode,
+  merge, and re-encode on the CPU at the measured ~35x penalty (§2.5), and
+  every partition of every gradient is compressed indiscriminately --
+  launch overheads amplify along the 3N-2 operators per gradient.
+
+* :class:`RingOSSCompression` -- the Horovod community DGC integration
+  (Ring(OSS-DGC)): compressed gradients are not aggregatable in a
+  reduce-scatter, so each gradient is encoded once and *allgathered*
+  (N-1 forwarding steps); every node then decodes and merges all N buffers
+  strictly after the bulk communication finishes -- coarse-grained, no
+  compression/communication pipelining, no selective compression.
+"""
+
+from __future__ import annotations
+
+from ..casync.tasks import TaskGraph
+from ..models import ModelSpec
+from .base import Strategy, SyncContext, TaskBuilder
+from .ps import partition_sizes
+
+__all__ = ["BytePSOSSCompression", "RingOSSCompression"]
+
+
+class BytePSOSSCompression(Strategy):
+    """BytePS + worker-GPU compression, CPU servers (BytePS(OSS-onebit)).
+
+    ``worker_on_cpu=True`` reproduces the original open-source onebit,
+    which compresses on the host CPU even at the workers (§2.5 / Fig. 11's
+    "on-CPU" stage).
+    """
+
+    name = "byteps-oss"
+    compression = True
+
+    def __init__(self, part_bytes: float = 4 * 1024 * 1024,
+                 worker_on_cpu: bool = False):
+        self.part_bytes = float(part_bytes)
+        self.worker_on_cpu = worker_on_cpu
+
+    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
+        if ctx.algorithm is None:
+            raise ValueError(f"{self.name} requires a compression algorithm")
+        graph = TaskGraph(ctx.env)
+        builder = TaskBuilder(ctx)
+        n = ctx.num_nodes
+        server_rr = 0
+        for grad in model.gradients:
+            parts = partition_sizes(grad.nbytes, self.part_bytes)
+            for p, part in enumerate(parts):
+                server = server_rr % n
+                server_rr += 1
+                label = f"{grad.name}.p{p}"
+                compressed = builder.compressed_nbytes(part)
+
+                merges = []
+                for w in range(n):
+                    # Worker: staging copy + on-GPU encode of this slice.
+                    stage = graph.add(
+                        builder.copy(w, part, f"stage:{label}@{w}"),
+                        deps=[ctx.ready_event(w, grad)])
+                    enc = builder.encode(w, part, f"enc:{label}@{w}",
+                                         on_cpu=self.worker_on_cpu)
+                    if self.worker_on_cpu:
+                        enc.kind = "cpu"
+                    graph.add(enc, deps=[stage])
+                    if w == server:
+                        arrived = enc
+                    else:
+                        arrived = graph.add(
+                            builder.send(w, server, compressed,
+                                         f"push:{label}@{w}"),
+                            deps=[enc])
+                    # Server (host CPU): decode then accumulate.
+                    dec = graph.add(
+                        builder.decode(server, part,
+                                       f"srv-dec:{label}@{w}", on_cpu=True,
+                                       allocates_output=True),
+                        deps=[arrived])
+                    dec.kind = "cpu"
+                    agg = graph.add(
+                        builder.cpu_aggregate(server, part,
+                                              f"srv-agg:{label}@{w}"),
+                        deps=[dec])
+                    merges.append(agg)
+
+                # Server re-encodes the aggregate on the CPU, then pulls.
+                srv_enc = graph.add(
+                    builder.encode(server, part, f"srv-enc:{label}",
+                                   on_cpu=True),
+                    deps=merges)
+                srv_enc.kind = "cpu"
+                for w in range(n):
+                    if w == server:
+                        arrived = srv_enc
+                    else:
+                        arrived = graph.add(
+                            builder.send(server, w, compressed,
+                                         f"pull:{label}@{w}"),
+                            deps=[srv_enc])
+                    unstage = graph.add(
+                        builder.copy(w, part, f"unstage:{label}@{w}"),
+                        deps=[arrived])
+                    dec = builder.decode(w, part, f"dec:{label}@{w}",
+                                         on_cpu=self.worker_on_cpu,
+                                         allocates_output=True)
+                    if self.worker_on_cpu:
+                        dec.kind = "cpu"
+                    graph.add(dec, deps=[unstage])
+                    graph.add(builder.notify(w, f"done:{label}@{w}"),
+                              deps=[dec])
+        return graph
+
+
+class RingOSSCompression(Strategy):
+    """Ring allgather of compressed gradients (Ring(OSS-DGC))."""
+
+    name = "ring-oss"
+    compression = True
+
+    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
+        if ctx.algorithm is None:
+            raise ValueError(f"{self.name} requires a compression algorithm")
+        graph = TaskGraph(ctx.env)
+        builder = TaskBuilder(ctx)
+        n = ctx.num_nodes
+        if n == 1:
+            for grad in model.gradients:
+                graph.add(builder.notify(0, f"done:{grad.name}"),
+                          deps=[ctx.ready_event(0, grad)])
+            return graph
+
+        prev_done = [None] * n  # allreduce ops serialize, as in Horovod
+        for grad in model.gradients:
+            compressed = builder.compressed_nbytes(grad.nbytes)
+            encodes = []
+            for i in range(n):
+                deps = [ctx.ready_event(i, grad)]
+                if prev_done[i] is not None:
+                    deps.append(prev_done[i])
+                encodes.append(graph.add(
+                    builder.encode(i, grad.nbytes, f"enc:{grad.name}@{i}"),
+                    deps=deps))
+
+            # Allgather: at step s, node i forwards the buffer that
+            # originated at node (i - s) mod n to its successor.
+            sends = {}
+            for step in range(n - 1):
+                for i in range(n):
+                    if step == 0:
+                        deps = [encodes[i]]
+                    else:
+                        deps = [sends[((i - 1) % n, step - 1)]]
+                    sends[(i, step)] = graph.add(
+                        builder.send(i, (i + 1) % n, compressed,
+                                     f"ag:{grad.name}.{step}@{i}"),
+                        deps=deps)
+
+            # Coarse-grained: every node decodes + merges all n buffers
+            # only after its whole allgather completed (no pipelining).
+            for i in range(n):
+                all_received = [sends[((i - 1) % n, step)]
+                                for step in range(n - 1)] + [encodes[i]]
+                barrier = graph.add(
+                    builder.notify(i, f"ag-done:{grad.name}@{i}"),
+                    deps=all_received)
+                last = barrier
+                for b in range(n):
+                    last = graph.add(
+                        builder.aggregate_received(
+                            i, grad.nbytes, f"agg:{grad.name}.{b}@{i}"),
+                        deps=[last])
+                prev_done[i] = graph.add(
+                    builder.notify(i, f"done:{grad.name}@{i}"), deps=[last])
+        return graph

@@ -1,0 +1,81 @@
+"""BytePS-style parameter-server baseline (no compression).
+
+Every node is both a GPU worker and a co-located CPU server (the BytePS
+deployment the paper tunes for best performance, §6.1).  Gradients are
+partitioned into fixed-size slices; each slice is assigned a server
+round-robin for load balance.  Workers push slices as soon as the gradient
+is ready (fine-grained pipelining, §2.5); servers aggregate on the host
+CPU (the BytePS architecture: summation happens in host memory) and push
+the result back to every worker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..casync.tasks import TaskGraph
+from ..models import GradientSpec, ModelSpec
+from .base import Strategy, SyncContext, TaskBuilder
+
+__all__ = ["BytePS", "partition_sizes"]
+
+
+def partition_sizes(nbytes: int, part_bytes: float) -> List[float]:
+    """Slice an ``nbytes`` gradient into near-equal parts of <= part_bytes."""
+    if part_bytes <= 0:
+        raise ValueError("part_bytes must be positive")
+    parts = max(1, -(-int(nbytes) // int(part_bytes)))
+    base = nbytes / parts
+    return [base] * parts
+
+
+class BytePS(Strategy):
+    """Partitioned push/pull PS with co-located CPU servers."""
+
+    name = "byteps"
+    compression = False
+
+    def __init__(self, part_bytes: float = 4 * 1024 * 1024):
+        self.part_bytes = float(part_bytes)
+
+    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
+        graph = TaskGraph(ctx.env)
+        builder = TaskBuilder(ctx)
+        n = ctx.num_nodes
+        server_rr = 0
+        for grad in model.gradients:
+            parts = partition_sizes(grad.nbytes, self.part_bytes)
+            for p, part in enumerate(parts):
+                server = server_rr % n
+                server_rr += 1
+                label = f"{grad.name}.p{p}"
+                # Push: every worker sends its slice to the server.
+                aggregates = []
+                for w in range(n):
+                    if w == server:
+                        # Local slice still crosses PCIe into host memory.
+                        agg = builder.cpu_aggregate(server, part,
+                                                    f"agg:{label}@{w}")
+                        graph.add(agg, deps=[ctx.ready_event(w, grad)])
+                    else:
+                        push = graph.add(
+                            builder.send(w, server, part, f"push:{label}@{w}"),
+                            deps=[ctx.ready_event(w, grad)])
+                        agg = graph.add(
+                            builder.cpu_aggregate(server, part,
+                                                  f"agg:{label}@{w}"),
+                            deps=[push])
+                    aggregates.append(agg)
+                # Pull: server returns the aggregate to every worker.
+                for w in range(n):
+                    if w == server:
+                        done = builder.notify(w, f"pulled:{label}@{w}")
+                        graph.add(done, deps=aggregates)
+                    else:
+                        pull = graph.add(
+                            builder.send(server, w, part,
+                                         f"pull:{label}@{w}"),
+                            deps=aggregates)
+                        graph.add(builder.notify(w, f"pulled:{label}@{w}"),
+                                  deps=[pull])
+        return graph

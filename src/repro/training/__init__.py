@@ -1,0 +1,5 @@
+"""Training-iteration simulation and metrics."""
+
+from .loop import IterationResult, make_plans, simulate_iteration
+
+__all__ = ["IterationResult", "make_plans", "simulate_iteration"]

@@ -1,0 +1,203 @@
+"""End-to-end training-iteration simulation.
+
+Combines the pieces -- model backward schedule, GPU compute, local (intra-
+node) aggregation, a synchronization strategy's task graph, and the network
+fabric -- into one simulated BSP iteration, and reports the metrics every
+experiment consumes: iteration time, throughput, scaling efficiency,
+communication ratio, and GPU-utilization timelines.
+
+One steady-state iteration is simulated: forward, then backward producing
+gradients layer by layer (each becoming eligible for synchronization after
+intra-node aggregation), with synchronization overlapping backward exactly
+as far as the strategy's task dependencies allow.  The iteration ends when
+every node holds every aggregated gradient (BSP barrier) and the optimizer
+step has been applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..algorithms.base import CompressionAlgorithm
+from ..casync.planner import CostModel, GradientPlan, SelectivePlanner
+from ..casync.memory import peak_buffer_memory
+from ..casync.tasks import Coordinator, NodeEngine, TaskGraph, run_graph
+from ..cluster import ClusterSpec
+from ..gpu import Gpu
+from ..models import ModelSpec
+from ..net import Fabric
+from ..sim import Environment
+from ..strategies.base import Strategy, SyncContext
+
+__all__ = ["IterationResult", "simulate_iteration", "scaling_efficiency"]
+
+#: Optimizer (SGD update) cost as a fraction of compute time.
+OPTIMIZER_FRACTION = 0.02
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Metrics from one simulated training iteration."""
+
+    model: str
+    strategy: str
+    num_nodes: int
+    gpus_per_node: int
+    iteration_time: float
+    compute_time: float
+    batch_size: int
+
+    #: Mean NIC busy fraction over the iteration (Table 1 "communication
+    #: ratio": total communication activity share of training time).
+    comm_ratio: float
+    #: Synchronization time not hidden behind compute.
+    exposed_sync_time: float
+    #: Seconds the GPU comm stream spent on compression kernels.
+    compression_time: float
+    #: Per-GPU utilization series (Fig. 9), 10 ms bins.
+    gpu_util_series: Tuple[float, ...] = ()
+    coordinator_batches: int = 0
+    #: Peak simultaneous communication-buffer bytes on the busiest node
+    #: (§5's memory-frugality claim, from repro.casync.memory).
+    peak_comm_buffer_bytes: float = 0.0
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def throughput(self) -> float:
+        """Samples (or tokens) per second across the cluster."""
+        return self.total_gpus * self.batch_size / self.iteration_time
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """actual / (N x single-GPU), as defined in the paper's §2.3."""
+        single = self.batch_size / self.compute_time
+        return (self.throughput / (self.total_gpus * single))
+
+
+def make_plans(model: ModelSpec, cluster: ClusterSpec,
+               algorithm: CompressionAlgorithm,
+               strategy_kind: str) -> Dict[str, GradientPlan]:
+    """Run the §3.3 planner over every gradient of ``model``."""
+    cost_model = CostModel(cluster, algorithm, strategy=strategy_kind)
+    planner = SelectivePlanner(cost_model)
+    return planner.plan_model(model.gradients)
+
+
+def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
+                       strategy: Strategy,
+                       algorithm: Optional[CompressionAlgorithm] = None,
+                       plans: Optional[Dict[str, GradientPlan]] = None,
+                       use_coordinator: bool = False,
+                       batch_compression: bool = False,
+                       local_aggregation: bool = True,
+                       util_bin_s: float = 0.010,
+                       straggler: Optional[Tuple[int, float]] = None
+                       ) -> IterationResult:
+    """Simulate one BSP iteration and return its metrics.
+
+    ``straggler=(node, factor)`` slows that node's compute by ``factor``
+    (>1): BSP's synchronization barrier means one slow node stalls the
+    whole cluster (§2.1), which this knob lets experiments quantify.
+    """
+    if straggler is not None:
+        node_idx, factor = straggler
+        if not 0 <= node_idx < cluster.num_nodes:
+            raise ValueError(f"straggler node {node_idx} out of range")
+        if factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {factor}")
+    env = Environment()
+    fabric = Fabric(env, cluster.num_nodes, cluster.network)
+    gpus = [Gpu(env, cluster.node.gpu, index=i)
+            for i in range(cluster.num_nodes)]
+    coordinator = Coordinator(env, fabric) if use_coordinator else None
+    engines = [NodeEngine(env, i, gpus[i], fabric, coordinator=coordinator,
+                          batch_compression=batch_compression)
+               for i in range(cluster.num_nodes)]
+
+    ready = {(node, grad.name): env.event()
+             for node in range(cluster.num_nodes)
+             for grad in model.gradients}
+
+    ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
+                      engines=engines, ready=ready, algorithm=algorithm,
+                      plans=plans, coordinator=coordinator)
+    graph = strategy.build(ctx, model)
+
+    gpu_spec = cluster.node.gpu
+    forward = model.forward_time(gpu_spec)
+    schedule = list(model.backward_schedule(gpu_spec))
+    compute_time = model.iteration_time(gpu_spec) * (1 + OPTIMIZER_FRACTION)
+
+    def node_process(node: int):
+        gpu = gpus[node]
+        slowdown = 1.0
+        if straggler is not None and node == straggler[0]:
+            slowdown = straggler[1]
+        yield from gpu.run_compute(forward * slowdown, category="compute")
+        prev_offset = 0.0
+        for offset, grad in schedule:
+            yield from gpu.run_compute((offset - prev_offset) * slowdown,
+                                       category="compute")
+            prev_offset = offset
+            event = ready[(node, grad.name)]
+            if local_aggregation:
+                delay = cluster.node.local_aggregation_time(grad.nbytes)
+                _fire_later(env, event, delay)
+            else:
+                event.succeed()
+
+    def _fire_later(env, event, delay):
+        if delay <= 0:
+            event.succeed()
+            return
+
+        def waiter():
+            yield env.timeout(delay)
+            event.succeed()
+
+        env.process(waiter(), name="local-agg")
+
+    node_procs = [env.process(node_process(i), name=f"node{i}")
+                  for i in range(cluster.num_nodes)]
+
+    finish = run_graph(env, graph, engines)
+
+    def drain():
+        yield env.all_of(node_procs)
+
+    env.run_until_complete(env.process(drain(), name="drain"))
+    iteration_time = max(finish, env.now) + compute_time * OPTIMIZER_FRACTION
+
+    comm_busy = sum(nic.up_busy for nic in fabric.nics)
+    comm_ratio = (comm_busy / cluster.num_nodes) / iteration_time
+    compression_time = (sum(g.log.busy_time("compression") for g in gpus)
+                        / cluster.num_nodes)
+    exposed = max(0.0, iteration_time - compute_time)
+    util = tuple(gpus[0].log.utilization_series(
+        bin_width=util_bin_s, horizon=iteration_time, category="compute"))
+    peaks = peak_buffer_memory(graph)
+    peak_memory = max(peaks.values()) if peaks else 0.0
+
+    return IterationResult(
+        model=model.name,
+        strategy=strategy.name,
+        num_nodes=cluster.num_nodes,
+        gpus_per_node=cluster.node.gpus_per_node,
+        iteration_time=iteration_time,
+        compute_time=compute_time,
+        batch_size=model.batch_size,
+        comm_ratio=min(1.0, comm_ratio),
+        exposed_sync_time=exposed,
+        compression_time=compression_time,
+        gpu_util_series=util,
+        coordinator_batches=coordinator.batches_flushed if coordinator else 0,
+        peak_comm_buffer_bytes=peak_memory,
+    )
+
+
+def scaling_efficiency(result: IterationResult) -> float:
+    return result.scaling_efficiency

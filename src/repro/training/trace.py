@@ -1,0 +1,130 @@
+"""Chrome-trace export of a simulated iteration's task timeline.
+
+``trace_iteration`` runs one iteration like
+:func:`~repro.training.loop.simulate_iteration` but keeps the task graph
+and converts every task's (start, finish) into Chrome Trace Event Format
+(the JSON that ``chrome://tracing`` / Perfetto load), one row per node
+with GPU-compute, GPU-compression, CPU, and network lanes.  This is the
+debugging view the paper's Figure 9 nsight screenshots give their
+authors, for this simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..algorithms.base import CompressionAlgorithm
+from ..casync.planner import GradientPlan
+from ..casync.tasks import Coordinator, NodeEngine, run_graph
+from ..cluster import ClusterSpec
+from ..gpu import Gpu
+from ..models import ModelSpec
+from ..net import Fabric
+from ..sim import Environment
+from ..strategies.base import Strategy, SyncContext
+
+__all__ = ["TraceEvent", "IterationTrace", "trace_iteration"]
+
+#: Lane (tid) assignment per task kind.
+_LANES = {"encode": "gpu-compression", "decode": "gpu-compression",
+          "merge": "gpu-compression", "copy": "gpu-compression",
+          "cpu": "host-cpu", "send": "network"}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    name: str
+    node: int
+    lane: str
+    start: float
+    duration: float
+
+
+@dataclass
+class IterationTrace:
+    events: List[TraceEvent]
+    finish_time: float
+
+    def to_chrome_trace(self) -> str:
+        """Serialize to Chrome Trace Event Format JSON."""
+        records = []
+        for ev in self.events:
+            records.append({
+                "name": ev.name,
+                "cat": ev.lane,
+                "ph": "X",
+                "ts": ev.start * 1e6,        # microseconds
+                "dur": max(ev.duration, 1e-3) * 1e6,
+                "pid": ev.node,
+                "tid": ev.lane,
+            })
+        return json.dumps({"traceEvents": records,
+                           "displayTimeUnit": "ms"}, indent=1)
+
+    def events_on(self, node: int, lane: Optional[str] = None
+                  ) -> List[TraceEvent]:
+        return [e for e in self.events
+                if e.node == node and (lane is None or e.lane == lane)]
+
+
+def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
+                    strategy: Strategy,
+                    algorithm: Optional[CompressionAlgorithm] = None,
+                    plans: Optional[Dict[str, GradientPlan]] = None,
+                    use_coordinator: bool = False,
+                    batch_compression: bool = False) -> IterationTrace:
+    """Simulate one iteration, returning the full task timeline."""
+    env = Environment()
+    fabric = Fabric(env, cluster.num_nodes, cluster.network)
+    gpus = [Gpu(env, cluster.node.gpu, index=i)
+            for i in range(cluster.num_nodes)]
+    coordinator = Coordinator(env, fabric) if use_coordinator else None
+    engines = [NodeEngine(env, i, gpus[i], fabric, coordinator=coordinator,
+                          batch_compression=batch_compression)
+               for i in range(cluster.num_nodes)]
+    ready = {(node, grad.name): env.event()
+             for node in range(cluster.num_nodes)
+             for grad in model.gradients}
+    ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
+                      engines=engines, ready=ready, algorithm=algorithm,
+                      plans=plans, coordinator=coordinator)
+    graph = strategy.build(ctx, model)
+
+    gpu_spec = cluster.node.gpu
+    forward = model.forward_time(gpu_spec)
+    schedule = list(model.backward_schedule(gpu_spec))
+
+    def node_process(node: int):
+        gpu = gpus[node]
+        yield from gpu.run_compute(forward)
+        prev = 0.0
+        for offset, grad in schedule:
+            yield from gpu.run_compute(offset - prev)
+            prev = offset
+            ready[(node, grad.name)].succeed()
+
+    for i in range(cluster.num_nodes):
+        env.process(node_process(i), name=f"node{i}")
+    finish = run_graph(env, graph, engines)
+
+    events: List[TraceEvent] = []
+    for task in graph.tasks:
+        if task.kind == "notify" or task.started_at is None:
+            continue
+        start = task.started_at
+        end = task.finished_at if task.finished_at is not None else start
+        events.append(TraceEvent(
+            name=task.label or task.kind, node=task.node,
+            lane=_LANES.get(task.kind, task.kind),
+            start=start, duration=max(0.0, end - start)))
+    # GPU compute intervals come from the interval log.
+    for node, gpu in enumerate(gpus):
+        for start, end, category in gpu.log.intervals:
+            if category == "compute":
+                events.append(TraceEvent(
+                    name="dnn-compute", node=node, lane="gpu-compute",
+                    start=start, duration=end - start))
+    events.sort(key=lambda e: (e.node, e.lane, e.start))
+    return IterationTrace(events=events, finish_time=finish)

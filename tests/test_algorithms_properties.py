@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for compression codecs and packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms import (
+    DGC,
+    AdaComp,
+    ErrorFeedback,
+    GradDrop,
+    OneBit,
+    TBQ,
+    TernGrad,
+    ThreeLC,
+    pack_uint,
+    unpack_uint,
+)
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False, width=32)
+
+
+def gradients(min_size=1, max_size=400):
+    return arrays(np.float32, st.integers(min_size, max_size),
+                  elements=finite_floats)
+
+
+CODECS = st.sampled_from([
+    OneBit(),
+    TBQ(threshold=0.5),
+    TernGrad(bitwidth=2, seed=0),
+    TernGrad(bitwidth=8, seed=0),
+    DGC(rate=0.1),
+    GradDrop(keep_rate=0.1),
+    AdaComp(bin_size=32),
+    ThreeLC(),
+])
+
+
+@given(grad=gradients(), algo=CODECS)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_shape_dtype_finite(grad, algo):
+    """decode(encode(g)) always yields a finite float32 array of g's shape."""
+    out = algo.decode(algo.encode(grad))
+    assert out.shape == grad.shape
+    assert out.dtype == np.float32
+    assert np.all(np.isfinite(out))
+
+
+@given(grad=gradients(), algo=CODECS)
+@settings(max_examples=100, deadline=None)
+def test_decode_bounded_by_input_range(grad, algo):
+    """No codec amplifies magnitude: |decode(encode(g))| <= max|g| (+ slack).
+
+    Zero is always admissible (sparsifiers drop elements); ternarizers may
+    flip a small element to +/- max|g| but never beyond it.
+    """
+    out = algo.decode(algo.encode(grad))
+    peak = float(np.abs(grad).max())
+    assert float(np.abs(out).max()) <= peak * (1 + 1e-3) + 1e-6
+
+
+@given(grad=gradients(min_size=8))
+@settings(max_examples=100, deadline=None)
+def test_onebit_sign_preservation(grad):
+    out = OneBit().roundtrip(grad)
+    np.testing.assert_array_equal(out >= 0, grad >= 0)
+
+
+@given(grad=gradients(min_size=2))
+@settings(max_examples=100, deadline=None)
+def test_terngrad_error_bound(grad):
+    algo = TernGrad(bitwidth=3, seed=1)
+    out = algo.roundtrip(grad)
+    gap = (float(grad.max()) - float(grad.min())) / algo.levels
+    assert np.max(np.abs(out - grad)) <= gap + 1e-4 * max(1.0, gap)
+
+
+@given(grad=gradients(min_size=16), rate=st.sampled_from([0.05, 0.25, 1.0]))
+@settings(max_examples=100, deadline=None)
+def test_dgc_sparsity_invariant(grad, rate):
+    algo = DGC(rate=rate)
+    out = algo.roundtrip(grad)
+    k = algo.top_k(grad.size)
+    assert np.count_nonzero(out) <= k
+    # Every transmitted value is exact.
+    sent = np.nonzero(out)[0]
+    np.testing.assert_array_equal(out[sent], grad[sent])
+
+
+@given(grad=gradients(min_size=4))
+@settings(max_examples=100, deadline=None)
+def test_sparsifiers_never_amplify(grad):
+    """Sparsified outputs are a masked copy: |out| <= |g| elementwise."""
+    for algo in (DGC(rate=0.5), GradDrop(keep_rate=0.5), AdaComp(bin_size=8)):
+        out = algo.roundtrip(grad)
+        assert np.all(np.abs(out) <= np.abs(grad) + 1e-7)
+
+
+@given(values=st.lists(st.integers(0, 255), min_size=0, max_size=200),
+       bitwidth=st.integers(1, 8))
+@settings(max_examples=200, deadline=None)
+def test_pack_unpack_property(values, bitwidth):
+    arr = np.asarray([v % (1 << bitwidth) for v in values], dtype=np.uint32)
+    out = unpack_uint(pack_uint(arr, bitwidth), bitwidth, arr.size)
+    np.testing.assert_array_equal(out, arr)
+
+
+@given(grad=gradients(min_size=8, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_error_feedback_conserves_mass(grad):
+    """After compressing, residual + decode(buffer) == corrected gradient."""
+    algo = DGC(rate=0.25)
+    feedback = ErrorFeedback(algo)
+    buf = feedback.compress("t", grad)
+    recon = algo.decode(buf) + feedback.residual("t")
+    np.testing.assert_allclose(recon, grad, atol=1e-5)
+
+
+@given(grad=gradients(min_size=8, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_error_feedback_residual_shrinks_quantizer_bias(grad):
+    """Summed over iterations of the same gradient, feedback transmits the
+    right total mass: sum of decodes approaches n * grad."""
+    algo = TBQ(threshold=float(np.abs(grad).max()) / 2 + 1e-6)
+    feedback = ErrorFeedback(algo)
+    total = np.zeros_like(grad)
+    iters = 20
+    for _ in range(iters):
+        total += algo.decode(feedback.compress("t", grad))
+    residual = feedback.residual("t")
+    np.testing.assert_allclose(total + residual, grad * iters,
+                               atol=1e-3 * iters)

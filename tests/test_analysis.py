@@ -1,0 +1,83 @@
+"""Tests for the GRACE-style compression-quality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DGC, OneBit, TernGrad
+from repro.algorithms.analysis import (
+    DISTRIBUTIONS,
+    CompressionMetrics,
+    compare,
+    measure,
+)
+
+
+def gaussian(n=50_000, seed=0):
+    return (np.random.default_rng(seed).standard_normal(n) * 0.1
+            ).astype(np.float32)
+
+
+def test_measure_onebit_metrics():
+    metrics = measure(OneBit(), gaussian())
+    assert metrics.compression_ratio == pytest.approx(1 / 32, rel=0.05)
+    assert metrics.reduction == pytest.approx(0.969, abs=0.005)
+    # Sign information preserved: strongly aligned update direction.
+    assert metrics.cosine_similarity > 0.7
+    assert 0 < metrics.normalized_mse < 1
+
+
+def test_measure_dgc_sparse_energy():
+    metrics = measure(DGC(rate=0.01), gaussian())
+    # Top-1% of a Gaussian by magnitude holds well above 1% of the energy.
+    assert metrics.energy_preserved > 0.04
+    assert metrics.cosine_similarity > 0.2
+    assert metrics.compression_ratio < 0.05
+
+
+def test_higher_fidelity_lower_error():
+    g = gaussian()
+    low = measure(TernGrad(bitwidth=2, seed=0), g)
+    high = measure(TernGrad(bitwidth=8, seed=0), g)
+    assert high.normalized_mse < low.normalized_mse
+    assert high.cosine_similarity > low.cosine_similarity
+    assert high.compression_ratio > low.compression_ratio
+
+
+def test_measure_validation():
+    with pytest.raises(ValueError):
+        measure(OneBit(), np.empty(0, dtype=np.float32))
+    with pytest.raises(ValueError):
+        measure(OneBit(), np.zeros(10, dtype=np.float32))
+
+
+def test_compare_cross_product():
+    algos = [OneBit(), DGC(rate=0.01)]
+    results = compare(algos, distributions=("gaussian", "sparse"),
+                      size=20_000)
+    assert len(results) == 4
+    keys = {(m.algorithm, m.distribution) for m in results}
+    assert ("onebit", "sparse") in keys
+    assert ("dgc", "gaussian") in keys
+
+
+def test_compare_unknown_distribution():
+    with pytest.raises(KeyError):
+        compare([OneBit()], distributions=("cauchy-of-doom",))
+
+
+def test_distributions_produce_valid_gradients():
+    rng = np.random.default_rng(1)
+    for name, sampler in DISTRIBUTIONS.items():
+        sample = sampler(rng, 1000)
+        assert sample.shape == (1000,), name
+        assert np.all(np.isfinite(sample)), name
+
+
+def test_dgc_excels_on_sparse_gradients():
+    """Sparsification shines where the gradient really is sparse."""
+    results = {m.distribution: m
+               for m in compare([DGC(rate=0.05)],
+                                distributions=("gaussian", "sparse"),
+                                size=50_000)}
+    assert results["sparse"].cosine_similarity > \
+        results["gaussian"].cosine_similarity

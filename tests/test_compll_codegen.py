@@ -1,0 +1,210 @@
+"""Tests for the CompLL code generator: emitted source and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.compll import (
+    CodegenError,
+    Runtime,
+    analyze,
+    compile_algorithm,
+    generate,
+    parse,
+)
+
+
+def gen(source, class_name="G"):
+    return generate(analyze(parse(source)), class_name=class_name)
+
+
+def compile_and_instantiate(source, params=None):
+    namespace = {}
+    code = gen(source)
+    exec(compile(code, "<test>", "exec"), namespace)
+    from types import SimpleNamespace
+    return namespace["G"](Runtime(seed=0), SimpleNamespace(**(params or {})))
+
+
+# ----------------------------------------------------------- emitted source
+
+def test_globals_become_instance_attributes():
+    code = gen("float a, b;")
+    assert "self.a = 0" in code
+    assert "self.b = 0" in code
+
+
+def test_param_member_access_rewritten():
+    code = gen("""
+        param E { uint8 bits; }
+        param D { }
+        void encode(float* g, uint8* c, E params) {
+            uint8 n = params.bits;
+            c = concat(n);
+        }
+        void decode(uint8* c, float* g, D params) {
+            g = scatter(g.size, extract(c, uint32, 0),
+                        extract(c, float, 0));
+        }
+    """)
+    assert "self.params.bits" in code
+    assert "int(self.params.bits)" in code
+
+
+def test_size_member_becomes_rt_size():
+    code = gen("float f(float* g) { return g.size; }")
+    assert "rt.size(g)" in code
+
+
+def test_decode_output_size_symbol():
+    code = gen("""
+        param D { }
+        void decode(uint8* c, float* g, D params) {
+            g = scatter(g.size, extract(c, uint32, 0),
+                        extract(c, float, 0));
+        }
+        param E { }
+        void encode(float* g, uint8* c, E params) {
+            c = concat();
+        }
+    """)
+    assert "_output_size" in code
+    assert "def decode(self, c, _output_size):" in code
+
+
+def test_builtin_udf_reference():
+    code = gen("float f(float* g) { return reduce(g, smaller); }")
+    assert "rt.builtin_udf('smaller')" in code
+
+
+def test_sort_order_literal():
+    code = gen("""
+        float f(float* g) {
+            float* s = sort(g, descending);
+            return s[0];
+        }
+    """)
+    assert "rt.sort(g, 'descending')" in code
+
+
+def test_map_carries_return_type_tag():
+    code = gen("""
+        uint2 q(float x) { return 1; }
+        float f(float* g) {
+            uint2* out = map(g, q);
+            return out.size;
+        }
+    """)
+    assert "rt.map(g, self.q, 'b2')" in code
+
+
+def test_boolean_operators_translate():
+    code = gen("""
+        float f(float a, float b) {
+            if (a > 0 && b > 0) { return 1; }
+            if (a > 0 || !(b > 0)) { return 2; }
+            return 0;
+        }
+    """)
+    assert " and " in code
+    assert " or " in code
+    assert "not " in code
+
+
+def test_int_coercion_on_declared_ints():
+    code = gen("float f(float x) { uint32 k = x * 2; return k; }")
+    assert "k = int((x * 2))" in code
+
+
+# ----------------------------------------------------------- behaviour
+
+def test_generated_if_else_chain():
+    impl = compile_and_instantiate("""
+        float classify(float x) {
+            if (x > 1) { return 2; }
+            else if (x > 0) { return 1; }
+            else { return 0; }
+        }
+    """)
+    assert impl.classify(5.0) == 2
+    assert impl.classify(0.5) == 1
+    assert impl.classify(-1.0) == 0
+
+
+def test_generated_global_shared_between_functions():
+    impl = compile_and_instantiate("""
+        float stash;
+        float put(float x) { stash = x * 2; return stash; }
+        float get(float y) { return stash + y; }
+    """)
+    impl.put(5.0)
+    assert impl.get(1.0) == 11.0
+
+
+def test_generated_modulo_and_shift():
+    impl = compile_and_instantiate("""
+        float f(float n) {
+            uint8 tail = n % (1 << 3);
+            return tail;
+        }
+    """)
+    assert impl.f(19) == 3
+
+
+def test_generated_unary_minus():
+    impl = compile_and_instantiate("float f(float x) { return -x; }")
+    assert impl.f(4.0) == -4.0
+
+
+# ----------------------------------------------------------- error paths
+
+def test_encode_without_output_assignment_rejected():
+    source = """
+        param E { }
+        param D { }
+        void encode(float* g, uint8* c, E params) {
+            float x = 1;
+        }
+        void decode(uint8* c, float* g, D params) {
+            g = scatter(g.size, extract(c, uint32, 0),
+                        extract(c, float, 0));
+        }
+    """
+    with pytest.raises(CodegenError, match="never assigns"):
+        gen(source)
+
+
+def test_map_with_builtin_udf_rejected():
+    source = "float f(float* g) { float* h = map(g, smaller); return h[0]; }"
+    with pytest.raises(CodegenError, match="program-defined udf"):
+        gen(source)
+
+
+def test_sort_with_bad_order_rejected():
+    source = """
+        float up(float x) { return x; }
+        float f(float* g) { float* s = sort(g, up); return s[0]; }
+    """
+    with pytest.raises(CodegenError, match="sort order"):
+        gen(source)
+
+
+def test_compile_algorithm_end_to_end_matches_direct_exec():
+    """compile_algorithm wires the count header correctly."""
+    source = """
+        param EncodeParams { }
+        param DecodeParams { }
+        float scale;
+        float half(float x) { return x / 2; }
+        float double(float x) { return x * 2; }
+        void encode(float* gradient, uint8* compressed, EncodeParams params) {
+            float* h = map(gradient, half);
+            compressed = concat(h);
+        }
+        void decode(uint8* compressed, float* gradient, DecodeParams params) {
+            float* h = extract(compressed, float, gradient.size);
+            gradient = map(h, double);
+        }
+    """
+    algo = compile_algorithm(source, name="halver")
+    grad = np.asarray([1.0, -2.0, 3.5], dtype=np.float32)
+    np.testing.assert_allclose(algo.roundtrip(grad), grad, rtol=1e-6)

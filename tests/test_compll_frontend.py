@@ -1,0 +1,294 @@
+"""Unit tests for the CompLL DSL frontend: lexer, parser, semantics."""
+
+import pytest
+
+from repro.compll import (
+    LexError,
+    Lexer,
+    ParseError,
+    SemanticError,
+    analyze,
+    dsl_source,
+    parse,
+)
+from repro.compll.ast_nodes import (
+    Binary, Call, Declaration, If, Member, Name, Number, TypeRef,
+)
+
+
+# ---------------------------------------------------------------- lexer
+
+def test_lexer_basic_tokens():
+    tokens = Lexer("float x = 1.5;").tokens()
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["keyword", "ident", "symbol", "number", "symbol", "eof"]
+
+
+def test_lexer_line_continuation():
+    tokens = Lexer("a \\\n b").tokens()
+    assert [t.text for t in tokens[:2]] == ["a", "b"]
+    assert tokens[1].line == 2
+
+
+def test_lexer_comments():
+    tokens = Lexer("a // comment\n b /* multi\nline */ c").tokens()
+    assert [t.text for t in tokens[:3]] == ["a", "b", "c"]
+
+
+def test_lexer_unterminated_block_comment():
+    with pytest.raises(LexError):
+        Lexer("/* oops").tokens()
+
+
+def test_lexer_two_char_symbols():
+    tokens = Lexer("<< >> <= >= == != && ||").tokens()
+    assert [t.text for t in tokens[:-1]] == [
+        "<<", ">>", "<=", ">=", "==", "!=", "&&", "||"]
+
+
+def test_lexer_numbers():
+    tokens = Lexer("1 2.5 0.001 1e-3").tokens()
+    assert [t.text for t in tokens[:-1]] == ["1", "2.5", "0.001", "1e-3"]
+
+
+def test_lexer_malformed_number():
+    with pytest.raises(LexError):
+        Lexer("1.2.3").tokens()
+
+
+def test_lexer_unknown_char():
+    with pytest.raises(LexError):
+        Lexer("a @ b").tokens()
+
+
+def test_lexer_tracks_lines():
+    tokens = Lexer("a\nbb\n  c").tokens()
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[2].line == 3
+    assert tokens[2].column == 3
+
+
+# ---------------------------------------------------------------- parser
+
+def test_parse_param_block():
+    prog = parse("param P { uint8 bits; float rate; }")
+    block = prog.param_block("P")
+    assert [f.name for f in block.fields] == ["bits", "rate"]
+    assert block.fields[0].type == TypeRef("uint8")
+
+
+def test_parse_global_multi_decl():
+    prog = parse("float min, max, gap;")
+    assert prog.globals[0].names == ("min", "max", "gap")
+
+
+def test_parse_function_signature():
+    prog = parse("""
+        param E { }
+        void encode(float* g, uint8* c, E params) { c = concat(); }
+    """)
+    fn = prog.function("encode")
+    assert fn.parameters[0].type == TypeRef("float", pointer=True)
+    assert fn.parameters[2].type == TypeRef("E")
+
+
+def test_parse_operator_precedence():
+    prog = parse("float f(float x) { return 1 + 2 * 3; }")
+    ret = prog.function("f").body.statements[0]
+    assert isinstance(ret.value, Binary)
+    assert ret.value.op == "+"
+    assert ret.value.right.op == "*"
+
+
+def test_parse_shift_precedence():
+    # (1 << b) - 1 must group the shift inside parens as written.
+    prog = parse("float f(uint8 b) { return (1 << b) - 1; }")
+    ret = prog.function("f").body.statements[0]
+    assert ret.value.op == "-"
+    assert ret.value.left.op == "<<"
+
+
+def test_parse_template_call():
+    prog = parse("float f(float x) { return random<float>(0, 1); }")
+    ret = prog.function("f").body.statements[0]
+    assert isinstance(ret.value, Call)
+    assert ret.value.func == "random"
+    assert ret.value.type_args[0] == TypeRef("float")
+
+
+def test_parse_template_not_confused_with_less_than():
+    prog = parse("float f(float a, float b) { return a < b; }")
+    ret = prog.function("f").body.statements[0]
+    assert isinstance(ret.value, Binary)
+    assert ret.value.op == "<"
+
+
+def test_parse_member_and_index():
+    prog = parse("""
+        param E { uint8 b; }
+        float f(E params, float* arr) { return arr[params.b - 1]; }
+    """)
+    ret = prog.function("f").body.statements[0]
+    assert isinstance(ret.value.obj, Name)
+    assert isinstance(ret.value.index, Binary)
+
+
+def test_parse_extract_type_argument():
+    prog = parse("""
+        param D { }
+        void decode(uint8* c, float* g, D params) {
+            uint32 n = extract(c, uint32);
+            g = scatter(g.size, extract(c, uint32, n), extract(c, float, n));
+        }
+    """)
+    decl = prog.function("decode").body.statements[0]
+    assert isinstance(decl, Declaration)
+    assert decl.value.type_args[0] == TypeRef("uint32")
+
+
+def test_parse_if_else():
+    prog = parse("""
+        float f(float x) {
+            if (x > 0) { return x; } else { return -x; }
+        }
+    """)
+    stmt = prog.function("f").body.statements[0]
+    assert isinstance(stmt, If)
+    assert stmt.else_block is not None
+
+
+def test_parse_unary_minus():
+    prog = parse("float f(float x) { return -x; }")
+    ret = prog.function("f").body.statements[0]
+    assert ret.value.op == "-"
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("float f( { }")
+    with pytest.raises(ParseError):
+        parse("banana")
+    with pytest.raises(ParseError):
+        parse("float f(float x) { 1 = x; }")
+    with pytest.raises(ParseError):
+        parse("float f(float x) { return x }")  # missing ;
+
+
+def test_parse_all_bundled_sources():
+    for name in ("onebit", "tbq", "terngrad", "dgc", "graddrop"):
+        prog = parse(dsl_source(name))
+        assert prog.function("encode") is not None
+        assert prog.function("decode") is not None
+
+
+# ---------------------------------------------------------------- semantics
+
+VALID = """
+param EncodeParams { uint8 bits; }
+param DecodeParams { }
+float scale;
+float double(float x) { return x * 2; }
+void encode(float* g, uint8* c, EncodeParams params) {
+    scale = reduce(g, greater);
+    float* h = map(g, double);
+    c = concat(scale, h);
+}
+void decode(uint8* c, float* g, DecodeParams params) {
+    scale = extract(c, float);
+    float* h = extract(c, float, g.size);
+    g = map(h, double);
+}
+"""
+
+
+def test_analyze_valid_program():
+    info = analyze(parse(VALID))
+    assert "scale" in info.globals
+    assert info.udf_return_type("double") == TypeRef("float")
+    assert info.type_of_name("encode", "h") == TypeRef("float", pointer=True)
+
+
+def test_analyze_undeclared_name():
+    with pytest.raises(SemanticError, match="undeclared"):
+        analyze(parse("float f(float x) { return y; }"))
+
+
+def test_analyze_duplicate_global():
+    with pytest.raises(SemanticError, match="duplicate"):
+        analyze(parse("float a; float a;"))
+
+
+def test_analyze_duplicate_function():
+    with pytest.raises(SemanticError, match="duplicate"):
+        analyze(parse("float f(float x) { return x; } "
+                      "float f(float y) { return y; }"))
+
+
+def test_analyze_shadowing_operator_rejected():
+    with pytest.raises(SemanticError, match="shadows"):
+        analyze(parse("float map(float x) { return x; }"))
+
+
+def test_analyze_bad_encode_signature():
+    bad = """
+    param E { }
+    void encode(uint8* g, uint8* c, E params) { c = concat(); }
+    """
+    with pytest.raises(SemanticError, match="first parameter"):
+        analyze(parse(bad))
+
+
+def test_analyze_encode_wrong_arity():
+    bad = "void encode(float* g) { return; }"
+    with pytest.raises(SemanticError, match="parameters"):
+        analyze(parse(bad))
+
+
+def test_analyze_unknown_param_field():
+    bad = """
+    param E { uint8 bits; }
+    float f(E params) { return params.nope; }
+    """
+    with pytest.raises(SemanticError, match="no field"):
+        analyze(parse(bad))
+
+
+def test_analyze_unknown_member():
+    with pytest.raises(SemanticError, match="unknown member"):
+        analyze(parse("float f(float* g) { return g.length; }"))
+
+
+def test_analyze_unknown_call():
+    with pytest.raises(SemanticError, match="unknown function"):
+        analyze(parse("float f(float x) { return mystery(x); }"))
+
+
+def test_analyze_concat_requires_identifiers():
+    bad = """
+    param E { }
+    param D { }
+    float a;
+    void encode(float* g, uint8* c, E params) { c = concat(a + 1); }
+    void decode(uint8* c, float* g, D params) { g = map(g, f); }
+    float f(float x) { return x; }
+    """
+    with pytest.raises(SemanticError, match="concat"):
+        analyze(parse(bad))
+
+
+def test_analyze_extract_requires_type():
+    bad = """
+    param D { }
+    void decode(uint8* c, float* g, D params) {
+        uint32 n = extract(c);
+        g = scatter(g.size, extract(c, uint32, n), extract(c, float, n));
+    }
+    """
+    with pytest.raises(SemanticError, match="type operand"):
+        analyze(parse(bad))
+
+
+def test_analyze_all_bundled_sources():
+    for name in ("onebit", "tbq", "terngrad", "dgc", "graddrop"):
+        analyze(parse(dsl_source(name)))  # must not raise

@@ -1,0 +1,157 @@
+"""Tests for the experiment drivers (small configurations for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    kernel_speed,
+    run_system,
+    sweep,
+    table1,
+    table5,
+    table6,
+    table7,
+)
+from repro.cluster import ec2_v100_cluster
+
+
+# ---------------------------------------------------------------- tables
+
+def test_table1_shapes_hold():
+    """OSS compression improves scaling efficiency in both pairs."""
+    rows = {(r.model, r.system): r for r in table1.run(num_nodes=8)}
+    assert rows[("transformer", "ring-oss")].efficiency > \
+        rows[("transformer", "ring")].efficiency
+    assert rows[("bert-large", "byteps-oss")].efficiency > \
+        rows[("bert-large", "byteps")].efficiency
+    text = table1.render(list(rows.values()))
+    assert "scaling eff" in text
+
+
+def test_table5_under_30_lines_and_zero_integration():
+    rows = table5.run()
+    assert len(rows) == 5
+    for row in rows:
+        assert row.logic_lines <= 30
+        assert row.integration_lines == 0
+        # Far below the OSS implementations.
+        if row.paper_oss_logic is not None:
+            assert row.logic_lines < row.paper_oss_logic
+    assert "onebit" in table5.render(rows)
+
+
+def test_table6_matches_paper_exactly():
+    for row in table6.run():
+        assert row.total_mb == pytest.approx(row.paper_total_mb, abs=0.01)
+        assert row.max_mb == pytest.approx(row.paper_max_mb, abs=0.01)
+        assert row.num_gradients == row.paper_num_gradients
+
+
+def test_table7_plan_shapes():
+    rows = table7.run()
+    assert len(rows) == 12
+    # Large gradients always compress; partitions never exceed search cap.
+    for row in rows:
+        if row.size_mb == 392:
+            assert row.compress
+        assert 1 <= row.partitions <= 16
+    # The 392MB gradient splits 16 ways at 16 nodes, as §6.1 states.
+    big16 = [r for r in rows if r.size_mb == 392 and r.nodes == 16]
+    assert all(r.partitions == 16 for r in big16)
+    assert "<yes,16>" in table7.render(rows)
+
+
+# ---------------------------------------------------------------- figures
+
+def test_sweep_headline_ordering():
+    """HiPress beats every baseline on a communication-bound model."""
+    result = sweep("vgg19",
+                   ("byteps", "ring", "byteps-oss", "hipress-ps"),
+                   algorithm="onebit", node_counts=(8,))
+    hipress = result.series["hipress-ps"][0]
+    for baseline in ("byteps", "ring", "byteps-oss"):
+        assert hipress > result.series[baseline][0]
+
+
+def test_sweep_weak_scaling_monotone():
+    result = sweep("resnet50", ("ring",), node_counts=(1, 4))
+    assert result.series["ring"][1] > result.series["ring"][0]
+    assert result.gpu_counts == (8, 32)
+
+
+def test_fig9_hipress_keeps_gpu_busier():
+    traces = fig9.run(num_nodes=4, bin_s=0.05)
+    for trace in traces.values():
+        assert trace.hipress_mean >= trace.ring_mean - 0.02
+    assert "Figure 9" in fig9.render(traces)
+
+
+def test_fig10_hipress_wins_locally():
+    results = fig10.run(models=("vgg19",), num_nodes=8)
+    norm = results["vgg19"].normalized
+    assert norm["byteps"] == pytest.approx(1.0)
+    best_hipress = max(norm["hipress-ps"], norm["hipress-ring"])
+    assert best_hipress > norm["ring"]
+    assert best_hipress > norm["byteps-oss"]
+    assert "Figure 10" in fig10.render(results)
+
+
+def test_fig11_stages_monotone_improvement():
+    """Each CaSync optimization must not hurt, and the stack must beat the
+    on-GPU starting point clearly."""
+    results = fig11.run(num_nodes=8, models=("vgg19",))
+    stages = {s.stage: s for s in results["vgg19"]}
+    assert stages["on-cpu"].sync_time > stages["default"].sync_time
+    assert stages["+secopa"].sync_time < stages["on-gpu"].sync_time
+    assert stages["+secopa"].sync_time < stages["default"].sync_time
+    assert "Figure 11" in fig11.render(results)
+
+
+def test_fig12_bandwidth_hipress_insensitive():
+    """§6.4: HiPress achieves near-optimal performance without high-end
+    networks -- its throughput barely drops at 4x lower bandwidth, while
+    the non-compression baseline craters."""
+    points = fig12.run_bandwidth(num_nodes=4)
+    by_cluster = {}
+    for p in points:
+        by_cluster.setdefault(p.cluster, []).append(p)
+    for cluster, (high, low) in by_cluster.items():
+        assert high.bandwidth_gbps > low.bandwidth_gbps
+        hipress_drop = 1 - low.hipress_throughput / high.hipress_throughput
+        baseline_drop = 1 - low.baseline_throughput / high.baseline_throughput
+        assert hipress_drop < 0.25, cluster
+        assert baseline_drop > hipress_drop, cluster
+
+
+def test_fig12_rate_throughput_decreases():
+    points = fig12.run_rate(num_nodes=4)
+    tern = [p.throughput for p in points if p.algorithm == "terngrad"]
+    dgc = [p.throughput for p in points if p.algorithm == "dgc"]
+    # Monotone non-increasing up to simulator scheduling noise (<1%): at 4
+    # nodes VGG19 is nearly compute-bound, so adjacent settings can tie.
+    assert tern[0] >= tern[1] * 0.99
+    assert tern[1] >= tern[2] * 0.99
+    assert dgc[0] >= dgc[1] * 0.99
+    assert dgc[1] >= dgc[2] * 0.99
+    assert "Figure 12" in fig12.render(fig12.run_bandwidth(num_nodes=4),
+                                       points)
+
+
+def test_kernel_speed_claims():
+    rows = kernel_speed.run()
+    by_algo = {r.algorithm: r for r in rows}
+    assert by_algo["onebit"].speedup == pytest.approx(35.6, rel=0.01)
+    assert by_algo["dgc"].speedup > 2
+    assert by_algo["tbq"].speedup > 5
+    assert "CompLL" in kernel_speed.render(rows)
+
+
+def test_run_system_validation():
+    cluster = ec2_v100_cluster(2)
+    with pytest.raises(ValueError, match="algorithm"):
+        run_system("hipress-ps", "resnet50", cluster)
+    with pytest.raises(KeyError):
+        run_system("nonexistent", "resnet50", cluster)

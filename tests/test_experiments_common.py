@@ -1,0 +1,80 @@
+"""Tests for the experiments shared infrastructure and CLI."""
+
+import pytest
+
+from repro.experiments.common import (
+    ALGORITHM_DEFAULTS,
+    SYSTEMS,
+    default_algorithm,
+    ec2_tcp_network,
+    format_table,
+)
+from repro.cluster import ec2_v100_cluster
+
+
+def test_systems_registry_complete():
+    assert set(SYSTEMS) == {"byteps", "ring", "byteps-oss", "ring-oss",
+                            "hipress-ps", "hipress-ring"}
+    assert SYSTEMS["byteps"].tcp_on_ec2
+    assert not SYSTEMS["ring"].tcp_on_ec2
+    assert SYSTEMS["hipress-ps"].use_coordinator
+    assert SYSTEMS["hipress-ps"].batch_compression
+
+
+def test_default_algorithm_applies_paper_settings():
+    dgc = default_algorithm("dgc")
+    assert dgc.rate == ALGORITHM_DEFAULTS["dgc"]["rate"] == 0.001
+    tern = default_algorithm("terngrad", bitwidth=8)
+    assert tern.bitwidth == 8  # override wins
+
+
+def test_ec2_tcp_network_degrades():
+    cluster = ec2_v100_cluster(4)
+    tcp = ec2_tcp_network(cluster)
+    assert tcp.network.efficiency < cluster.network.efficiency
+    assert tcp.network.latency_us > cluster.network.latency_us
+    assert tcp.num_nodes == cluster.num_nodes  # everything else intact
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long header"], [["x", 1], ["yyyy", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows padded to the same width
+    assert "long header" in lines[0]
+
+
+def test_format_table_empty_rows():
+    text = format_table(["h1", "h2"], [])
+    assert "h1" in text
+
+
+# ---------------------------------------------------------------- CLI
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig13" in out
+
+
+def test_cli_unknown_artifact():
+    from repro.experiments.__main__ import main
+    with pytest.raises(SystemExit):
+        main(["not-a-figure"])
+
+
+def test_cli_runs_one_artifact(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+    assert main(["table6", "--output-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "table6.txt").exists()
+    out = capsys.readouterr().out
+    assert "Table 6" in out
+
+
+def test_cli_quick_registry_differs():
+    from repro.experiments.__main__ import build_registry
+    full = build_registry(quick=False)
+    quick = build_registry(quick=True)
+    assert set(full) == set(quick)

@@ -1,0 +1,123 @@
+"""Tests for the HiPress facade and the framework adapters."""
+
+import pytest
+
+from repro.cluster import ec2_v100_cluster, local_1080ti_cluster
+from repro.frameworks import (
+    FrameworkAdapter,
+    get_adapter,
+)
+from repro.hipress import TrainingJob
+
+
+def small_job(**kw):
+    defaults = dict(model="resnet50", algorithm="onebit",
+                    strategy="casync-ps", cluster=ec2_v100_cluster(2))
+    defaults.update(kw)
+    return TrainingJob(**defaults)
+
+
+# ---------------------------------------------------------------- TrainingJob
+
+def test_job_runs_and_reports():
+    job = small_job()
+    result = job.run()
+    assert result.iteration_time > 0
+    assert 0 < result.scaling_efficiency <= 1.05
+    assert "resnet50" in job.summary()
+
+
+def test_job_profile_monotone():
+    profile = small_job().profile()
+    assert list(profile.t_enc) == sorted(profile.t_enc)
+    assert list(profile.t_send) == sorted(profile.t_send)
+    assert all(0 < r < 1 for r in profile.compression_rate)
+
+
+def test_job_profile_cached():
+    job = small_job()
+    assert job.profile() is job.profile()
+
+
+def test_job_plans_cover_model():
+    job = small_job()
+    assert len(job.plans) == job.model.num_gradients
+
+
+def test_job_ring_strategy():
+    job = small_job(strategy="casync-ring", algorithm="dgc")
+    result = job.run()
+    assert result.strategy == "casync-ring"
+
+
+def test_job_unknown_strategy():
+    with pytest.raises(ValueError):
+        small_job(strategy="casync-mesh")
+
+
+def test_job_accepts_algorithm_instance():
+    from repro.algorithms import TernGrad
+    job = small_job(algorithm=TernGrad(bitwidth=4))
+    assert job.algorithm.bitwidth == 4
+
+
+def test_job_ablation_flags():
+    job = small_job(model="vgg19", cluster=local_1080ti_cluster(4))
+    full = job.run()
+    degraded = job.run(pipelining=False, bulk=False, selective=False)
+    assert full.iteration_time <= degraded.iteration_time * 1.05
+
+
+def test_job_compll_generated_algorithm():
+    """A DSL-compiled codec plugs into HiPress like a built-in one."""
+    from repro.compll import build
+    job = small_job(algorithm=build("onebit"))
+    result = job.run()
+    assert result.iteration_time > 0
+
+
+# ---------------------------------------------------------------- adapters
+
+def test_get_adapter_known_and_unknown():
+    assert get_adapter("mxnet").name == "mxnet"
+    assert get_adapter("pytorch").has_execution_engine is False
+    assert get_adapter("tensorflow").has_execution_engine is True
+    with pytest.raises(KeyError):
+        get_adapter("jax")
+
+
+def test_adapter_session_runs_iterations():
+    handle = get_adapter("mxnet").wrap(small_job())
+    first = handle.run_iteration()
+    second = handle.run_iteration()
+    assert handle.iterations_run == 2
+    assert first.iteration_time == pytest.approx(second.iteration_time)
+
+
+def test_adapter_engine_queue_tracks_compressed_gradients():
+    job = small_job()
+    handle = get_adapter("tensorflow").wrap(job)
+    handle.run_iteration()
+    compressed = sum(1 for p in job.plans.values() if p.compress)
+    encodes = [op for op in handle.engine_queue if op.startswith("encode:")]
+    assert len(encodes) == compressed
+
+
+def test_adapter_instrumentation_rewrites_sync_calls():
+    mxnet = get_adapter("mxnet")
+    script = "kvstore.push_pull(grads)\nother()"
+    out = mxnet.instrument(script)
+    assert "casync.synchronize(grads, compression=True)" in out
+    assert "other()" in out
+
+    torch = get_adapter("pytorch")
+    out = torch.instrument("dist.all_reduce(t)")
+    assert "casync.synchronize(t, compression=True)" in out
+
+
+def test_adapter_instrumentation_leaves_other_code():
+    adapter = get_adapter("tensorflow")
+    script = "x = hvd.allreduce(grad)\ny = compute(x)"
+    out = adapter.instrument(script)
+    assert "y = compute(x)" in out
+    assert "hvd.allreduce" not in out

@@ -1,0 +1,107 @@
+"""Tests for GPU communication-buffer memory accounting."""
+
+import pytest
+
+from repro.algorithms import OneBit
+from repro.casync import Task, TaskGraph, NodeEngine, run_graph
+from repro.casync.memory import buffer_lifetimes, peak_buffer_memory
+from repro.cluster import ec2_v100_cluster
+from repro.gpu import Gpu, V100
+from repro.models import GradientSpec, ModelSpec
+from repro.net import Fabric, NetworkSpec
+from repro.sim import Environment
+from repro.strategies import BytePSOSSCompression, CaSyncPS
+from repro.strategies.base import SyncContext
+from repro.training import make_plans
+
+MB = 1024 * 1024
+
+
+def run_simple_graph(builder):
+    env = Environment()
+    fabric = Fabric(env, 2, NetworkSpec(bandwidth_gbps=100))
+    engines = [NodeEngine(env, i, Gpu(env, V100, i), fabric)
+               for i in range(2)]
+    graph = TaskGraph(env)
+    builder(graph)
+    run_graph(env, graph, engines)
+    return graph
+
+
+def test_lifetime_spans_until_last_consumer():
+    def build(graph):
+        producer = graph.add(Task(0, "encode", "p", duration=1.0,
+                                  out_nbytes=100))
+        graph.add(Task(0, "merge", "c1", duration=1.0), deps=[producer])
+        graph.add(Task(0, "merge", "c2", duration=1.0), deps=[producer])
+
+    graph = run_simple_graph(build)
+    lifetimes = buffer_lifetimes(graph)
+    assert len(lifetimes) == 1
+    node, alloc, free, nbytes = lifetimes[0]
+    assert (node, nbytes) == (0, 100)
+    assert alloc == pytest.approx(1.0)
+    assert free == pytest.approx(3.0)  # c1, c2 serialize on the stream
+
+
+def test_peak_counts_overlapping_buffers():
+    def build(graph):
+        a = graph.add(Task(0, "encode", "a", duration=1.0, out_nbytes=100))
+        b = graph.add(Task(0, "encode", "b", duration=1.0, out_nbytes=50))
+        graph.add(Task(0, "merge", "join", duration=1.0), deps=[a, b])
+
+    graph = run_simple_graph(build)
+    assert peak_buffer_memory(graph)[0] == pytest.approx(150)
+
+
+def test_non_overlapping_buffers_reuse():
+    def build(graph):
+        a = graph.add(Task(0, "encode", "a", duration=1.0, out_nbytes=100))
+        use_a = graph.add(Task(0, "merge", "ua", duration=1.0), deps=[a])
+        b = graph.add(Task(0, "encode", "b", duration=1.0, out_nbytes=100),
+                      deps=[use_a])
+        graph.add(Task(0, "merge", "ub", duration=1.0), deps=[b])
+
+    graph = run_simple_graph(build)
+    assert peak_buffer_memory(graph)[0] == pytest.approx(100)
+
+
+def test_unexecuted_graph_rejected():
+    env = Environment()
+    graph = TaskGraph(env)
+    graph.add(Task(0, "encode", "x", out_nbytes=10))
+    with pytest.raises(ValueError, match="timestamps"):
+        buffer_lifetimes(graph)
+
+
+def _strategy_peak(strategy, model, cluster, algo, plans=None, **kw):
+    env = Environment()
+    fabric = Fabric(env, cluster.num_nodes, cluster.network)
+    gpus = [Gpu(env, cluster.node.gpu, i) for i in range(cluster.num_nodes)]
+    engines = [NodeEngine(env, i, gpus[i], fabric)
+               for i in range(cluster.num_nodes)]
+    ready = {(n, g.name): env.event() for n in range(cluster.num_nodes)
+             for g in model.gradients}
+    ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
+                      engines=engines, ready=ready, algorithm=algo,
+                      plans=plans)
+    graph = strategy.build(ctx, model)
+    for ev in ready.values():
+        ev.succeed()
+    run_graph(env, graph, engines)
+    return max(peak_buffer_memory(graph).values())
+
+
+def test_casync_uses_less_buffer_memory_than_oss():
+    """§5's memory claim: OSS staging copies dominate; CaSync allocates
+    mostly compressed-size buffers."""
+    grads = (GradientSpec("m.g0", 64 * MB), GradientSpec("m.g1", 32 * MB))
+    model = ModelSpec(name="m", gradients=grads, batch_size=8,
+                      batch_unit="images", v100_iteration_s=0.01)
+    cluster = ec2_v100_cluster(4)
+    algo = OneBit()
+    plans = make_plans(model, cluster, algo, "ps_colocated")
+    oss_peak = _strategy_peak(BytePSOSSCompression(), model, cluster, algo)
+    casync_peak = _strategy_peak(CaSyncPS(), model, cluster, algo,
+                                 plans=plans)
+    assert casync_peak < oss_peak / 2

@@ -1,0 +1,370 @@
+"""Tests for the mini DNN library: gradients, training, data parallel."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DGC, OneBit, TernGrad
+from repro.minidnn import (
+    ClassificationData,
+    Conv2d,
+    DataParallelTrainer,
+    Dense,
+    Embedding,
+    Flatten,
+    MarkovTextData,
+    ReLU,
+    SGD,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+    softmax,
+)
+
+
+def numeric_gradient(fn, x, eps=1e-4):
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+# ---------------------------------------------------------------- gradcheck
+
+def test_dense_gradcheck():
+    rng = np.random.default_rng(0)
+    layer = Dense(4, 3, rng=rng)
+    x = rng.standard_normal((5, 4)).astype(np.float32)
+    target = rng.standard_normal((5, 3)).astype(np.float32)
+
+    def loss():
+        return float(((layer.forward(x) - target) ** 2).sum())
+
+    layer.forward(x)
+    grad_out = 2 * (layer.forward(x) - target)
+    layer.weight.zero_grad()
+    layer.bias.zero_grad()
+    layer.backward(grad_out)
+    num = numeric_gradient(loss, layer.weight.value)
+    np.testing.assert_allclose(layer.weight.grad, num, atol=5e-2,
+                               rtol=2e-2)
+    num_b = numeric_gradient(loss, layer.bias.value)
+    np.testing.assert_allclose(layer.bias.grad, num_b, atol=5e-2,
+                               rtol=2e-2)
+
+
+def test_dense_input_gradcheck():
+    rng = np.random.default_rng(1)
+    layer = Dense(4, 3, rng=rng)
+    x = rng.standard_normal((2, 4)).astype(np.float32)
+    target = rng.standard_normal((2, 3)).astype(np.float32)
+
+    def loss():
+        return float(((layer.forward(x) - target) ** 2).sum())
+
+    grad_out = 2 * (layer.forward(x) - target)
+    dx = layer.backward(grad_out)
+    num = numeric_gradient(loss, x)
+    np.testing.assert_allclose(dx, num, atol=2e-2)
+
+
+def test_conv2d_gradcheck():
+    """Gradcheck in float64 (fp32 central differences are too noisy for a
+    sum-of-squares loss of this magnitude)."""
+    rng = np.random.default_rng(2)
+    layer = Conv2d(2, 3, kernel=3, rng=rng)
+    layer.weight.value = layer.weight.value.astype(np.float64)
+    layer.weight.grad = np.zeros_like(layer.weight.value)
+    layer.bias.value = layer.bias.value.astype(np.float64)
+    layer.bias.grad = np.zeros_like(layer.bias.value)
+    x = rng.standard_normal((2, 2, 6, 6))
+    target = rng.standard_normal((2, 3, 4, 4))
+
+    def loss():
+        return float(((layer.forward(x) - target) ** 2).sum())
+
+    grad_out = 2 * (layer.forward(x) - target)
+    dx = layer.backward(grad_out)
+    num_w = numeric_gradient(loss, layer.weight.value, eps=1e-6)
+    np.testing.assert_allclose(layer.weight.grad, num_w, atol=1e-5)
+    num_x = numeric_gradient(loss, x, eps=1e-6)
+    np.testing.assert_allclose(dx, num_x, atol=1e-5)
+
+
+def test_softmax_cross_entropy_gradcheck():
+    rng = np.random.default_rng(3)
+    logits = rng.standard_normal((4, 5)).astype(np.float32)
+    labels = np.asarray([0, 2, 4, 1])
+    loss_fn = SoftmaxCrossEntropy()
+
+    def loss():
+        return loss_fn.forward(logits, labels)
+
+    loss_fn.forward(logits, labels)
+    grad = loss_fn.backward()
+    num = numeric_gradient(loss, logits)
+    np.testing.assert_allclose(grad, num, atol=1e-2)
+
+
+def test_relu_tanh_backward():
+    x = np.asarray([[-1.0, 2.0]], dtype=np.float32)
+    relu = ReLU()
+    relu.forward(x)
+    np.testing.assert_array_equal(relu.backward(np.ones_like(x)), [[0, 1]])
+    tanh = Tanh()
+    y = tanh.forward(x)
+    expected = 1 - np.tanh(x) ** 2
+    np.testing.assert_allclose(tanh.backward(np.ones_like(x)), expected,
+                               rtol=1e-5)
+
+
+def test_embedding_forward_backward():
+    emb = Embedding(vocab=10, dim=3)
+    tokens = np.asarray([[1, 2], [2, 3]])
+    out = emb.forward(tokens)
+    assert out.shape == (2, 6)
+    emb.weight.zero_grad()
+    emb.backward(np.ones((2, 6), dtype=np.float32))
+    # token 2 appears twice -> accumulated gradient of 2 per dim.
+    np.testing.assert_allclose(emb.weight.grad[2], 2.0)
+    np.testing.assert_allclose(emb.weight.grad[1], 1.0)
+    np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+def test_softmax_rows_sum_to_one():
+    probs = softmax(np.random.default_rng(0).standard_normal((7, 4)))
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+    assert np.all(probs >= 0)
+
+
+# ---------------------------------------------------------------- optimizer
+
+def test_sgd_descends_quadratic():
+    from repro.minidnn.layers import Parameter
+    p = Parameter(np.asarray([10.0], dtype=np.float32))
+    opt = SGD([p], lr=0.1)
+    for _ in range(50):
+        p.zero_grad()
+        p.grad += 2 * p.value  # d/dx x^2
+        opt.step()
+    assert abs(p.value[0]) < 1e-3
+
+
+def test_sgd_momentum_accelerates():
+    from repro.minidnn.layers import Parameter
+
+    def run(momentum):
+        p = Parameter(np.asarray([10.0], dtype=np.float32))
+        opt = SGD([p], lr=0.01, momentum=momentum)
+        for _ in range(30):
+            p.zero_grad()
+            p.grad += 2 * p.value
+            opt.step()
+        return abs(p.value[0])
+
+    assert run(0.9) < run(0.0)
+
+
+def test_sgd_validation():
+    with pytest.raises(ValueError):
+        SGD([], lr=0)
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1, momentum=1.0)
+
+
+# ---------------------------------------------------------------- data
+
+def test_classification_data_shards_partition():
+    data = ClassificationData(train_size=100, seed=1)
+    shards = [data.shard(w, 4) for w in range(4)]
+    assert sum(len(x) for x, _ in shards) == 100
+
+
+def test_markov_text_windows():
+    data = MarkovTextData(train_tokens=100, context=4, seed=1)
+    x, y = data.windows(data.train_stream)
+    assert x.shape == (96, 4)
+    np.testing.assert_array_equal(x[1, :3], x[0, 1:])
+    assert data.entropy_perplexity < data.vocab
+
+
+# ---------------------------------------------------------------- end-to-end
+
+def build_classifier(data):
+    rng = np.random.default_rng(7)
+    return lambda: Sequential(
+        Dense(data.dim, 64, rng=rng), ReLU(),
+        Dense(64, data.num_classes, rng=rng))
+
+
+def train(data, algorithm=None, feedback="error", steps=120, workers=4,
+          lr=0.15):
+    trainer = DataParallelTrainer(
+        build_classifier(data), num_workers=workers, batch_size=16,
+        lr=lr, momentum=0.9, algorithm=algorithm, feedback=feedback, seed=3)
+    shards = [data.shard(w, workers) for w in range(workers)]
+    rng = np.random.default_rng(11)
+    for _ in range(steps):
+        batch = []
+        for x, y in shards:
+            idx = rng.integers(0, len(x), size=16)
+            batch.append((x[idx], y[idx]))
+        trainer.step(batch)
+    return trainer
+
+
+def test_baseline_learns():
+    data = ClassificationData(train_size=800, seed=5)
+    trainer = train(data)
+    assert trainer.accuracy(data.test_x, data.test_y) > 0.8
+
+
+def test_compressed_training_matches_baseline_terngrad():
+    data = ClassificationData(train_size=800, seed=5)
+    base = train(data).accuracy(data.test_x, data.test_y)
+    compressed = train(data, algorithm=TernGrad(bitwidth=4, seed=1),
+                       feedback="error")
+    acc = compressed.accuracy(data.test_x, data.test_y)
+    assert acc > base - 0.08
+
+
+def test_compressed_training_matches_baseline_dgc():
+    data = ClassificationData(train_size=800, seed=5)
+    base = train(data).accuracy(data.test_x, data.test_y)
+    compressed = train(data, algorithm=DGC(rate=0.05), feedback="dgc")
+    acc = compressed.accuracy(data.test_x, data.test_y)
+    assert acc > base - 0.10
+
+
+def test_error_feedback_required_for_aggressive_compression():
+    """Without residual feedback, onebit at high lr degrades more."""
+    data = ClassificationData(train_size=800, seed=5)
+    with_fb = train(data, algorithm=OneBit(), feedback="error")
+    without = train(data, algorithm=OneBit(), feedback="none")
+    acc_fb = with_fb.accuracy(data.test_x, data.test_y)
+    acc_no = without.accuracy(data.test_x, data.test_y)
+    assert acc_fb >= acc_no - 0.02
+
+
+def test_trainer_validates_batch_count():
+    data = ClassificationData(train_size=100, seed=1)
+    trainer = DataParallelTrainer(build_classifier(data), num_workers=2)
+    with pytest.raises(ValueError):
+        trainer.step([(data.train_x[:4], data.train_y[:4])])
+
+
+def test_trainer_validates_workers():
+    data = ClassificationData(train_size=100, seed=1)
+    with pytest.raises(ValueError):
+        DataParallelTrainer(build_classifier(data), num_workers=0)
+
+
+def test_language_model_perplexity_improves():
+    data = MarkovTextData(train_tokens=4000, test_tokens=1000, vocab=32,
+                          context=3, seed=2)
+    rng = np.random.default_rng(9)
+    dim = 8
+
+    def build():
+        return Sequential(
+            Embedding(data.vocab, dim, rng=rng),
+            Dense(dim * data.context, 64, rng=rng), ReLU(),
+            Dense(64, data.vocab, rng=rng))
+
+    trainer = DataParallelTrainer(build, num_workers=2, lr=0.3,
+                                  momentum=0.9, seed=4)
+    shards = [data.shard(w, 2) for w in range(2)]
+    test_x, test_y = data.windows(data.test_stream)
+    before = trainer.perplexity(test_x, test_y)
+    rng2 = np.random.default_rng(13)
+    for _ in range(150):
+        batch = []
+        for x, y in shards:
+            idx = rng2.integers(0, len(x), size=32)
+            batch.append((x[idx], y[idx]))
+        trainer.step(batch)
+    after = trainer.perplexity(test_x, test_y)
+    assert after < before * 0.7
+    assert after < data.vocab  # beat the uniform model
+
+
+# ---------------------------------------------------------------- batchnorm / dropout
+
+def test_batchnorm_normalizes_batch():
+    from repro.minidnn import BatchNorm
+    rng = np.random.default_rng(4)
+    bn = BatchNorm(5)
+    x = (rng.standard_normal((64, 5)) * 3 + 7).astype(np.float32)
+    y = bn.forward(x)
+    np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-4)
+    np.testing.assert_allclose(y.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_batchnorm_gradcheck():
+    from repro.minidnn import BatchNorm
+    rng = np.random.default_rng(5)
+    bn = BatchNorm(3)
+    bn.gamma.value = bn.gamma.value.astype(np.float64)
+    bn.gamma.grad = np.zeros_like(bn.gamma.value)
+    bn.beta.value = bn.beta.value.astype(np.float64)
+    bn.beta.grad = np.zeros_like(bn.beta.value)
+    bn.running_mean = bn.running_mean.astype(np.float64)
+    bn.running_var = bn.running_var.astype(np.float64)
+    x = rng.standard_normal((8, 3))
+    target = rng.standard_normal((8, 3))
+
+    def loss():
+        return float(((bn.forward(x) - target) ** 2).sum())
+
+    grad_out = 2 * (bn.forward(x) - target)
+    dx = bn.backward(grad_out)
+    num_x = numeric_gradient(loss, x, eps=1e-6)
+    np.testing.assert_allclose(dx, num_x, atol=1e-4)
+    num_g = numeric_gradient(loss, bn.gamma.value, eps=1e-6)
+    np.testing.assert_allclose(bn.gamma.grad, num_g, atol=1e-4)
+
+
+def test_batchnorm_eval_uses_running_stats():
+    from repro.minidnn import BatchNorm
+    rng = np.random.default_rng(6)
+    bn = BatchNorm(4, momentum=0.0)  # running stats = last batch
+    x = (rng.standard_normal((32, 4)) * 2 + 5).astype(np.float32)
+    bn.forward(x)
+    bn.train = False
+    y1 = bn.forward(x[:4])
+    y2 = bn.forward(x[:4])
+    np.testing.assert_allclose(y1, y2)  # deterministic in eval
+
+
+def test_dropout_train_and_eval():
+    from repro.minidnn import Dropout
+    drop = Dropout(rate=0.5, seed=1)
+    x = np.ones((200, 10), dtype=np.float32)
+    y = drop.forward(x)
+    # Inverted dropout preserves expectation.
+    assert y.mean() == pytest.approx(1.0, abs=0.1)
+    assert (y == 0).mean() == pytest.approx(0.5, abs=0.1)
+    drop.train = False
+    np.testing.assert_array_equal(drop.forward(x), x)
+
+
+def test_dropout_backward_masks_gradient():
+    from repro.minidnn import Dropout
+    drop = Dropout(rate=0.5, seed=2)
+    x = np.ones((50, 4), dtype=np.float32)
+    y = drop.forward(x)
+    grad = drop.backward(np.ones_like(x))
+    np.testing.assert_array_equal((grad == 0), (y == 0))
+
+
+def test_dropout_validation():
+    from repro.minidnn import Dropout
+    with pytest.raises(ValueError):
+        Dropout(rate=1.0)

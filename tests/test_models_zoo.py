@@ -1,0 +1,87 @@
+"""Tests for the model zoo (Table 6 workload specs)."""
+
+import pytest
+
+from repro.gpu import GTX1080TI, V100
+from repro.models import MB, MODEL_NAMES, GradientSpec, all_models, get_model
+
+
+def test_all_eight_models_present():
+    assert set(MODEL_NAMES) == {
+        "vgg19", "resnet50", "ugatit", "ugatit-light",
+        "bert-base", "bert-large", "lstm", "transformer"}
+
+
+def test_get_model_unknown():
+    with pytest.raises(KeyError):
+        get_model("gpt5")
+
+
+@pytest.mark.parametrize("model", all_models(), ids=lambda m: m.name)
+def test_table6_statistics(model):
+    from repro.experiments.table6 import PAPER
+    total_mb, max_mb, count = PAPER[model.name]
+    assert model.total_nbytes / MB == pytest.approx(total_mb, abs=0.01)
+    assert model.max_gradient_nbytes / MB == pytest.approx(max_mb, abs=0.01)
+    assert model.num_gradients == count
+
+
+@pytest.mark.parametrize("model", all_models(), ids=lambda m: m.name)
+def test_gradient_sizes_sane(model):
+    for grad in model.gradients:
+        assert grad.nbytes >= 1024
+        assert grad.nbytes % 4 == 0  # whole fp32 elements
+        assert grad.num_elements == grad.nbytes // 4
+
+
+@pytest.mark.parametrize("model", all_models(), ids=lambda m: m.name)
+def test_deterministic_generation(model):
+    again = get_model(model.name)
+    assert [g.nbytes for g in again.gradients] == \
+        [g.nbytes for g in model.gradients]
+
+
+def test_bert_base_small_gradient_share():
+    """§6.3: 62.7% of Bert-base's gradients are below 16KB."""
+    model = get_model("bert-base")
+    share = sum(1 for g in model.gradients if g.nbytes < 16 * 1024) \
+        / model.num_gradients
+    assert share == pytest.approx(0.627, abs=0.03)
+
+
+def test_iteration_time_scales_with_gpu():
+    model = get_model("resnet50")
+    assert model.iteration_time(GTX1080TI) > model.iteration_time(V100)
+    assert model.iteration_time(V100) == pytest.approx(
+        model.v100_iteration_s)
+
+
+def test_forward_backward_partition():
+    model = get_model("vgg19")
+    total = model.iteration_time(V100)
+    assert model.forward_time(V100) + model.backward_time(V100) == \
+        pytest.approx(total)
+    assert model.forward_time(V100) < model.backward_time(V100)
+
+
+@pytest.mark.parametrize("model", all_models(), ids=lambda m: m.name)
+def test_backward_schedule_ordered_and_complete(model):
+    schedule = list(model.backward_schedule(V100))
+    assert len(schedule) == model.num_gradients
+    offsets = [offset for offset, _ in schedule]
+    assert offsets == sorted(offsets)
+    assert offsets[-1] == pytest.approx(model.backward_time(V100))
+    names = {grad.name for _, grad in schedule}
+    assert len(names) == model.num_gradients
+
+
+def test_backward_schedule_time_proportional_to_bytes():
+    model = get_model("lstm")
+    schedule = list(model.backward_schedule(V100))
+    backward = model.backward_time(V100)
+    elapsed = 0.0
+    for offset, grad in schedule:
+        delta = offset - elapsed
+        expected = backward * grad.nbytes / model.total_nbytes
+        assert delta == pytest.approx(expected, rel=1e-6)
+        elapsed = offset

@@ -1,0 +1,196 @@
+"""Unit tests for the network fabric model."""
+
+import pytest
+
+from repro.net import Fabric, NetworkSpec
+from repro.sim import Environment
+
+
+def make_fabric(num_nodes=4, gbps=100.0, latency_us=0.0, efficiency=1.0):
+    env = Environment()
+    spec = NetworkSpec(bandwidth_gbps=gbps, latency_us=latency_us,
+                       efficiency=efficiency)
+    return env, Fabric(env, num_nodes, spec)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        NetworkSpec(bandwidth_gbps=0)
+    with pytest.raises(ValueError):
+        NetworkSpec(bandwidth_gbps=10, latency_us=-1)
+    with pytest.raises(ValueError):
+        NetworkSpec(bandwidth_gbps=10, efficiency=0)
+    with pytest.raises(ValueError):
+        NetworkSpec(bandwidth_gbps=10, efficiency=1.5)
+
+
+def test_transfer_time_formula():
+    spec = NetworkSpec(bandwidth_gbps=80.0, latency_us=10.0, efficiency=1.0)
+    # 80 Gbps = 10 GB/s; 1e9 bytes take 0.1 s plus 10 us latency.
+    assert spec.transfer_time(1e9) == pytest.approx(0.1 + 10e-6)
+
+
+def test_single_transfer_duration():
+    env, fabric = make_fabric(gbps=8.0)  # 1 GB/s
+    p = env.process(fabric.transfer(0, 1, 1e9))
+    env.run_until_complete(p)
+    assert env.now == pytest.approx(1.0)
+
+
+def test_loopback_is_free():
+    env, fabric = make_fabric()
+    p = env.process(fabric.transfer(2, 2, 1e12))
+    env.run_until_complete(p)
+    assert env.now == 0.0
+    assert fabric.stats.messages == 0
+
+
+def test_uplink_contention_serializes():
+    """Two sends from the same source to different destinations serialize."""
+    env, fabric = make_fabric(gbps=8.0)
+    done = []
+
+    def send(env, dst):
+        yield from fabric.transfer(0, dst, 1e9)
+        done.append((dst, env.now))
+
+    env.process(send(env, 1))
+    env.process(send(env, 2))
+    env.run()
+    assert done == [(1, pytest.approx(1.0)), (2, pytest.approx(2.0))]
+
+
+def test_downlink_contention_serializes():
+    env, fabric = make_fabric(gbps=8.0)
+    done = []
+
+    def send(env, src):
+        yield from fabric.transfer(src, 3, 1e9)
+        done.append((src, env.now))
+
+    env.process(send(env, 0))
+    env.process(send(env, 1))
+    env.run()
+    assert [t for _, t in done] == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_disjoint_pairs_run_in_parallel():
+    env, fabric = make_fabric(gbps=8.0)
+    done = []
+
+    def send(env, src, dst):
+        yield from fabric.transfer(src, dst, 1e9)
+        done.append(env.now)
+
+    env.process(send(env, 0, 1))
+    env.process(send(env, 2, 3))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+def test_full_duplex_send_and_receive_overlap():
+    """A node can send and receive at full rate simultaneously (ring step)."""
+    env, fabric = make_fabric(gbps=8.0)
+    done = []
+
+    def send(env, src, dst):
+        yield from fabric.transfer(src, dst, 1e9)
+        done.append(env.now)
+
+    env.process(send(env, 0, 1))
+    env.process(send(env, 1, 0))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+def test_latency_does_not_occupy_nic():
+    """Back-to-back messages pipeline: latency overlaps next serialization."""
+    env, fabric = make_fabric(gbps=8.0, latency_us=1e5)  # 0.1 s latency
+    done = []
+
+    def send(env, tag):
+        yield from fabric.transfer(0, 1, 1e9)
+        done.append((tag, env.now))
+
+    env.process(send(env, "a"))
+    env.process(send(env, "b"))
+    env.run()
+    # serialize a: 0..1, arrive 1.1; serialize b: 1..2, arrive 2.1
+    assert done == [("a", pytest.approx(1.1)), ("b", pytest.approx(2.1))]
+
+
+def test_send_recv_message_passing():
+    env, fabric = make_fabric(gbps=8.0)
+
+    def receiver(env):
+        msg = yield fabric.recv(1, tag="grad")
+        return (msg.payload, msg.src, env.now)
+
+    fabric.send(0, 1, tag="grad", payload={"x": 1}, nbytes=1e9)
+    p = env.process(receiver(env))
+    env.run()
+    assert p.value == ({"x": 1}, 0, pytest.approx(1.0))
+
+
+def test_recv_before_send_blocks():
+    env, fabric = make_fabric(gbps=8.0)
+
+    def receiver(env):
+        msg = yield fabric.recv(2, tag="t")
+        return env.now, msg.payload
+
+    def sender(env):
+        yield env.timeout(5)
+        fabric.send(0, 2, tag="t", payload="late", nbytes=0)
+
+    p = env.process(receiver(env))
+    env.process(sender(env))
+    env.run()
+    assert p.value == (5, "late")
+
+
+def test_tags_demultiplex():
+    env, fabric = make_fabric()
+    fabric.send(0, 1, tag="b", payload="B", nbytes=0)
+    fabric.send(0, 1, tag="a", payload="A", nbytes=0)
+
+    def receiver(env):
+        a = yield fabric.recv(1, tag="a")
+        b = yield fabric.recv(1, tag="b")
+        return a.payload, b.payload
+
+    p = env.process(receiver(env))
+    env.run()
+    assert p.value == ("A", "B")
+
+
+def test_stats_accounting():
+    env, fabric = make_fabric(gbps=8.0)
+    env.process(fabric.transfer(0, 1, 1000))
+    env.process(fabric.transfer(1, 2, 500))
+    env.run()
+    assert fabric.stats.bytes_sent == 1500
+    assert fabric.stats.messages == 2
+    assert fabric.stats.per_node_bytes == {0: 1000, 1: 500}
+
+
+def test_invalid_nodes_rejected():
+    env, fabric = make_fabric(num_nodes=2)
+    with pytest.raises(ValueError):
+        list(fabric.transfer(0, 5, 10))
+    with pytest.raises(ValueError):
+        list(fabric.transfer(-1, 0, 10))
+
+
+def test_negative_size_rejected():
+    env, fabric = make_fabric()
+    with pytest.raises(ValueError):
+        list(fabric.transfer(0, 1, -5))
+
+
+def test_utilization():
+    env, fabric = make_fabric(num_nodes=2, gbps=8.0)
+    p = env.process(fabric.transfer(0, 1, 1e9))
+    env.run_until_complete(p)
+    # Sender uplink + receiver downlink: 2 of 4 directions busy the whole second.
+    assert fabric.utilization() == pytest.approx(0.5, rel=0.05)

@@ -1,0 +1,104 @@
+"""Unit tests for bit/byte packing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ByteReader, ByteWriter, pack_uint, unpack_uint
+
+
+@pytest.mark.parametrize("bitwidth", [1, 2, 3, 4, 5, 8, 12, 16])
+def test_pack_unpack_roundtrip(bitwidth):
+    rng = np.random.default_rng(bitwidth)
+    values = rng.integers(0, 1 << bitwidth, size=100)
+    packed = pack_uint(values, bitwidth)
+    out = unpack_uint(packed, bitwidth, values.size)
+    np.testing.assert_array_equal(out, values)
+
+
+def test_pack_density():
+    values = np.ones(80, dtype=np.uint32)
+    assert pack_uint(values, 1).size == 10
+    assert pack_uint(values, 2).size == 20
+    assert pack_uint(values, 4).size == 40
+
+
+def test_pack_padding_to_whole_bytes():
+    # 3 values x 3 bits = 9 bits -> 2 bytes.
+    assert pack_uint(np.asarray([1, 2, 3]), 3).size == 2
+
+
+def test_pack_empty():
+    assert pack_uint(np.empty(0, dtype=np.uint32), 4).size == 0
+    assert unpack_uint(np.empty(0, dtype=np.uint8), 4, 0).size == 0
+
+
+def test_pack_value_overflow_rejected():
+    with pytest.raises(ValueError):
+        pack_uint(np.asarray([4]), 2)
+    with pytest.raises(ValueError):
+        pack_uint(np.asarray([-1]), 2)
+
+
+def test_pack_bitwidth_bounds():
+    with pytest.raises(ValueError):
+        pack_uint(np.asarray([0]), 0)
+    with pytest.raises(ValueError):
+        unpack_uint(np.zeros(4, dtype=np.uint8), 17, 1)
+
+
+def test_unpack_underrun_rejected():
+    with pytest.raises(ValueError):
+        unpack_uint(np.zeros(1, dtype=np.uint8), 4, 100)
+
+
+def test_byte_writer_reader_roundtrip():
+    arr = np.arange(5, dtype=np.float32)
+    buf = (ByteWriter()
+           .scalar(7, "u4")
+           .scalar(1.5, "f4")
+           .scalar(200, "u1")
+           .array(arr)
+           .finish())
+    reader = ByteReader(buf)
+    assert reader.scalar("u4") == 7
+    assert reader.scalar("f4") == pytest.approx(1.5)
+    assert reader.scalar("u1") == 200
+    np.testing.assert_array_equal(reader.array(np.float32, 5), arr)
+    assert reader.remaining == 0
+
+
+def test_byte_reader_rest():
+    buf = ByteWriter().scalar(1, "u1").array(
+        np.asarray([9, 8, 7], dtype=np.uint8)).finish()
+    reader = ByteReader(buf)
+    reader.scalar("u1")
+    np.testing.assert_array_equal(reader.rest(), [9, 8, 7])
+    assert reader.remaining == 0
+
+
+def test_byte_reader_underrun():
+    reader = ByteReader(np.zeros(2, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        reader.scalar("u4")
+
+
+def test_byte_writer_unknown_dtype():
+    with pytest.raises(ValueError):
+        ByteWriter().scalar(1, "f8")
+    with pytest.raises(ValueError):
+        ByteReader(np.zeros(8, dtype=np.uint8)).scalar("f8")
+
+
+def test_byte_writer_empty():
+    assert ByteWriter().finish().size == 0
+
+
+def test_byte_reader_unaligned_offsets():
+    """Reads at odd byte offsets must not trip dtype alignment."""
+    buf = (ByteWriter()
+           .scalar(3, "u1")
+           .scalar(1.25, "f4")
+           .finish())
+    reader = ByteReader(buf)
+    assert reader.scalar("u1") == 3
+    assert reader.scalar("f4") == pytest.approx(1.25)

@@ -1,0 +1,115 @@
+"""Unit tests for the §3.3 cost model and selective planner."""
+
+import pytest
+
+from repro.algorithms import DGC, OneBit
+from repro.casync import CostModel, SelectivePlanner, STEP_COUNT_PRESETS
+from repro.cluster import ec2_v100_cluster
+from repro.models import MB, GradientSpec
+
+
+def planner_for(nodes=16, algo=None, strategy="ps_colocated", **kw):
+    algo = algo or OneBit()
+    return SelectivePlanner(
+        CostModel(ec2_v100_cluster(nodes), algo, strategy=strategy), **kw)
+
+
+def test_step_count_presets_match_table3():
+    ring = STEP_COUNT_PRESETS["ring"](16, 4)
+    assert (ring.alpha, ring.beta, ring.gamma) == (30, 16, 16)
+    ps = STEP_COUNT_PRESETS["ps"](16, 4)
+    assert (ps.alpha, ps.beta, ps.gamma) == (32, 5, 17)
+    ps_co = STEP_COUNT_PRESETS["ps_colocated"](16, 4)
+    assert (ps_co.alpha, ps_co.beta, ps_co.gamma) == (30, 4, 16)
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        CostModel(ec2_v100_cluster(4), OneBit(), strategy="carrier-pigeon")
+
+
+def test_cost_model_orig_decreases_with_partitions():
+    cm = CostModel(ec2_v100_cluster(16), OneBit(), strategy="ring")
+    m = 64 * MB
+    assert cm.t_sync_orig(m, 16) < cm.t_sync_orig(m, 1)
+
+
+def test_cost_model_compression_wins_for_large_gradients():
+    cm = CostModel(ec2_v100_cluster(16), OneBit(), strategy="ring")
+    m = 392 * MB
+    assert cm.t_sync_compressed(m, 16) < cm.t_sync_orig(m, 16)
+
+
+def test_cost_model_compression_loses_for_tiny_gradients():
+    """Over-compression penalty: launch overheads dominate tiny tensors."""
+    cm = CostModel(ec2_v100_cluster(16), OneBit(), strategy="ring")
+    m = 4 * 1024  # 4 KB
+    assert cm.t_sync_compressed(m, 1) > cm.t_sync_orig(m, 1)
+
+
+def test_plan_large_gradient_compress_and_partition():
+    plan = planner_for().plan_gradient(GradientSpec("big", 392 * MB))
+    assert plan.compress
+    assert plan.partitions > 1
+
+
+def test_plan_small_gradient_skips_compression():
+    plan = planner_for().plan_gradient(GradientSpec("small", 16 * 1024))
+    assert not plan.compress
+
+
+def test_threshold_monotonic_with_scale():
+    """More nodes -> more serial steps -> compression pays off earlier
+    relative to ring size, but small gradients still skip it."""
+    t4 = planner_for(nodes=4, strategy="ring").compression_threshold()
+    t16 = planner_for(nodes=16, strategy="ring").compression_threshold()
+    assert t4 is not None and t16 is not None
+    assert t16 >= t4
+
+
+def test_threshold_about_4mb_at_16_nodes_ring():
+    """§6.1: 'CaSync suggests to compress gradients larger than 4MB' on
+    the 16-node EC2 cluster."""
+    threshold = planner_for(nodes=16, strategy="ring").compression_threshold()
+    assert 1 * MB <= threshold <= 8 * MB
+
+
+def test_vgg_largest_gradient_split_16_ways():
+    """§6.1: the 392MB VGG gradient splits into 16 partitions at 16 nodes."""
+    plan = planner_for(nodes=16, strategy="ring").plan_gradient(
+        GradientSpec("vgg", 392 * MB))
+    assert plan.compress
+    assert plan.partitions == 16
+
+
+def test_partitions_grow_with_gradient_size():
+    planner = planner_for(nodes=16)
+    k = [planner.plan_gradient(GradientSpec("g", m)).partitions
+         for m in (4 * MB, 16 * MB, 392 * MB)]
+    assert k[0] <= k[1] <= k[2]
+
+
+def test_plan_respects_max_partitions():
+    planner = planner_for(nodes=16, max_partitions=2)
+    plan = planner.plan_gradient(GradientSpec("g", 392 * MB))
+    assert plan.partitions <= 2
+
+
+def test_plan_model_covers_all_gradients():
+    from repro.models import get_model
+    model = get_model("resnet50")
+    plans = planner_for().plan_model(model.gradients)
+    assert set(plans) == {g.name for g in model.gradients}
+
+
+def test_sparsifier_plans_differ_from_quantizer():
+    """DGC's tiny compressed size changes the economics."""
+    dgc_plan = planner_for(algo=DGC(rate=0.001)).plan_gradient(
+        GradientSpec("g", 64 * MB))
+    assert dgc_plan.compress
+
+
+def test_predicted_time_positive():
+    plan = planner_for().plan_gradient(GradientSpec("g", MB))
+    assert plan.predicted_time > 0
+    assert plan.partition_nbytes == plan.nbytes / plan.partitions

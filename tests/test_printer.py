@@ -1,0 +1,113 @@
+"""Tests for the DSL pretty-printer: round trips and formatting."""
+
+import pytest
+
+from repro.compll import dsl_source, parse, terngrad_source
+from repro.compll.printer import format_expression, format_program
+
+
+def roundtrip_equal(source: str) -> bool:
+    """parse(print(parse(src))) must equal parse(src)."""
+    first = parse(source)
+    printed = format_program(first)
+    second = parse(printed)
+    return first == second
+
+
+@pytest.mark.parametrize("name", ["onebit", "tbq", "terngrad", "dgc",
+                                  "graddrop", "adacomp", "threelc"])
+def test_bundled_sources_roundtrip(name):
+    assert roundtrip_equal(dsl_source(name))
+
+
+@pytest.mark.parametrize("bitwidth", [1, 4, 8])
+def test_terngrad_variants_roundtrip(bitwidth):
+    assert roundtrip_equal(terngrad_source(bitwidth))
+
+
+def test_printed_source_compiles():
+    """The canonical form is a fully working program."""
+    from repro.compll import compile_algorithm
+    import numpy as np
+    printed = format_program(parse(dsl_source("dgc")))
+    algo = compile_algorithm(printed, name="dgc-printed",
+                             params={"rate": 0.01})
+    grad = (np.random.default_rng(0).standard_normal(1000) * 0.1
+            ).astype(np.float32)
+    out = algo.roundtrip(grad)
+    assert out.shape == grad.shape
+
+
+def test_idempotent_formatting():
+    source = dsl_source("onebit")
+    once = format_program(parse(source))
+    twice = format_program(parse(once))
+    assert once == twice
+
+
+def test_expression_minimal_parentheses():
+    prog = parse("float f(float a, float b) { return a + b * 2; }")
+    ret = prog.function("f").body.statements[0]
+    assert format_expression(ret.value) == "a + b * 2"
+
+
+def test_expression_needed_parentheses_kept():
+    prog = parse("float f(float a, float b) { return (a + b) * 2; }")
+    ret = prog.function("f").body.statements[0]
+    assert format_expression(ret.value) == "(a + b) * 2"
+
+
+def test_shift_parenthesization_roundtrip():
+    source = "float f(uint8 b) { return (1 << b) - 1; }"
+    assert roundtrip_equal(source)
+    ret = parse(source).function("f").body.statements[0]
+    assert format_expression(ret.value) == "(1 << b) - 1"
+
+
+def test_left_associativity_preserved():
+    # a - b - c must not print as a - (b - c).
+    source = "float f(float a, float b, float c) { return a - b - c; }"
+    assert roundtrip_equal(source)
+    ret = parse(source).function("f").body.statements[0]
+    assert format_expression(ret.value) == "a - b - c"
+    # And an explicitly right-grouped version keeps its parens.
+    source2 = "float f(float a, float b, float c) { return a - (b - c); }"
+    ret2 = parse(source2).function("f").body.statements[0]
+    assert format_expression(ret2.value) == "a - (b - c)"
+
+
+def test_template_and_extract_forms():
+    source = """
+    param D { }
+    void decode(uint8* c, float* g, D params) {
+        uint32 n = extract(c, uint32);
+        float* v = extract(c, float, n);
+        g = scatter(g.size, extract(c, uint32, n), v);
+    }
+    param E { }
+    float r(float x) { return x + random<float>(0, 1); }
+    void encode(float* g, uint8* c, E params) {
+        c = concat();
+    }
+    """
+    assert roundtrip_equal(source)
+    printed = format_program(parse(source))
+    assert "extract(c, uint32)" in printed
+    assert "extract(c, float, n)" in printed
+    assert "random<float>(0, 1)" in printed
+
+
+def test_if_else_chain_roundtrip():
+    source = """
+    float f(float x) {
+        if (x > 1) { return 2; }
+        else if (x > 0) { return 1; }
+        else { return 0; }
+    }
+    """
+    assert roundtrip_equal(source)
+
+
+def test_unary_and_index_roundtrip():
+    source = "float f(float* a, uint32 k) { return -a[k - 1]; }"
+    assert roundtrip_equal(source)

@@ -1,0 +1,71 @@
+"""Tests for the measurement-based cost-curve fitting (§3.3 profiling)."""
+
+import pytest
+
+from repro.algorithms import DGC, OneBit
+from repro.casync import CostModel, SelectivePlanner
+from repro.cluster import ec2_v100_cluster
+from repro.hipress.profiler import (
+    AffineFit,
+    FittedCostModel,
+    measure_encode,
+    measure_send,
+)
+from repro.models import MB, GradientSpec
+
+
+def test_affine_fit_recovers_line():
+    fit = AffineFit.from_points([1, 2, 3, 4], [10, 12, 14, 16])
+    assert fit.intercept == pytest.approx(8.0)
+    assert fit.slope == pytest.approx(2.0)
+    assert fit(10) == pytest.approx(28.0)
+
+
+def test_affine_fit_validation():
+    with pytest.raises(ValueError):
+        AffineFit.from_points([1], [2])
+    with pytest.raises(ValueError):
+        AffineFit.from_points([1, 2], [1])
+
+
+def test_measured_encode_matches_analytic():
+    cluster = ec2_v100_cluster(2)
+    algo = OneBit()
+    fit = measure_encode(cluster, algo)
+    for nbytes in (512 * 1024, 8 * MB, 32 * MB):
+        assert fit(nbytes) == pytest.approx(
+            algo.encode_time(nbytes, cluster.node.gpu), rel=0.05)
+
+
+def test_measured_send_matches_analytic():
+    cluster = ec2_v100_cluster(2)
+    fit = measure_send(cluster)
+    for nbytes in (1 * MB, 16 * MB):
+        assert fit(nbytes) == pytest.approx(
+            cluster.network.transfer_time(nbytes), rel=0.05)
+
+
+def test_fitted_cost_model_agrees_with_analytic():
+    cluster = ec2_v100_cluster(8)
+    algo = OneBit()
+    analytic = CostModel(cluster, algo, strategy="ring")
+    fitted = FittedCostModel(cluster, algo, strategy="ring")
+    for m in (4 * MB, 64 * MB):
+        for k in (1, 4, 8):
+            assert fitted.t_sync_orig(m, k) == pytest.approx(
+                analytic.t_sync_orig(m, k), rel=0.1)
+            assert fitted.t_sync_compressed(m, k) == pytest.approx(
+                analytic.t_sync_compressed(m, k), rel=0.15)
+
+
+def test_planner_on_fitted_model_makes_same_calls():
+    """The planner's qualitative decisions survive the measurement route."""
+    cluster = ec2_v100_cluster(16)
+    algo = DGC(rate=0.001)
+    analytic = SelectivePlanner(CostModel(cluster, algo, strategy="ring"))
+    fitted = SelectivePlanner(FittedCostModel(cluster, algo,
+                                              strategy="ring"))
+    for mb in (1, 16, 392):
+        a = analytic.plan_gradient(GradientSpec("g", mb * MB))
+        f = fitted.plan_gradient(GradientSpec("g", mb * MB))
+        assert a.compress == f.compress, mb

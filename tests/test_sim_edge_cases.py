@@ -1,0 +1,189 @@
+"""Additional edge-case tests for the simulation kernel and OSS strategies."""
+
+import pytest
+
+from repro.algorithms import DGC, OneBit
+from repro.cluster import ec2_v100_cluster
+from repro.models import GradientSpec, ModelSpec
+from repro.sim import AllOf, AnyOf, Environment, SimulationError, URGENT
+from repro.strategies import BytePSOSSCompression, RingOSSCompression
+from repro.strategies.base import SyncContext
+from repro.casync.tasks import NodeEngine, run_graph
+from repro.gpu import Gpu, V100
+from repro.net import Fabric
+
+MB = 1024 * 1024
+
+
+# ---------------------------------------------------------------- sim edges
+
+def test_urgent_events_fire_before_normal_at_same_time():
+    env = Environment()
+    order = []
+    normal = env.event()
+    urgent = env.event()
+    normal.callbacks.append(lambda ev: order.append("normal"))
+    urgent.callbacks.append(lambda ev: order.append("urgent"))
+    normal.succeed()                      # scheduled first...
+    urgent.succeed(priority=URGENT)       # ...but urgent jumps the queue
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_all_of_fails_fast_on_failed_member():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    def slow(env):
+        yield env.timeout(100)
+
+    def main(env):
+        try:
+            yield env.all_of([env.process(boom(env)),
+                              env.process(slow(env))])
+        except RuntimeError as exc:
+            return (str(exc), env.now)
+
+    p = env.process(main(env))
+    env.run()
+    assert p.value == ("boom", 1)
+
+
+def test_any_of_propagates_failure():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1)
+        raise ValueError("bad")
+
+    def main(env):
+        try:
+            yield env.any_of([env.process(boom(env))])
+        except ValueError:
+            return "caught"
+
+    p = env.process(main(env))
+    env.run()
+    assert p.value == "caught"
+
+
+def test_condition_rejects_foreign_environment():
+    env1 = Environment()
+    env2 = Environment()
+    with pytest.raises(SimulationError):
+        AllOf(env1, [env2.event()])
+    with pytest.raises(SimulationError):
+        AnyOf(env1, [env2.event()])
+
+
+def test_timeout_zero_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_nested_process_chains():
+    env = Environment()
+
+    def leaf(env):
+        yield env.timeout(1)
+        return 1
+
+    def middle(env):
+        value = yield env.process(leaf(env))
+        yield env.timeout(1)
+        return value + 1
+
+    def root(env):
+        value = yield env.process(middle(env))
+        return value + 1
+
+    p = env.process(root(env))
+    env.run()
+    assert p.value == 3
+    assert env.now == 2
+
+
+# ---------------------------------------------------------------- OSS structure
+
+def _build_graph(strategy, model, cluster, algo):
+    env = Environment()
+    fabric = Fabric(env, cluster.num_nodes, cluster.network)
+    gpus = [Gpu(env, V100, i) for i in range(cluster.num_nodes)]
+    engines = [NodeEngine(env, i, gpus[i], fabric)
+               for i in range(cluster.num_nodes)]
+    ready = {(n, g.name): env.event() for n in range(cluster.num_nodes)
+             for g in model.gradients}
+    ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
+                      engines=engines, ready=ready, algorithm=algo)
+    return ctx, strategy.build(ctx, model), engines
+
+
+def tiny(sizes):
+    grads = tuple(GradientSpec(f"x.g{i}", s) for i, s in enumerate(sizes))
+    return ModelSpec(name="x", gradients=grads, batch_size=4,
+                     batch_unit="images", v100_iteration_s=0.005)
+
+
+def test_byteps_oss_server_work_is_on_cpu():
+    model = tiny([8 * MB])
+    cluster = ec2_v100_cluster(3)
+    ctx, graph, engines = _build_graph(BytePSOSSCompression(), model,
+                                       cluster, OneBit())
+    kinds = {}
+    for task in graph.tasks:
+        kinds.setdefault(task.kind, 0)
+        kinds[task.kind] += 1
+    # Server-side decode/merge/encode run as host-CPU tasks.
+    assert kinds.get("cpu", 0) > 0
+    # Worker staging copies exist (the extra-memory-copy critique).
+    assert kinds.get("copy", 0) >= 2 * cluster.num_nodes
+
+
+def test_byteps_oss_worker_on_cpu_moves_encodes_to_cpu():
+    model = tiny([8 * MB])
+    cluster = ec2_v100_cluster(2)
+    gpu_ctx, gpu_graph, _ = _build_graph(BytePSOSSCompression(), model,
+                                         cluster, OneBit())
+    cpu_ctx, cpu_graph, _ = _build_graph(
+        BytePSOSSCompression(worker_on_cpu=True), model, cluster, OneBit())
+    gpu_encodes = sum(1 for t in gpu_graph.tasks if t.kind == "encode")
+    cpu_encodes = sum(1 for t in cpu_graph.tasks if t.kind == "encode")
+    assert cpu_encodes < gpu_encodes  # they became 'cpu' tasks
+
+
+def test_ring_oss_serializes_gradients():
+    """Horovod-style op serialization: each gradient's allgather depends on
+    the previous gradient finishing (prev_done chaining)."""
+    model = tiny([2 * MB, 2 * MB])
+    cluster = ec2_v100_cluster(3)
+    ctx, graph, engines = _build_graph(RingOSSCompression(), model,
+                                       cluster, DGC(rate=0.01))
+    for ev in ctx.ready.values():
+        ev.succeed()
+    run_graph(ctx.env, graph, engines)
+    # First gradient's done tasks strictly precede the second's sends.
+    g0_done = [t for t in graph.tasks if t.label.startswith("done:x.g0")]
+    g1_sends = [t for t in graph.tasks if t.label.startswith("ag:x.g1")]
+    latest_done = max(t.finished_at for t in g0_done)
+    earliest_send = min(t.finished_at for t in g1_sends)
+    assert earliest_send >= latest_done - 1e-12
+
+
+def test_ring_oss_single_node_noop():
+    model = tiny([MB])
+    cluster = ec2_v100_cluster(1)
+    ctx, graph, engines = _build_graph(RingOSSCompression(), model,
+                                       cluster, DGC(rate=0.01))
+    for ev in ctx.ready.values():
+        ev.succeed()
+    assert run_graph(ctx.env, graph, engines) == 0.0

@@ -1,0 +1,115 @@
+"""Tests for SSP/ASP training (the §7 'other synchronization methods'
+extension), with and without compression."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import OneBit, TernGrad
+from repro.minidnn import ClassificationData, Dense, ReLU, Sequential
+from repro.minidnn.staleness import StalenessTrainer
+
+
+def make_data():
+    return ClassificationData(train_size=800, num_classes=6, dim=16,
+                              noise=1.0, seed=3)
+
+
+def make_trainer(data, workers=4, staleness=1, algorithm=None,
+                 feedback="error", seed=0, lr=0.1):
+    rng = np.random.default_rng(5)
+
+    def build():
+        return Sequential(Dense(data.dim, 48, rng=rng), ReLU(),
+                          Dense(48, data.num_classes, rng=rng))
+
+    return StalenessTrainer(build, num_workers=workers, lr=lr,
+                            momentum=0.9, algorithm=algorithm,
+                            feedback=feedback, staleness=staleness,
+                            seed=seed)
+
+
+def run(trainer, data, ticks=500):
+    shards = [data.shard(w, trainer.num_workers)
+              for w in range(trainer.num_workers)]
+    trainer.run(shards, total_ticks=ticks)
+    return trainer.accuracy(data.test_x, data.test_y)
+
+
+def test_validation():
+    data = make_data()
+    with pytest.raises(ValueError):
+        make_trainer(data, workers=0)
+    with pytest.raises(ValueError):
+        make_trainer(data, staleness=-1)
+    trainer = make_trainer(data, workers=2)
+    with pytest.raises(ValueError):
+        trainer.run([], total_ticks=1)
+
+
+def test_ssp_converges():
+    data = make_data()
+    assert run(make_trainer(data, staleness=2), data) > 0.85
+
+
+def test_asp_converges_unbounded():
+    data = make_data()
+    assert run(make_trainer(data, staleness=None), data) > 0.80
+
+
+def test_ssp_with_compression_converges():
+    data = make_data()
+    trainer = make_trainer(data, staleness=2,
+                           algorithm=TernGrad(bitwidth=4, seed=1))
+    assert run(trainer, data) > 0.80
+
+
+def test_ssp_with_onebit_feedback_converges():
+    data = make_data()
+    trainer = make_trainer(data, staleness=2, algorithm=OneBit(),
+                           feedback="error", lr=0.05)
+    assert run(trainer, data) > 0.75
+
+
+def test_staleness_bound_enforced():
+    """Under skewed scheduling, observed clock lag never exceeds the bound
+    (+1 transiently is impossible: blocked workers make no progress)."""
+    data = make_data()
+    trainer = make_trainer(data, staleness=1, seed=2)
+    shards = [data.shard(w, 4) for w in range(4)]
+    # Extreme skew: worker 3 scheduled 20x more often than worker 0.
+    max_lag = 0
+    for _ in range(60):
+        trainer.run(shards, total_ticks=5, skew=[1, 2, 5, 20])
+        max_lag = max(max_lag, trainer.max_observed_lag)
+    assert max_lag <= 2  # bound of 1 allows lag 2 at eligibility check
+    assert trainer.blocked_ticks > 0
+
+
+def test_asp_never_blocks():
+    data = make_data()
+    trainer = make_trainer(data, staleness=None, seed=2)
+    shards = [data.shard(w, 4) for w in range(4)]
+    done = trainer.run(shards, total_ticks=100, skew=[1, 1, 1, 50])
+    assert done == 100
+    assert trainer.blocked_ticks == 0
+
+
+def test_tighter_staleness_blocks_more():
+    data = make_data()
+    shards4 = [data.shard(w, 4) for w in range(4)]
+
+    def blocked(staleness):
+        trainer = make_trainer(data, staleness=staleness, seed=7)
+        trainer.run(shards4, total_ticks=300, skew=[1, 1, 1, 10])
+        return trainer.blocked_ticks
+
+    assert blocked(0) > blocked(3)
+
+
+def test_zero_staleness_is_lockstep():
+    """staleness=0 forces every worker within one tick of the slowest."""
+    data = make_data()
+    trainer = make_trainer(data, staleness=0, seed=1)
+    shards = [data.shard(w, 4) for w in range(4)]
+    trainer.run(shards, total_ticks=200)
+    assert trainer.max_observed_lag <= 1

@@ -1,0 +1,65 @@
+"""Tests for straggler injection: BSP's barrier sensitivity (§2.1)."""
+
+import pytest
+
+from repro.algorithms import OneBit
+from repro.cluster import ec2_v100_cluster
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import CaSyncPS, RingAllreduce
+from repro.training import make_plans, simulate_iteration
+
+MB = 1024 * 1024
+
+
+def model():
+    grads = (GradientSpec("s.g0", 32 * MB), GradientSpec("s.g1", 8 * MB))
+    return ModelSpec(name="s", gradients=grads, batch_size=8,
+                     batch_unit="images", v100_iteration_s=0.02)
+
+
+def test_straggler_validation():
+    with pytest.raises(ValueError):
+        simulate_iteration(model(), ec2_v100_cluster(2), RingAllreduce(),
+                           straggler=(5, 2.0))
+    with pytest.raises(ValueError):
+        simulate_iteration(model(), ec2_v100_cluster(2), RingAllreduce(),
+                           straggler=(0, 0.5))
+
+
+def test_one_slow_node_stalls_bsp():
+    """A 2x straggler roughly doubles everyone's iteration (the §2.1
+    'distributed barrier')."""
+    cluster = ec2_v100_cluster(4)
+    clean = simulate_iteration(model(), cluster, RingAllreduce())
+    slow = simulate_iteration(model(), cluster, RingAllreduce(),
+                              straggler=(2, 2.0))
+    assert slow.iteration_time > clean.iteration_time * 1.6
+
+
+def test_straggler_factor_one_is_noop():
+    cluster = ec2_v100_cluster(3)
+    clean = simulate_iteration(model(), cluster, RingAllreduce())
+    same = simulate_iteration(model(), cluster, RingAllreduce(),
+                              straggler=(1, 1.0))
+    assert same.iteration_time == pytest.approx(clean.iteration_time)
+
+
+def test_compression_does_not_mask_stragglers():
+    """HiPress removes the communication bottleneck, not the compute
+    barrier: with a straggler, compressed and raw BSP converge to the
+    straggler's pace."""
+    cluster = ec2_v100_cluster(4)
+    algo = OneBit()
+    plans = make_plans(model(), cluster, algo, "ps_colocated")
+    compressed = simulate_iteration(model(), cluster, CaSyncPS(),
+                                    algorithm=algo, plans=plans,
+                                    use_coordinator=True,
+                                    batch_compression=True,
+                                    straggler=(0, 3.0))
+    raw = simulate_iteration(model(), cluster, RingAllreduce(),
+                             straggler=(0, 3.0))
+    # Both are dominated by the straggler's tripled compute.
+    floor = model().v100_iteration_s * 3.0
+    assert compressed.iteration_time >= floor
+    assert raw.iteration_time >= floor
+    assert compressed.iteration_time <= raw.iteration_time * 1.05

@@ -1,0 +1,75 @@
+"""Tests for the §3.1 communication-topology abstraction."""
+
+import pytest
+
+from repro.casync.topology import Role, Topology, ps_topology, ring_topology
+
+
+def test_ring_structure():
+    topo = ring_topology(4)
+    assert topo.successor(0) == 1
+    assert topo.successor(3) == 0
+    assert topo.predecessors(0) == (3,)
+    assert all(topo.has_role(n, Role.WORKER) for n in range(4))
+    assert all(topo.has_role(n, Role.AGGREGATOR) for n in range(4))
+
+
+def test_ring_single_node():
+    topo = ring_topology(1)
+    assert topo.edges == frozenset()
+    assert topo.is_strongly_connected()
+
+
+def test_ring_strongly_connected():
+    assert ring_topology(5).is_strongly_connected()
+
+
+def test_ps_colocated_full_mesh():
+    topo = ps_topology(3, colocated=True)
+    assert topo.successors(0) == (1, 2)
+    assert topo.is_strongly_connected()
+    assert topo.workers() == (0, 1, 2)
+    assert topo.aggregators() == (0, 1, 2)
+
+
+def test_ps_separated_bipartite():
+    topo = ps_topology(4, colocated=False)
+    assert topo.workers() == (0, 1)
+    assert topo.aggregators() == (2, 3)
+    # Workers connect only to aggregators.
+    assert topo.successors(0) == (2, 3)
+    assert topo.successors(2) == (0, 1)
+    assert topo.is_strongly_connected()
+
+
+def test_successor_not_unique_raises():
+    topo = ps_topology(3, colocated=True)
+    with pytest.raises(ValueError, match="successors"):
+        topo.successor(0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ring_topology(0)
+    with pytest.raises(ValueError):
+        ps_topology(1, colocated=False)
+    with pytest.raises(ValueError, match="out of range"):
+        Topology(num_nodes=2, edges=frozenset({(0, 5)}),
+                 roles=(Role.BOTH, Role.BOTH))
+    with pytest.raises(ValueError, match="self-loop"):
+        Topology(num_nodes=2, edges=frozenset({(1, 1)}),
+                 roles=(Role.BOTH, Role.BOTH))
+    with pytest.raises(ValueError, match="roles"):
+        Topology(num_nodes=2, edges=frozenset(), roles=(Role.BOTH,))
+
+
+def test_disconnected_detected():
+    topo = Topology(num_nodes=3, edges=frozenset({(0, 1), (1, 0)}),
+                    roles=(Role.BOTH,) * 3)
+    assert not topo.is_strongly_connected()
+
+
+def test_one_way_chain_not_strongly_connected():
+    topo = Topology(num_nodes=3, edges=frozenset({(0, 1), (1, 2)}),
+                    roles=(Role.BOTH,) * 3)
+    assert not topo.is_strongly_connected()
