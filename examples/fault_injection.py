@@ -1,0 +1,74 @@
+"""Fault injection: CaSync rides out a worker crash mid-synchronization.
+
+A four-node CaSync-PS cluster runs a multi-step training loop.  During
+step 1 a deterministic fault schedule fail-stops worker 2 while gradients
+are still being pushed; the robustness machinery (per-transfer timeouts
+with exponential backoff, the heartbeat failure detector, and graceful
+degradation re-planning aggregation over the survivors) completes the
+round anyway.  The invariant checker then audits the trace -- byte
+conservation, exactly-once aggregation, monotone clocks, drain-or-raise.
+Step 2 continues on the three-node survivor cluster.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.algorithms import OneBit
+from repro.cluster import ec2_v100_cluster
+from repro.faults import FaultSchedule, NodeCrash, RetryPolicy, check_all
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import CaSyncPS
+from repro.training import simulate_iteration
+
+
+def small_model():
+    grads = tuple(GradientSpec(f"demo.g{i}", nbytes)
+                  for i, nbytes in enumerate((4 << 20, 2 << 20, 1 << 20)))
+    return ModelSpec(name="demo", gradients=grads, batch_size=32,
+                     batch_unit="images", v100_iteration_s=0.004)
+
+
+def main():
+    model = small_model()
+    strategy = CaSyncPS(bulk=False, selective=False)
+    algorithm = OneBit()
+
+    print("=== Step 0: pristine round (4 nodes, no faults) ===")
+    pristine = simulate_iteration(model, ec2_v100_cluster(4), strategy,
+                                  algorithm=algorithm)
+    print(f"  iteration time: {pristine.iteration_time * 1e3:.3f} ms")
+
+    print("\n=== Step 1: worker 2 crashes mid-synchronization ===")
+    crash_at = pristine.iteration_time * 0.3  # gradients still in flight
+    schedule = FaultSchedule.of(NodeCrash(at=crash_at, node=2))
+    result = simulate_iteration(
+        model, ec2_v100_cluster(4).with_faults(schedule), strategy,
+        algorithm=algorithm, retry_policy=RetryPolicy.aggressive(),
+        heartbeat_timeout_s=2e-3, sync_deadline_s=1.0)
+    report = result.fault_report
+    print(f"  crash injected at:    {crash_at * 1e3:.3f} ms")
+    print(f"  declared dead:        nodes {list(report.declared_dead)}")
+    print(f"  transfer retries:     {report.retries}")
+    print(f"  tasks re-planned:     {report.reassigned_tasks} reassigned, "
+          f"{report.dropped_tasks} dropped with their owner")
+    print(f"  degraded round time:  {result.iteration_time * 1e3:.3f} ms "
+          f"(pristine {pristine.iteration_time * 1e3:.3f} ms)")
+    assert not report.aborted and 2 in report.declared_dead
+
+    check_all(report)  # byte conservation, exactly-once, monotone clocks
+    log = report.state.log
+    print(f"  invariants:           PASS over {len(log)} transfer attempts "
+          f"({log.delivered_bytes / 1e6:.1f} MB delivered, "
+          f"{log.dropped_bytes / 1e6:.1f} MB dropped by faults)")
+
+    print("\n=== Step 2: training continues on the survivors ===")
+    survivors = ec2_v100_cluster(3)  # the membership view minus node 2
+    step2 = simulate_iteration(model, survivors, strategy,
+                               algorithm=algorithm)
+    print(f"  iteration time: {step2.iteration_time * 1e3:.3f} ms "
+          f"(3 nodes, clean)")
+    print("\nCaSync completed the crashed round degraded, and the next "
+          "round clean -- no byte lost, no task double-counted.")
+
+
+if __name__ == "__main__":
+    main()

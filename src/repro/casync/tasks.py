@@ -26,12 +26,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..faults.errors import PeerDeadError, TransferError
+from ..faults.membership import Membership
+from ..faults.retry import RetryPolicy
 from ..gpu import Gpu, GpuSpec
 from ..net import Fabric
 from ..sim import Environment, Event, Store
 
 __all__ = ["Task", "TaskGraph", "NodeEngine", "Coordinator", "run_graph",
-           "COMPUTE_KINDS"]
+           "robust_transfer", "COMPUTE_KINDS"]
 
 #: Task kinds executed on the GPU communication stream.
 COMPUTE_KINDS = ("encode", "decode", "merge", "copy")
@@ -47,7 +50,8 @@ class Task:
 
     __slots__ = ("id", "node", "kind", "label", "duration", "launch_overhead",
                  "nbytes", "out_nbytes", "dst", "bulk", "pending",
-                 "dependents", "completed", "started_at", "finished_at")
+                 "dependents", "completed", "started_at", "finished_at",
+                 "dropped", "attempts")
 
     def __init__(self, node: int, kind: str, label: str = "",
                  duration: float = 0.0, launch_overhead: float = 0.0,
@@ -73,6 +77,11 @@ class Task:
         self.completed: Optional[Event] = None  # set when graph is armed
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: Set by the fault machinery when this task's work was abandoned
+        #: (its completion event still fires so dependents unblock).
+        self.dropped = False
+        #: Transfer attempts made for this task (sends under a RetryPolicy).
+        self.attempts = 0
 
     def __repr__(self) -> str:
         return f"<Task {self.kind} {self.label!r} @node{self.node}>"
@@ -133,6 +142,66 @@ class TaskGraph:
         return [t.completed for t in self.tasks]
 
 
+def robust_transfer(env: Environment, fabric: Fabric, src: int, dst: int,
+                    nbytes: float, policy: RetryPolicy,
+                    membership: Optional[Membership] = None,
+                    degradation: bool = True):
+    """Generator: move ``nbytes`` src->dst with timeout/backoff/retries.
+
+    The robustness contract every fault-tolerant sender shares:
+
+    * each attempt gets an expectation-scaled timeout; a stalled attempt is
+      interrupted (abandoned bytes are logged as dropped by the fabric) and
+      retried after exponential backoff;
+    * attempts that fail with :class:`TransferError` (transient loss,
+      partition, crash) consume the same retry budget;
+    * when the budget for a destination is exhausted, the peer is declared
+      dead in ``membership``; with ``degradation`` the transfer re-routes
+      to the peer's deterministic substitute and starts a fresh budget.
+
+    Returns ``(outcome, final_dst)`` where outcome is ``"delivered"``
+    (bytes arrived at final_dst), ``"local"`` (routing collapsed onto the
+    sender: nothing crosses the wire), or ``"dead"`` (no membership / no
+    degradation to fall back on -- the caller decides whether that aborts
+    the round).
+    """
+    expected = fabric.spec.transfer_time(nbytes)
+    while True:
+        target = membership.route(dst) if membership is not None else dst
+        if target == src:
+            return ("local", target)
+        failures = 0
+        for attempt in range(policy.max_attempts):
+            if membership is not None and not membership.is_alive(target):
+                break  # someone else already declared this peer dead
+
+            def _attempt(fabric=fabric, src=src, target=target, nbytes=nbytes):
+                yield from fabric.transfer(src, target, nbytes)
+
+            xfer = env.process(_attempt(), name=f"xfer:{src}->{target}")
+            timer = env.timeout(policy.attempt_timeout(expected, attempt))
+            try:
+                yield env.any_of([xfer, timer])
+            except TransferError:
+                pass  # this attempt failed outright; back off and retry
+            else:
+                if xfer.triggered and xfer.ok:
+                    return ("delivered", target)
+                if xfer.is_alive:
+                    xfer.interrupt("retry-timeout")
+            failures += 1
+            if membership is not None:
+                membership.suspect(target)
+            if attempt + 1 < policy.max_attempts:
+                yield env.timeout(policy.backoff(failures))
+        if membership is None:
+            return ("dead", target)
+        membership.declare_dead(target)
+        if not degradation:
+            return ("dead", target)
+        # Loop: membership.route now yields the substitute aggregator.
+
+
 class Coordinator:
     """Global bulk-synchronization coordinator (§3.2).
 
@@ -145,13 +214,17 @@ class Coordinator:
 
     def __init__(self, env: Environment, fabric: Fabric,
                  size_threshold: float = 4 * 1024 * 1024,
-                 timeout_s: float = 0.0005):
+                 timeout_s: float = 0.0005,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 membership: Optional[Membership] = None):
         if size_threshold <= 0:
             raise ValueError("size_threshold must be positive")
         if timeout_s <= 0:
             raise ValueError("timeout must be positive")
         self.env = env
         self.fabric = fabric
+        self.retry_policy = retry_policy
+        self.membership = membership
         self.size_threshold = size_threshold
         self.timeout_s = timeout_s
         self._queues: Dict[Tuple[int, int], List[Tuple[Task, float]]] = {}
@@ -181,11 +254,25 @@ class Coordinator:
         self.tasks_batched += len(tasks)
 
         def transfer():
-            yield from self.fabric.transfer(src, dst, nbytes)
+            if self.retry_policy is None:
+                yield from self.fabric.transfer(src, dst, nbytes)
+                outcome = "delivered"
+            else:
+                outcome, _ = yield from robust_transfer(
+                    self.env, self.fabric, src, dst, nbytes,
+                    self.retry_policy, self.membership)
             now = self.env.now
             for task in tasks:
+                if task.completed.triggered:
+                    continue
                 task.finished_at = now
-                task.completed.succeed()
+                if outcome == "dead":
+                    task.completed.fail(PeerDeadError(
+                        src, dst, task.nbytes,
+                        self.retry_policy.max_attempts))
+                else:
+                    task.dropped = outcome == "local"
+                    task.completed.succeed()
 
         self.env.process(transfer(), name=f"bulk:{src}->{dst}")
 
@@ -214,13 +301,26 @@ class NodeEngine:
 
     def __init__(self, env: Environment, node: int, gpu: Gpu, fabric: Fabric,
                  coordinator: Optional[Coordinator] = None,
-                 batch_compression: bool = False):
+                 batch_compression: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 membership: Optional[Membership] = None,
+                 degradation: bool = True):
         self.env = env
         self.node = node
         self.gpu = gpu
         self.fabric = fabric
         self.coordinator = coordinator
         self.batch_compression = batch_compression
+        #: When set, sends run under timeout/backoff/bounded-retry; when
+        #: None, the pristine (pre-fault-subsystem) send path is used.
+        self.retry_policy = retry_policy
+        self.membership = membership
+        self.degradation = degradation
+        self.halted = False
+        #: Tasks stranded on this engine by a crash (swept by the
+        #: degradation controller once the death is *declared*).
+        self.orphans: List[Task] = []
+        self.retries = 0
         self.q_comp: Store = Store(env)
         self.q_cpu: Store = Store(env)
         self.compute_busy = 0.0
@@ -229,8 +329,51 @@ class NodeEngine:
         env.process(self._comp_executor(), name=f"comp-exec@{node}")
         env.process(self._cpu_executor(), name=f"cpu-exec@{node}")
 
+    def halt(self) -> List[Task]:
+        """Fail-stop this engine (ground-truth crash).
+
+        Queued tasks are stranded into :attr:`orphans` -- deliberately NOT
+        completed here: survivors must not observe the crash before their
+        failure detector declares it.  Returns the newly stranded tasks.
+        """
+        self.halted = True
+        stranded = []
+        for queue in (self.q_comp, self.q_cpu):
+            while True:
+                task = queue.try_get()
+                if task is None:
+                    break
+                stranded.append(task)
+        self.orphans.extend(stranded)
+        return stranded
+
+    def resume(self) -> None:
+        """Un-halt after a restart and re-dispatch stranded tasks.
+
+        Tasks the degradation controller already reassigned or dropped
+        while we were down are skipped naturally (reassignment removed
+        them from :attr:`orphans`; drops show as triggered completions).
+        """
+        self.halted = False
+        orphans, self.orphans = self.orphans, []
+        for task in orphans:
+            self.dispatch(task)
+
     def dispatch(self, task: Task) -> None:
         """Route a ready task to the right executor."""
+        if task.completed is not None and task.completed.triggered:
+            return  # already force-completed by the fault machinery
+        if self.halted:
+            if (self.membership is not None
+                    and not self.membership.is_alive(self.node)):
+                # This node is declared dead: the degradation sweep already
+                # ran, so late arrivals drop-complete to unblock dependents.
+                task.dropped = True
+                task.finished_at = self.env.now
+                task.completed.succeed()
+            else:
+                self.orphans.append(task)
+            return
         if task.kind in COMPUTE_KINDS:
             self.q_comp.put(task)
         elif task.kind == "cpu":
@@ -238,6 +381,9 @@ class NodeEngine:
         elif task.kind == "send":
             if task.bulk and self.coordinator is not None:
                 self.coordinator.submit(task)
+            elif self.retry_policy is not None:
+                self.env.process(self._robust_send(task),
+                                 name=f"send@{self.node}:{task.label}")
             else:
                 self.env.process(self._send(task),
                                  name=f"send@{self.node}:{task.label}")
@@ -252,21 +398,92 @@ class NodeEngine:
         yield from self.fabric.transfer(task.node, task.dst, task.nbytes)
         task.finished_at = self.env.now
         self.send_busy += task.finished_at - task.started_at
-        task.completed.succeed()
+        if not task.completed.triggered:
+            task.completed.succeed()
+
+    def _robust_send(self, task: Task):
+        """Fault-tolerant send: retry/timeout, then degrade or abort."""
+        task.started_at = self.env.now
+        before = task.attempts
+        outcome, final_dst = yield from self._counted_robust_transfer(task)
+        task.finished_at = self.env.now
+        self.send_busy += task.finished_at - task.started_at
+        if task.completed.triggered:
+            return  # force-completed while we were retrying
+        if outcome == "dead":
+            task.completed.fail(PeerDeadError(
+                self.node, final_dst, task.nbytes, task.attempts - before))
+        else:
+            task.dropped = outcome == "local"
+            task.completed.succeed()
+
+    def _counted_robust_transfer(self, task: Task):
+        policy = self.retry_policy
+        membership = self.membership
+        env = self.env
+        fabric = self.fabric
+        expected = fabric.spec.transfer_time(task.nbytes)
+        dst = task.dst
+        while True:
+            target = membership.route(dst) if membership is not None else dst
+            if target == self.node:
+                return ("local", target)
+            failures = 0
+            for attempt in range(policy.max_attempts):
+                if task.completed.triggered:
+                    return ("forced", target)
+                if membership is not None and not membership.is_alive(target):
+                    break
+
+                def _attempt(src=self.node, target=target, nbytes=task.nbytes):
+                    yield from fabric.transfer(src, target, nbytes)
+
+                task.attempts += 1
+                xfer = env.process(
+                    _attempt(), name=f"xfer@{self.node}:{task.label}")
+                timer = env.timeout(policy.attempt_timeout(expected, attempt))
+                try:
+                    yield env.any_of([xfer, timer])
+                except TransferError:
+                    pass
+                else:
+                    if xfer.triggered and xfer.ok:
+                        return ("delivered", target)
+                    if xfer.is_alive:
+                        xfer.interrupt("retry-timeout")
+                failures += 1
+                self.retries += 1
+                if membership is not None:
+                    membership.suspect(target)
+                if attempt + 1 < policy.max_attempts:
+                    yield env.timeout(policy.backoff(failures))
+            if membership is None:
+                return ("dead", target)
+            membership.declare_dead(target)
+            if not self.degradation:
+                return ("dead", target)
+            # Loop around: membership.route(dst) now names the substitute.
 
     def _cpu_executor(self):
         """Serial host-CPU worker (BytePS-style server aggregation)."""
         while True:
             task = yield self.q_cpu.get()
+            if self.halted:
+                self.orphans.append(task)
+                continue
             task.started_at = self.env.now
             yield self.env.timeout(task.duration)
             task.finished_at = self.env.now
             self.cpu_busy += task.duration
-            task.completed.succeed()
+            if not task.completed.triggered:
+                task.completed.succeed()
 
     def _comp_executor(self):
         while True:
             first = yield self.q_comp.get()
+            if self.halted:
+                self.orphans.append(first)
+                continue
             batch = [first]
             if self.batch_compression:
                 total = first.nbytes
@@ -290,7 +507,8 @@ class NodeEngine:
             self.compute_busy += now - start
             for task in batch:
                 task.finished_at = now
-                task.completed.succeed()
+                if not task.completed.triggered:
+                    task.completed.succeed()
 
 
 def run_graph(env: Environment, graph: TaskGraph,

@@ -9,7 +9,9 @@ network.  The two profiles mirror the paper's §6.1 machine configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
+from ..faults.schedule import FaultSchedule
 from ..gpu import GTX1080TI, GpuSpec, V100
 from ..net import NetworkSpec
 
@@ -86,10 +88,16 @@ class ClusterSpec:
     num_nodes: int
     node: NodeSpec
     network: NetworkSpec
+    #: Optional fault schedule experiments replay against this cluster
+    #: (None -- the default -- keeps every simulation on the pristine,
+    #: fault-free code path).
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self):
         if self.num_nodes < 1:
             raise ValueError("need at least one node")
+        if self.faults is not None:
+            self.faults.validate_for(self.num_nodes)
 
     @property
     def total_gpus(self) -> int:
@@ -103,6 +111,10 @@ class ClusterSpec:
         """Same cluster with a different network (for Fig. 12a sweeps)."""
         return replace(self, network=replace(
             self.network, bandwidth_gbps=bandwidth_gbps))
+
+    def with_faults(self, schedule: Optional[FaultSchedule]) -> "ClusterSpec":
+        """Same cluster with a fault schedule attached (None removes it)."""
+        return replace(self, faults=schedule)
 
 
 def ec2_v100_cluster(num_nodes: int = 16,

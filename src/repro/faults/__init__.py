@@ -1,0 +1,92 @@
+"""Deterministic fault injection for the synchronization simulator.
+
+The subsystem splits cleanly into ground truth vs. belief vs. policy:
+
+* :mod:`~repro.faults.schedule` -- seed-driven, declarative fault
+  schedules (what breaks, when);
+* :mod:`~repro.faults.injector` -- replays a schedule against a live run
+  and keeps the :class:`FaultState` ground truth plus the byte ledger;
+* :mod:`~repro.faults.membership` -- the runtime's *belief* about peer
+  liveness, with deterministic dead-node substitution (``route``);
+* :mod:`~repro.faults.retry` -- timeout / backoff / retry-budget policy
+  for robust transfers;
+* :mod:`~repro.faults.runner` -- degradation-aware graph execution that
+  completes or raises a typed :class:`SyncAborted`;
+* :mod:`~repro.faults.invariants` -- the safety checks every chaos test
+  asserts over the resulting trace.
+
+Import-order note: :mod:`repro.casync.tasks` imports from this package,
+so nothing here may import ``repro.casync`` (or ``repro.net`` /
+``repro.training``, which reach it) at module level.
+"""
+
+from .errors import (
+    DeadlineExceeded,
+    FaultError,
+    PeerDeadError,
+    SyncAborted,
+    TransferError,
+)
+from .invariants import (
+    InvariantViolation,
+    check_all,
+    check_byte_conservation,
+    check_drain_or_raise,
+    check_exactly_once,
+    check_monotone_clocks,
+)
+from .membership import Membership
+from .retry import RetryPolicy
+from .runner import (
+    CompletionRecord,
+    DegradationController,
+    RobustSyncReport,
+    run_graph_robust,
+)
+from .schedule import (
+    FaultEvent,
+    FaultSchedule,
+    GpuSlowdown,
+    LinkDegrade,
+    LinkPartition,
+    LinkRestore,
+    NodeCrash,
+    NodeRestart,
+    TransientSendFailure,
+    random_schedule,
+)
+from .injector import FaultInjector, FaultState, TransferLog, TransferRecord
+
+__all__ = [
+    "CompletionRecord",
+    "DeadlineExceeded",
+    "DegradationController",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultState",
+    "GpuSlowdown",
+    "InvariantViolation",
+    "LinkDegrade",
+    "LinkPartition",
+    "LinkRestore",
+    "Membership",
+    "NodeCrash",
+    "NodeRestart",
+    "PeerDeadError",
+    "RetryPolicy",
+    "RobustSyncReport",
+    "SyncAborted",
+    "TransferError",
+    "TransferLog",
+    "TransferRecord",
+    "TransientSendFailure",
+    "check_all",
+    "check_byte_conservation",
+    "check_drain_or_raise",
+    "check_exactly_once",
+    "check_monotone_clocks",
+    "random_schedule",
+    "run_graph_robust",
+]

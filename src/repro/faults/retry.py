@@ -1,0 +1,85 @@
+"""Retry policy: per-transfer timeouts with bounded exponential backoff.
+
+One policy object parameterizes every robust send in an iteration.  All
+choices are deterministic -- no jitter -- because the simulator's value is
+reproducibility: a flaky schedule must shrink to a minimal failing case.
+(Real deployments would add jitter; the discrete-event model serializes
+contention explicitly, so synchronized retries cannot livelock here.)
+
+The per-attempt timeout is *expectation-scaled*: ``timeout_factor`` times
+the uncontended transfer time for that message size, floored by
+``min_timeout_s``.  A 1 KB control message therefore times out in
+microseconds while a 512 MB bucket gets seconds, without any per-site
+tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout / backoff / retry-budget knobs for robust transfers.
+
+    max_attempts: total tries per logical transfer (first try included).
+    timeout_factor: per-attempt timeout as a multiple of the uncontended
+        expected transfer time (must cover queueing behind healthy peers;
+        8x is conservative for the bursty sync phase).
+    min_timeout_s: floor so latency-bound small messages are not declared
+        lost by scheduling noise.
+    backoff_base_s: wait after the first failed attempt.
+    backoff_factor: multiplier per subsequent failure (exponential).
+    backoff_cap_s: upper bound on a single backoff wait.
+    """
+
+    max_attempts: int = 4
+    timeout_factor: float = 8.0
+    min_timeout_s: float = 2e-3
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 50e-3
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_factor <= 0:
+            raise ValueError("timeout_factor must be positive")
+        if self.min_timeout_s <= 0:
+            raise ValueError("min_timeout_s must be positive")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def attempt_timeout(self, expected_s: float, attempt: int) -> float:
+        """Timeout for ``attempt`` (0-based) of a transfer expected to take
+        ``expected_s`` uncontended.  Later attempts get linearly more slack:
+        a congested-but-alive peer should be waited out, not declared dead.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        base = max(self.min_timeout_s, self.timeout_factor * expected_s)
+        return base * (1 + attempt)
+
+    def backoff(self, failures: int) -> float:
+        """Wait before the retry following the ``failures``-th failure
+        (1-based: after the first failure pass 1)."""
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        wait = self.backoff_base_s * self.backoff_factor ** (failures - 1)
+        return min(wait, self.backoff_cap_s)
+
+    @classmethod
+    def aggressive(cls) -> "RetryPolicy":
+        """Fail fast: chaos tests that want quick dead declarations."""
+        return cls(max_attempts=2, timeout_factor=4.0, min_timeout_s=5e-4,
+                   backoff_base_s=2e-4, backoff_cap_s=2e-3)
+
+    @classmethod
+    def patient(cls) -> "RetryPolicy":
+        """Ride out long partitions before giving up on a peer."""
+        return cls(max_attempts=6, timeout_factor=16.0, min_timeout_s=5e-3,
+                   backoff_base_s=5e-3, backoff_cap_s=200e-3)

@@ -1,0 +1,273 @@
+"""Fault-tolerant task-graph execution: degradation, deadlines, reporting.
+
+:func:`run_graph_robust` is the chaos-ready sibling of
+:func:`repro.casync.tasks.run_graph`.  Beyond arming and draining the
+graph it provides:
+
+* a **failure detector**: peers declare a node dead when their retry
+  budget for it is exhausted (fed by the engines' robust sends), or when
+  the heartbeat timeout elapses after a ground-truth crash;
+* **graceful degradation**: on a declared death the
+  :class:`DegradationController` re-plans the dead node's aggregation
+  duties onto its deterministic substitute and drops work that died with
+  the node (a dead worker's own contribution), so the surviving workers
+  still finish the round;
+* a **deadline**: the round either completes or raises a typed
+  :class:`~repro.faults.errors.SyncAborted` -- it can never hang forever;
+* a **completion ledger** every invariant check reads.
+
+This module deliberately duck-types the task graph (no import of
+``repro.casync``) so the two packages stay import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim import Environment, Event, SimulationError
+from .errors import DeadlineExceeded, FaultError, SyncAborted
+from .membership import Membership
+
+__all__ = ["run_graph_robust", "DegradationController", "RobustSyncReport",
+           "CompletionRecord"]
+
+#: Task kinds a surviving substitute can take over from a dead node.
+_REASSIGNABLE_KINDS = ("encode", "decode", "merge", "copy", "cpu")
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One task's completion, as observed by the runner's ledger."""
+
+    task_id: int
+    at: float
+    node: int
+    kind: str
+    label: str
+    ok: bool
+    dropped: bool
+
+
+@dataclass
+class RobustSyncReport:
+    """Everything a chaos test wants to assert about one robust round."""
+
+    finish_time: float = 0.0
+    completions: List[CompletionRecord] = field(default_factory=list)
+    reassigned_tasks: int = 0
+    dropped_tasks: int = 0
+    declared_dead: Tuple[int, ...] = ()
+    retries: int = 0
+    aborted: bool = False
+    abort_reason: str = ""
+    #: The executed graph and the injector's FaultState, attached so the
+    #: invariant checker can audit a round from the report alone.
+    graph: Any = None
+    state: Any = None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.declared_dead) or self.dropped_tasks > 0
+
+
+class DegradationController:
+    """Re-plans a graph around declared deaths.
+
+    On ``membership.declare_dead(d)``:
+
+    * compute/CPU tasks hosted on ``d`` whose inputs survived are
+      *reassigned* to ``route(d)`` -- the dead aggregator's partitions are
+      aggregated by its substitute over the surviving workers;
+    * sends from ``d``, notifies on ``d``, and tasks whose inputs died
+      with ``d`` (an unfired ready-event of a dead node) are *dropped*:
+      their completion events fire so dependents unblock, with the task
+      marked ``dropped`` for the trace and the invariant checker;
+    * in-flight sends *to* ``d`` re-route themselves (the engines consult
+      ``membership.route`` on every attempt), so no action is needed here.
+    """
+
+    def __init__(self, env: Environment, graph: Any,
+                 engines: Sequence[Any], membership: Membership,
+                 node_events: Optional[Dict[int, Iterable[Event]]] = None,
+                 enabled: bool = True):
+        self.env = env
+        self.graph = graph
+        self.engines = {e.node: e for e in engines}
+        self.membership = membership
+        self.node_events = {n: list(evs)
+                            for n, evs in (node_events or {}).items()}
+        self.enabled = enabled
+        self.reassigned = 0
+        self.dropped = 0
+        membership.on_death(self._on_death)
+
+    # -- death handling ---------------------------------------------------
+
+    def _on_death(self, node: int) -> None:
+        engine = self.engines.get(node)
+        if engine is not None and not engine.halted:
+            # Declared dead before (or without) a ground-truth crash: stop
+            # executing on it anyway -- the cluster has excommunicated it.
+            engine.halt()
+        dead_inputs = self._unfired_events_of_dead_nodes()
+        deps = getattr(self.graph, "_deps", {})
+        try:
+            substitute = self.membership.route(node) if self.enabled else None
+        except RuntimeError:
+            substitute = None  # everyone is dead; just drop
+        for task in self.graph.tasks:
+            if task.completed is None or task.completed.triggered:
+                continue
+            if task.node != node:
+                continue
+            salvageable = (
+                substitute is not None
+                and task.kind in _REASSIGNABLE_KINDS
+                and not self._needs_dead_input(deps.get(task.id, ()),
+                                               dead_inputs))
+            if salvageable:
+                self._reassign(task, substitute, engine)
+            else:
+                self._drop(task)
+
+    def _unfired_events_of_dead_nodes(self) -> set:
+        dead = set()
+        for node in self.membership.dead():
+            for event in self.node_events.get(node, ()):
+                if not event.triggered:
+                    dead.add(id(event))
+        return dead
+
+    @staticmethod
+    def _needs_dead_input(deps: Iterable[Any], dead_inputs: set) -> bool:
+        # Only raw Events (a node's local gradient-ready signal) can die
+        # with their node; Task deps re-plan via their own _on_death pass.
+        return any(id(dep) in dead_inputs for dep in deps
+                   if isinstance(dep, Event))
+
+    def _reassign(self, task: Any, substitute: int, engine: Any) -> None:
+        task.node = substitute
+        self.reassigned += 1
+        if engine is not None and task in engine.orphans:
+            # Already dispatched to the dead engine: hand it straight to
+            # the substitute.  Undispatched tasks re-route on their own
+            # (arm()'s dispatch closure reads task.node at fire time).
+            engine.orphans.remove(task)
+            self.engines[substitute].dispatch(task)
+
+    def _drop(self, task: Any) -> None:
+        task.dropped = True
+        task.finished_at = self.env.now
+        self.dropped += 1
+        task.completed.succeed()
+
+
+def run_graph_robust(env: Environment, graph: Any, engines: Sequence[Any],
+                     membership: Membership,
+                     injector: Optional[Any] = None,
+                     deadline_s: Optional[float] = None,
+                     degradation: bool = True,
+                     heartbeat_timeout_s: float = 0.02,
+                     node_events: Optional[Dict[int, Iterable[Event]]] = None
+                     ) -> RobustSyncReport:
+    """Arm and execute ``graph`` under faults; completes or raises SyncAborted.
+
+    The returned :class:`RobustSyncReport` carries the completion ledger
+    (for the invariant checker), degradation counters, and the finish
+    time.  On abort the same report is attached to the raised
+    :class:`SyncAborted` as ``exc.report``.
+    """
+    report = RobustSyncReport(
+        graph=graph, state=injector.state if injector is not None else None)
+    controller = DegradationController(env, graph, engines, membership,
+                                       node_events=node_events,
+                                       enabled=degradation)
+
+    completions = graph.arm(list(engines))
+    for task in graph.tasks:
+        def _record(event, task=task):
+            report.completions.append(CompletionRecord(
+                task_id=task.id, at=env.now, node=task.node, kind=task.kind,
+                label=task.label, ok=bool(event.ok),
+                dropped=bool(task.dropped)))
+
+        if task.completed.callbacks is not None:
+            task.completed.callbacks.append(_record)
+
+    if injector is not None and heartbeat_timeout_s is not None:
+        def _detect(node: int) -> None:
+            def detector():
+                yield env.timeout(heartbeat_timeout_s)
+                # A fast restart beats the heartbeat: no declaration.
+                if injector.state.is_dead(node):
+                    membership.declare_dead(node)
+
+            env.process(detector(), name=f"heartbeat-detector@{node}")
+
+        injector.on_crash(_detect)
+        # Crashes that already happened (e.g. the graph is armed mid-run)
+        # get a detector too.
+        for node in sorted(injector.state.dead):
+            _detect(node)
+
+    def _unfinished() -> Tuple[str, ...]:
+        return tuple(f"{t.kind}:{t.label}@{t.node}" for t in graph.tasks
+                     if t.completed is not None
+                     and not t.completed.triggered)
+
+    def waiter():
+        barrier = env.all_of(completions)
+        try:
+            if deadline_s is None:
+                yield barrier
+            else:
+                timer = env.timeout(deadline_s)
+                yield env.any_of([barrier, timer])
+                if not (barrier.triggered and barrier.ok):
+                    raise DeadlineExceeded(deadline_s, env.now,
+                                           unfinished=_unfinished())
+        except SyncAborted:
+            raise
+        except FaultError as exc:
+            raise SyncAborted("a peer died and degradation is disabled"
+                              if not degradation else
+                              "unrecoverable fault during synchronization",
+                              env.now, cause=exc,
+                              unfinished=_unfinished()) from exc
+        return env.now
+
+    process = env.process(waiter(), name="robust-graph-waiter")
+    try:
+        finish = env.run_until_complete(process)
+    except SyncAborted as exc:
+        report.aborted = True
+        report.abort_reason = exc.reason
+        report.finish_time = env.now
+        _finalize(report, engines, membership, controller)
+        exc.report = report
+        raise
+    except SimulationError as exc:
+        # The agenda drained with the round incomplete: a deadlock.  The
+        # typed-abort contract holds even for robustness-machinery bugs.
+        report.aborted = True
+        report.abort_reason = f"deadlock: {exc}"
+        report.finish_time = env.now
+        _finalize(report, engines, membership, controller)
+        aborted = SyncAborted("deadlock", env.now, cause=exc,
+                              unfinished=_unfinished())
+        aborted.report = report
+        raise aborted from exc
+
+    report.finish_time = finish
+    _finalize(report, engines, membership, controller)
+    return report
+
+
+def _finalize(report: RobustSyncReport, engines: Sequence[Any],
+              membership: Membership,
+              controller: DegradationController) -> None:
+    report.reassigned_tasks = controller.reassigned
+    report.dropped_tasks = sum(1 for rec in report.completions if rec.dropped)
+    report.declared_dead = membership.dead()
+    report.retries = sum(getattr(e, "retries", 0) for e in engines)

@@ -1,0 +1,320 @@
+"""Deterministic, seed-driven fault schedules.
+
+A :class:`FaultSchedule` is an immutable, time-ordered list of fault events
+-- the *ground truth* of what goes wrong in a simulated cluster.  It is
+data, not behaviour: the :class:`~repro.faults.injector.FaultInjector`
+replays it against a live simulation.  Two runs with the same schedule (and
+the same workload seed) produce byte-identical event traces, which is what
+makes chaos tests reproducible and shrinkable.
+
+Schedules come from three places:
+
+* hand-written lists of events (targeted regression scenarios);
+* :func:`random_schedule` -- a seeded generator drawing crash / partition /
+  degradation / transient-loss / straggler events from tunable rates;
+* experiment configs via ``ClusterSpec.with_faults``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "FaultEvent",
+    "NodeCrash",
+    "NodeRestart",
+    "LinkDegrade",
+    "LinkPartition",
+    "LinkRestore",
+    "TransientSendFailure",
+    "GpuSlowdown",
+    "FaultSchedule",
+    "random_schedule",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something happens at simulated time ``at`` (seconds)."""
+
+    at: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+
+    def involves(self, node: int) -> bool:
+        """Whether this event touches ``node`` (for per-node filtering)."""
+        return False
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Node ``node`` fail-stops: its engine halts, its NIC goes dark."""
+
+    node: int = 0
+
+    def involves(self, node: int) -> bool:
+        return node == self.node
+
+
+@dataclass(frozen=True)
+class NodeRestart(FaultEvent):
+    """A previously crashed node comes back (it rejoins *future* rounds;
+    peers that already declared it dead do not re-admit it mid-round)."""
+
+    node: int = 0
+
+    def involves(self, node: int) -> bool:
+        return node == self.node
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultEvent):
+    """The (src, dst) direction serializes ``factor`` x slower.
+
+    ``factor`` 1.0 restores full speed; values > 1 model congestion,
+    retransmission storms, or a flapping switch port.
+    """
+
+    src: int = 0
+    dst: int = 0
+    factor: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1, got {self.factor}")
+        if self.src == self.dst:
+            raise ValueError("cannot degrade a loopback link")
+
+    def involves(self, node: int) -> bool:
+        return node in (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class LinkPartition(FaultEvent):
+    """The (src, dst) direction drops everything until a LinkRestore."""
+
+    src: int = 0
+    dst: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.src == self.dst:
+            raise ValueError("cannot partition a loopback link")
+
+    def involves(self, node: int) -> bool:
+        return node in (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class LinkRestore(FaultEvent):
+    """Heals a LinkPartition and resets any LinkDegrade on (src, dst)."""
+
+    src: int = 0
+    dst: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.src == self.dst:
+            raise ValueError("cannot restore a loopback link")
+
+    def involves(self, node: int) -> bool:
+        return node in (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class TransientSendFailure(FaultEvent):
+    """The next ``count`` transfers on (src, dst) issued at/after ``at``
+    fail mid-flight (bytes on the wire are lost and accounted as dropped).
+    """
+
+    src: int = 0
+    dst: int = 0
+    count: int = 1
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.src == self.dst:
+            raise ValueError("loopback transfers cannot fail")
+
+    def involves(self, node: int) -> bool:
+        return node in (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class GpuSlowdown(FaultEvent):
+    """Node ``node``'s GPU runs ``factor`` x slower for ``duration`` seconds
+    (``duration`` None means for the rest of the run) -- the straggler that
+    BSP turns into a cluster-wide stall (§2.1).
+    """
+
+    node: int = 0
+    factor: float = 1.0
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {self.factor}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def involves(self, node: int) -> bool:
+        return node == self.node
+
+
+def _max_node(event: FaultEvent) -> int:
+    if isinstance(event, (NodeCrash, NodeRestart, GpuSlowdown)):
+        return event.node
+    if isinstance(event, (LinkDegrade, LinkPartition, LinkRestore,
+                          TransientSendFailure)):
+        return max(event.src, event.dst)
+    return -1
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-sorted sequence of fault events.
+
+    Sorting is stable on (time, original position), so schedules built from
+    the same event list always replay identically -- the determinism the
+    regression tests lock in.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        # Stable sort by time, preserving authoring order within a tick.
+        decorated = sorted(enumerate(self.events), key=lambda p: (p[1].at, p[0]))
+        object.__setattr__(self, "events", tuple(ev for _, ev in decorated))
+
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        return cls(())
+
+    @classmethod
+    def of(cls, *events: FaultEvent) -> "FaultSchedule":
+        return cls(tuple(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled event (0.0 when empty)."""
+        return self.events[-1].at if self.events else 0.0
+
+    def validate_for(self, num_nodes: int) -> "FaultSchedule":
+        """Raise if any event references a node outside [0, num_nodes)."""
+        for event in self.events:
+            top = _max_node(event)
+            if top >= num_nodes:
+                raise ValueError(
+                    f"{event!r} references node {top}, but the cluster has "
+                    f"only {num_nodes} nodes")
+        return self
+
+    def crashes(self) -> Tuple[NodeCrash, ...]:
+        return tuple(e for e in self.events if isinstance(e, NodeCrash))
+
+    def involving(self, node: int) -> "FaultSchedule":
+        return FaultSchedule(tuple(e for e in self.events if e.involves(node)))
+
+    def shifted(self, delta: float) -> "FaultSchedule":
+        """The same faults, ``delta`` seconds later (delta may not push any
+        event before t=0)."""
+        moved = []
+        for event in self.events:
+            kwargs = {f: getattr(event, f)
+                      for f in event.__dataclass_fields__}
+            kwargs["at"] = event.at + delta
+            moved.append(type(event)(**kwargs))
+        return FaultSchedule(tuple(moved))
+
+
+def random_schedule(seed: int, num_nodes: int, horizon: float,
+                    crash_rate: float = 0.2,
+                    partition_rate: float = 0.3,
+                    degrade_rate: float = 0.5,
+                    transient_rate: float = 1.0,
+                    straggler_rate: float = 0.3,
+                    restart_probability: float = 0.5,
+                    max_events: int = 32) -> FaultSchedule:
+    """Draw a deterministic fault schedule from ``seed``.
+
+    Rates are expected event counts over ``horizon`` (a Poisson-ish model:
+    each candidate type draws ``Poisson(rate)`` capped by ``max_events``).
+    The same (seed, parameters) always yields the same schedule -- the
+    generator never consults global randomness or wall-clock time.
+    """
+    if num_nodes < 2:
+        raise ValueError("fault schedules need at least 2 nodes")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+
+    def draw_count(rate: float) -> int:
+        # Knuth's Poisson sampler is deterministic under random.Random.
+        if rate <= 0:
+            return 0
+        limit = pow(2.718281828459045, -rate)
+        k, p = 0, 1.0
+        while True:
+            p *= rng.random()
+            if p <= limit:
+                return min(k, max_events)
+            k += 1
+
+    def pick_link() -> Tuple[int, int]:
+        src = rng.randrange(num_nodes)
+        dst = rng.randrange(num_nodes - 1)
+        if dst >= src:
+            dst += 1
+        return src, dst
+
+    for _ in range(draw_count(crash_rate)):
+        node = rng.randrange(num_nodes)
+        at = rng.uniform(0, horizon)
+        events.append(NodeCrash(at=at, node=node))
+        if rng.random() < restart_probability:
+            events.append(NodeRestart(
+                at=at + rng.uniform(0.05, 0.5) * horizon, node=node))
+
+    for _ in range(draw_count(partition_rate)):
+        src, dst = pick_link()
+        at = rng.uniform(0, horizon * 0.8)
+        events.append(LinkPartition(at=at, src=src, dst=dst))
+        events.append(LinkRestore(
+            at=at + rng.uniform(0.02, 0.3) * horizon, src=src, dst=dst))
+
+    for _ in range(draw_count(degrade_rate)):
+        src, dst = pick_link()
+        events.append(LinkDegrade(at=rng.uniform(0, horizon), src=src,
+                                  dst=dst, factor=rng.uniform(1.5, 16.0)))
+
+    for _ in range(draw_count(transient_rate)):
+        src, dst = pick_link()
+        events.append(TransientSendFailure(
+            at=rng.uniform(0, horizon), src=src, dst=dst,
+            count=rng.randint(1, 3)))
+
+    for _ in range(draw_count(straggler_rate)):
+        events.append(GpuSlowdown(
+            at=rng.uniform(0, horizon * 0.5), node=rng.randrange(num_nodes),
+            factor=rng.uniform(1.5, 8.0),
+            duration=rng.uniform(0.1, 0.6) * horizon))
+
+    return FaultSchedule(tuple(events))

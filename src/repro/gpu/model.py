@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..sim import Environment, Resource
+from ..sim import Environment, Interrupt, Resource
 
 __all__ = ["GpuSpec", "Gpu", "IntervalLog", "V100", "GTX1080TI"]
 
@@ -141,6 +141,10 @@ class Gpu:
         self.compute = Resource(env, capacity=1)
         self.comm_stream = Resource(env, capacity=1)
         self.log = IntervalLog()
+        #: Multiplier applied to every kernel's duration while > 1 -- the
+        #: fault injector's straggler model (thermal throttling, a noisy
+        #: neighbour, ECC scrubbing).  Exactly 1.0 means pristine timing.
+        self.slowdown = 1.0
 
     def run_compute(self, seconds: float, category: str = "compute"):
         """Generator: occupy the compute stream for ``seconds``."""
@@ -154,8 +158,16 @@ class Gpu:
         if seconds < 0:
             raise ValueError(f"negative duration {seconds}")
         req = stream.request()
-        yield req
-        start = self.env.now
-        yield self.env.timeout(seconds)
+        try:
+            yield req
+            start = self.env.now
+            if self.slowdown != 1.0:
+                seconds *= self.slowdown
+            yield self.env.timeout(seconds)
+        except Interrupt:
+            # A crash mid-kernel must not leak the stream: a restarted
+            # node's recovery pass re-acquires it.
+            stream.cancel(req)
+            raise
         stream.release(req)
         self.log.record(start, self.env.now, category)

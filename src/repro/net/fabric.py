@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Tuple
 
-from ..sim import Environment, Store
+from ..sim import Environment, Interrupt, Store
 
 __all__ = ["NetworkSpec", "Nic", "Fabric", "Message", "TransferStats"]
 
@@ -128,6 +128,10 @@ class Fabric:
         self.nics = [Nic(env, spec) for _ in range(num_nodes)]
         self._mailboxes: Dict[Tuple[int, Hashable], Store] = {}
         self.stats = TransferStats()
+        #: Optional :class:`~repro.faults.injector.FaultState` attached by a
+        #: FaultInjector.  None means the pristine (and byte-identical to
+        #: the pre-fault-subsystem) transfer path.
+        self.faults = None
 
     # -- timing-only transfers -------------------------------------------
 
@@ -143,6 +147,9 @@ class Fabric:
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         if src == dst:
+            return
+        if self.faults is not None:
+            yield from self._transfer_faulty(src, dst, nbytes)
             return
         env = self.env
         sender, receiver = self.nics[src], self.nics[dst]
@@ -161,6 +168,69 @@ class Fabric:
         finish = max(up_finish, down_finish)
         yield env.timeout(finish + self.spec.latency_s - env.now)
         self.stats.record(src, nbytes)
+
+    def _transfer_faulty(self, src: int, dst: int, nbytes: float):
+        """The transfer path when a FaultState is attached.
+
+        Semantics of the fault model:
+
+        * a partitioned link (or a dead destination) *stalls* the transfer
+          -- like TCP retransmitting into a black hole -- until the link is
+          restored, the node restarts, or the caller's timeout interrupts
+          the wait;
+        * a transient failure consumes half the serialization time on the
+          sender's uplink, then loses the bytes (recorded as dropped);
+        * a degraded link stretches serialization by the degradation
+          factor;
+        * a destination that dies while bytes are in flight drops them at
+          delivery time;
+        * an interrupted (abandoned-by-timeout) attempt records its bytes
+          as dropped before re-raising, so conservation still balances.
+
+        With an attached-but-quiescent FaultState (empty schedule) this
+        path performs the identical event sequence to the pristine one, so
+        timing and trace hashes match exactly.
+        """
+        from ..faults.errors import TransferError  # local: avoids a cycle
+
+        env = self.env
+        faults = self.faults
+        record = faults.log.begin(env.now, src, dst, nbytes)
+        try:
+            while faults.blocked(src, dst):
+                yield faults.wait_event(src, dst)
+            if faults.is_dead(src):
+                record.drop(env.now, "src-dead")
+                raise TransferError(src, dst, nbytes, "source node is dead")
+            sender, receiver = self.nics[src], self.nics[dst]
+            serialize = (nbytes / self.spec.bytes_per_second
+                         * faults.link_factor(src, dst))
+            if faults.take_transient(src, dst):
+                partial = serialize * 0.5
+                up_finish = max(env.now, sender.up_free) + partial
+                sender.up_free = up_finish
+                sender.up_busy += partial
+                yield env.timeout(up_finish - env.now)
+                record.drop(env.now, "transient")
+                raise TransferError(src, dst, nbytes,
+                                    "transient send failure")
+            up_finish = max(env.now, sender.up_free) + serialize
+            down_finish = max(env.now, receiver.down_free) + serialize
+            sender.up_free = up_finish
+            receiver.down_free = down_finish
+            sender.up_busy += serialize
+            receiver.down_busy += serialize
+            finish = max(up_finish, down_finish)
+            yield env.timeout(finish + self.spec.latency_s - env.now)
+            if faults.is_dead(dst):
+                record.drop(env.now, "dst-dead")
+                raise TransferError(src, dst, nbytes,
+                                    "destination crashed in flight")
+            self.stats.record(src, nbytes)
+            record.deliver(env.now)
+        except Interrupt:
+            record.drop(env.now, "abandoned")
+            raise
 
     # -- tagged message passing ------------------------------------------
 

@@ -56,7 +56,8 @@ class Event:
     waiting processes resume.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed",
+                 "_defused")
 
     #: Sentinel meaning "no value yet".
     PENDING = object()
@@ -68,6 +69,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._processed = False
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -82,6 +84,21 @@ class Event:
     @property
     def ok(self) -> Optional[bool]:
         return self._ok
+
+    @property
+    def defused(self) -> bool:
+        """True if a failure of this event should not crash the simulation.
+
+        Set when the only waiter was detached (e.g. by an
+        :class:`Interrupt`), so the event's exception has no consumer left
+        by design rather than by accident.
+        """
+        return self._defused
+
+    def defuse(self) -> "Event":
+        """Mark this event's (potential) failure as deliberately unobserved."""
+        self._defused = True
+        return self
 
     @property
     def value(self) -> Any:
@@ -179,12 +196,18 @@ class Process(Event):
             return
         if isinstance(event, _InterruptEvent):
             # Detach from whatever we were waiting on; a later firing of that
-            # stale target must not resume us a second time.
-            if self._target is not None and self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+            # stale target must not resume us a second time.  The abandoned
+            # target is also *defused*: if it later fails (e.g. an AllOf
+            # whose member raises after we stopped listening), the exception
+            # has deliberately lost its consumer and must not crash the
+            # simulation from Environment.step.
+            if self._target is not None:
+                self._target._defused = True
+                if self._target.callbacks is not None:
+                    try:
+                        self._target.callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
         elif self._target is not None and event is not self._target:
             return  # stale wakeup
         self._target = None
@@ -337,7 +360,8 @@ class Environment:
         event._processed = True
         for callback in callbacks:
             callback(event)
-        if not event._ok and not callbacks and not isinstance(event, Process):
+        if (not event._ok and not callbacks and not event._defused
+                and not isinstance(event, Process)):
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:

@@ -76,6 +76,24 @@ class Resource:
             if self._in_use < 0:
                 raise SimulationError("release() without a matching request")
 
+    def cancel(self, request: Request) -> None:
+        """Withdraw a claim, e.g. when the requester is interrupted.
+
+        A still-queued request is removed (and defused: its grant will
+        never be consumed); a granted one is released.  Safe to call
+        exactly once per request in an interrupt handler.
+        """
+        if request.resource is not self:
+            raise SimulationError("cancel() with a foreign request")
+        if request.triggered:
+            self.release(request)
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+            request.defuse()
+
     def acquire(self):
         """Generator helper: ``req = yield from resource.acquire()``."""
         req = self.request()

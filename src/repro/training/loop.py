@@ -24,10 +24,19 @@ from ..casync.planner import CostModel, GradientPlan, SelectivePlanner
 from ..casync.memory import peak_buffer_memory
 from ..casync.tasks import Coordinator, NodeEngine, TaskGraph, run_graph
 from ..cluster import ClusterSpec
+from ..faults import (
+    FaultInjector,
+    FaultSchedule,
+    Membership,
+    NodeRestart,
+    RetryPolicy,
+    RobustSyncReport,
+    run_graph_robust,
+)
 from ..gpu import Gpu
 from ..models import ModelSpec
 from ..net import Fabric
-from ..sim import Environment
+from ..sim import Environment, Interrupt
 from ..strategies.base import Strategy, SyncContext
 
 __all__ = ["IterationResult", "simulate_iteration", "scaling_efficiency"]
@@ -61,6 +70,9 @@ class IterationResult:
     #: Peak simultaneous communication-buffer bytes on the busiest node
     #: (§5's memory-frugality claim, from repro.casync.memory).
     peak_comm_buffer_bytes: float = 0.0
+    #: Robust-execution report when the iteration ran under fault
+    #: injection (None on the pristine path).
+    fault_report: Optional[RobustSyncReport] = None
 
     @property
     def total_gpus(self) -> int:
@@ -95,13 +107,30 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
                        batch_compression: bool = False,
                        local_aggregation: bool = True,
                        util_bin_s: float = 0.010,
-                       straggler: Optional[Tuple[int, float]] = None
+                       straggler: Optional[Tuple[int, float]] = None,
+                       fault_schedule: Optional[FaultSchedule] = None,
+                       retry_policy: Optional[RetryPolicy] = None,
+                       degradation: bool = True,
+                       sync_deadline_s: Optional[float] = None,
+                       heartbeat_timeout_s: float = 0.02
                        ) -> IterationResult:
     """Simulate one BSP iteration and return its metrics.
 
     ``straggler=(node, factor)`` slows that node's compute by ``factor``
     (>1): BSP's synchronization barrier means one slow node stalls the
     whole cluster (§2.1), which this knob lets experiments quantify.
+
+    Fault injection: a non-empty ``fault_schedule`` (or one attached via
+    ``cluster.faults``) runs the iteration under the robustness machinery
+    -- retry/timeout sends (``retry_policy``, defaulting to
+    :class:`RetryPolicy()`), graceful degradation over the surviving
+    workers (``degradation``), and an optional round deadline
+    (``sync_deadline_s``) after which a typed
+    :class:`~repro.faults.errors.SyncAborted` is raised.  The report lands
+    in :attr:`IterationResult.fault_report`.  An empty (or absent)
+    schedule with no explicit ``retry_policy`` keeps the simulation on
+    the pristine code path, bit-identical to a build without the fault
+    subsystem.
     """
     if straggler is not None:
         node_idx, factor = straggler
@@ -109,14 +138,28 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
             raise ValueError(f"straggler node {node_idx} out of range")
         if factor < 1.0:
             raise ValueError(f"straggler factor must be >= 1, got {factor}")
+    schedule = fault_schedule if fault_schedule is not None else cluster.faults
+    faulty = schedule is not None and len(schedule) > 0
+    robust = faulty or retry_policy is not None
+    policy = retry_policy if retry_policy is not None else (
+        RetryPolicy() if faulty else None)
+    membership = Membership(cluster.num_nodes) if robust else None
+
     env = Environment()
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
     gpus = [Gpu(env, cluster.node.gpu, index=i)
             for i in range(cluster.num_nodes)]
-    coordinator = Coordinator(env, fabric) if use_coordinator else None
+    coordinator = (Coordinator(env, fabric, retry_policy=policy,
+                               membership=membership)
+                   if use_coordinator else None)
     engines = [NodeEngine(env, i, gpus[i], fabric, coordinator=coordinator,
-                          batch_compression=batch_compression)
+                          batch_compression=batch_compression,
+                          retry_policy=policy, membership=membership,
+                          degradation=degradation)
                for i in range(cluster.num_nodes)]
+    injector = (FaultInjector(env, schedule, fabric=fabric, gpus=gpus,
+                              engines=engines)
+                if faulty else None)
 
     ready = {(node, grad.name): env.event()
              for node in range(cluster.num_nodes)
@@ -129,26 +172,50 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
 
     gpu_spec = cluster.node.gpu
     forward = model.forward_time(gpu_spec)
-    schedule = list(model.backward_schedule(gpu_spec))
+    backward = list(model.backward_schedule(gpu_spec))
     compute_time = model.iteration_time(gpu_spec) * (1 + OPTIMIZER_FRACTION)
 
-    def node_process(node: int):
+    def compute_pass(node: int, slowdown: float):
         gpu = gpus[node]
-        slowdown = 1.0
-        if straggler is not None and node == straggler[0]:
-            slowdown = straggler[1]
         yield from gpu.run_compute(forward * slowdown, category="compute")
         prev_offset = 0.0
-        for offset, grad in schedule:
+        for offset, grad in backward:
             yield from gpu.run_compute((offset - prev_offset) * slowdown,
                                        category="compute")
             prev_offset = offset
             event = ready[(node, grad.name)]
+            if event.triggered:
+                continue  # already produced before a crash
             if local_aggregation:
                 delay = cluster.node.local_aggregation_time(grad.nbytes)
                 _fire_later(env, event, delay)
             else:
                 event.succeed()
+
+    def node_process(node: int):
+        slowdown = 1.0
+        if straggler is not None and node == straggler[0]:
+            slowdown = straggler[1]
+        recover_delay = 0.0
+        while True:
+            try:
+                if recover_delay > 0:
+                    yield env.timeout(recover_delay)
+                yield from compute_pass(node, slowdown)
+                return
+            except Interrupt:
+                # Crashed fail-stop.  If the schedule restarts this node
+                # later, it recovers then and redoes the iteration's
+                # compute from scratch (GPU state was lost); otherwise its
+                # remaining gradients are gone and the survivors' failure
+                # detector / degradation machinery takes over.
+                restarts = [] if schedule is None else [
+                    ev.at for ev in schedule
+                    if isinstance(ev, NodeRestart) and ev.node == node
+                    and ev.at >= env.now]
+                if not restarts:
+                    return
+                recover_delay = min(restarts) - env.now
 
     def _fire_later(env, event, delay):
         if delay <= 0:
@@ -157,20 +224,53 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
 
         def waiter():
             yield env.timeout(delay)
-            event.succeed()
+            if not event.triggered:  # a pre-crash waiter may have beaten us
+                event.succeed()
 
         env.process(waiter(), name="local-agg")
 
     node_procs = [env.process(node_process(i), name=f"node{i}")
                   for i in range(cluster.num_nodes)]
 
-    finish = run_graph(env, graph, engines)
+    report: Optional[RobustSyncReport] = None
+    if robust:
+        if injector is not None:
+            for i, proc in enumerate(node_procs):
+                injector.bind_node_process(i, proc)
+        node_events = {n: [ready[(n, grad.name)] for grad in model.gradients]
+                       for n in range(cluster.num_nodes)}
+        report = run_graph_robust(
+            env, graph, engines, membership, injector=injector,
+            deadline_s=sync_deadline_s, degradation=degradation,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            node_events=node_events)
+        finish = report.finish_time
 
-    def drain():
-        yield env.all_of(node_procs)
+        def drain():
+            # Crashed nodes' processes fail with Interrupt; tolerate them.
+            for proc in node_procs:
+                if proc.is_alive:
+                    try:
+                        yield proc
+                    except Interrupt:
+                        pass
+    else:
+        finish = run_graph(env, graph, engines)
+
+        def drain():
+            yield env.all_of(node_procs)
 
     env.run_until_complete(env.process(drain(), name="drain"))
     iteration_time = max(finish, env.now) + compute_time * OPTIMIZER_FRACTION
+    if robust:
+        # Let background retries/backoffs/timers play out so the transfer
+        # ledger settles (byte conservation is checked over a quiescent
+        # trace).  The clock this runs up is deliberately NOT part of the
+        # iteration time, which was captured above.
+        env.run()
+        if report is not None:
+            report.declared_dead = membership.dead()
+            report.retries = sum(e.retries for e in engines)
 
     comm_busy = sum(nic.up_busy for nic in fabric.nics)
     comm_ratio = (comm_busy / cluster.num_nodes) / iteration_time
@@ -196,6 +296,7 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
         gpu_util_series=util,
         coordinator_batches=coordinator.batches_flushed if coordinator else 0,
         peak_comm_buffer_bytes=peak_memory,
+        fault_report=report,
     )
 
 

@@ -11,6 +11,7 @@ authors, for this simulator.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -19,13 +20,21 @@ from ..algorithms.base import CompressionAlgorithm
 from ..casync.planner import GradientPlan
 from ..casync.tasks import Coordinator, NodeEngine, run_graph
 from ..cluster import ClusterSpec
+from ..faults import (
+    FaultInjector,
+    FaultSchedule,
+    Membership,
+    NodeRestart,
+    RetryPolicy,
+    run_graph_robust,
+)
 from ..gpu import Gpu
 from ..models import ModelSpec
 from ..net import Fabric
-from ..sim import Environment
+from ..sim import Environment, Interrupt
 from ..strategies.base import Strategy, SyncContext
 
-__all__ = ["TraceEvent", "IterationTrace", "trace_iteration"]
+__all__ = ["TraceEvent", "IterationTrace", "trace_iteration", "trace_hash"]
 
 #: Lane (tid) assignment per task kind.
 _LANES = {"encode": "gpu-compression", "decode": "gpu-compression",
@@ -74,16 +83,41 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
                     algorithm: Optional[CompressionAlgorithm] = None,
                     plans: Optional[Dict[str, GradientPlan]] = None,
                     use_coordinator: bool = False,
-                    batch_compression: bool = False) -> IterationTrace:
-    """Simulate one iteration, returning the full task timeline."""
+                    batch_compression: bool = False,
+                    fault_schedule: Optional[FaultSchedule] = None,
+                    retry_policy: Optional[RetryPolicy] = None,
+                    degradation: bool = True,
+                    sync_deadline_s: Optional[float] = None,
+                    heartbeat_timeout_s: float = 0.02) -> IterationTrace:
+    """Simulate one iteration, returning the full task timeline.
+
+    The fault parameters mirror
+    :func:`~repro.training.loop.simulate_iteration`; with a non-empty
+    ``fault_schedule`` the timeline shows the degraded round (retries,
+    re-routed sends, dropped tasks) instead of the pristine one.
+    """
+    schedule = fault_schedule if fault_schedule is not None else cluster.faults
+    faulty = schedule is not None and len(schedule) > 0
+    robust = faulty or retry_policy is not None
+    policy = retry_policy if retry_policy is not None else (
+        RetryPolicy() if faulty else None)
+    membership = Membership(cluster.num_nodes) if robust else None
+
     env = Environment()
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
     gpus = [Gpu(env, cluster.node.gpu, index=i)
             for i in range(cluster.num_nodes)]
-    coordinator = Coordinator(env, fabric) if use_coordinator else None
+    coordinator = (Coordinator(env, fabric, retry_policy=policy,
+                               membership=membership)
+                   if use_coordinator else None)
     engines = [NodeEngine(env, i, gpus[i], fabric, coordinator=coordinator,
-                          batch_compression=batch_compression)
+                          batch_compression=batch_compression,
+                          retry_policy=policy, membership=membership,
+                          degradation=degradation)
                for i in range(cluster.num_nodes)]
+    injector = (FaultInjector(env, schedule, fabric=fabric, gpus=gpus,
+                              engines=engines)
+                if faulty else None)
     ready = {(node, grad.name): env.event()
              for node in range(cluster.num_nodes)
              for grad in model.gradients}
@@ -94,20 +128,50 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
 
     gpu_spec = cluster.node.gpu
     forward = model.forward_time(gpu_spec)
-    schedule = list(model.backward_schedule(gpu_spec))
+    backward = list(model.backward_schedule(gpu_spec))
 
     def node_process(node: int):
         gpu = gpus[node]
-        yield from gpu.run_compute(forward)
-        prev = 0.0
-        for offset, grad in schedule:
-            yield from gpu.run_compute(offset - prev)
-            prev = offset
-            ready[(node, grad.name)].succeed()
+        recover_delay = 0.0
+        while True:
+            try:
+                if recover_delay > 0:
+                    yield env.timeout(recover_delay)
+                yield from gpu.run_compute(forward)
+                prev = 0.0
+                for offset, grad in backward:
+                    yield from gpu.run_compute(offset - prev)
+                    prev = offset
+                    if not ready[(node, grad.name)].triggered:
+                        ready[(node, grad.name)].succeed()
+                return
+            except Interrupt:
+                # Crashed; recover at the next scheduled restart (redoing
+                # the lost compute), or stay down for the round.
+                restarts = [] if schedule is None else [
+                    ev.at for ev in schedule
+                    if isinstance(ev, NodeRestart) and ev.node == node
+                    and ev.at >= env.now]
+                if not restarts:
+                    return
+                recover_delay = min(restarts) - env.now
 
-    for i in range(cluster.num_nodes):
-        env.process(node_process(i), name=f"node{i}")
-    finish = run_graph(env, graph, engines)
+    node_procs = [env.process(node_process(i), name=f"node{i}")
+                  for i in range(cluster.num_nodes)]
+    if robust:
+        if injector is not None:
+            for i, proc in enumerate(node_procs):
+                injector.bind_node_process(i, proc)
+        node_events = {n: [ready[(n, grad.name)] for grad in model.gradients]
+                       for n in range(cluster.num_nodes)}
+        report = run_graph_robust(
+            env, graph, engines, membership, injector=injector,
+            deadline_s=sync_deadline_s, degradation=degradation,
+            heartbeat_timeout_s=heartbeat_timeout_s, node_events=node_events)
+        finish = report.finish_time
+        env.run()  # settle background retries so the timeline is complete
+    else:
+        finish = run_graph(env, graph, engines)
 
     events: List[TraceEvent] = []
     for task in graph.tasks:
@@ -128,3 +192,20 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
                     start=start, duration=end - start))
     events.sort(key=lambda e: (e.node, e.lane, e.start))
     return IterationTrace(events=events, finish_time=finish)
+
+
+def trace_hash(trace: IterationTrace) -> str:
+    """SHA-256 over the canonical event timeline.
+
+    Two runs with the same seed, workload, and fault schedule must produce
+    the same hash -- the determinism contract the regression tests lock in.
+    Timestamps are rounded to the picosecond so the hash keys on simulated
+    behaviour, not on float repr noise.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"finish:{trace.finish_time:.12f}\n".encode())
+    for ev in trace.events:
+        digest.update(
+            f"{ev.node}|{ev.lane}|{ev.name}|{ev.start:.12f}|"
+            f"{ev.duration:.12f}\n".encode())
+    return digest.hexdigest()

@@ -1,0 +1,176 @@
+"""Property-based chaos tests for the fault-injection subsystem.
+
+The contract under test, for *arbitrary* fault schedules drawn from a
+hypothesis strategy: a synchronization round either completes (possibly
+degraded, over the survivors) or raises a typed SyncAborted -- it never
+hangs past the simulated deadline, and the byte-conservation ledger (plus
+the rest of the invariant battery) holds either way.
+
+Node 0 is kept crash-free so at least one survivor always exists; every
+other dimension (restarts, partitions with or without heals, degradation
+factors, transient losses, stragglers) is unconstrained.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import OneBit
+from repro.cluster import ec2_v100_cluster
+from repro.faults import (
+    FaultSchedule,
+    GpuSlowdown,
+    LinkDegrade,
+    LinkPartition,
+    LinkRestore,
+    NodeCrash,
+    NodeRestart,
+    RetryPolicy,
+    SyncAborted,
+    TransientSendFailure,
+    check_all,
+)
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import BytePS, CaSyncPS, RingAllreduce
+from repro.training import simulate_iteration
+
+NUM_NODES = 3
+DEADLINE_S = 0.05
+HORIZON_S = 2e-3  # faults land while the ~ms round is in flight
+
+
+def small_model():
+    grads = (GradientSpec("p.g0", 512 * 1024), GradientSpec("p.g1", 128 * 1024))
+    return ModelSpec(name="p", gradients=grads, batch_size=4,
+                     batch_unit="images", v100_iteration_s=0.001)
+
+
+def _links(draw):
+    src = draw(st.integers(0, NUM_NODES - 1))
+    dst = draw(st.integers(0, NUM_NODES - 2))
+    if dst >= src:
+        dst += 1
+    return src, dst
+
+
+@st.composite
+def fault_events(draw):
+    at = draw(st.floats(0.0, HORIZON_S, allow_nan=False))
+    kind = draw(st.sampled_from(
+        ["crash", "crash+restart", "partition", "partition+restore",
+         "degrade", "transient", "slowdown"]))
+    if kind in ("crash", "crash+restart"):
+        node = draw(st.integers(1, NUM_NODES - 1))  # node 0 never crashes
+        events = [NodeCrash(at=at, node=node)]
+        if kind == "crash+restart":
+            events.append(NodeRestart(
+                at=at + draw(st.floats(1e-5, HORIZON_S)), node=node))
+        return events
+    if kind in ("partition", "partition+restore"):
+        src, dst = _links(draw)
+        events = [LinkPartition(at=at, src=src, dst=dst)]
+        if kind == "partition+restore":
+            events.append(LinkRestore(
+                at=at + draw(st.floats(1e-5, HORIZON_S)), src=src, dst=dst))
+        return events
+    if kind == "degrade":
+        src, dst = _links(draw)
+        return [LinkDegrade(at=at, src=src, dst=dst,
+                            factor=draw(st.floats(1.0, 16.0)))]
+    if kind == "transient":
+        src, dst = _links(draw)
+        return [TransientSendFailure(at=at, src=src, dst=dst,
+                                     count=draw(st.integers(1, 3)))]
+    return [GpuSlowdown(at=at, node=draw(st.integers(0, NUM_NODES - 1)),
+                        factor=draw(st.floats(1.0, 8.0)),
+                        duration=draw(st.floats(1e-4, 1e-2)))]
+
+
+@st.composite
+def fault_schedules(draw):
+    groups = draw(st.lists(fault_events(), min_size=0, max_size=5))
+    return FaultSchedule(tuple(e for group in groups for e in group))
+
+
+def _strategies():
+    return st.sampled_from(["byteps", "ring", "casync-ps"])
+
+
+def _run(schedule, strategy_name):
+    if strategy_name == "byteps":
+        strategy, algo = BytePS(), None
+    elif strategy_name == "ring":
+        strategy, algo = RingAllreduce(), None
+    else:
+        strategy, algo = CaSyncPS(bulk=False, selective=False), OneBit()
+    return simulate_iteration(
+        small_model(), ec2_v100_cluster(NUM_NODES), strategy,
+        algorithm=algo, fault_schedule=schedule,
+        retry_policy=RetryPolicy.aggressive(), sync_deadline_s=DEADLINE_S,
+        heartbeat_timeout_s=2e-3)
+
+
+@given(schedule=fault_schedules(), strategy_name=_strategies())
+@settings(max_examples=40, deadline=None)
+def test_rounds_complete_or_abort_typed_never_hang(schedule, strategy_name):
+    try:
+        result = _run(schedule, strategy_name)
+    except SyncAborted as exc:
+        # typed abort: carries the simulated abort time within the
+        # deadline, and its report still satisfies every invariant
+        # (byte conservation may leave in-flight transfers, only here)
+        assert exc.at <= DEADLINE_S + 1e-9
+        assert exc.report.aborted and exc.report.abort_reason
+        check_all(exc.report)
+    else:
+        report = result.fault_report
+        # an explicit retry_policy runs robust mode even with no faults
+        assert report is not None
+        if not schedule:
+            assert not report.degraded and report.retries == 0
+        assert not report.aborted
+        # the sync barrier resolved within the deadline: no hang
+        assert report.finish_time <= DEADLINE_S + 1e-9
+        check_all(report)
+
+
+@given(schedule=fault_schedules())
+@settings(max_examples=15, deadline=None)
+def test_byte_conservation_holds_under_arbitrary_schedules(schedule):
+    try:
+        result = _run(schedule, "byteps")
+    except SyncAborted as exc:
+        state = exc.report.state
+        in_flight = sum(r.nbytes for r in state.log.in_flight())
+        total = (state.log.delivered_bytes + state.log.dropped_bytes
+                 + in_flight)
+    else:
+        state = result.fault_report and result.fault_report.state
+        if state is None:
+            return  # no injector -> no fault ledger to conserve
+        assert not state.log.in_flight()  # quiescent after a clean round
+        total = state.log.delivered_bytes + state.log.dropped_bytes
+    assert total == pytest.approx(state.log.attempted_bytes, rel=1e-9)
+
+
+@given(seed=st.integers(0, 2 ** 16), strategy_name=_strategies())
+@settings(max_examples=15, deadline=None)
+def test_same_schedule_same_outcome(seed, strategy_name):
+    """Replaying one drawn schedule twice gives identical outcomes."""
+    from repro.faults import random_schedule
+
+    schedule = random_schedule(seed=seed, num_nodes=NUM_NODES,
+                               horizon=HORIZON_S)
+
+    def outcome():
+        try:
+            result = _run(schedule, strategy_name)
+        except SyncAborted as exc:
+            return ("aborted", exc.reason, exc.at)
+        report = result.fault_report
+        if report is None:
+            return ("pristine", result.iteration_time)
+        return ("done", result.iteration_time, report.finish_time,
+                report.declared_dead, report.retries,
+                len(report.completions))
+
+    assert outcome() == outcome()

@@ -200,3 +200,41 @@ def test_cluster_validation():
                  interconnect=InterconnectSpec(name="x", bandwidth_gbs=1))
     with pytest.raises(ValueError):
         InterconnectSpec(name="bad", bandwidth_gbs=0)
+
+
+def test_interrupted_kernel_releases_the_stream():
+    """A crash mid-kernel must not leak the stream (fault injection
+    interrupts compute processes; a restarted node re-acquires)."""
+    from repro.sim import Interrupt
+
+    env = Environment()
+    gpu = Gpu(env, V100)
+    state = []
+
+    def work(env):
+        try:
+            yield from gpu.run_compute(1.0)
+        except Interrupt:
+            state.append(("interrupted", env.now))
+
+    def killer(env, victim):
+        yield env.timeout(0.5)
+        victim.interrupt()
+
+    victim = env.process(work(env))
+    env.process(killer(env, victim))
+    env.run()
+    assert state == [("interrupted", 0.5)]
+    assert gpu.compute.count == 0
+
+    def again(env):
+        yield from gpu.run_compute(0.25)
+        state.append(("done", env.now))
+
+    env.process(again(env))
+    env.run()
+    # the first run drained to t=1.0 (the defused timeout still advances
+    # the clock); the retry then held the freed stream for 0.25s
+    assert state[-1] == ("done", 1.25)
+    # the aborted kernel never logged a busy interval; the retry did
+    assert gpu.log.busy_time("compute") == pytest.approx(0.25)

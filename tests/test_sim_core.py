@@ -330,3 +330,106 @@ def test_peek_reports_next_event_time():
     assert env.peek() == 7
     env.run()
     assert env.peek() == float("inf")
+
+
+# ------------------------------------------- Interrupt x AllOf / AnyOf
+# Regression tests for the fault-injection path: a process abandoned on a
+# composite condition must detach cleanly, and late member events -- even
+# failures -- must be absorbed instead of crashing the simulation.
+
+def test_interrupt_while_blocked_on_all_of():
+    env = Environment()
+    e1, e2 = env.event(), env.event()
+    log = []
+
+    def waiter(env):
+        try:
+            yield env.all_of([e1, e2])
+            log.append("completed")
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(10)
+        log.append(("resumed-later", env.now))
+
+    def driver(env, victim):
+        yield env.timeout(2)
+        victim.interrupt(cause="crash")
+        yield env.timeout(1)
+        e1.succeed()                      # stale member firing...
+        e2.fail(RuntimeError("boom"))     # ...and failing: both absorbed
+
+    victim = env.process(waiter(env))
+    env.process(driver(env, victim))
+    env.run()
+    assert log == [("interrupted", 2), ("resumed-later", 12)]
+
+
+def test_interrupt_while_blocked_on_any_of():
+    env = Environment()
+    e1, e2 = env.event(), env.event()
+    log = []
+
+    def waiter(env):
+        try:
+            yield env.any_of([e1, e2])
+            log.append("completed")
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(5)
+        log.append(env.now)
+
+    def driver(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+        yield env.timeout(1)
+        e1.fail(RuntimeError("late failure, no waiter left"))
+
+    victim = env.process(waiter(env))
+    env.process(driver(env, victim))
+    env.run()
+    assert log == [("interrupted", 1), 6]
+
+
+def test_all_of_member_failure_propagates_to_waiter():
+    env = Environment()
+    e1, e2 = env.event(), env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield env.all_of([e1, e2])
+        except ValueError as exc:
+            caught.append((env.now, str(exc)))
+
+    def driver(env):
+        yield env.timeout(3)
+        e1.succeed()
+        e2.fail(ValueError("member died"))
+
+    env.process(waiter(env))
+    env.process(driver(env))
+    env.run()
+    assert caught == [(3, "member died")]
+
+
+def test_any_of_member_failure_after_fire_is_absorbed():
+    env = Environment()
+    e1, e2 = env.event(), env.event()
+    results = []
+
+    def waiter(env):
+        fired = yield env.any_of([e1, e2])
+        results.append(len(fired))
+        yield env.timeout(10)
+        results.append(env.now)
+
+    def driver(env):
+        yield env.timeout(1)
+        e1.succeed()
+        yield env.timeout(1)
+        e2.fail(RuntimeError("too late to matter"))
+
+    env.process(waiter(env))
+    env.process(driver(env))
+    env.run()
+    assert results == [1, 11]

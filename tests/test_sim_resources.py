@@ -233,3 +233,55 @@ def test_channel_negative_delay_rejected():
     env = Environment()
     with pytest.raises(ValueError):
         Channel(env, delay=-1)
+
+
+# ---------------------------------------------------------------- cancel
+
+def test_cancel_queued_request_withdraws_the_claim():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        abandoned = res.request()       # queued behind ourselves
+        res.cancel(abandoned)           # withdraw before it is granted
+        yield env.timeout(1)
+        res.release(req)
+
+    def successor(env):
+        yield env.timeout(0.5)
+        req = res.request()
+        yield req
+        order.append(env.now)           # must get the grant at t=1
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(successor(env))
+    env.run()
+    assert order == [1]
+    assert res.count == 0 and res.queue_length == 0
+
+
+def test_cancel_granted_request_releases_the_slot():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env):
+        req = res.request()
+        yield req
+        assert res.count == 1
+        res.cancel(req)                 # cancelling a grant is a release
+        assert res.count == 0
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_cancel_foreign_request_rejected():
+    env = Environment()
+    a, b = Resource(env), Resource(env)
+    req = a.request()
+    with pytest.raises(SimulationError):
+        b.cancel(req)
