@@ -11,10 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.algorithms import DGC, OneBit, TernGrad
-from repro.cluster import ec2_v100_cluster
-from repro.experiments import run_system
-from repro.hipress import TrainingJob
+from repro import TrainingJob, ec2_v100_cluster, get_algorithm, run_system
 
 
 def compression_demo():
@@ -22,7 +19,9 @@ def compression_demo():
     gradient = (np.random.default_rng(0).standard_normal(250_000) * 0.05
                 ).astype(np.float32)
     print(f"original gradient: {gradient.nbytes / 1024:.0f} KB")
-    for algo in (OneBit(), TernGrad(bitwidth=2), DGC(rate=0.001)):
+    for algo in (get_algorithm("onebit"),
+                 get_algorithm("terngrad", bitwidth=2),
+                 get_algorithm("dgc", rate=0.001)):
         compressed = algo.encode(gradient)
         restored = algo.decode(compressed)
         err = float(np.abs(restored - gradient).mean())

@@ -1,0 +1,136 @@
+"""The stable public API of the HiPress reproduction, in one flat module.
+
+Everything a user script needs lives here -- model/algorithm/strategy/
+cluster lookup, the :class:`TrainingJob` facade, the experiment-driver
+entry point :func:`run_system`, and the telemetry surface -- so the
+common import is simply::
+
+    from repro import TrainingJob, run_system, telemetry_session
+
+(``repro/__init__.py`` lazily re-exports every name below.)
+
+Importing :mod:`repro.api` pulls only the simulation core; optional
+heavyweight dependencies (numpy-accelerated kernels load lazily inside
+the algorithms, matplotlib only inside plotting helpers) stay out of the
+import graph.
+
+Registries
+----------
+New components plug in through the same pattern everywhere:
+
+* :func:`register_algorithm` / :func:`get_algorithm` / :func:`list_algorithms`
+* :func:`register_strategy` / :func:`get_strategy` / :func:`list_strategies`
+* :data:`CLUSTER_PRESETS` / :func:`get_cluster`
+* :data:`MODEL_NAMES` / :func:`get_model`
+
+Unknown names raise :class:`ConfigError` (from the high-level entry
+points) or ``KeyError`` (from the raw registries), always listing the
+valid choices.
+
+Deprecated strategy names ``"hipress-ps"`` / ``"hipress-ring"`` still
+resolve to ``"casync-ps"`` / ``"casync-ring"`` with a DeprecationWarning.
+
+Telemetry
+---------
+Attach a collector to record span timelines and metrics from any run::
+
+    from repro import TelemetryCollector, TrainingJob, write_chrome_trace
+
+    tel = TelemetryCollector()
+    job = TrainingJob("bert-large", algorithm="onebit")
+    job.run(telemetry=tel)
+    write_chrome_trace(tel, "trace.json")   # open in Perfetto / chrome://tracing
+
+or ambiently, covering every simulation in the block::
+
+    from repro import telemetry_session, run_system, ec2_v100_cluster
+
+    with telemetry_session() as tel:
+        run_system("hipress-ps", "bert-large", ec2_v100_cluster(8),
+                   algorithm="onebit")
+
+See ``docs/TELEMETRY.md`` for the full tour.
+"""
+
+from __future__ import annotations
+
+from .algorithms import (
+    CompressionAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from .cluster import (
+    CLUSTER_PRESETS,
+    ClusterSpec,
+    ec2_v100_cluster,
+    get_cluster,
+    local_1080ti_cluster,
+)
+from .errors import ConfigError
+from .experiments.common import SYSTEMS, SystemConfig, run_system
+from .hipress import Profile, TrainingJob
+from .models import MODEL_NAMES, ModelSpec, all_models, get_model
+from .strategies import (
+    DEPRECATED_ALIASES,
+    Strategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_strategy_name,
+)
+from .telemetry import (
+    MetricsRegistry,
+    Span,
+    TelemetryCollector,
+    attach,
+    current_collector,
+    detach,
+    flame_summary,
+    telemetry_session,
+    to_chrome_trace,
+    to_metrics_csv,
+    to_metrics_json,
+    utilization_series,
+    write_chrome_trace,
+)
+from .training import IterationResult, simulate_iteration
+
+__all__ = [
+    # models
+    "MODEL_NAMES", "ModelSpec", "all_models", "get_model", "list_models",
+    # algorithms
+    "CompressionAlgorithm", "get_algorithm", "register_algorithm",
+    "available_algorithms", "list_algorithms",
+    # strategies
+    "DEPRECATED_ALIASES", "Strategy", "get_strategy", "register_strategy",
+    "available_strategies", "list_strategies", "resolve_strategy_name",
+    # clusters
+    "CLUSTER_PRESETS", "ClusterSpec", "ec2_v100_cluster", "get_cluster",
+    "local_1080ti_cluster",
+    # running things
+    "IterationResult", "Profile", "SYSTEMS", "SystemConfig", "TrainingJob",
+    "run_system", "simulate_iteration",
+    # errors
+    "ConfigError",
+    # telemetry
+    "MetricsRegistry", "Span", "TelemetryCollector", "attach",
+    "current_collector", "detach", "flame_summary", "telemetry_session",
+    "to_chrome_trace", "to_metrics_csv", "to_metrics_json",
+    "utilization_series", "write_chrome_trace",
+]
+
+
+def list_algorithms() -> list:
+    """Names of every registered compression algorithm, sorted."""
+    return list(available_algorithms())
+
+
+def list_strategies() -> list:
+    """Names of every registered synchronization strategy, sorted."""
+    return list(available_strategies())
+
+
+def list_models() -> list:
+    """Names of every model in the zoo, sorted."""
+    return sorted(MODEL_NAMES)

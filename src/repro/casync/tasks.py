@@ -107,6 +107,11 @@ class TaskGraph:
         Returns the ``completed`` events of every task (the iteration is
         over when all have fired).
         """
+        tel = self.env.telemetry
+        if tel is not None:
+            # Capture the DAG so exported timelines can be cross-checked
+            # against the dependencies that produced them.
+            tel.register_task_graph(self)
         for task in self.tasks:
             task.completed = self.env.event()
 
@@ -252,15 +257,28 @@ class Coordinator:
         nbytes = sum(t.nbytes for t in tasks)
         self.batches_flushed += 1
         self.tasks_batched += len(tasks)
+        tel = self.env.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(f"bulk:{src}->{dst}", category="coordinator",
+                             track=f"node{src}/coordinator", at=self.env.now,
+                             nbytes=nbytes, tasks=len(tasks),
+                             task_ids=[t.id for t in tasks])
+            tel.metrics.counter("coordinator.batches").inc()
+            tel.metrics.counter("coordinator.tasks_batched").inc(len(tasks))
+            tel.metrics.histogram("coordinator.batch_bytes").observe(nbytes)
 
         def transfer():
             if self.retry_policy is None:
-                yield from self.fabric.transfer(src, dst, nbytes)
+                yield from self.fabric.transfer(src, dst, nbytes,
+                                                span_parent=span)
                 outcome = "delivered"
             else:
                 outcome, _ = yield from robust_transfer(
                     self.env, self.fabric, src, dst, nbytes,
                     self.retry_policy, self.membership)
+            if span is not None:
+                tel.finish(span, self.env.now, outcome=outcome)
             now = self.env.now
             for task in tasks:
                 if task.completed.triggered:
@@ -393,21 +411,40 @@ class NodeEngine:
         else:  # pragma: no cover - guarded by Task.__init__
             raise ValueError(f"cannot dispatch {task!r}")
 
+    def _task_span(self, task: Task, at: float):
+        """Open a telemetry span for one task (None when disabled)."""
+        tel = self.env.telemetry
+        if tel is None:
+            return None
+        return tel.begin(task.label or task.kind, category=task.kind,
+                         track=f"node{self.node}/{task.kind}", at=at,
+                         task=task.id, nbytes=task.nbytes)
+
+    def _finish_task_span(self, span, **attrs) -> None:
+        if span is not None:
+            self.env.telemetry.finish(span, self.env.now, **attrs)
+
     def _send(self, task: Task):
         task.started_at = self.env.now
-        yield from self.fabric.transfer(task.node, task.dst, task.nbytes)
+        span = self._task_span(task, task.started_at)
+        yield from self.fabric.transfer(task.node, task.dst, task.nbytes,
+                                        span_parent=span)
         task.finished_at = self.env.now
         self.send_busy += task.finished_at - task.started_at
+        self._finish_task_span(span, dst=task.dst)
         if not task.completed.triggered:
             task.completed.succeed()
 
     def _robust_send(self, task: Task):
         """Fault-tolerant send: retry/timeout, then degrade or abort."""
         task.started_at = self.env.now
+        span = self._task_span(task, task.started_at)
         before = task.attempts
         outcome, final_dst = yield from self._counted_robust_transfer(task)
         task.finished_at = self.env.now
         self.send_busy += task.finished_at - task.started_at
+        self._finish_task_span(span, outcome=outcome, dst=final_dst,
+                               attempts=task.attempts - before)
         if task.completed.triggered:
             return  # force-completed while we were retrying
         if outcome == "dead":
@@ -472,9 +509,11 @@ class NodeEngine:
                 self.orphans.append(task)
                 continue
             task.started_at = self.env.now
+            span = self._task_span(task, task.started_at)
             yield self.env.timeout(task.duration)
             task.finished_at = self.env.now
             self.cpu_busy += task.duration
+            self._finish_task_span(span)
             if not task.completed.triggered:
                 task.completed.succeed()
 
@@ -500,11 +539,23 @@ class NodeEngine:
                 duration = (sum(t.duration - t.launch_overhead for t in batch)
                             + max(t.launch_overhead for t in batch))
             start = self.env.now
+            spans = []
             for task in batch:
                 task.started_at = start
-            yield from self.gpu.run_kernel(duration, category="compression")
+                span = self._task_span(task, start)
+                if span is not None:
+                    spans.append(span)
+                    if len(batch) > 1:
+                        span.attrs["fused"] = len(batch)
+            # The fused kernel is a child of the first task's span, so the
+            # flame view attributes GPU time to the work that launched it.
+            yield from self.gpu.run_kernel(
+                duration, category="compression",
+                span_parent=spans[0] if spans else None)
             now = self.env.now
             self.compute_busy += now - start
+            for span in spans:
+                self.env.telemetry.finish(span, now)
             for task in batch:
                 task.finished_at = now
                 if not task.completed.triggered:

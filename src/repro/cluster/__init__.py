@@ -1,20 +1,24 @@
 """Cluster topology specs and the paper's two testbed profiles."""
 
 from .spec import (
+    CLUSTER_PRESETS,
     ClusterSpec,
     InterconnectSpec,
     NodeSpec,
     ec2_v100_cluster,
+    get_cluster,
     local_1080ti_cluster,
 )
 from .spec import NVLINK, PCIE3
 
 __all__ = [
+    "CLUSTER_PRESETS",
     "ClusterSpec",
     "InterconnectSpec",
     "NodeSpec",
     "NVLINK",
     "PCIE3",
     "ec2_v100_cluster",
+    "get_cluster",
     "local_1080ti_cluster",
 ]

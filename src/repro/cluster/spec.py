@@ -16,7 +16,8 @@ from ..gpu import GTX1080TI, GpuSpec, V100
 from ..net import NetworkSpec
 
 __all__ = ["InterconnectSpec", "NodeSpec", "ClusterSpec",
-           "ec2_v100_cluster", "local_1080ti_cluster"]
+           "ec2_v100_cluster", "local_1080ti_cluster",
+           "CLUSTER_PRESETS", "get_cluster"]
 
 
 @dataclass(frozen=True)
@@ -142,3 +143,22 @@ def local_1080ti_cluster(num_nodes: int = 16,
         network=NetworkSpec(bandwidth_gbps=bandwidth_gbps, latency_us=3.0,
                             efficiency=0.55),
     )
+
+
+#: Named testbed presets, addressable from string configuration (e.g.
+#: ``TrainingJob(..., cluster="ec2-v100")``).
+CLUSTER_PRESETS = {
+    "ec2-v100": ec2_v100_cluster,
+    "local-1080ti": local_1080ti_cluster,
+}
+
+
+def get_cluster(name: str, num_nodes: int = 16, **overrides) -> ClusterSpec:
+    """Build a preset cluster by name (mirrors the algorithm registry)."""
+    try:
+        factory = CLUSTER_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster {name!r}; available: {sorted(CLUSTER_PRESETS)}"
+        ) from None
+    return factory(num_nodes=num_nodes, **overrides)

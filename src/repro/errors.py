@@ -1,0 +1,40 @@
+"""Typed configuration errors for the public API surface.
+
+Bad configuration used to surface as raw ``KeyError`` / ``AttributeError``
+from deep inside the registries.  The public entry points
+(:class:`repro.hipress.framework.TrainingJob`,
+:func:`repro.experiments.common.run_system`, :mod:`repro.api`) now raise
+:class:`ConfigError`, which names the rejected value *and* the valid
+choices, and is machine-inspectable (``exc.kind`` / ``exc.given`` /
+``exc.choices``).
+
+``ConfigError`` subclasses :class:`ValueError` so existing callers that
+caught ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+__all__ = ["ConfigError"]
+
+
+class ConfigError(ValueError):
+    """An unknown or invalid configuration value, with the valid choices.
+
+    kind: which knob was wrong ("model", "algorithm", "strategy",
+        "cluster", "system", ...).
+    given: the rejected value.
+    choices: the accepted values, sorted.
+    """
+
+    def __init__(self, kind: str, given: Any, choices: Iterable[Any],
+                 hint: Optional[str] = None):
+        self.kind = kind
+        self.given = given
+        self.choices = tuple(sorted(str(c) for c in choices))
+        message = (f"unknown {kind} {given!r}; "
+                   f"valid choices: {', '.join(self.choices) or '(none)'}")
+        if hint:
+            message += f" ({hint})"
+        super().__init__(message)

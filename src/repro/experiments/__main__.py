@@ -6,8 +6,12 @@ Usage::
     python -m repro.experiments table1 fig11  # selected artifacts
     python -m repro.experiments --list
     python -m repro.experiments --quick       # smaller clusters, faster
+    python -m repro.experiments fig9 --trace trace.json --metrics metrics.csv
 
 Rendered outputs print to stdout and are saved under ``results/``.
+``--trace`` attaches a telemetry collector to every simulation in the run
+and writes a Chrome-tracing/Perfetto JSON timeline; ``--metrics`` dumps
+the metrics registry (``.csv`` or ``.json`` by extension).
 """
 
 from __future__ import annotations
@@ -67,6 +71,12 @@ def main(argv=None) -> int:
                         help="smaller clusters for a fast pass")
     parser.add_argument("--output-dir", default="results",
                         help="directory for rendered text outputs")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record all simulations and write a "
+                             "Chrome-tracing JSON timeline to FILE")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write collected metrics to FILE "
+                             "(.csv or .json)")
     args = parser.parse_args(argv)
 
     registry = build_registry(quick=args.quick)
@@ -82,14 +92,37 @@ def main(argv=None) -> int:
 
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    for name in selected:
-        start = time.time()
-        text = registry[name]()
-        elapsed = time.time() - start
-        (out_dir / f"{name}.txt").write_text(text + "\n")
-        print(text)
-        print(f"[{name} regenerated in {elapsed:.1f}s -> "
-              f"{out_dir / (name + '.txt')}]\n")
+
+    collector = None
+    if args.trace or args.metrics:
+        from ..telemetry import TelemetryCollector, attach, detach
+        collector = TelemetryCollector()
+        attach(collector)
+    try:
+        for name in selected:
+            start = time.time()
+            text = registry[name]()
+            elapsed = time.time() - start
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+            print(text)
+            print(f"[{name} regenerated in {elapsed:.1f}s -> "
+                  f"{out_dir / (name + '.txt')}]\n")
+    finally:
+        if collector is not None:
+            detach(collector)
+    if collector is not None:
+        if args.trace:
+            from ..telemetry import write_chrome_trace
+            write_chrome_trace(collector, args.trace)
+            print(f"[trace: {len(collector.spans)} spans -> {args.trace}]")
+        if args.metrics:
+            from ..telemetry import to_metrics_csv, to_metrics_json
+            path = Path(args.metrics)
+            if path.suffix.lower() == ".json":
+                path.write_text(to_metrics_json(collector))
+            else:
+                path.write_text(to_metrics_csv(collector))
+            print(f"[metrics -> {path}]")
     return 0
 
 

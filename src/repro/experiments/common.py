@@ -17,21 +17,15 @@ Defines the *systems under test* exactly as §6.1 configures them:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
-from ..algorithms import get_algorithm
+from ..algorithms import available_algorithms, get_algorithm
 from ..algorithms.base import CompressionAlgorithm
 from ..cluster import ClusterSpec
-from ..models import ModelSpec, get_model
-from ..strategies import (
-    BytePS,
-    BytePSOSSCompression,
-    CaSyncPS,
-    CaSyncRing,
-    RingAllreduce,
-    RingOSSCompression,
-    Strategy,
-)
+from ..errors import ConfigError
+from ..models import MODEL_NAMES, ModelSpec, get_model
+from ..strategies import Strategy, get_strategy
+from ..telemetry import TelemetryCollector
 from ..training import IterationResult, make_plans, simulate_iteration
 
 __all__ = ["SystemConfig", "SYSTEMS", "run_system", "default_algorithm",
@@ -62,40 +56,50 @@ def ec2_tcp_network(cluster: ClusterSpec) -> ClusterSpec:
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """One system under test, as configured in §6.1."""
+    """One system under test, as configured in §6.1.
+
+    ``strategy`` is a strategy-registry name; the config resolves it
+    through :func:`repro.strategies.get_strategy` at run time, so
+    registering a new strategy and adding a SystemConfig is all a new
+    system needs.
+    """
 
     key: str
     label: str
-    strategy_factory: Callable[[], Strategy]
+    strategy: str                        # strategy-registry name
     compression: bool = False
     planner_kind: Optional[str] = None   # selective planning preset
     use_coordinator: bool = False
     batch_compression: bool = False
     tcp_on_ec2: bool = False
 
+    def strategy_factory(self) -> Strategy:
+        """Instantiate this system's strategy from the registry."""
+        return get_strategy(self.strategy)
+
 
 SYSTEMS: Dict[str, SystemConfig] = {
     "byteps": SystemConfig(
         key="byteps", label="BytePS",
-        strategy_factory=BytePS, tcp_on_ec2=True),
+        strategy="byteps", tcp_on_ec2=True),
     "ring": SystemConfig(
         key="ring", label="Ring",
-        strategy_factory=RingAllreduce),
+        strategy="ring"),
     "byteps-oss": SystemConfig(
         key="byteps-oss", label="BytePS(OSS)",
-        strategy_factory=BytePSOSSCompression, compression=True,
+        strategy="byteps-oss", compression=True,
         tcp_on_ec2=True),
     "ring-oss": SystemConfig(
         key="ring-oss", label="Ring(OSS)",
-        strategy_factory=RingOSSCompression, compression=True),
+        strategy="ring-oss", compression=True),
     "hipress-ps": SystemConfig(
         key="hipress-ps", label="HiPress-CaSync-PS",
-        strategy_factory=CaSyncPS, compression=True,
+        strategy="casync-ps", compression=True,
         planner_kind="ps_colocated", use_coordinator=True,
         batch_compression=True),
     "hipress-ring": SystemConfig(
         key="hipress-ring", label="HiPress-CaSync-Ring",
-        strategy_factory=CaSyncRing, compression=True,
+        strategy="casync-ring", compression=True,
         planner_kind="ring", use_coordinator=True,
         batch_compression=True),
 }
@@ -104,30 +108,48 @@ SYSTEMS: Dict[str, SystemConfig] = {
 def run_system(system: str, model, cluster: ClusterSpec,
                algorithm: Optional[str] = None,
                algorithm_params: Optional[Dict] = None,
-               on_ec2: bool = True) -> IterationResult:
+               on_ec2: bool = True,
+               telemetry: Optional[TelemetryCollector] = None
+               ) -> IterationResult:
     """Simulate one iteration of ``model`` under a named system.
 
     ``model`` may be a ModelSpec or a zoo name.  ``algorithm`` is required
-    for compression-enabled systems.
+    for compression-enabled systems.  Unknown system/model/algorithm names
+    raise :class:`~repro.errors.ConfigError` listing the valid choices.
+    ``telemetry`` attaches a collector for this run (see
+    :mod:`repro.telemetry`).
     """
-    config = SYSTEMS[system]
+    try:
+        config = SYSTEMS[system]
+    except KeyError:
+        raise ConfigError("system", system, SYSTEMS) from None
     if isinstance(model, str):
-        model = get_model(model)
+        try:
+            model = get_model(model)
+        except KeyError:
+            raise ConfigError("model", model, MODEL_NAMES) from None
     if config.tcp_on_ec2 and on_ec2:
         cluster = ec2_tcp_network(cluster)
     algo = None
     plans = None
     if config.compression:
         if algorithm is None:
-            raise ValueError(f"system {system!r} needs an algorithm")
-        algo = default_algorithm(algorithm, **(algorithm_params or {}))
+            raise ConfigError(
+                "algorithm", algorithm, available_algorithms(),
+                hint=f"system {system!r} compresses and needs one")
+        try:
+            algo = default_algorithm(algorithm, **(algorithm_params or {}))
+        except KeyError:
+            raise ConfigError("algorithm", algorithm,
+                              available_algorithms()) from None
         if config.planner_kind is not None:
             plans = make_plans(model, cluster, algo, config.planner_kind)
     strategy = config.strategy_factory()
     return simulate_iteration(
         model, cluster, strategy, algorithm=algo, plans=plans,
         use_coordinator=config.use_coordinator,
-        batch_compression=config.batch_compression)
+        batch_compression=config.batch_compression,
+        telemetry=telemetry)
 
 
 def format_table(headers, rows) -> str:

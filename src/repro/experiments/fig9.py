@@ -2,9 +2,14 @@
 
 The paper's nsight traces show both systems peak at ~100% GPU, but Ring's
 utilization collapses to zero during gradient transmission while HiPress
-keeps the GPU busy.  We reproduce the same signal from the simulator's
-busy-interval log: fraction of each time bin the compute stream spends on
-DNN work.
+keeps the GPU busy.  We reproduce the same signal from telemetry: kernel
+spans recorded on node 0's compute stream (track ``node0/gpu-compute``),
+binned into the fraction of each time bin spent on DNN work -- the
+simulator-side equivalent of an nsight timeline.
+
+If an ambient collector is attached (``repro.telemetry.attach`` /
+``telemetry_session``), the runs are recorded into it, so a ``--trace``
+invocation of the CLI captures fig9's underlying spans too.
 """
 
 from __future__ import annotations
@@ -13,6 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..cluster import ec2_v100_cluster
+from ..telemetry import (TelemetryCollector, current_collector,
+                         utilization_series)
 from .common import format_table, run_system
 
 __all__ = ["run", "render", "UtilizationTrace"]
@@ -32,15 +39,28 @@ class UtilizationTrace:
     hipress_mean: float
 
 
+def _traced_utilization(system, model, cluster, bin_s, algorithm=None):
+    """Run one system and bin its node-0 compute-kernel spans.
+
+    Records into the ambient collector when one is attached (so a CLI
+    ``--trace`` captures the spans), a private one otherwise.
+    """
+    tel = current_collector() or TelemetryCollector()
+    result = run_system(system, model, cluster, algorithm=algorithm,
+                        telemetry=tel)
+    series = utilization_series(
+        tel, track="node0/gpu-compute", bin_width=bin_s,
+        horizon=result.iteration_time, run=len(tel.runs) - 1)
+    return tuple(series)
+
+
 def run(num_nodes: int = 16, bin_s: float = 0.02) -> Dict[str, UtilizationTrace]:
     cluster = ec2_v100_cluster(num_nodes)
     traces = {}
     for model, (hipress_system, algorithm) in PANELS.items():
-        ring = run_system("ring", model, cluster)
-        hipress = run_system(hipress_system, model, cluster,
-                             algorithm=algorithm)
-        ring_series = ring.gpu_util_series
-        hipress_series = hipress.gpu_util_series
+        ring_series = _traced_utilization("ring", model, cluster, bin_s)
+        hipress_series = _traced_utilization(hipress_system, model, cluster,
+                                             bin_s, algorithm=algorithm)
         traces[model] = UtilizationTrace(
             model=model,
             ring_series=ring_series,

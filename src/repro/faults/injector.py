@@ -242,6 +242,15 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> None:
         self.state.applied.append((self.env.now, event))
+        tel = self.env.telemetry
+        if tel is not None:
+            from dataclasses import asdict
+            attrs = asdict(event)
+            attrs.pop("at", None)   # collides with the instant's own `at`
+            tel.instant(type(event).__name__, category="fault",
+                        track="faults", at=self.env.now, **attrs)
+            tel.metrics.counter("faults.injected",
+                                kind=type(event).__name__).inc()
         if isinstance(event, NodeCrash):
             self._apply_crash(event.node)
         elif isinstance(event, NodeRestart):

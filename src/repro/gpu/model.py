@@ -146,28 +146,46 @@ class Gpu:
         #: neighbour, ECC scrubbing).  Exactly 1.0 means pristine timing.
         self.slowdown = 1.0
 
-    def run_compute(self, seconds: float, category: str = "compute"):
+    def run_compute(self, seconds: float, category: str = "compute",
+                    span_parent=None):
         """Generator: occupy the compute stream for ``seconds``."""
-        yield from self._run(self.compute, seconds, category)
+        yield from self._run(self.compute, seconds, category, span_parent)
 
-    def run_kernel(self, seconds: float, category: str = "compression"):
+    def run_kernel(self, seconds: float, category: str = "compression",
+                   span_parent=None):
         """Generator: occupy the communication stream for ``seconds``."""
-        yield from self._run(self.comm_stream, seconds, category)
+        yield from self._run(self.comm_stream, seconds, category, span_parent)
 
-    def _run(self, stream: Resource, seconds: float, category: str):
+    def _run(self, stream: Resource, seconds: float, category: str,
+             span_parent=None):
         if seconds < 0:
             raise ValueError(f"negative duration {seconds}")
         req = stream.request()
+        tel = self.env.telemetry
+        span = None
         try:
             yield req
             start = self.env.now
             if self.slowdown != 1.0:
                 seconds *= self.slowdown
+            if tel is not None:
+                stream_name = ("gpu-compute" if stream is self.compute
+                               else "gpu-comm")
+                span = tel.begin(category, category="kernel",
+                                 track=f"node{self.index}/{stream_name}",
+                                 parent=span_parent, at=start)
             yield self.env.timeout(seconds)
         except Interrupt:
             # A crash mid-kernel must not leak the stream: a restarted
             # node's recovery pass re-acquires it.
             stream.cancel(req)
+            if span is not None:
+                tel.finish(span, self.env.now, outcome="interrupted")
             raise
         stream.release(req)
         self.log.record(start, self.env.now, category)
+        if span is not None:
+            tel.finish(span, self.env.now)
+            tel.metrics.counter("gpu.kernels", category=category).inc()
+            tel.metrics.histogram("gpu.kernel_s", category=category
+                                  ).observe(span.duration)

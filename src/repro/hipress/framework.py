@@ -15,16 +15,21 @@ job then performs the steps §5 describes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from ..algorithms import available_algorithms
 from ..algorithms.base import CompressionAlgorithm
 from ..casync.planner import (CostModel, GradientPlan,
                               SelectivePlanner, plans_from_json,
                               plans_to_json)
-from ..cluster import ClusterSpec, ec2_v100_cluster
+from ..cluster import (CLUSTER_PRESETS, ClusterSpec, ec2_v100_cluster,
+                       get_cluster)
+from ..errors import ConfigError
 from ..experiments.common import default_algorithm
-from ..models import ModelSpec, get_model
-from ..strategies import CaSyncPS, CaSyncRing, Strategy
+from ..models import MODEL_NAMES, ModelSpec, get_model
+from ..strategies import (CaSyncPS, CaSyncRing, Strategy, get_strategy,
+                          resolve_strategy_name)
+from ..telemetry import TelemetryCollector
 from ..training import IterationResult, simulate_iteration
 
 __all__ = ["Profile", "TrainingJob"]
@@ -52,27 +57,46 @@ class TrainingJob:
         print(result.throughput, job.plans["bert-large.g000"].partitions)
     """
 
+    #: Deprecated: kept for import compatibility.  Strategy lookup now goes
+    #: through :mod:`repro.strategies.registry`; only the planner preset
+    #: per CaSync flavour lives here.
     STRATEGIES = {"casync-ps": (CaSyncPS, "ps_colocated"),
                   "casync-ring": (CaSyncRing, "ring")}
 
+    PLANNER_KINDS = {"casync-ps": "ps_colocated", "casync-ring": "ring"}
+
     def __init__(self, model, algorithm="onebit",
                  strategy: str = "casync-ps",
-                 cluster: Optional[ClusterSpec] = None,
+                 cluster: Union[ClusterSpec, str, None] = None,
                  algorithm_params: Optional[Dict] = None):
-        if strategy not in self.STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; "
-                f"available: {sorted(self.STRATEGIES)}")
-        self.model: ModelSpec = (get_model(model) if isinstance(model, str)
-                                 else model)
-        self.algorithm: CompressionAlgorithm = (
-            default_algorithm(algorithm, **(algorithm_params or {}))
-            if isinstance(algorithm, str) else algorithm)
-        self.strategy_name = strategy
+        name = resolve_strategy_name(strategy)   # warns on hipress-* aliases
+        if name not in self.PLANNER_KINDS:
+            raise ConfigError("strategy", strategy, self.PLANNER_KINDS)
+        if isinstance(model, str):
+            try:
+                self.model: ModelSpec = get_model(model)
+            except KeyError:
+                raise ConfigError("model", model, MODEL_NAMES) from None
+        else:
+            self.model = model
+        if isinstance(algorithm, str):
+            try:
+                self.algorithm: CompressionAlgorithm = default_algorithm(
+                    algorithm, **(algorithm_params or {}))
+            except KeyError:
+                raise ConfigError("algorithm", algorithm,
+                                  available_algorithms()) from None
+        else:
+            self.algorithm = algorithm
+        self.strategy_name = name
+        if isinstance(cluster, str):
+            try:
+                cluster = get_cluster(cluster)
+            except KeyError:
+                raise ConfigError("cluster", cluster,
+                                  CLUSTER_PRESETS) from None
         self.cluster = cluster or ec2_v100_cluster()
-        strategy_cls, planner_kind = self.STRATEGIES[strategy]
-        self._strategy_cls = strategy_cls
-        self._planner_kind = planner_kind
+        self._planner_kind = self.PLANNER_KINDS[name]
         self._plans: Optional[Dict[str, GradientPlan]] = None
         self._profile: Optional[Profile] = None
 
@@ -109,14 +133,23 @@ class TrainingJob:
     # -- step 3: execution -----------------------------------------------------
 
     def run(self, pipelining: bool = True, bulk: bool = True,
-            selective: bool = True) -> IterationResult:
-        """Simulate one steady-state iteration; returns its metrics."""
-        strategy: Strategy = self._strategy_cls(
-            pipelining=pipelining, bulk=bulk, selective=selective)
+            selective: bool = True,
+            telemetry: Optional[TelemetryCollector] = None
+            ) -> IterationResult:
+        """Simulate one steady-state iteration; returns its metrics.
+
+        Pass ``telemetry=`` a :class:`~repro.telemetry.TelemetryCollector`
+        to record spans and metrics for this run (the ambient collector
+        from :func:`repro.telemetry.attach` is used otherwise).
+        """
+        strategy: Strategy = get_strategy(
+            self.strategy_name, pipelining=pipelining, bulk=bulk,
+            selective=selective)
         return simulate_iteration(
             self.model, self.cluster, strategy, algorithm=self.algorithm,
             plans=self.plans if selective else None,
-            use_coordinator=bulk, batch_compression=bulk)
+            use_coordinator=bulk, batch_compression=bulk,
+            telemetry=telemetry)
 
     def save_plans(self, path) -> None:
         """Persist the planner's per-gradient decisions as JSON."""

@@ -135,12 +135,17 @@ class Fabric:
 
     # -- timing-only transfers -------------------------------------------
 
-    def transfer(self, src: int, dst: int, nbytes: float):
+    def transfer(self, src: int, dst: int, nbytes: float,
+                 span_parent=None):
         """Generator: completes when ``nbytes`` from src arrive at dst.
 
         Holds src's uplink and dst's downlink for the serialization time;
         wire latency is appended without occupying either NIC.  A loopback
         (src == dst) is free: local data never touches the NIC.
+
+        ``span_parent`` links the telemetry transfer span under a causing
+        span (a send task, a coordinator batch); it is ignored when no
+        collector is attached.
         """
         self._check_node(src)
         self._check_node(dst)
@@ -148,9 +153,32 @@ class Fabric:
             raise ValueError(f"negative transfer size {nbytes}")
         if src == dst:
             return
-        if self.faults is not None:
-            yield from self._transfer_faulty(src, dst, nbytes)
+        tel = self.env.telemetry
+        if tel is None:
+            if self.faults is not None:
+                yield from self._transfer_faulty(src, dst, nbytes)
+            else:
+                yield from self._transfer_pristine(src, dst, nbytes)
             return
+        span = tel.begin(f"xfer:{src}->{dst}", category="transfer",
+                         track=f"node{src}/transfer", parent=span_parent,
+                         at=self.env.now, src=src, dst=dst, nbytes=nbytes)
+        try:
+            if self.faults is not None:
+                yield from self._transfer_faulty(src, dst, nbytes)
+            else:
+                yield from self._transfer_pristine(src, dst, nbytes)
+        except BaseException as exc:
+            tel.finish(span, self.env.now, outcome=type(exc).__name__)
+            tel.metrics.counter("net.transfer_failures").inc()
+            raise
+        tel.finish(span, self.env.now, outcome="delivered")
+        tel.metrics.counter("net.bytes_sent").inc(nbytes)
+        tel.metrics.counter("net.messages").inc()
+        tel.metrics.histogram("net.transfer_s").observe(span.duration)
+
+    def _transfer_pristine(self, src: int, dst: int, nbytes: float):
+        """The fault-free transfer path (no FaultState attached)."""
         env = self.env
         sender, receiver = self.nics[src], self.nics[dst]
         serialize = nbytes / self.spec.bytes_per_second

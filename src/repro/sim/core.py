@@ -334,6 +334,10 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._seq = 0
+        #: Optional :class:`~repro.telemetry.TelemetryCollector`.  None (the
+        #: default) keeps every instrumentation site on the zero-cost path:
+        #: one ``is not None`` test, no recording, no extra sim events.
+        self.telemetry = None
 
     @property
     def now(self) -> float:
@@ -396,7 +400,21 @@ class Environment:
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        tel = self.telemetry
+        if tel is not None:
+            # Process lifecycle as a span.  The completion callback only
+            # records; it schedules nothing, so the event sequence is
+            # identical with or without a collector attached.
+            span = tel.begin(proc.name, category="process",
+                             track="sim/processes", at=self._now)
+            tel.metrics.counter("sim.processes").inc()
+
+            def _ended(event, tel=tel, span=span):
+                tel.finish(span, self._now, ok=bool(event._ok))
+
+            proc.callbacks.append(_ended)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

@@ -58,6 +58,11 @@ class Resource:
 
     def request(self) -> Request:
         req = Request(self)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter("sim.resource.requests").inc()
+            if self._in_use >= self.capacity:
+                tel.metrics.counter("sim.resource.queued").inc()
         if self._in_use < self.capacity:
             self._in_use += 1
             req.succeed(priority=URGENT)

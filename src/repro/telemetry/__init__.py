@@ -1,0 +1,55 @@
+"""Span/metrics telemetry for the simulator, with Chrome-trace export.
+
+See :mod:`repro.telemetry.core` for the recording model and the zero-cost
+contract, :mod:`repro.telemetry.export` for the output formats, and
+``docs/TELEMETRY.md`` for the user guide.
+
+Import-order note: instrumented subsystems (``repro.sim``, ``repro.net``,
+``repro.gpu``, ``repro.casync``) must not be imported here -- they reach
+telemetry only through ``env.telemetry``, never by importing this package,
+so this package stays dependency-free and cycle-free.
+"""
+
+from .core import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunInfo,
+    Span,
+    TelemetryCollector,
+    attach,
+    current_collector,
+    detach,
+    telemetry_session,
+)
+from .export import (
+    flame_summary,
+    parse_chrome_trace,
+    to_chrome_trace,
+    to_metrics_csv,
+    to_metrics_json,
+    utilization_series,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunInfo",
+    "Span",
+    "TelemetryCollector",
+    "attach",
+    "current_collector",
+    "detach",
+    "flame_summary",
+    "parse_chrome_trace",
+    "telemetry_session",
+    "to_chrome_trace",
+    "to_metrics_csv",
+    "to_metrics_json",
+    "utilization_series",
+    "write_chrome_trace",
+]

@@ -1,0 +1,218 @@
+"""Telemetry exporters: Chrome trace JSON, metrics dumps, flame summary.
+
+Three consumers, three formats:
+
+* :func:`to_chrome_trace` -- Chrome Trace Event Format, loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev.  Every span becomes a
+  complete ("X") event; every instant becomes an "i" event; ``pid`` is the
+  node index and ``tid`` is the track name, so Perfetto renders one process
+  group per node with distinct encode/transfer/merge/decode tracks.
+* :func:`to_metrics_json` / :func:`to_metrics_csv` -- flat dumps of the
+  metrics registry for spreadsheets and dashboards.
+* :func:`flame_summary` -- a plain-text where-did-time-go table (total and
+  self time per span name within each category), the quick-look view for
+  terminals.
+
+:func:`parse_chrome_trace` inverts :func:`to_chrome_trace` far enough for
+round-trip tests and downstream tooling; :func:`utilization_series` bins a
+track's spans into a fraction-busy time series (the Figure 9 signal).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .core import Span, TelemetryCollector
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "parse_chrome_trace",
+    "to_metrics_json",
+    "to_metrics_csv",
+    "flame_summary",
+    "utilization_series",
+]
+
+#: Spans still open at export time get this marker attribute.
+_OPEN_MARKER = "open"
+
+
+def _span_record(span: Span) -> Dict[str, Any]:
+    args = {"id": span.id, "run": span.run}
+    if span.parent_id is not None:
+        args["parent"] = span.parent_id
+    for key, value in span.attrs.items():
+        args[key] = value if isinstance(value, (int, float, str, bool,
+                                                type(None))) else repr(value)
+    if not span.finished:
+        args[_OPEN_MARKER] = True
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": span.start * 1e6,                    # microseconds
+        "dur": max(span.duration, 1e-3) * 1e6,
+        "pid": span.node if span.node is not None else 0,
+        "tid": span.track,
+        "args": args,
+    }
+
+
+def to_chrome_trace(collector: TelemetryCollector) -> str:
+    """Serialize all runs in ``collector`` to Chrome Trace Event JSON."""
+    records: List[Dict[str, Any]] = [_span_record(s) for s in collector.spans]
+    for inst in collector.instants:
+        node = None
+        if inst["track"].startswith("node"):
+            head = inst["track"].split("/", 1)[0][4:]
+            node = int(head) if head.isdigit() else None
+        args = {"run": inst["run"]}
+        args.update({k: v if isinstance(v, (int, float, str, bool, type(None)))
+                     else repr(v) for k, v in inst["attrs"].items()})
+        records.append({
+            "name": inst["name"],
+            "cat": inst["category"],
+            "ph": "i",
+            "s": "g",                              # global-scope instant
+            "ts": inst["at"] * 1e6,
+            "pid": node if node is not None else 0,
+            "tid": inst["track"],
+            "args": args,
+        })
+    records.sort(key=lambda r: (r["ts"], r["pid"], r["tid"], r["name"]))
+    meta = {"runs": [{"index": r.index, "label": r.label, "offset": r.offset}
+                     for r in collector.runs]}
+    return json.dumps({"traceEvents": records, "displayTimeUnit": "ms",
+                       "otherData": meta}, indent=1)
+
+
+def write_chrome_trace(collector: TelemetryCollector, path) -> str:
+    """Export to ``path``; returns the path for chaining/logging."""
+    from pathlib import Path
+    text = to_chrome_trace(collector)
+    Path(path).write_text(text)
+    return str(path)
+
+
+def parse_chrome_trace(text: str) -> Dict[str, Any]:
+    """Parse a :func:`to_chrome_trace` document back into plain dicts.
+
+    Returns ``{"events": [...], "spans": [...], "instants": [...],
+    "runs": [...]}`` with events in file order (which is timestamp order),
+    timestamps converted back to seconds.
+    """
+    doc = json.loads(text)
+    events = []
+    for rec in doc.get("traceEvents", []):
+        event = {
+            "name": rec["name"],
+            "category": rec.get("cat", ""),
+            "phase": rec["ph"],
+            "start": rec["ts"] / 1e6,
+            "duration": rec.get("dur", 0.0) / 1e6,
+            "node": rec.get("pid", 0),
+            "track": rec.get("tid", ""),
+            "args": rec.get("args", {}),
+        }
+        events.append(event)
+    return {
+        "events": events,
+        "spans": [e for e in events if e["phase"] == "X"],
+        "instants": [e for e in events if e["phase"] == "i"],
+        "runs": doc.get("otherData", {}).get("runs", []),
+    }
+
+
+# -- metrics ----------------------------------------------------------------
+
+def to_metrics_json(collector: TelemetryCollector) -> str:
+    """The metrics registry as a JSON array of flat records."""
+    return json.dumps(collector.metrics.snapshot(), indent=1)
+
+
+def to_metrics_csv(collector: TelemetryCollector) -> str:
+    """The metrics registry as CSV: kind,name,labels,value,count,sum,min,max."""
+    lines = ["kind,name,labels,value,count,sum,min,max"]
+    for row in collector.metrics.snapshot():
+        labels = ";".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        if row["kind"] == "histogram":
+            cells = ["", str(row["count"]), repr(row["sum"]),
+                     repr(row["min"]), repr(row["max"])]
+        else:
+            value = row["value"]
+            cells = ["" if value is None else repr(value), "", "", "", ""]
+        lines.append(",".join([row["kind"], row["name"], labels] + cells))
+    return "\n".join(lines) + "\n"
+
+
+# -- flame summary ----------------------------------------------------------
+
+def flame_summary(collector: TelemetryCollector, top: int = 30) -> str:
+    """Plain-text time breakdown: total and self time per (category, name).
+
+    *Self* time excludes time attributed to child spans, so a task whose
+    whole duration is one GPU kernel shows ~zero self time and the kernel
+    shows the real cost -- the usual flame-graph reading.
+    """
+    child_time: Dict[int, float] = {}
+    for span in collector.spans:
+        if span.parent_id is not None and span.finished:
+            child_time[span.parent_id] = (child_time.get(span.parent_id, 0.0)
+                                          + span.duration)
+    agg: Dict[tuple, List[float]] = {}   # (category, name) -> [count, total, self]
+    for span in collector.spans:
+        if not span.finished:
+            continue
+        key = (span.category, span.name.split(":", 1)[0])
+        row = agg.setdefault(key, [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += span.duration
+        row[2] += max(0.0, span.duration - child_time.get(span.id, 0.0))
+    rows = sorted(agg.items(), key=lambda kv: -kv[1][2])[:top]
+    if not rows:
+        return "flame summary: no finished spans recorded"
+    name_w = max(len(f"{cat}/{name}") for (cat, name), _ in rows)
+    lines = [f"{'span':<{name_w}}  {'count':>7}  {'total_s':>12}  "
+             f"{'self_s':>12}"]
+    lines.append("-" * len(lines[0]))
+    for (cat, name), (count, total, self_time) in rows:
+        lines.append(f"{cat + '/' + name:<{name_w}}  {count:>7d}  "
+                     f"{total:>12.6f}  {self_time:>12.6f}")
+    return "\n".join(lines)
+
+
+# -- utilization ------------------------------------------------------------
+
+def utilization_series(collector: TelemetryCollector, track: str,
+                       bin_width: float, horizon: float,
+                       run: Optional[int] = None,
+                       name: Optional[str] = None) -> List[float]:
+    """Fraction-busy per time bin over ``[0, horizon)`` for one track.
+
+    ``run`` selects which recorded simulation to read (default: the last
+    one); its time offset is subtracted, so the series always starts at
+    the run's own t=0.  This is the telemetry-native replacement for the
+    GPU model's bespoke interval-log binning: Figure 9's utilization
+    timelines come straight from the recorded kernel spans.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if run is None:
+        run = max(0, len(collector.runs) - 1)
+    offset = collector.runs[run].offset if run < len(collector.runs) else 0.0
+    nbins = max(1, int(round(horizon / bin_width)))
+    bins = [0.0] * nbins
+    for span in collector.find_spans(track=track, run=run, finished=True,
+                                     name=name):
+        start = span.start - offset
+        end = span.end - offset
+        first = max(0, int(start / bin_width))
+        last = min(nbins - 1, int(end / bin_width))
+        for b in range(first, last + 1):
+            lo = max(start, b * bin_width)
+            hi = min(end, (b + 1) * bin_width)
+            if hi > lo:
+                bins[b] += hi - lo
+    return [min(1.0, b / bin_width) for b in bins]

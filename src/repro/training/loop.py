@@ -38,6 +38,7 @@ from ..models import ModelSpec
 from ..net import Fabric
 from ..sim import Environment, Interrupt
 from ..strategies.base import Strategy, SyncContext
+from ..telemetry import TelemetryCollector, current_collector
 
 __all__ = ["IterationResult", "simulate_iteration", "scaling_efficiency"]
 
@@ -112,7 +113,8 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
                        retry_policy: Optional[RetryPolicy] = None,
                        degradation: bool = True,
                        sync_deadline_s: Optional[float] = None,
-                       heartbeat_timeout_s: float = 0.02
+                       heartbeat_timeout_s: float = 0.02,
+                       telemetry: Optional[TelemetryCollector] = None
                        ) -> IterationResult:
     """Simulate one BSP iteration and return its metrics.
 
@@ -131,6 +133,14 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
     schedule with no explicit ``retry_policy`` keeps the simulation on
     the pristine code path, bit-identical to a build without the fault
     subsystem.
+
+    Telemetry: pass a :class:`~repro.telemetry.TelemetryCollector` (or
+    attach one ambiently via :func:`repro.telemetry.attach`) to record
+    spans for every transfer, kernel, task, and per-layer backward
+    segment, plus counters/gauges/histograms.  Recording only observes --
+    it never creates simulation events -- so results and trace hashes are
+    identical with and without a collector, and with none attached the
+    instrumentation is a single pointer test per site.
     """
     if straggler is not None:
         node_idx, factor = straggler
@@ -145,7 +155,11 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
         RetryPolicy() if faulty else None)
     membership = Membership(cluster.num_nodes) if robust else None
 
+    tel = telemetry if telemetry is not None else current_collector()
     env = Environment()
+    env.telemetry = tel
+    if tel is not None:
+        tel.start_run(f"{model.name}/{strategy.name}/{cluster.num_nodes}n")
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
     gpus = [Gpu(env, cluster.node.gpu, index=i)
             for i in range(cluster.num_nodes)]
@@ -177,11 +191,22 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
 
     def compute_pass(node: int, slowdown: float):
         gpu = gpus[node]
-        yield from gpu.run_compute(forward * slowdown, category="compute")
+        layers = f"node{node}/layers"
+        span = (tel.begin("forward", category="phase", track=layers,
+                          at=env.now) if tel is not None else None)
+        yield from gpu.run_compute(forward * slowdown, category="compute",
+                                   span_parent=span)
+        if span is not None:
+            tel.finish(span, env.now)
         prev_offset = 0.0
         for offset, grad in backward:
+            span = (tel.begin(f"backward:{grad.name}", category="phase",
+                              track=layers, at=env.now, nbytes=grad.nbytes)
+                    if tel is not None else None)
             yield from gpu.run_compute((offset - prev_offset) * slowdown,
-                                       category="compute")
+                                       category="compute", span_parent=span)
+            if span is not None:
+                tel.finish(span, env.now)
             prev_offset = offset
             event = ready[(node, grad.name)]
             if event.triggered:
@@ -281,6 +306,24 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
         bin_width=util_bin_s, horizon=iteration_time, category="compute"))
     peaks = peak_buffer_memory(graph)
     peak_memory = max(peaks.values()) if peaks else 0.0
+
+    if tel is not None:
+        iter_span = tel.begin(
+            f"iteration:{model.name}", category="iteration",
+            track="sim/iteration", at=0.0, strategy=strategy.name,
+            num_nodes=cluster.num_nodes)
+        tel.finish(iter_span, iteration_time)
+        labels = {"model": model.name, "strategy": strategy.name}
+        tel.metrics.counter("training.iterations").inc()
+        tel.metrics.gauge("training.iteration_time_s", **labels).set(
+            iteration_time)
+        tel.metrics.gauge("training.compute_time_s", **labels).set(
+            compute_time)
+        tel.metrics.gauge("training.comm_ratio", **labels).set(
+            min(1.0, comm_ratio))
+        tel.metrics.gauge("training.exposed_sync_s", **labels).set(exposed)
+        tel.metrics.gauge("training.compression_s", **labels).set(
+            compression_time)
 
     return IterationResult(
         model=model.name,

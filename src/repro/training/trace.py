@@ -33,6 +33,7 @@ from ..models import ModelSpec
 from ..net import Fabric
 from ..sim import Environment, Interrupt
 from ..strategies.base import Strategy, SyncContext
+from ..telemetry import TelemetryCollector, current_collector
 
 __all__ = ["TraceEvent", "IterationTrace", "trace_iteration", "trace_hash"]
 
@@ -88,7 +89,9 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
                     retry_policy: Optional[RetryPolicy] = None,
                     degradation: bool = True,
                     sync_deadline_s: Optional[float] = None,
-                    heartbeat_timeout_s: float = 0.02) -> IterationTrace:
+                    heartbeat_timeout_s: float = 0.02,
+                    telemetry: Optional[TelemetryCollector] = None
+                    ) -> IterationTrace:
     """Simulate one iteration, returning the full task timeline.
 
     The fault parameters mirror
@@ -103,7 +106,12 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
         RetryPolicy() if faulty else None)
     membership = Membership(cluster.num_nodes) if robust else None
 
+    tel = telemetry if telemetry is not None else current_collector()
     env = Environment()
+    env.telemetry = tel
+    if tel is not None:
+        tel.start_run(
+            f"trace:{model.name}/{strategy.name}/{cluster.num_nodes}n")
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
     gpus = [Gpu(env, cluster.node.gpu, index=i)
             for i in range(cluster.num_nodes)]

@@ -150,8 +150,11 @@ def test_kernel_speed_claims():
 
 
 def test_run_system_validation():
+    # Unknown names raise the typed ConfigError (a ValueError subclass)
+    # listing the valid choices; see tests/test_api.py for full coverage.
+    from repro.errors import ConfigError
     cluster = ec2_v100_cluster(2)
     with pytest.raises(ValueError, match="algorithm"):
         run_system("hipress-ps", "resnet50", cluster)
-    with pytest.raises(KeyError):
+    with pytest.raises(ConfigError, match="valid choices"):
         run_system("nonexistent", "resnet50", cluster)

@@ -389,3 +389,22 @@ def test_pristine_trace_is_deterministic(name, make_strategy, algo_factory):
     first = _trace_fingerprint(make_strategy, algo_factory, None)
     second = _trace_fingerprint(make_strategy, algo_factory, None)
     assert first == second
+
+
+@pytest.mark.parametrize("name,make_strategy,algo_factory", ALL_STRATEGIES,
+                         ids=[s[0] for s in ALL_STRATEGIES])
+@pytest.mark.parametrize("with_schedule", [False, True],
+                         ids=["pristine", "faulty"])
+def test_telemetry_collector_leaves_trace_hash_unchanged(
+        name, make_strategy, algo_factory, with_schedule):
+    # Telemetry's zero-cost contract: recording only observes, so the
+    # event trace -- pristine or under fault injection -- is bit-identical
+    # with and without an attached collector.
+    from repro.telemetry import telemetry_session
+    schedule = (random_schedule(seed=11, num_nodes=3, horizon=2e-3)
+                if with_schedule else None)
+    baseline = _trace_fingerprint(make_strategy, algo_factory, schedule)
+    with telemetry_session() as tel:
+        observed = _trace_fingerprint(make_strategy, algo_factory, schedule)
+    assert observed == baseline
+    assert tel.spans                   # the collector really did record
