@@ -1,0 +1,42 @@
+"""Static analysis for the repro codebase itself.
+
+Two analyzers share the :mod:`~repro.analysis.diagnostics` core:
+
+* :mod:`repro.compll.analysis` -- pass pipeline over the CompLL DSL AST
+  (dataflow, constant/overflow, purity, encode/decode layout proofs);
+* :mod:`repro.analysis.simlint` -- a Python-AST linter enforcing the
+  repo's determinism contracts (no wall-clock, no unseeded randomness,
+  no mutable default arguments, no unordered-set iteration, telemetry
+  guarded by the one-pointer-test pattern) over ``src/repro``.
+
+Run ``python -m repro.analysis.simlint src/repro`` for the linter and
+``python -m repro.compll.analysis <files.cll>`` for the DSL analyzer.
+"""
+
+from .diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    count_by_severity,
+    exit_code,
+    has_errors,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+
+__all__ = [
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "count_by_severity",
+    "exit_code",
+    "has_errors",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+]

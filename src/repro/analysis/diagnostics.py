@@ -1,0 +1,135 @@
+"""Shared diagnostics core for the repo's static analyzers.
+
+Both analysis front-ends -- the CompLL DSL pass pipeline
+(:mod:`repro.compll.analysis`) and the Python determinism linter
+(:mod:`repro.analysis.simlint`) -- report findings as
+:class:`Diagnostic` records: a severity, a stable rule id, a source
+location (file, line, column), the human message, and an optional fix
+hint.  Keeping one record type means one text renderer, one JSON schema,
+and one exit-code policy for every tool that surfaces findings (CLI, CI,
+:func:`repro.compll.verify.validate_algorithm`).
+
+Severities:
+
+* ``error`` -- the program violates a contract; compilation / CI must
+  stop.
+* ``warning`` -- suspicious but not provably wrong; fails CI only in
+  strict (warnings-as-errors) mode.
+* ``info`` -- advisory notes (e.g. a stochastic-but-parallelizable UDF).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "count_by_severity",
+    "exit_code",
+    "has_errors",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Recognised severities, most severe first.
+SEVERITIES: Tuple[str, ...] = (ERROR, WARNING, INFO)
+
+_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, renderable as text or JSON."""
+
+    rule: str                  # stable id, e.g. "CLL030" or "SIM101"
+    severity: str              # "error" | "warning" | "info"
+    message: str
+    file: str = "<source>"
+    line: int = 0              # 1-based; 0 = no location
+    column: int = 0            # 1-based; 0 = no location
+    hint: str = ""             # optional fix suggestion
+
+    def __post_init__(self):
+        if self.severity not in _RANK:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"expected one of {SEVERITIES}")
+
+    @property
+    def location(self) -> str:
+        """``file:line:column`` with zero fields omitted."""
+        parts = [self.file]
+        if self.line:
+            parts.append(str(self.line))
+            if self.column:
+                parts.append(str(self.column))
+        return ":".join(parts)
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.severity}[{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: by file, line, column, then severity rank, rule."""
+    return sorted(diagnostics,
+                  key=lambda d: (d.file, d.line, d.column,
+                                 _RANK[d.severity], d.rule))
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> dict:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diag in diagnostics:
+        counts[diag.severity] += 1
+    return counts
+
+
+def has_errors(diagnostics: Iterable[Diagnostic],
+               strict: bool = False) -> bool:
+    """True when any finding should fail the run.
+
+    In strict mode warnings count as failures (CI's
+    warnings-as-errors policy); infos never fail.
+    """
+    failing = (ERROR, WARNING) if strict else (ERROR,)
+    return any(d.severity in failing for d in diagnostics)
+
+
+def exit_code(diagnostics: Iterable[Diagnostic], strict: bool = False) -> int:
+    return 1 if has_errors(diagnostics, strict=strict) else 0
+
+
+def render_text(diagnostics: Sequence[Diagnostic],
+                summary: bool = True) -> str:
+    """Human-readable report, one finding per line (plus hints)."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = [diag.render() for diag in ordered]
+    if summary:
+        counts = count_by_severity(ordered)
+        lines.append(
+            f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+            f"{counts[INFO]} info(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Machine-readable report: a JSON object with findings and counts."""
+    ordered = sort_diagnostics(diagnostics)
+    payload = {
+        "diagnostics": [asdict(diag) for diag in ordered],
+        "counts": count_by_severity(ordered),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

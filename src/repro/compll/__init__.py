@@ -5,21 +5,29 @@ Pipeline: :func:`parse` -> :func:`analyze` -> :func:`generate` ->
 substitute code-generation flow (§4.3) with a NumPy backend.
 """
 
+from .analysis import AnalysisReport, LayoutProof, analyze_source, run_passes
 from .codegen import CodegenError, generate
 from .lexer import LexError, Lexer, Token
 from .library import BUNDLED_ALGORITHMS, build, dsl_source, terngrad_source
 from .operators import Cursor, Runtime
 from .parser import ParseError, parse
-from .printer import format_expression, format_program
+from .printer import (
+    format_error, format_expression, format_program, format_source_context,
+)
 from .semantics import ProgramInfo, SemanticError, analyze
-from .toolkit import CompiledAlgorithm, LocStats, compile_algorithm, loc_stats
+from .toolkit import (
+    CompiledAlgorithm, LocStats, StaticAnalysisError, compile_algorithm,
+    loc_stats,
+)
 from .verify import Check, ValidationReport, validate_algorithm
 
 __all__ = [
+    "AnalysisReport",
     "BUNDLED_ALGORITHMS",
     "CodegenError",
     "CompiledAlgorithm",
     "Cursor",
+    "LayoutProof",
     "LexError",
     "Lexer",
     "LocStats",
@@ -27,18 +35,23 @@ __all__ = [
     "ProgramInfo",
     "Runtime",
     "SemanticError",
+    "StaticAnalysisError",
     "Token",
     "Check",
     "ValidationReport",
     "analyze",
+    "analyze_source",
     "build",
     "compile_algorithm",
     "dsl_source",
+    "format_error",
     "format_expression",
     "format_program",
+    "format_source_context",
     "generate",
     "loc_stats",
     "parse",
+    "run_passes",
     "terngrad_source",
     "validate_algorithm",
 ]

@@ -1,0 +1,151 @@
+"""CompLL static analyzer: dataflow, constants, purity, layout proofs.
+
+The DSL's restrictions (no loops, no recursion in practice, declared
+types everywhere) make it unusually amenable to exact static analysis,
+and a compression codec is unusually unforgiving of bugs: a mis-declared
+bit width or a swapped ``concat`` field does not crash -- it silently
+decodes garbage gradients and degrades training accuracy, the hardest
+kind of bug to localize.  This package runs four passes over the checked
+AST (:class:`~repro.compll.semantics.ProgramInfo`) before code
+generation:
+
+* :mod:`.dataflow`   -- reaching definitions + liveness: dead stores,
+  unused locals/params/globals, use-before-init through branches
+  (``CLL001``-``CLL006``);
+* :mod:`.constants`  -- constant propagation with uintN bit-width /
+  overflow checks (``CLL010``-``CLL013``);
+* :mod:`.purity`     -- transitive UDF effect summaries gating the
+  parallelizability of ``map``/``filter``/``argfilter`` per §4.3
+  (``CLL020``-``CLL022``);
+* :mod:`.layout`     -- the encode/decode layout-consistency prover:
+  symbolically matches encode's ``concat`` against decode's ``extract``
+  sequence, proving field order, types, and element counts agree
+  (``CLL030``-``CLL034``).
+
+Front-end failures (lex/parse/semantic) surface as a single ``CLL000``
+error diagnostic so file-level tooling never has to catch exceptions.
+
+Run from the command line::
+
+    python -m repro.compll.analysis src/repro/compll/dsl_sources/*.cll
+    python -m repro.compll.analysis --strict --format json file.cll
+
+``--strict`` promotes warnings to failures (infos never fail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...analysis.diagnostics import (
+    Diagnostic, ERROR, INFO, WARNING, has_errors, render_text,
+    sort_diagnostics,
+)
+from ..lexer import LexError
+from ..parser import ParseError, parse
+from ..semantics import ProgramInfo, SemanticError, analyze
+from .constants import check_constants
+from .dataflow import check_dataflow
+from .layout import LayoutField, LayoutProof, check_layout
+from .purity import UdfPurity, check_purity, compute_purity
+
+__all__ = [
+    "AnalysisReport", "LayoutField", "LayoutProof", "RULES", "UdfPurity",
+    "analyze_source", "run_passes",
+]
+
+#: Every rule the analyzer can emit: id -> (default severity, summary).
+#: docs/ANALYSIS.md is generated from the same table the code enforces.
+RULES: Dict[str, tuple] = {
+    "CLL000": (ERROR, "front-end failure (lex / parse / semantic error)"),
+    "CLL001": (WARNING, "dead store: value assigned but never read"),
+    "CLL002": (WARNING, "unused local variable"),
+    "CLL003": (WARNING, "unused UDF parameter"),
+    "CLL004": (WARNING, "unused global"),
+    "CLL005": (ERROR, "use of variable before initialization"),
+    "CLL006": (WARNING, "variable may be uninitialized on some paths"),
+    "CLL010": (ERROR, "constant does not fit its uintN bit width"),
+    "CLL011": (ERROR, "division or modulo by constant zero"),
+    "CLL012": (WARNING, "constant shift amount of 32 bits or more"),
+    "CLL013": (WARNING, "branch condition is a constant"),
+    "CLL020": (ERROR, "global-writing UDF used in a parallel operator"),
+    "CLL021": (WARNING, "UDF writes a global (order-dependent)"),
+    "CLL022": (INFO, "stochastic UDF used elementwise (needs "
+                     "counter-based RNG)"),
+    "CLL030": (ERROR, "encode/decode field order, type, or kind "
+                      "mismatch"),
+    "CLL031": (WARNING, "array element count could not be proven"),
+    "CLL032": (ERROR, "provable element-count mismatch"),
+    "CLL033": (WARNING, "layout not statically analyzable"),
+    "CLL034": (ERROR, "encode paths serialize different layouts"),
+}
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the static analyzer learned about one program."""
+
+    path: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    purity: Dict[str, UdfPurity] = field(default_factory=dict)
+    layout: Optional[LayoutProof] = None
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    @property
+    def layout_proven(self) -> bool:
+        return self.layout is not None and self.layout.proven
+
+    def ok(self, strict: bool = False) -> bool:
+        """No errors (strict: no warnings either; infos never fail)."""
+        return not has_errors(self.diagnostics, strict=strict)
+
+    def render(self) -> str:
+        parts = [render_text(self.diagnostics)]
+        if self.layout is not None:
+            parts.append(self.layout.render())
+        return "\n".join(parts)
+
+
+def run_passes(info: ProgramInfo, path: str = "<source>") -> AnalysisReport:
+    """Run every analysis pass over a semantically checked program."""
+    report = AnalysisReport(path=path)
+    report.purity = compute_purity(info)
+    report.diagnostics.extend(check_purity(info, report.purity, path))
+    report.diagnostics.extend(check_dataflow(info, report.purity, path))
+    report.diagnostics.extend(check_constants(info, path))
+    layout_diags, proof = check_layout(info, path)
+    report.diagnostics.extend(layout_diags)
+    report.layout = proof
+    report.diagnostics = sort_diagnostics(report.diagnostics)
+    return report
+
+
+def analyze_source(source: str, path: str = "<source>") -> AnalysisReport:
+    """Parse + check + analyze DSL source, never raising.
+
+    Front-end failures become a single ``CLL000`` error diagnostic
+    carrying the failure's own location when it has one.
+    """
+    try:
+        info = analyze(parse(source))
+    except (LexError, ParseError, SemanticError) as exc:
+        span = getattr(exc, "span", None)
+        return AnalysisReport(path=path, diagnostics=[Diagnostic(
+            rule="CLL000", severity=ERROR, file=path,
+            line=span.line if span else 0,
+            column=span.column if span else 0,
+            message=f"{type(exc).__name__}: {exc}",
+            hint="fix the program before analysis can run")])
+    return run_passes(info, path)

@@ -1,0 +1,94 @@
+"""CLI for the CompLL static analyzer.
+
+::
+
+    python -m repro.compll.analysis dsl_sources/*.cll
+    python -m repro.compll.analysis --strict --format json terngrad.cll
+
+Exit status: 0 clean, 1 findings at or above the failure threshold
+(errors; warnings too under ``--strict``), 2 usage error.  Infos never
+affect the exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from ...analysis.diagnostics import (
+    count_by_severity, has_errors, render_text,
+)
+from . import analyze_source
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compll.analysis",
+        description="Static analysis for CompLL DSL programs: dataflow, "
+                    "constant/bit-width checks, UDF purity, and "
+                    "encode/decode layout-consistency proofs.")
+    parser.add_argument("files", nargs="+", help="DSL source files (.cll)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    parser.add_argument("--no-layout", action="store_true",
+                        help="omit layout proof tables from text output")
+    args = parser.parse_args(argv)
+
+    reports = []
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(analyze_source(source, path=path))
+
+    failed = False
+    if args.format == "json":
+        payload = []
+        for report in reports:
+            entry = {
+                "path": report.path,
+                "ok": report.ok(strict=args.strict),
+                "counts": count_by_severity(report.diagnostics),
+                "diagnostics": [
+                    {"rule": d.rule, "severity": d.severity,
+                     "file": d.file, "line": d.line, "column": d.column,
+                     "message": d.message, "hint": d.hint}
+                    for d in report.diagnostics
+                ],
+                "layout_proven": report.layout_proven,
+            }
+            if report.layout is not None:
+                entry["layout"] = {
+                    "proven": report.layout.proven,
+                    "paths_checked": report.layout.paths_checked,
+                    "fields": [
+                        {"index": f.index, "encode": f.encode_name,
+                         "decode": f.decode_name, "tag": f.tag,
+                         "kind": f.kind, "count": f.count,
+                         "proof": f.proof, "offset_bits": f.offset_bits}
+                        for f in report.layout.fields
+                    ],
+                }
+            payload.append(entry)
+            failed = failed or not entry["ok"]
+        print(json.dumps({"reports": payload}, indent=2))
+    else:
+        for report in reports:
+            print(f"== {report.path}")
+            print(render_text(report.diagnostics))
+            if report.layout is not None and not args.no_layout:
+                print(report.layout.render())
+            failed = failed or has_errors(report.diagnostics,
+                                          strict=args.strict)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

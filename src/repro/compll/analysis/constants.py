@@ -1,0 +1,257 @@
+"""Constant propagation with bit-width / overflow checking.
+
+Sub-byte payload types are CompLL's whole point -- ``uint1``/``uint2``/
+``uint4`` fields are bit-packed by ``concat`` -- so a constant that does
+not fit its declared width silently truncates in the serialized stream
+and corrupts every decoded gradient.  This pass folds constants through
+straight-line code and both arms of data-dependent branches
+(joining to "unknown" on disagreement) and flags:
+
+* ``CLL010`` (error): a known constant stored into / returned as a
+  ``uintN`` value that cannot represent it (negative or >= 2**N);
+* ``CLL011`` (error): division or modulo by a constant zero;
+* ``CLL012`` (warning): a constant shift amount of 32 or more bits
+  (the backend evaluates in 32-bit registers);
+* ``CLL013`` (warning): an ``if`` condition that folds to a constant --
+  one arm is dead code.
+
+Globals and ``params`` members start unknown (they carry runtime state),
+so the pass never reports speculative values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ...analysis.diagnostics import Diagnostic, ERROR, WARNING
+from ..ast_nodes import (
+    Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
+    If, Index, Member, Name, Number, Return, Span, TypeRef, Unary,
+)
+from ..semantics import ProgramInfo
+
+__all__ = ["check_constants"]
+
+Const = Union[int, float]
+#: Lattice value: a Python number, or None for "unknown".
+Value = Optional[Const]
+
+_UINT_WIDTHS = {"uint1": 1, "uint2": 2, "uint4": 4, "uint8": 8,
+                "uint16": 16, "uint32": 32}
+
+
+def _loc(span: Optional[Span]) -> Tuple[int, int]:
+    return (span.line, span.column) if span else (0, 0)
+
+
+class _ConstantPass:
+    def __init__(self, info: ProgramInfo, fn: Function, path: str):
+        self.info = info
+        self.fn = fn
+        self.path = path
+        self.diagnostics: List[Diagnostic] = []
+
+    def run(self) -> List[Diagnostic]:
+        env: Dict[str, Value] = {}
+        self._block(self.fn.body, env)
+        # Constant returns are checked against the declared return type.
+        self._check_returns(self.fn.body, self.fn.return_type)
+        return self.diagnostics
+
+    # -- environment-threading walk -------------------------------------------
+
+    def _block(self, block: Block, env: Dict[str, Value]) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, Declaration):
+                if stmt.value is not None:
+                    value = self._eval(stmt.value, env)
+                    self._check_fits(stmt.type, value, stmt.span,
+                                     what=f"initializer of "
+                                          f"{stmt.names[0]!r}")
+                    env[stmt.names[0]] = value
+                else:
+                    for name in stmt.names:
+                        env[name] = None
+            elif isinstance(stmt, Assignment):
+                value = self._eval(stmt.value, env)
+                target = stmt.target
+                if isinstance(target, Name):
+                    declared = self.info.type_of_name(self.fn.name,
+                                                      target.ident)
+                    if declared is not None and not declared.pointer:
+                        self._check_fits(declared, value, stmt.span,
+                                         what=f"assignment to "
+                                              f"{target.ident!r}")
+                    env[target.ident] = value
+                else:
+                    self._eval(target, env)
+            elif isinstance(stmt, Return):
+                if stmt.value is not None:
+                    self._eval(stmt.value, env)
+            elif isinstance(stmt, If):
+                condition = self._eval(stmt.condition, env)
+                if condition is not None:
+                    line, column = _loc(stmt.span)
+                    arm = "else" if condition else "then"
+                    self.diagnostics.append(Diagnostic(
+                        rule="CLL013", severity=WARNING, file=self.path,
+                        line=line, column=column,
+                        message=(f"condition is always "
+                                 f"{'true' if condition else 'false'}; "
+                                 f"the {arm} arm is dead code"),
+                        hint="simplify the branch"))
+                then_env = dict(env)
+                self._block(stmt.then_block, then_env)
+                else_env = dict(env)
+                if stmt.else_block is not None:
+                    self._block(stmt.else_block, else_env)
+                merged = {}
+                for name in sorted(set(then_env) | set(else_env)):
+                    a, b = then_env.get(name), else_env.get(name)
+                    merged[name] = a if a == b else None
+                env.clear()
+                env.update(merged)
+            elif isinstance(stmt, ExprStatement):
+                self._eval(stmt.expr, env)
+
+    def _check_returns(self, block: Block, ret: TypeRef) -> None:
+        """Re-walk for `return <const>` against the return type.
+
+        Constant returns are almost always literal (`return 2;`), so a
+        fresh environment-free fold of the returned expression is enough
+        and avoids tracking per-return environments.
+        """
+        width = _UINT_WIDTHS.get(ret.base)
+        if width is None or ret.pointer:
+            return
+
+        def walk(b: Block) -> None:
+            for stmt in b.statements:
+                if isinstance(stmt, Return) and stmt.value is not None:
+                    value = self._eval(stmt.value, {})
+                    self._check_fits(ret, value, stmt.span,
+                                     what=f"return from {self.fn.name!r}")
+                elif isinstance(stmt, If):
+                    walk(stmt.then_block)
+                    if stmt.else_block:
+                        walk(stmt.else_block)
+
+        walk(block)
+
+    # -- folding ---------------------------------------------------------------
+
+    def _eval(self, expr, env: Dict[str, Value]) -> Value:
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, Name):
+            return env.get(expr.ident)
+        if isinstance(expr, Member):
+            return None  # params.* and .size are runtime values
+        if isinstance(expr, Index):
+            self._eval(expr.obj, env)
+            self._eval(expr.index, env)
+            return None
+        if isinstance(expr, Unary):
+            operand = self._eval(expr.operand, env)
+            if operand is None:
+                return None
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return int(not operand)
+            return None
+        if isinstance(expr, Binary):
+            return self._binary(expr, env)
+        if isinstance(expr, Call):
+            for arg in expr.args:
+                self._eval(arg, env)
+            return None
+        return None
+
+    def _binary(self, expr: Binary, env: Dict[str, Value]) -> Value:
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        op = expr.op
+        if op in ("/", "%") and right == 0:
+            line, column = _loc(expr.span)
+            self.diagnostics.append(Diagnostic(
+                rule="CLL011", severity=ERROR, file=self.path,
+                line=line, column=column,
+                message=f"{'division' if op == '/' else 'modulo'} by "
+                        f"constant zero",
+                hint="guard the divisor or fix the constant"))
+            return None
+        if op in ("<<", ">>") and isinstance(right, int) and right >= 32:
+            line, column = _loc(expr.span)
+            self.diagnostics.append(Diagnostic(
+                rule="CLL012", severity=WARNING, file=self.path,
+                line=line, column=column,
+                message=f"shift by {right} bits exceeds the 32-bit "
+                        f"evaluation width",
+                hint="shift amounts must stay below 32"))
+        if left is None or right is None:
+            return None
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right
+                return left / right
+            if op == "%":
+                return left % right
+            if op == "<<":
+                return int(left) << int(right)
+            if op == ">>":
+                return int(left) >> int(right)
+            if op == "==":
+                return int(left == right)
+            if op == "!=":
+                return int(left != right)
+            if op == "<":
+                return int(left < right)
+            if op == ">":
+                return int(left > right)
+            if op == "<=":
+                return int(left <= right)
+            if op == ">=":
+                return int(left >= right)
+            if op == "&&":
+                return int(bool(left) and bool(right))
+            if op == "||":
+                return int(bool(left) or bool(right))
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return None
+        return None
+
+    def _check_fits(self, type_ref: TypeRef, value: Value,
+                    span: Optional[Span], what: str) -> None:
+        if value is None or type_ref.pointer:
+            return
+        width = _UINT_WIDTHS.get(type_ref.base)
+        if width is None:
+            return
+        limit = 1 << width
+        folded = int(value)
+        if 0 <= folded < limit:
+            return
+        line, column = _loc(span)
+        self.diagnostics.append(Diagnostic(
+            rule="CLL010", severity=ERROR, file=self.path,
+            line=line, column=column,
+            message=(f"constant {value!r} does not fit {type_ref} "
+                     f"({what}): representable range is 0..{limit - 1}"),
+            hint="widen the type or clamp the constant"))
+
+
+def check_constants(info: ProgramInfo, path: str) -> List[Diagnostic]:
+    """Fold constants through every function; emit CLL010-013."""
+    diagnostics: List[Diagnostic] = []
+    for fn_info in info.functions.values():
+        diagnostics.extend(
+            _ConstantPass(info, fn_info.function, path).run())
+    return diagnostics

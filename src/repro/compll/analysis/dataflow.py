@@ -1,0 +1,387 @@
+"""Def-use, liveness and initialization analysis for CompLL functions.
+
+The DSL has structured control flow and -- deliberately (§4.3) -- no
+loops, so both directions of dataflow are *exact*, not fixpoint
+approximations:
+
+* forward walk with branch intersection/union computes definite and
+  possible initialization (use-before-init);
+* backward walk computes liveness (dead stores, unused locals/params/
+  globals).
+
+Operator calls that take a UDF handle (``map(G, f)``) are credited with
+the UDF's transitive global reads/writes (from
+:mod:`~repro.compll.analysis.purity`), so ``tau = params.threshold``
+followed only by ``filter(gradient, exceeds)`` -- where ``exceeds`` reads
+``tau`` -- is correctly *not* a dead store.
+
+Rules:
+
+* ``CLL001`` (warning): dead store -- the assigned value can never be
+  read before being overwritten or going out of scope;
+* ``CLL002`` (warning): unused local variable;
+* ``CLL003`` (warning): unused parameter of a user-defined function
+  (``encode``/``decode`` parameters are fixed by the unified API of
+  Fig. 4 and exempt);
+* ``CLL004`` (warning): unused global;
+* ``CLL005`` (error): a local is read but never assigned on any path;
+* ``CLL006`` (warning): a local may be read uninitialized on some path.
+
+Stores whose right-hand side has side effects (``extract`` advances the
+buffer cursor; ``random`` consumes RNG state; calls to global-writing
+UDFs) are never reported dead -- removing them would change behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...analysis.diagnostics import Diagnostic, ERROR, WARNING
+from ..ast_nodes import (
+    Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
+    If, Index, Member, Name, Return, Span, Unary,
+)
+from ..semantics import ProgramInfo
+from .purity import UdfPurity
+
+__all__ = ["check_dataflow"]
+
+#: Operator argument positions holding a UDF handle, by operator name.
+_UDF_ARG_POSITIONS = {"map": 1, "filter": 1, "argfilter": 1, "reduce": 1}
+
+#: Calls with observable side effects beyond their return value.
+_SIDE_EFFECT_CALLS = {"extract", "random"}
+
+
+def _loc(span: Optional[Span]) -> Tuple[int, int]:
+    return (span.line, span.column) if span else (0, 0)
+
+
+class _FunctionDataflow:
+    def __init__(self, info: ProgramInfo, fn: Function,
+                 purity: Dict[str, UdfPurity], path: str):
+        self.info = info
+        self.fn = fn
+        self.purity = purity
+        self.path = path
+        self.is_entry = fn.name in ("encode", "decode")
+        fn_info = info.functions[fn.name]
+        self.locals = set(fn_info.locals)
+        self.params = set(fn_info.params)
+        self.diagnostics: List[Diagnostic] = []
+        #: Every name this function reads, including via UDF handles.
+        self.reads_anywhere: Set[str] = set()
+        #: Globals this function writes (for whole-program unused check).
+        self.global_writes: Set[str] = set()
+
+    # -- expression reads -----------------------------------------------------
+
+    def expr_reads(self, node) -> Set[str]:
+        """Names whose current value the expression consumes."""
+        reads: Set[str] = set()
+
+        def walk(expr) -> None:
+            if isinstance(expr, Name):
+                reads.add(expr.ident)
+                if expr.ident in self.purity:
+                    # A bare UDF handle (map(G, f)): the operator will
+                    # invoke f, observing the globals f reads.
+                    reads.update(self.purity[expr.ident].reads_globals)
+                return
+            if isinstance(expr, Member):
+                walk(expr.obj)
+                return
+            if isinstance(expr, Index):
+                walk(expr.obj)
+                walk(expr.index)
+                return
+            if isinstance(expr, Unary):
+                walk(expr.operand)
+                return
+            if isinstance(expr, Binary):
+                walk(expr.left)
+                walk(expr.right)
+                return
+            if isinstance(expr, Call):
+                if expr.func in self.purity:
+                    summary = self.purity[expr.func]
+                    reads.update(summary.reads_globals)
+                for arg in expr.args:
+                    walk(arg)
+                return
+
+        walk(node)
+        return reads
+
+    def expr_has_side_effects(self, node) -> bool:
+        if isinstance(node, Call):
+            if node.func in _SIDE_EFFECT_CALLS:
+                return True
+            if node.func in self.purity:
+                summary = self.purity[node.func]
+                if summary.writes_globals or summary.calls_random:
+                    return True
+            return any(self.expr_has_side_effects(arg) for arg in node.args)
+        if isinstance(node, (Unary,)):
+            return self.expr_has_side_effects(node.operand)
+        if isinstance(node, Binary):
+            return (self.expr_has_side_effects(node.left)
+                    or self.expr_has_side_effects(node.right))
+        if isinstance(node, Index):
+            return (self.expr_has_side_effects(node.obj)
+                    or self.expr_has_side_effects(node.index))
+        if isinstance(node, Member):
+            return self.expr_has_side_effects(node.obj)
+        return False
+
+    # -- forward pass: initialization ----------------------------------------
+
+    def check_init(self) -> None:
+        # Parameters and globals arrive initialized (globals are
+        # zero-initialized state on the algorithm instance); locals only
+        # become definite at their first assignment.
+        definite = set(self.params) | set(self.info.globals)
+        self._init_block(self.fn.body, definite, set(definite))
+
+    def _init_block(self, block: Block, definite: Set[str],
+                    maybe: Set[str]) -> Tuple[Set[str], Set[str]]:
+        for stmt in block.statements:
+            if isinstance(stmt, Declaration):
+                if stmt.value is not None:
+                    self._check_init_reads(stmt.value, definite, maybe,
+                                           stmt.span)
+                    definite.add(stmt.names[0])
+                    maybe.add(stmt.names[0])
+                # A bare declaration leaves the names uninitialized.
+            elif isinstance(stmt, Assignment):
+                self._check_init_reads(stmt.value, definite, maybe,
+                                       stmt.span)
+                target = stmt.target
+                if isinstance(target, Name):
+                    definite.add(target.ident)
+                    maybe.add(target.ident)
+                elif isinstance(target, Index):
+                    self._check_init_reads(target.obj, definite, maybe,
+                                           stmt.span)
+                    self._check_init_reads(target.index, definite, maybe,
+                                           stmt.span)
+            elif isinstance(stmt, Return):
+                if stmt.value is not None:
+                    self._check_init_reads(stmt.value, definite, maybe,
+                                           stmt.span)
+            elif isinstance(stmt, If):
+                self._check_init_reads(stmt.condition, definite, maybe,
+                                       stmt.span)
+                then_def, then_maybe = self._init_block(
+                    stmt.then_block, set(definite), set(maybe))
+                if stmt.else_block is not None:
+                    else_def, else_maybe = self._init_block(
+                        stmt.else_block, set(definite), set(maybe))
+                else:
+                    else_def, else_maybe = set(definite), set(maybe)
+                definite = then_def & else_def
+                maybe = then_maybe | else_maybe
+            elif isinstance(stmt, ExprStatement):
+                self._check_init_reads(stmt.expr, definite, maybe,
+                                       stmt.span)
+        return definite, maybe
+
+    def _check_init_reads(self, expr, definite: Set[str], maybe: Set[str],
+                          span: Optional[Span]) -> None:
+        for name in sorted(self.expr_reads(expr)):
+            if name not in self.locals:
+                continue
+            if name in definite:
+                continue
+            line, column = _loc(span)
+            if name not in maybe:
+                self.diagnostics.append(Diagnostic(
+                    rule="CLL005", severity=ERROR, file=self.path,
+                    line=line, column=column,
+                    message=(f"{name!r} is read in {self.fn.name} but "
+                             f"never assigned before this point"),
+                    hint="initialize the variable at its declaration"))
+            else:
+                self.diagnostics.append(Diagnostic(
+                    rule="CLL006", severity=WARNING, file=self.path,
+                    line=line, column=column,
+                    message=(f"{name!r} may be uninitialized when read in "
+                             f"{self.fn.name}: some branch skips its "
+                             f"assignment"),
+                    hint="assign in both branches or at the declaration"))
+            # Report once per variable per statement.
+            definite.add(name)
+            maybe.add(name)
+
+    # -- backward pass: liveness ----------------------------------------------
+
+    def check_liveness(self) -> None:
+        # Globals stay live at function exit (another entry point or a
+        # later call may read them); the entry's output parameter is
+        # consumed by the caller.
+        live_out: Set[str] = set(self.info.globals)
+        if self.is_entry:
+            live_out.add(self.fn.parameters[1].name)
+        self._live_block(self.fn.body, live_out)
+
+    def _live_block(self, block: Block, live: Set[str]) -> Set[str]:
+        """Return live-in of ``block`` given ``live`` = live-out."""
+        for stmt in reversed(block.statements):
+            if isinstance(stmt, Return):
+                # Statements textually after a return in the same block
+                # are unreachable; a return restarts liveness from what
+                # the caller consumes (globals persist).
+                live = set(self.info.globals)
+                if stmt.value is not None:
+                    reads = self.expr_reads(stmt.value)
+                    self.reads_anywhere |= reads
+                    live |= reads
+            elif isinstance(stmt, Declaration):
+                if stmt.value is not None:
+                    name = stmt.names[0]
+                    self._note_store(name, stmt, live, declaration=True)
+                    live.discard(name)
+                    reads = self.expr_reads(stmt.value)
+                    self.reads_anywhere |= reads
+                    live |= reads
+                else:
+                    for name in stmt.names:
+                        live.discard(name)
+            elif isinstance(stmt, Assignment):
+                target = stmt.target
+                if isinstance(target, Name):
+                    name = target.ident
+                    self._note_store(name, stmt, live, declaration=False)
+                    if name in self.info.globals:
+                        self.global_writes.add(name)
+                    live.discard(name)
+                else:
+                    reads = self.expr_reads(target)
+                    self.reads_anywhere |= reads
+                    live |= reads
+                reads = self.expr_reads(stmt.value)
+                self.reads_anywhere |= reads
+                live |= reads
+            elif isinstance(stmt, If):
+                then_live = self._live_block(stmt.then_block, set(live))
+                if stmt.else_block is not None:
+                    else_live = self._live_block(stmt.else_block, set(live))
+                else:
+                    else_live = set(live)
+                live = then_live | else_live
+                reads = self.expr_reads(stmt.condition)
+                self.reads_anywhere |= reads
+                live |= reads
+            elif isinstance(stmt, ExprStatement):
+                reads = self.expr_reads(stmt.expr)
+                self.reads_anywhere |= reads
+                live |= reads
+        return live
+
+    def _note_store(self, name: str, stmt, live: Set[str],
+                    declaration: bool) -> None:
+        """Flag a store to ``name`` that nothing can ever read."""
+        if name in live:
+            return
+        if self.is_entry and name == self.fn.parameters[1].name:
+            return  # output assignment, consumed by the caller
+        value = stmt.value
+        if value is not None and self.expr_has_side_effects(value):
+            return  # extract()/random() stores order the cursor/RNG
+        line, column = _loc(stmt.span)
+        kind = "initializer of" if declaration else "store to"
+        self.diagnostics.append(Diagnostic(
+            rule="CLL001", severity=WARNING, file=self.path,
+            line=line, column=column,
+            message=(f"dead {kind} {name!r} in {self.fn.name}: the value "
+                     f"is never read"),
+            hint="drop the assignment or use the value"))
+
+    # -- whole-function summary ------------------------------------------------
+
+    def check_unused(self) -> None:
+        for name in sorted(self.locals - self.reads_anywhere):
+            if self._local_initializer_has_side_effects(name):
+                # e.g. `uint8 tail = extract(buf, uint8);` -- extracted
+                # solely to advance the cursor past a header field.
+                continue
+            span = self._local_span(name)
+            line, column = _loc(span)
+            self.diagnostics.append(Diagnostic(
+                rule="CLL002", severity=WARNING, file=self.path,
+                line=line, column=column,
+                message=f"local {name!r} in {self.fn.name} is never read",
+                hint="remove the declaration"))
+        if not self.is_entry:
+            for param in self.fn.parameters:
+                if param.name not in self.reads_anywhere:
+                    line, column = _loc(param.span)
+                    self.diagnostics.append(Diagnostic(
+                        rule="CLL003", severity=WARNING, file=self.path,
+                        line=line, column=column,
+                        message=(f"parameter {param.name!r} of "
+                                 f"{self.fn.name} is never used"),
+                        hint="remove the parameter"))
+
+    def _local_span(self, name: str) -> Optional[Span]:
+        found: List[Optional[Span]] = []
+
+        def walk(block: Block) -> None:
+            for stmt in block.statements:
+                if isinstance(stmt, Declaration) and name in stmt.names:
+                    found.append(stmt.span)
+                elif isinstance(stmt, If):
+                    walk(stmt.then_block)
+                    if stmt.else_block:
+                        walk(stmt.else_block)
+
+        walk(self.fn.body)
+        return found[0] if found else None
+
+    def _local_initializer_has_side_effects(self, name: str) -> bool:
+        result: List[bool] = []
+
+        def walk(block: Block) -> None:
+            for stmt in block.statements:
+                if (isinstance(stmt, Declaration) and name in stmt.names
+                        and stmt.value is not None):
+                    result.append(self.expr_has_side_effects(stmt.value))
+                elif (isinstance(stmt, Assignment)
+                      and isinstance(stmt.target, Name)
+                      and stmt.target.ident == name
+                      and self.expr_has_side_effects(stmt.value)):
+                    result.append(True)
+                elif isinstance(stmt, If):
+                    walk(stmt.then_block)
+                    if stmt.else_block:
+                        walk(stmt.else_block)
+
+        walk(self.fn.body)
+        return any(result)
+
+
+def check_dataflow(info: ProgramInfo, purity: Dict[str, UdfPurity],
+                   path: str) -> List[Diagnostic]:
+    """Run the per-function dataflow checks plus the unused-global scan."""
+    diagnostics: List[Diagnostic] = []
+    reads_all: Set[str] = set()
+
+    for name, fn_info in info.functions.items():
+        flow = _FunctionDataflow(info, fn_info.function, purity, path)
+        flow.check_init()
+        flow.check_liveness()
+        flow.check_unused()
+        diagnostics.extend(flow.diagnostics)
+        reads_all |= flow.reads_anywhere
+
+    for decl in info.program.globals:
+        for name in decl.names:
+            if name not in reads_all:
+                line, column = _loc(decl.span)
+                diagnostics.append(Diagnostic(
+                    rule="CLL004", severity=WARNING, file=path,
+                    line=line, column=column,
+                    message=f"global {name!r} is never read",
+                    hint="remove the global declaration"))
+
+    return diagnostics

@@ -1,0 +1,729 @@
+"""Encode/decode layout-consistency proofs.
+
+A CompLL codec serializes with ``concat`` in ``encode`` and parses with a
+sequential ``extract`` cursor in ``decode``.  Nothing at runtime checks
+that the two agree -- a swapped field pair, a wrong type operand, or a
+mismatched element count silently reads garbage and corrupts training
+(the failure mode both "Beyond Throughput and Compression Ratios" and
+"On the Utility of Gradient Compression" highlight).  This pass proves
+the agreement statically:
+
+1. **Encode side** -- every execution path is walked symbolically (the
+   DSL has no loops, so paths are finite) to the ``compressed = concat
+   (...)`` store; each field gets its serialization tag, scalar/array
+   kind and a symbolic *length term*: the input element count ``n``, a
+   constant, or an opaque symbol.  Symbols unify through the operator
+   algebra -- ``map`` preserves length, ``filter``/``argfilter`` over
+   the same source and predicate produce equal lengths, ``gather(G, I)``
+   has ``len(I)``, ``x = arr.size`` binds ``x`` to ``len(arr)``, ...
+
+2. **Decode side** -- the ``extract`` sequence is walked in buffer
+   order; scalar extract *k* binds its target to the symbolic value
+   ``field[k]``, array extracts record their count term over those
+   bindings and the output size ``n``.
+
+3. **Matching** -- field counts, per-field tags and kinds must agree
+   exactly; every array's decode count must provably equal its encode
+   length (directly ``n``/constant, or via the scalar field that
+   carried it).  Byte/bit offsets then agree by construction, since
+   both sides pad sub-byte runs identically per tag; the proof table
+   reports the accumulated offsets.
+
+Rules:
+
+* ``CLL030`` (error): field order / type / kind / count-of-fields
+  mismatch between encode and decode;
+* ``CLL031`` (warning): an array length the prover cannot tie to the
+  decode-side count (layout unproven, not disproven);
+* ``CLL032`` (error): a provable count disagreement (e.g. both
+  constant and different);
+* ``CLL033`` (warning): layout not statically analyzable (output is
+  not a direct ``concat``, or ``extract`` occurs under a branch);
+* ``CLL034`` (error): different encode paths serialize different
+  layouts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...analysis.diagnostics import Diagnostic, ERROR, WARNING
+from ..ast_nodes import (
+    Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
+    If, Index, Member, Name, Number, Return, Span, TypeRef, Unary,
+)
+from ..printer import format_expression
+from ..semantics import ProgramInfo
+
+__all__ = ["LayoutField", "LayoutProof", "check_layout"]
+
+#: Cap on enumerated encode paths (the DSL has no loops; bundled codecs
+#: have at most 3 branches, i.e. 8 paths).
+_MAX_PATHS = 128
+
+# -- symbolic terms ----------------------------------------------------------
+# Terms are plain nested tuples compared structurally:
+#   ("n",)              the gradient element count (encode input size,
+#                       decode output size -- the same tensor)
+#   ("const", v)        a literal
+#   ("sym", key)        an opaque value; equal keys mean provably equal
+#   ("field", k)        decode side: the value of serialized field k
+#   ("param", name)     params.<name>
+#   ("binop", op, a, b) unevaluated arithmetic
+
+N = ("n",)
+
+
+def _const(value) -> tuple:
+    return ("const", value)
+
+
+def _render_term(term) -> str:
+    if term == N:
+        return "n"
+    kind = term[0]
+    if kind == "const":
+        return repr(term[1])
+    if kind == "field":
+        return f"field[{term[1]}]"
+    if kind == "param":
+        return f"params.{term[1]}"
+    if kind == "binop":
+        return (f"({_render_term(term[2])} {term[1]} "
+                f"{_render_term(term[3])})")
+    return "?"
+
+
+@dataclass(frozen=True)
+class _Arr:
+    """Symbolic array value: identity (origin) plus length term."""
+
+    origin: tuple
+    length: tuple
+
+
+@dataclass(frozen=True)
+class _Scalar:
+    term: tuple
+
+
+_fresh_counter = itertools.count()
+
+
+def _fresh(label: str) -> tuple:
+    return ("sym", ("fresh", label, next(_fresh_counter)))
+
+
+#: Bits for one scalar of each serialization tag (sub-byte scalars are
+#: padded to a full byte by the runtime's ByteWriter).
+_SCALAR_BITS = {"b1": 8, "b2": 8, "b4": 8, "u1": 8, "u2": 16, "u4": 32,
+                "i4": 32, "f4": 32}
+
+_SUB_BYTE_BITS = {"b1": 1, "b2": 2, "b4": 4}
+
+
+@dataclass(frozen=True)
+class LayoutField:
+    """One serialized field in the proof table."""
+
+    index: int
+    encode_name: str           # expression text on the encode side
+    decode_name: str           # binding name on the decode side
+    tag: str                   # serialization tag ("f4", "u4", "b1", ...)
+    kind: str                  # "scalar" | "array"
+    count: str                 # rendered count term ("-" for scalars)
+    proof: str                 # how the count was proven
+    offset_bits: str           # symbolic bit offset of the field start
+
+
+@dataclass
+class LayoutProof:
+    """Result of the encode/decode layout comparison for one codec."""
+
+    fields: List[LayoutField] = field(default_factory=list)
+    proven: bool = False
+    paths_checked: int = 0
+
+    def render(self) -> str:
+        lines = [f"layout {'PROVEN' if self.proven else 'NOT PROVEN'} "
+                 f"({len(self.fields)} fields, "
+                 f"{self.paths_checked} encode path(s))"]
+        for f in self.fields:
+            count = "" if f.kind == "scalar" else f" count={f.count}"
+            lines.append(
+                f"  [{f.index}] {f.encode_name} -> {f.decode_name}: "
+                f"{f.kind} {f.tag}{count} @bit {f.offset_bits} "
+                f"({f.proof})")
+        return "\n".join(lines)
+
+
+# -- symbolic evaluation ------------------------------------------------------
+
+class _SymbolicWalker:
+    """Shared expression evaluator for the encode and decode walks."""
+
+    def __init__(self, info: ProgramInfo, fn: Function):
+        self.info = info
+        self.fn = fn
+        self.input_param = fn.parameters[0].name
+        self.output_param = fn.parameters[1].name
+
+    def eval(self, expr, env: Dict[str, object]):
+        if isinstance(expr, Number):
+            return _Scalar(_const(expr.value))
+        if isinstance(expr, Name):
+            value = env.get(expr.ident)
+            if value is not None:
+                return value
+            return _Scalar(("sym", ("name", expr.ident)))
+        if isinstance(expr, Member):
+            return self._member(expr, env)
+        if isinstance(expr, Index):
+            return _Scalar(_fresh("index"))
+        if isinstance(expr, Unary):
+            inner = self.eval(expr.operand, env)
+            if (isinstance(inner, _Scalar)
+                    and inner.term[0] == "const"):
+                value = inner.term[1]
+                return _Scalar(_const(-value if expr.op == "-"
+                                      else int(not value)))
+            return _Scalar(_fresh("unary"))
+        if isinstance(expr, Binary):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            if isinstance(left, _Scalar) and isinstance(right, _Scalar):
+                if (left.term[0] == "const" and right.term[0] == "const"):
+                    folded = self._fold(expr.op, left.term[1],
+                                        right.term[1])
+                    if folded is not None:
+                        return _Scalar(_const(folded))
+                return _Scalar(("binop", expr.op, left.term, right.term))
+            return _Scalar(_fresh("binary"))
+        if isinstance(expr, Call):
+            return self.call(expr, env)
+        return _Scalar(_fresh("expr"))
+
+    @staticmethod
+    def _fold(op, a, b):
+        try:
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                return a / b if (a % b if isinstance(a, int) else True) \
+                    else a // b
+            if op == "%":
+                return a % b
+            if op == "<<":
+                return int(a) << int(b)
+            if op == ">>":
+                return int(a) >> int(b)
+        except (ZeroDivisionError, TypeError, ValueError):
+            return None
+        return None
+
+    def _member(self, expr: Member, env: Dict[str, object]):
+        if isinstance(expr.obj, Name):
+            base = expr.obj.ident
+            if expr.field == "size":
+                value = env.get(base)
+                if isinstance(value, _Arr):
+                    return _Scalar(value.length)
+                return _Scalar(("sym", ("size", base)))
+            return _Scalar(("param", expr.field))
+        return _Scalar(_fresh("member"))
+
+    def _origin(self, value) -> tuple:
+        if isinstance(value, _Arr):
+            return value.origin
+        if isinstance(value, _Scalar):
+            return value.term
+        return _fresh("origin")
+
+    def call(self, call: Call, env: Dict[str, object]):
+        name = call.func
+        args = call.args
+
+        def arg(k):
+            return self.eval(args[k], env) if k < len(args) else None
+
+        def udf_name(k) -> str:
+            node = args[k] if k < len(args) else None
+            return node.ident if isinstance(node, Name) else "?"
+
+        if name == "map" and args:
+            source = arg(0)
+            origin = ("map", self._origin(source), udf_name(1))
+            length = source.length if isinstance(source, _Arr) \
+                else _fresh("maplen")
+            return _Arr(origin=origin, length=length)
+        if name in ("filter", "argfilter") and args:
+            source = arg(0)
+            key = ("select", self._origin(source), udf_name(1))
+            return _Arr(origin=(name, self._origin(source), udf_name(1)),
+                        length=("sym", key))
+        if name == "argfilter_ge_abs" and len(args) >= 2:
+            source, thresholds = arg(0), arg(1)
+            key = ("select_ge_abs", self._origin(source),
+                   self._origin(thresholds))
+            return _Arr(origin=("argfilter_ge_abs",) + key[1:],
+                        length=("sym", key))
+        if name == "gather" and len(args) >= 2:
+            source, indices = arg(0), arg(1)
+            length = indices.length if isinstance(indices, _Arr) \
+                else _fresh("gatherlen")
+            return _Arr(origin=("gather", self._origin(source),
+                                self._origin(indices)), length=length)
+        if name == "scatter" and args:
+            size = arg(0)
+            length = size.term if isinstance(size, _Scalar) \
+                else _fresh("scatterlen")
+            return _Arr(origin=_fresh("scatter"), length=length)
+        if name == "sort" and args:
+            source = arg(0)
+            length = source.length if isinstance(source, _Arr) \
+                else _fresh("sortlen")
+            return _Arr(origin=("sort", self._origin(source)),
+                        length=length)
+        if name == "argmax" and args:
+            return _Arr(origin=("argmax", self._origin(arg(0))),
+                        length=_const(1))
+        if name == "sample" and args:
+            key = ("sample", self._origin(arg(0)),
+                   tuple(format_expression(a) for a in args[1:]))
+            return _Arr(origin=key, length=("sym", key))
+        if name == "unpack_ternary" and len(args) >= 2:
+            count = arg(1)
+            length = count.term if isinstance(count, _Scalar) \
+                else _fresh("unpacklen")
+            return _Arr(origin=("unpack_ternary",
+                                self._origin(arg(0))), length=length)
+        if name in ("pack_ternary", "rle", "unrle") and args:
+            key = (name, self._origin(arg(0)))
+            return _Arr(origin=key, length=("sym", key))
+        if name in ("reduce", "quantile"):
+            key = (name, tuple(format_expression(a) for a in args))
+            return _Scalar(("sym", key))
+        if name == "random":
+            return _Scalar(_fresh("random"))
+        # UDF scalar call or unknown operator: opaque.
+        for k in range(len(args)):
+            arg(k)
+        return _Scalar(_fresh(f"call:{name}"))
+
+
+# -- encode walk --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _EncField:
+    name: str       # rendered expression
+    tag: str
+    kind: str       # "scalar" | "array"
+    term: tuple     # value term (scalar) or length term (array)
+
+
+class _EncodePaths:
+    """Enumerate encode paths, collecting the final concat per path."""
+
+    def __init__(self, info: ProgramInfo, fn: Function, path: str):
+        self.info = info
+        self.fn = fn
+        self.path = path
+        self.walker = _SymbolicWalker(info, fn)
+        self.diagnostics: List[Diagnostic] = []
+        self.layouts: List[List[_EncField]] = []
+        self.truncated = False
+
+    def run(self) -> None:
+        input_arr = _Arr(origin=("input",), length=N)
+        env: Dict[str, object] = {self.walker.input_param: input_arr}
+        self._walk(list(self.fn.body.statements), env, final=None)
+
+    def _walk(self, stmts, env: Dict[str, object], final) -> None:
+        if len(self.layouts) >= _MAX_PATHS:
+            self.truncated = True
+            return
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, Declaration):
+                if stmt.value is not None:
+                    env[stmt.names[0]] = self.walker.eval(stmt.value, env)
+            elif isinstance(stmt, Assignment):
+                target = stmt.target
+                value = self.walker.eval(stmt.value, env)
+                if isinstance(target, Name):
+                    if target.ident == self.walker.output_param:
+                        final = (stmt, env.copy())
+                    else:
+                        env[target.ident] = value
+            elif isinstance(stmt, If):
+                rest = stmts[i + 1:]
+                then_env = dict(env)
+                else_env = dict(env)
+                self._walk(list(stmt.then_block.statements) + rest,
+                           then_env, final)
+                if stmt.else_block is not None:
+                    self._walk(list(stmt.else_block.statements) + rest,
+                               else_env, final)
+                else:
+                    self._walk(rest, else_env, final)
+                return
+            elif isinstance(stmt, Return):
+                break
+        self._finish_path(final)
+
+    def _finish_path(self, final) -> None:
+        if final is None:
+            return  # codegen reports the missing output store
+        stmt, env = final
+        # Re-evaluate the concat in the environment of the path that
+        # reached it (branch-dependent lengths differ per path).
+        if not (isinstance(stmt.value, Call)
+                and stmt.value.func == "concat"):
+            line, column = _loc(stmt.span)
+            self.diagnostics.append(Diagnostic(
+                rule="CLL033", severity=WARNING, file=self.path,
+                line=line, column=column,
+                message=("encode output is not a direct concat(...); "
+                         "layout cannot be statically proven"),
+                hint="serialize through concat"))
+            return
+        fields: List[_EncField] = []
+        for argument in stmt.value.args:
+            type_ref = self._declared_type(argument)
+            if type_ref is None:
+                return  # semantics/codegen report untyped concat args
+            try:
+                tag = type_ref.serialization_tag
+            except ValueError:
+                return  # codegen reports unserializable concat args
+            value = self.walker.eval(argument, env)
+            if type_ref.pointer:
+                term = value.length if isinstance(value, _Arr) \
+                    else _fresh("len")
+                kind = "array"
+            else:
+                term = value.term if isinstance(value, _Scalar) \
+                    else _fresh("val")
+                kind = "scalar"
+            fields.append(_EncField(
+                name=format_expression(argument),
+                tag=tag, kind=kind, term=term))
+        self.layouts.append(fields)
+
+    def _declared_type(self, argument) -> Optional[TypeRef]:
+        if isinstance(argument, Name):
+            return self.info.type_of_name(self.fn.name, argument.ident)
+        if isinstance(argument, Member) and isinstance(argument.obj, Name):
+            base = self.info.type_of_name(self.fn.name,
+                                          argument.obj.ident)
+            if base is not None and base.base in self.info.param_fields:
+                return self.info.param_fields[base.base].get(
+                    argument.field)
+        return None
+
+
+def _loc(span: Optional[Span]) -> Tuple[int, int]:
+    return (span.line, span.column) if span else (0, 0)
+
+
+# -- decode walk --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _DecField:
+    name: str       # target binding (or rendered expression)
+    tag: str
+    kind: str
+    count: Optional[tuple]   # count term for arrays
+    span: Optional[Span]
+
+
+class _DecodeWalk:
+    """Walk decode once, recording the extract sequence in cursor order."""
+
+    def __init__(self, info: ProgramInfo, fn: Function, path: str):
+        self.info = info
+        self.fn = fn
+        self.path = path
+        self.walker = _SymbolicWalker(info, fn)
+        self.diagnostics: List[Diagnostic] = []
+        self.fields: List[_DecField] = []
+        self.analyzable = True
+        self._depth = 0
+
+    def run(self) -> None:
+        output_arr = _Arr(origin=("output",), length=N)
+        env: Dict[str, object] = {self.walker.output_param: output_arr}
+        self._block(self.fn.body, env)
+
+    def _block(self, block: Block, env: Dict[str, object]) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, Declaration):
+                if stmt.value is not None:
+                    env[stmt.names[0]] = self._eval(stmt.value, env,
+                                                    stmt.span,
+                                                    stmt.names[0])
+            elif isinstance(stmt, Assignment):
+                value = self._eval(stmt.value, env, stmt.span,
+                                   self._target_name(stmt.target))
+                if isinstance(stmt.target, Name):
+                    if stmt.target.ident != self.walker.output_param:
+                        env[stmt.target.ident] = value
+            elif isinstance(stmt, If):
+                self._depth += 1
+                then_env = dict(env)
+                self._block(stmt.then_block, then_env)
+                else_env = dict(env)
+                if stmt.else_block is not None:
+                    self._block(stmt.else_block, else_env)
+                self._depth -= 1
+                merged: Dict[str, object] = {}
+                for name in sorted(set(then_env) | set(else_env)):
+                    a, b = then_env.get(name), else_env.get(name)
+                    merged[name] = a if a == b else _Scalar(
+                        _fresh("join"))
+                env.clear()
+                env.update(merged)
+            elif isinstance(stmt, Return):
+                break
+            elif isinstance(stmt, ExprStatement):
+                self._eval(stmt.expr, env, stmt.span, None)
+
+    @staticmethod
+    def _target_name(target) -> Optional[str]:
+        return target.ident if isinstance(target, Name) else None
+
+    def _eval(self, expr, env, span, binding: Optional[str]):
+        """Evaluate, intercepting extract calls to record buffer fields."""
+        if isinstance(expr, Call) and expr.func == "extract":
+            return self._extract(expr, env, span, binding)
+        if isinstance(expr, Call):
+            # Nested extracts (e.g. scatter(n, extract(...), extract(...)))
+            # still consume the cursor left-to-right.
+            rewritten_args = []
+            for argument in expr.args:
+                if isinstance(argument, Call) \
+                        and argument.func == "extract":
+                    rewritten_args.append(
+                        self._extract(argument, env, span, None))
+                else:
+                    rewritten_args.append(None)
+            if any(value is not None for value in rewritten_args):
+                return _Scalar(_fresh("wrap"))
+        return self.walker.eval(expr, env)
+
+    def _extract(self, call: Call, env, span, binding: Optional[str]):
+        if self._depth > 0:
+            line, column = _loc(span)
+            self.diagnostics.append(Diagnostic(
+                rule="CLL033", severity=WARNING, file=self.path,
+                line=line, column=column,
+                message=("extract inside a branch: the field sequence "
+                         "is data-dependent and cannot be statically "
+                         "proven against encode's concat"),
+                hint="hoist extracts out of conditionals"))
+            self.analyzable = False
+        type_ref = call.type_args[0] if call.type_args else None
+        if type_ref is None:
+            self.analyzable = False
+            return _Scalar(_fresh("extract"))
+        try:
+            tag = type_ref.serialization_tag
+        except ValueError:
+            self.analyzable = False
+            return _Scalar(_fresh("extract"))
+        index = len(self.fields)
+        if len(call.args) == 1:  # scalar
+            self.fields.append(_DecField(
+                name=binding or "(expr)", tag=tag, kind="scalar",
+                count=None, span=span))
+            return _Scalar(("field", index))
+        count_value = self.walker.eval(call.args[1], env)
+        count_term = count_value.term \
+            if isinstance(count_value, _Scalar) else _fresh("count")
+        self.fields.append(_DecField(
+            name=binding or "(expr)", tag=tag, kind="array",
+            count=count_term, span=span))
+        return _Arr(origin=("extractarr", index), length=count_term)
+
+
+# -- matching -----------------------------------------------------------------
+
+def check_layout(info: ProgramInfo,
+                 path: str) -> Tuple[List[Diagnostic],
+                                     Optional[LayoutProof]]:
+    """Prove encode's concat layout equals decode's extract layout."""
+    encode = info.functions.get("encode")
+    decode = info.functions.get("decode")
+    if encode is None or decode is None:
+        return [], None
+
+    diagnostics: List[Diagnostic] = []
+    enc = _EncodePaths(info, encode.function, path)
+    enc.run()
+    diagnostics.extend(enc.diagnostics)
+    dec = _DecodeWalk(info, decode.function, path)
+    dec.run()
+    diagnostics.extend(dec.diagnostics)
+
+    proof = LayoutProof(paths_checked=len(enc.layouts))
+    if not enc.layouts or not dec.analyzable or any(
+            d.rule == "CLL033" for d in diagnostics):
+        return diagnostics, proof
+
+    enc_span = encode.function.span
+    line, column = _loc(enc_span)
+
+    # 1. every encode path must serialize the same shape
+    reference = enc.layouts[0]
+    for other in enc.layouts[1:]:
+        if (len(other) != len(reference)
+                or any(a.tag != b.tag or a.kind != b.kind
+                       for a, b in zip(other, reference))):
+            diagnostics.append(Diagnostic(
+                rule="CLL034", severity=ERROR, file=path,
+                line=line, column=column,
+                message=("encode serializes different layouts on "
+                         "different paths: "
+                         f"[{', '.join(f.tag for f in reference)}] vs "
+                         f"[{', '.join(f.tag for f in other)}]"),
+                hint="emit one concat shape on every path"))
+            return diagnostics, proof
+
+    # 2. field-count, order, type, kind
+    if len(dec.fields) != len(reference):
+        diagnostics.append(Diagnostic(
+            rule="CLL030", severity=ERROR, file=path,
+            line=line, column=column,
+            message=(f"encode serializes {len(reference)} field(s) "
+                     f"[{', '.join(f.tag for f in reference)}] but "
+                     f"decode extracts {len(dec.fields)} "
+                     f"[{', '.join(f.tag for f in dec.fields)}]"),
+            hint="make the concat and extract sequences match 1:1"))
+        return diagnostics, proof
+
+    mismatch = False
+    for k, (enc_field, dec_field) in enumerate(zip(reference, dec.fields)):
+        if enc_field.tag != dec_field.tag or enc_field.kind != dec_field.kind:
+            dline, dcolumn = _loc(dec_field.span)
+            diagnostics.append(Diagnostic(
+                rule="CLL030", severity=ERROR, file=path,
+                line=dline or line, column=dcolumn or column,
+                message=(f"field {k} mismatch: encode writes "
+                         f"{enc_field.kind} {enc_field.tag} "
+                         f"({enc_field.name!r}) but decode reads "
+                         f"{dec_field.kind} {dec_field.tag} "
+                         f"({dec_field.name!r})"),
+                hint="align concat argument order/types with the "
+                     "extract sequence"))
+            mismatch = True
+    if mismatch:
+        return diagnostics, proof
+
+    # 3. array count proofs, on every encode path
+    proofs: List[str] = []
+    all_proven = True
+    for k, dec_field in enumerate(dec.fields):
+        if dec_field.kind != "array":
+            proofs.append("-")
+            continue
+        count = dec_field.count
+        verdicts = []
+        for layout in enc.layouts:
+            enc_field = layout[k]
+            verdicts.append(_prove_count(count, enc_field, layout))
+        if all(verdicts):
+            if count == N:
+                proofs.append("count = n (gradient size)")
+            elif count[0] == "const":
+                proofs.append(f"count = {count[1]}")
+            elif count[0] == "field":
+                proofs.append(
+                    f"count carried by field {count[1]} "
+                    f"({reference[count[1]].name!r})")
+            else:
+                proofs.append("count proven")
+        else:
+            all_proven = False
+            dline, dcolumn = _loc(dec_field.span)
+            if _definite_mismatch(count, reference[k]):
+                diagnostics.append(Diagnostic(
+                    rule="CLL032", severity=ERROR, file=path,
+                    line=dline or line, column=dcolumn or column,
+                    message=(f"field {k} ({dec_field.name!r}): decode "
+                             f"reads {_render_term(count)} elements but "
+                             f"encode wrote "
+                             f"{_render_term(reference[k].term)}"),
+                    hint="read the element count that encode serialized"))
+            else:
+                diagnostics.append(Diagnostic(
+                    rule="CLL031", severity=WARNING, file=path,
+                    line=dline or line, column=dcolumn or column,
+                    message=(f"field {k} ({dec_field.name!r}): cannot "
+                             f"prove decode count "
+                             f"{_render_term(count)} equals encode "
+                             f"length {_render_term(reference[k].term)}"),
+                    hint="serialize the length as a scalar field and "
+                         "extract it for the count"))
+            proofs.append("unproven")
+
+    # 4. assemble the proof table with symbolic bit offsets
+    offset_terms: List[str] = []
+    offset = "0"
+    for k, enc_field in enumerate(reference):
+        offset_terms.append(offset)
+        if enc_field.kind == "scalar":
+            bits = str(_SCALAR_BITS[enc_field.tag])
+        else:
+            count = dec.fields[k].count
+            rendered = _render_term(count) if count else "?"
+            if enc_field.tag in _SUB_BYTE_BITS:
+                bits = (f"pad8({_SUB_BYTE_BITS[enc_field.tag]}"
+                        f"*{rendered})")
+            else:
+                bits = f"{_SCALAR_BITS[enc_field.tag]}*{rendered}"
+        offset = bits if offset == "0" else f"{offset} + {bits}"
+
+    for k, (enc_field, dec_field) in enumerate(zip(reference, dec.fields)):
+        proof.fields.append(LayoutField(
+            index=k, encode_name=enc_field.name,
+            decode_name=dec_field.name, tag=enc_field.tag,
+            kind=enc_field.kind,
+            count=_render_term(dec_field.count) if dec_field.count
+            else "-",
+            proof=proofs[k], offset_bits=offset_terms[k]))
+    proof.proven = all_proven and not mismatch
+    return diagnostics, proof
+
+
+def _prove_count(count: tuple, enc_field: _EncField,
+                 layout: List[_EncField]) -> bool:
+    """Does ``count`` (decode term) equal the encode field's length?"""
+    length = enc_field.term
+    if count == N:
+        return length == N
+    if count[0] == "const":
+        return length == count
+    if count[0] == "field":
+        carrier = count[1]
+        if not (0 <= carrier < len(layout)):
+            return False
+        scalar = layout[carrier]
+        if scalar.kind != "scalar":
+            return False
+        return scalar.term == length
+    return count == length
+
+
+def _definite_mismatch(count: tuple, enc_field: _EncField) -> bool:
+    length = enc_field.term
+    if count[0] == "const" and length[0] == "const":
+        return count[1] != length[1]
+    if (count == N and length[0] == "const") \
+            or (length == N and count[0] == "const"):
+        return True
+    return False

@@ -1,0 +1,261 @@
+"""UDF purity analysis: which ``map``/``filter`` bodies auto-parallelize.
+
+§4.3's performance claim -- "the code generator parallelizes the
+elementwise operators across GPU threads" -- is only sound when the
+user-defined function applied per element is *pure enough*: it must not
+write program globals (a cross-element data race / order dependence under
+parallel execution).  Reading globals is fine (they are broadcast
+constants for the duration of the operator), and calling ``random`` is
+fine too (the paper's backend uses counter-based RNG, giving each element
+an independent stream).
+
+This pass computes, per user-defined function, the transitive set of
+globals read and written plus whether ``random`` is reachable, and flags:
+
+* ``CLL020`` (error): a global-writing UDF passed to ``map`` / ``filter``
+  / ``argfilter`` -- the call cannot be parallelized, which breaks the
+  operator contract;
+* ``CLL021`` (warning): a UDF writes a global at all (order-dependent
+  even under sequential ``reduce``-style use);
+* ``CLL022`` (info): a stochastic UDF (reaches ``random``) used
+  elementwise -- parallelizable, but only with counter-based RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from ...analysis.diagnostics import Diagnostic, ERROR, INFO, WARNING
+from ..ast_nodes import (
+    Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
+    If, Index, Member, Name, Return, Unary,
+)
+from ..semantics import ProgramInfo
+
+__all__ = ["UdfPurity", "compute_purity", "check_purity"]
+
+#: Operators whose UDF argument runs once per element, in parallel.
+ELEMENTWISE_OPERATORS = ("map", "filter", "argfilter")
+
+
+@dataclass(frozen=True)
+class UdfPurity:
+    """Transitive effect summary of one program-defined function."""
+
+    name: str
+    reads_globals: FrozenSet[str]
+    writes_globals: FrozenSet[str]
+    calls_random: bool
+
+    @property
+    def pure(self) -> bool:
+        """No global effects and deterministic."""
+        return (not self.reads_globals and not self.writes_globals
+                and not self.calls_random)
+
+    @property
+    def parallelizable(self) -> bool:
+        """Safe to run once per element across parallel threads (§4.3).
+
+        Global *reads* broadcast; global *writes* race.  ``random`` stays
+        parallelizable because the backend's RNG is counter-based.
+        """
+        return not self.writes_globals
+
+
+def _direct_effects(fn: Function, info: ProgramInfo):
+    """(reads, writes, random, callees) from one function body only."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    callees: Set[str] = set()
+    random = False
+
+    def expr(node) -> None:
+        nonlocal random
+        if isinstance(node, Name):
+            if node.ident in info.globals:
+                reads.add(node.ident)
+            elif node.ident in info.functions:
+                callees.add(node.ident)
+            return
+        if isinstance(node, Member):
+            expr(node.obj)
+            return
+        if isinstance(node, Index):
+            expr(node.obj)
+            expr(node.index)
+            return
+        if isinstance(node, Unary):
+            expr(node.operand)
+            return
+        if isinstance(node, Binary):
+            expr(node.left)
+            expr(node.right)
+            return
+        if isinstance(node, Call):
+            if node.func == "random":
+                random = True
+            if node.func in info.functions:
+                callees.add(node.func)
+            for arg in node.args:
+                expr(arg)
+            return
+
+    def stmt(node) -> None:
+        if isinstance(node, Declaration):
+            if node.value is not None:
+                expr(node.value)
+        elif isinstance(node, Assignment):
+            target = node.target
+            if isinstance(target, Name) and target.ident in info.globals:
+                writes.add(target.ident)
+            elif isinstance(target, Index):
+                expr(target.obj)
+                expr(target.index)
+                base = target.obj
+                if isinstance(base, Name) and base.ident in info.globals:
+                    writes.add(base.ident)
+            expr(node.value)
+        elif isinstance(node, Return):
+            if node.value is not None:
+                expr(node.value)
+        elif isinstance(node, If):
+            expr(node.condition)
+            block(node.then_block)
+            if node.else_block:
+                block(node.else_block)
+        elif isinstance(node, ExprStatement):
+            expr(node.expr)
+
+    def block(node: Block) -> None:
+        for statement in node.statements:
+            stmt(statement)
+
+    block(fn.body)
+    return reads, writes, random, callees
+
+
+def compute_purity(info: ProgramInfo) -> Dict[str, UdfPurity]:
+    """Transitive effect summaries for every program-defined function.
+
+    Propagates effects over the (acyclic in practice, but handled
+    defensively) call graph to a fixpoint, so a UDF that calls a helper
+    which writes a global is itself flagged as writing.
+    """
+    direct = {name: _direct_effects(fn_info.function, info)
+              for name, fn_info in info.functions.items()}
+    reads = {name: set(eff[0]) for name, eff in direct.items()}
+    writes = {name: set(eff[1]) for name, eff in direct.items()}
+    random = {name: eff[2] for name, eff in direct.items()}
+    callees = {name: eff[3] for name, eff in direct.items()}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in direct:
+            for callee in callees[name]:
+                if callee not in direct:
+                    continue
+                before = (len(reads[name]), len(writes[name]), random[name])
+                reads[name] |= reads[callee]
+                writes[name] |= writes[callee]
+                random[name] = random[name] or random[callee]
+                if before != (len(reads[name]), len(writes[name]),
+                              random[name]):
+                    changed = True
+
+    return {
+        name: UdfPurity(name=name,
+                        reads_globals=frozenset(reads[name]),
+                        writes_globals=frozenset(writes[name]),
+                        calls_random=random[name])
+        for name in direct
+    }
+
+
+def check_purity(info: ProgramInfo, purity: Dict[str, UdfPurity],
+                 path: str) -> List[Diagnostic]:
+    """Emit CLL020/021/022 for the program's elementwise operator calls."""
+    diagnostics: List[Diagnostic] = []
+    entries = {"encode", "decode"}
+
+    for name, summary in sorted(purity.items()):
+        if name in entries:
+            continue
+        if summary.writes_globals:
+            fn = info.functions[name].function
+            span = fn.span
+            diagnostics.append(Diagnostic(
+                rule="CLL021", severity=WARNING, file=path,
+                line=span.line if span else 0,
+                column=span.column if span else 0,
+                message=(f"function {name!r} writes global(s) "
+                         f"{sorted(summary.writes_globals)}; its result "
+                         f"depends on call order"),
+                hint="return the value instead of storing it in a global"))
+
+    def visit_call(call: Call, fn_name: str) -> None:
+        if call.func in ELEMENTWISE_OPERATORS and len(call.args) >= 2:
+            udf_arg = call.args[1]
+            if isinstance(udf_arg, Name) and udf_arg.ident in purity:
+                summary = purity[udf_arg.ident]
+                span = call.span
+                line = span.line if span else 0
+                column = span.column if span else 0
+                if not summary.parallelizable:
+                    diagnostics.append(Diagnostic(
+                        rule="CLL020", severity=ERROR, file=path,
+                        line=line, column=column,
+                        message=(f"{call.func} over UDF {udf_arg.ident!r} "
+                                 f"cannot be parallelized: it writes "
+                                 f"global(s) "
+                                 f"{sorted(summary.writes_globals)} "
+                                 f"(cross-element race under §4.3's "
+                                 f"thread-per-element execution)"),
+                        hint=("make the UDF side-effect free; compute "
+                              "aggregates with reduce instead")))
+                elif summary.calls_random:
+                    diagnostics.append(Diagnostic(
+                        rule="CLL022", severity=INFO, file=path,
+                        line=line, column=column,
+                        message=(f"{call.func} over stochastic UDF "
+                                 f"{udf_arg.ident!r} is parallelizable "
+                                 f"only with counter-based RNG (the "
+                                 f"backend guarantees this)")))
+
+    def walk_expr(node, fn_name: str) -> None:
+        if isinstance(node, Call):
+            visit_call(node, fn_name)
+            for arg in node.args:
+                walk_expr(arg, fn_name)
+        elif isinstance(node, (Member, Index)):
+            walk_expr(node.obj, fn_name)
+            if isinstance(node, Index):
+                walk_expr(node.index, fn_name)
+        elif isinstance(node, Unary):
+            walk_expr(node.operand, fn_name)
+        elif isinstance(node, Binary):
+            walk_expr(node.left, fn_name)
+            walk_expr(node.right, fn_name)
+
+    def walk_block(block: Block, fn_name: str) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, Declaration) and stmt.value is not None:
+                walk_expr(stmt.value, fn_name)
+            elif isinstance(stmt, Assignment):
+                walk_expr(stmt.value, fn_name)
+            elif isinstance(stmt, Return) and stmt.value is not None:
+                walk_expr(stmt.value, fn_name)
+            elif isinstance(stmt, If):
+                walk_expr(stmt.condition, fn_name)
+                walk_block(stmt.then_block, fn_name)
+                if stmt.else_block:
+                    walk_block(stmt.else_block, fn_name)
+            elif isinstance(stmt, ExprStatement):
+                walk_expr(stmt.expr, fn_name)
+
+    for name, fn_info in info.functions.items():
+        walk_block(fn_info.function.body, name)
+
+    return diagnostics

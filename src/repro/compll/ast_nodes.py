@@ -6,12 +6,34 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 __all__ = [
+    "Span",
     "TypeRef", "Program", "ParamBlock", "ParamField", "GlobalDecl",
     "Function", "Parameter",
     "Block", "Declaration", "Assignment", "Return", "If", "ExprStatement",
     "Number", "Name", "Member", "Index", "Call", "Unary", "Binary",
     "Expression", "Statement",
 ]
+
+
+@dataclass(frozen=True)
+class Span:
+    """1-based source position of a node (from its leading token).
+
+    Spans ride along on AST nodes for error reporting but are excluded
+    from equality/hash so the printer round-trip property
+    (``parse(format_program(parse(src))) == parse(src)``) still holds.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+#: Shared dataclass field carrying an optional, comparison-neutral span.
+def _span_field():
+    return field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -58,6 +80,7 @@ class TypeRef:
 @dataclass(frozen=True)
 class Number:
     text: str
+    span: Optional[Span] = _span_field()
 
     @property
     def value(self) -> Union[int, float]:
@@ -68,6 +91,7 @@ class Number:
 @dataclass(frozen=True)
 class Name:
     ident: str
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -76,6 +100,7 @@ class Member:
 
     obj: "Expression"
     field: str
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -84,6 +109,7 @@ class Index:
 
     obj: "Expression"
     index: "Expression"
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -96,12 +122,14 @@ class Call:
     func: str
     args: tuple
     type_args: tuple = ()
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
 class Unary:
     op: str
     operand: "Expression"
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -109,6 +137,7 @@ class Binary:
     op: str
     left: "Expression"
     right: "Expression"
+    span: Optional[Span] = _span_field()
 
 
 Expression = Union[Number, Name, Member, Index, Call, Unary, Binary]
@@ -121,17 +150,20 @@ class Declaration:
     type: TypeRef
     names: tuple                 # one or more identifiers
     value: Optional[Expression]  # initializer (only with a single name)
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
 class Assignment:
     target: Expression           # Name, Member or Index
     value: Expression
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
 class Return:
     value: Optional[Expression]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -144,11 +176,13 @@ class If:
     condition: Expression
     then_block: Block
     else_block: Optional[Block]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
 class ExprStatement:
     expr: Expression
+    span: Optional[Span] = _span_field()
 
 
 Statement = Union[Declaration, Assignment, Return, If, ExprStatement]
@@ -160,24 +194,28 @@ Statement = Union[Declaration, Assignment, Return, If, ExprStatement]
 class ParamField:
     type: TypeRef
     name: str
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
 class ParamBlock:
     name: str
     fields: tuple
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
 class GlobalDecl:
     type: TypeRef
     names: tuple
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
 class Parameter:
     type: TypeRef
     name: str
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -186,6 +224,7 @@ class Function:
     name: str
     parameters: tuple
     body: Block
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from typing import List, Optional
 from .ast_nodes import (
     Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
     GlobalDecl, If, Index, Member, Name, Number, ParamBlock, ParamField,
-    Parameter, Program, Return, TypeRef, Unary,
+    Parameter, Program, Return, Span, TypeRef, Unary,
 )
 from .lexer import Lexer, Token, TYPE_NAMES
 
@@ -52,6 +52,10 @@ _PRECEDENCE = [
 def parse(source: str) -> Program:
     """Parse DSL source into a :class:`Program`."""
     return Parser(source).parse_program()
+
+
+def _at(token: Token) -> Span:
+    return Span(line=token.line, column=token.column)
 
 
 class Parser:
@@ -115,17 +119,19 @@ class Parser:
                        functions=tuple(functions))
 
     def _parse_param_block(self) -> ParamBlock:
-        self._expect("keyword", "param")
+        start = self._expect("keyword", "param")
         name = self._expect("ident").text
         self._param_types.add(name)
         self._expect("symbol", "{")
         fields: List[ParamField] = []
         while not self._accept("symbol", "}"):
+            ftoken = self._peek()
             ftype = self._parse_type()
             fname = self._expect("ident").text
             self._expect("symbol", ";")
-            fields.append(ParamField(type=ftype, name=fname))
-        return ParamBlock(name=name, fields=tuple(fields))
+            fields.append(ParamField(type=ftype, name=fname,
+                                     span=_at(ftoken)))
+        return ParamBlock(name=name, fields=tuple(fields), span=_at(start))
 
     def _parse_type(self) -> TypeRef:
         token = self._peek()
@@ -142,31 +148,34 @@ class Parser:
         return TypeRef(base=base, pointer=pointer)
 
     def _parse_global_or_function(self):
+        start = self._peek()
         type_ref = self._parse_type()
         name = self._expect("ident").text
         if self._peek().kind == "symbol" and self._peek().text == "(":
-            return self._parse_function_rest(type_ref, name)
+            return self._parse_function_rest(type_ref, name, _at(start))
         names = [name]
         while self._accept("symbol", ","):
             names.append(self._expect("ident").text)
         self._expect("symbol", ";")
-        return GlobalDecl(type=type_ref, names=tuple(names))
+        return GlobalDecl(type=type_ref, names=tuple(names), span=_at(start))
 
-    def _parse_function_rest(self, return_type: TypeRef,
-                             name: str) -> Function:
+    def _parse_function_rest(self, return_type: TypeRef, name: str,
+                             span: Span) -> Function:
         self._expect("symbol", "(")
         parameters: List[Parameter] = []
         if not self._accept("symbol", ")"):
             while True:
+                ptoken = self._peek()
                 ptype = self._parse_type()
                 pname = self._expect("ident").text
-                parameters.append(Parameter(type=ptype, name=pname))
+                parameters.append(Parameter(type=ptype, name=pname,
+                                            span=_at(ptoken)))
                 if self._accept("symbol", ")"):
                     break
                 self._expect("symbol", ",")
         body = self._parse_block()
         return Function(return_type=return_type, name=name,
-                        parameters=tuple(parameters), body=body)
+                        parameters=tuple(parameters), body=body, span=span)
 
     # -- statements --------------------------------------------------------------
 
@@ -182,10 +191,10 @@ class Parser:
         if token.kind == "keyword" and token.text == "return":
             self._next()
             if self._accept("symbol", ";"):
-                return Return(value=None)
+                return Return(value=None, span=_at(token))
             value = self._parse_expression()
             self._expect("symbol", ";")
-            return Return(value=value)
+            return Return(value=value, span=_at(token))
         if token.kind == "keyword" and token.text == "if":
             return self._parse_if()
         if self._at_type():
@@ -197,12 +206,12 @@ class Parser:
                     f"invalid assignment target at line {token.line}")
             value = self._parse_expression()
             self._expect("symbol", ";")
-            return Assignment(target=expr, value=value)
+            return Assignment(target=expr, value=value, span=_at(token))
         self._expect("symbol", ";")
-        return ExprStatement(expr=expr)
+        return ExprStatement(expr=expr, span=_at(token))
 
     def _parse_if(self) -> If:
-        self._expect("keyword", "if")
+        start = self._expect("keyword", "if")
         self._expect("symbol", "(")
         condition = self._parse_expression()
         self._expect("symbol", ")")
@@ -214,9 +223,10 @@ class Parser:
             else:
                 else_block = self._parse_block()
         return If(condition=condition, then_block=then_block,
-                  else_block=else_block)
+                  else_block=else_block, span=_at(start))
 
     def _parse_declaration(self) -> Declaration:
+        start = self._peek()
         type_ref = self._parse_type()
         names = [self._expect("ident").text]
         value = None
@@ -226,7 +236,8 @@ class Parser:
             while self._accept("symbol", ","):
                 names.append(self._expect("ident").text)
         self._expect("symbol", ";")
-        return Declaration(type=type_ref, names=tuple(names), value=value)
+        return Declaration(type=type_ref, names=tuple(names), value=value,
+                           span=_at(start))
 
     # -- expressions ---------------------------------------------------------------
 
@@ -245,7 +256,8 @@ class Parser:
                 # always comparison by now.
                 self._next()
                 right = self._parse_binary(level + 1)
-                left = Binary(op=token.text, left=left, right=right)
+                left = Binary(op=token.text, left=left, right=right,
+                              span=_at(token))
             else:
                 return left
 
@@ -253,19 +265,21 @@ class Parser:
         token = self._peek()
         if token.kind == "symbol" and token.text in ("-", "!"):
             self._next()
-            return Unary(op=token.text, operand=self._parse_unary())
+            return Unary(op=token.text, operand=self._parse_unary(),
+                         span=_at(token))
         return self._parse_postfix()
 
     def _parse_postfix(self):
+        start = self._peek()
         expr = self._parse_primary()
         while True:
             if self._accept("symbol", "."):
                 field = self._expect("ident").text
-                expr = Member(obj=expr, field=field)
+                expr = Member(obj=expr, field=field, span=_at(start))
             elif self._accept("symbol", "["):
                 index = self._parse_expression()
                 self._expect("symbol", "]")
-                expr = Index(obj=expr, index=index)
+                expr = Index(obj=expr, index=index, span=_at(start))
             else:
                 return expr
 
@@ -273,7 +287,7 @@ class Parser:
         token = self._peek()
         if token.kind == "number":
             self._next()
-            return Number(text=token.text)
+            return Number(text=token.text, span=_at(token))
         if token.kind == "symbol" and token.text == "(":
             self._next()
             expr = self._parse_expression()
@@ -285,6 +299,7 @@ class Parser:
             f"unexpected {token.text!r} at line {token.line}")
 
     def _parse_name_or_call(self):
+        start = self._peek()
         name = self._expect("ident").text
         type_args = []
         # Template call: random<float>(...)  -- only treat '<' as template
@@ -311,5 +326,5 @@ class Parser:
                         break
                     self._expect("symbol", ",")
             return Call(func=name, args=tuple(args),
-                        type_args=tuple(type_args))
-        return Name(ident=name)
+                        type_args=tuple(type_args), span=_at(start))
+        return Name(ident=name, span=_at(start))

@@ -8,6 +8,7 @@ the programs that tools generate programmatically.
 
 from __future__ import annotations
 
+import re
 from typing import List
 
 from .ast_nodes import (
@@ -16,7 +17,8 @@ from .ast_nodes import (
     Return, TypeRef, Unary,
 )
 
-__all__ = ["format_program", "format_expression"]
+__all__ = ["format_program", "format_expression", "format_source_context",
+           "format_error"]
 
 _INDENT = "    "
 
@@ -101,6 +103,51 @@ def _format_statement(stmt, depth: int, lines: List[str]) -> None:
 def _format_block(block: Block, depth: int, lines: List[str]) -> None:
     for stmt in block.statements:
         _format_statement(stmt, depth, lines)
+
+
+def format_source_context(source: str, line: int,
+                          column: int = 0) -> str:
+    """Render the offending source line with a caret column marker.
+
+    ``line``/``column`` are 1-based (the lexer's convention); a zero or
+    out-of-range location yields an empty string rather than raising, so
+    error paths can always call this unconditionally.
+    """
+    lines = source.splitlines()
+    if not 1 <= line <= len(lines):
+        return ""
+    text = lines[line - 1].replace("\t", " ")
+    out = [f"{line:5d} | {text}"]
+    if 1 <= column <= len(text) + 1:
+        out.append(" " * 8 + " " * (column - 1) + "^")
+    return "\n".join(out)
+
+
+_LOCATION_RE = re.compile(
+    r"line (?P<line>\d+)(?:, column (?P<column>\d+))?")
+
+
+def format_error(source: str, error: Exception) -> str:
+    """Render a front-end error (lex/parse/semantic) with source context.
+
+    Uses the error's ``span`` attribute when present
+    (:class:`~repro.compll.semantics.SemanticError`), otherwise falls
+    back to the ``line N[, column C]`` location embedded in lexer and
+    parser messages.
+    """
+    message = str(error)
+    line = column = 0
+    span = getattr(error, "span", None)
+    if span is not None:
+        line, column = span.line, span.column
+    else:
+        match = _LOCATION_RE.search(message)
+        if match:
+            line = int(match.group("line"))
+            column = int(match.group("column") or 0)
+    context = format_source_context(source, line, column)
+    header = f"{type(error).__name__}: {message}"
+    return f"{header}\n{context}" if context else header
 
 
 def format_program(program: Program) -> str:

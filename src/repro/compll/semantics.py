@@ -20,7 +20,7 @@ from typing import Dict, Optional, Set
 
 from .ast_nodes import (
     Assignment, Binary, Block, Call, Declaration, ExprStatement, Function,
-    If, Index, Member, Name, Number, Program, Return, TypeRef, Unary,
+    If, Index, Member, Name, Number, Program, Return, Span, TypeRef, Unary,
 )
 from .operators import BUILTIN_ORDERS, BUILTIN_UDFS
 
@@ -45,7 +45,18 @@ SCALAR_BUILTINS = {"floor", "ceil", "abs", "sqrt", "exp", "max2", "min2"}
 
 
 class SemanticError(Exception):
-    """Raised when a DSL program is grammatical but ill-formed."""
+    """Raised when a DSL program is grammatical but ill-formed.
+
+    Carries the offending node's source :class:`Span` when the parser
+    provided one; the message then ends with ``(line L, column C)`` so
+    plain ``str(exc)`` output is already actionable.
+    """
+
+    def __init__(self, message: str, span: "Optional[Span]" = None):
+        if span is not None:
+            message = f"{message} ({span})"
+        super().__init__(message)
+        self.span = span
 
 
 @dataclass
@@ -83,7 +94,8 @@ def analyze(program: Program) -> ProgramInfo:
     for decl in program.globals:
         for name in decl.names:
             if name in globals_:
-                raise SemanticError(f"duplicate global {name!r}")
+                raise SemanticError(f"duplicate global {name!r}",
+                                    span=decl.span)
             globals_[name] = decl.type
 
     param_fields = {
@@ -94,10 +106,12 @@ def analyze(program: Program) -> ProgramInfo:
     functions: Dict[str, FunctionInfo] = {}
     for fn in program.functions:
         if fn.name in functions:
-            raise SemanticError(f"duplicate function {fn.name!r}")
+            raise SemanticError(f"duplicate function {fn.name!r}",
+                                span=fn.span)
         if fn.name in OPERATORS or fn.name in SCALAR_BUILTINS:
             raise SemanticError(
-                f"function {fn.name!r} shadows a builtin operator")
+                f"function {fn.name!r} shadows a builtin operator",
+                span=fn.span)
         functions[fn.name] = FunctionInfo(
             function=fn,
             params={p.name: p.type for p in fn.parameters})
@@ -126,17 +140,18 @@ def _check_entry(fn: Function, in_type: str, out_type: str) -> None:
     if len(fn.parameters) != 3:
         raise SemanticError(
             f"{fn.name} must take (input*, output*, params); "
-            f"got {len(fn.parameters)} parameters")
+            f"got {len(fn.parameters)} parameters", span=fn.span)
     p_in, p_out, _p_params = fn.parameters
     if p_in.type != TypeRef(in_type, pointer=True):
         raise SemanticError(
-            f"{fn.name}'s first parameter must be {in_type}*, got {p_in.type}")
+            f"{fn.name}'s first parameter must be {in_type}*, "
+            f"got {p_in.type}", span=p_in.span)
     if p_out.type != TypeRef(out_type, pointer=True):
         raise SemanticError(
             f"{fn.name}'s second parameter must be {out_type}*, "
-            f"got {p_out.type}")
+            f"got {p_out.type}", span=p_out.span)
     if fn.return_type != TypeRef("void"):
-        raise SemanticError(f"{fn.name} must return void")
+        raise SemanticError(f"{fn.name} must return void", span=fn.span)
 
 
 def _collect_locals(info: ProgramInfo, fn: Function) -> None:
@@ -148,7 +163,8 @@ def _collect_locals(info: ProgramInfo, fn: Function) -> None:
                 for name in stmt.names:
                     if name in locals_:
                         raise SemanticError(
-                            f"duplicate local {name!r} in {fn.name}")
+                            f"duplicate local {name!r} in {fn.name}",
+                            span=stmt.span)
                     locals_[name] = stmt.type
             elif isinstance(stmt, If):
                 walk(stmt.then_block)
@@ -192,11 +208,12 @@ class _Checker:
 
     def _assign_target(self, target) -> None:
         if isinstance(target, Name):
-            self._resolve(target.ident)
+            self._resolve(target.ident, span=target.span)
         elif isinstance(target, (Member, Index)):
             self._expr(target.obj)
         else:
-            raise SemanticError(f"invalid assignment target {target!r}")
+            raise SemanticError(f"invalid assignment target {target!r}",
+                                span=getattr(target, "span", None))
 
     # -- expressions ------------------------------------------------------------
 
@@ -204,7 +221,7 @@ class _Checker:
         if isinstance(expr, Number):
             return
         if isinstance(expr, Name):
-            self._resolve(expr.ident)
+            self._resolve(expr.ident, span=expr.span)
             return
         if isinstance(expr, Member):
             self._member(expr)
@@ -223,7 +240,8 @@ class _Checker:
         if isinstance(expr, Call):
             self._call(expr)
             return
-        raise SemanticError(f"unknown expression node {expr!r}")
+        raise SemanticError(f"unknown expression node {expr!r}",
+                            span=getattr(expr, "span", None))
 
     def _member(self, expr: Member) -> None:
         if isinstance(expr.obj, Name):
@@ -231,19 +249,21 @@ class _Checker:
             base_type = self.info.type_of_name(self.fn.name, base)
             if base_type is None:
                 raise SemanticError(
-                    f"undeclared name {base!r} in {self.fn.name}")
+                    f"undeclared name {base!r} in {self.fn.name}",
+                    span=expr.span)
             if base_type.base in self.info.param_fields:
                 fields = self.info.param_fields[base_type.base]
                 if expr.field not in fields:
                     raise SemanticError(
                         f"param block {base_type.base!r} has no field "
-                        f"{expr.field!r}")
+                        f"{expr.field!r}", span=expr.span)
                 return
             if expr.field == "size":
                 return
             raise SemanticError(
-                f"unknown member {expr.field!r} on {base!r}")
-        raise SemanticError("member access requires a simple base name")
+                f"unknown member {expr.field!r} on {base!r}", span=expr.span)
+        raise SemanticError("member access requires a simple base name",
+                            span=expr.span)
 
     def _call(self, call: Call) -> None:
         name = call.func
@@ -253,16 +273,18 @@ class _Checker:
                     raise SemanticError(
                         "concat arguments must be identifiers or "
                         "params.<field> members (the serializer needs their "
-                        "declared types)")
+                        "declared types)", span=call.span)
                 self._expr(arg)
             return
         if name == "extract":
             if not call.args or not isinstance(call.args[0], Name):
                 raise SemanticError(
-                    "extract's first argument must be the compressed buffer")
+                    "extract's first argument must be the compressed buffer",
+                    span=call.span)
             if not call.type_args:
                 raise SemanticError(
-                    "extract needs a type operand, e.g. extract(buf, uint32)")
+                    "extract needs a type operand, e.g. extract(buf, uint32)",
+                    span=call.span)
             for arg in call.args:
                 self._expr(arg)
             return
@@ -270,15 +292,17 @@ class _Checker:
                  or name in self.info.functions)
         if not known:
             raise SemanticError(
-                f"call to unknown function {name!r} in {self.fn.name}")
+                f"call to unknown function {name!r} in {self.fn.name}",
+                span=call.span)
         for arg in call.args:
             self._expr(arg)
 
-    def _resolve(self, name: str) -> None:
+    def _resolve(self, name: str,
+                 span: "Optional[Span]" = None) -> None:
         if self.info.type_of_name(self.fn.name, name) is not None:
             return
         if (name in self.info.functions or name in BUILTIN_UDFS
                 or name in BUILTIN_ORDERS):
             return  # udf handle passed to map/reduce/sort
         raise SemanticError(
-            f"undeclared name {name!r} in {self.fn.name}")
+            f"undeclared name {name!r} in {self.fn.name}", span=span)

@@ -31,13 +31,35 @@ from ..algorithms.base import (
     register_algorithm,
 )
 from ..algorithms.packing import ByteReader, ByteWriter
+from .analysis import AnalysisReport, run_passes
 from .ast_nodes import Block, Call, Function, If, Program
 from .codegen import generate
 from .operators import Runtime
 from .parser import parse
 from .semantics import OPERATORS, ProgramInfo, analyze
 
-__all__ = ["compile_algorithm", "CompiledAlgorithm", "LocStats", "loc_stats"]
+__all__ = ["compile_algorithm", "CompiledAlgorithm", "LocStats",
+           "StaticAnalysisError", "loc_stats"]
+
+
+class StaticAnalysisError(Exception):
+    """Raised when static analysis finds errors that block code generation.
+
+    Carries the full :class:`~repro.compll.analysis.AnalysisReport` as
+    ``.report`` so callers can render every finding, not just the first.
+    """
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        blocking = report.errors or report.warnings
+        findings = "; ".join(d.render().splitlines()[0]
+                             for d in blocking[:5])
+        more = len(blocking) - 5
+        if more > 0:
+            findings += f"; and {more} more"
+        super().__init__(
+            f"static analysis found {len(blocking)} blocking "
+            f"finding(s): {findings}")
 
 
 class CompiledAlgorithm(CompressionAlgorithm):
@@ -54,11 +76,13 @@ class CompiledAlgorithm(CompressionAlgorithm):
     def __init__(self, name: str, generated_class, params: Dict,
                  source_dsl: str, source_python: str,
                  profile: Optional[KernelProfile] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 analysis: Optional[AnalysisReport] = None):
         self.name = name
         self.params = dict(params)
         self.source_dsl = source_dsl
         self.source_python = source_python
+        self.analysis = analysis
         if profile is not None:
             self.profile = profile
         self._runtime = Runtime(seed=seed)
@@ -106,8 +130,16 @@ def compile_algorithm(source: str, name: str,
                       params: Optional[Dict] = None,
                       profile: Optional[KernelProfile] = None,
                       seed: int = 0,
-                      register: bool = False) -> CompiledAlgorithm:
+                      register: bool = False,
+                      strict: bool = False) -> CompiledAlgorithm:
     """Compile DSL ``source`` into a ready-to-use compression algorithm.
+
+    Static analysis runs between semantic checking and code generation:
+    error-level findings (use-before-init, bit-width overflow, a
+    non-parallelizable UDF in ``map``/``filter``, an encode/decode layout
+    mismatch, ...) raise :class:`StaticAnalysisError` instead of
+    generating provably broken code; with ``strict=True`` warnings do
+    too.  The full report stays available as ``algorithm.analysis``.
 
     With ``register=True`` the result is also added to the global algorithm
     registry under ``name`` -- CompLL's automated integration step.
@@ -118,6 +150,9 @@ def compile_algorithm(source: str, name: str,
         raise ValueError("program must define an encode function")
     if program.function("decode") is None:
         raise ValueError("program must define a decode function")
+    analysis = run_passes(info, path=f"<compll:{name}>")
+    if not analysis.ok(strict=strict):
+        raise StaticAnalysisError(analysis)
     class_name = "CompLL_" + "".join(
         c if c.isalnum() else "_" for c in name)
     python_source = generate(info, class_name=class_name)
@@ -127,7 +162,7 @@ def compile_algorithm(source: str, name: str,
     algorithm = CompiledAlgorithm(
         name=name, generated_class=generated_class, params=params or {},
         source_dsl=source, source_python=python_source, profile=profile,
-        seed=seed)
+        seed=seed, analysis=analysis)
     if register:
         def factory(**overrides):
             merged = dict(params or {})
@@ -135,7 +170,7 @@ def compile_algorithm(source: str, name: str,
             return CompiledAlgorithm(
                 name=name, generated_class=generated_class, params=merged,
                 source_dsl=source, source_python=python_source,
-                profile=profile, seed=seed)
+                profile=profile, seed=seed, analysis=analysis)
         register_algorithm(name, factory, overwrite=True)
     return algorithm
 

@@ -17,6 +17,11 @@ Checks:
 * decode is a pure function of the buffer (two decodes agree bit-exactly);
 * degenerate inputs (constant, all-zero, single-element) survive;
 * empty gradients are rejected with ValueError.
+
+For DSL-built codecs (anything carrying ``source_dsl``), the report also
+includes the static analyzer's verdict: no error-level findings, and the
+encode/decode layout proven consistent by
+:mod:`repro.compll.analysis.layout`.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..algorithms.base import CompressionAlgorithm
+from .analysis import analyze_source
 
 __all__ = ["Check", "ValidationReport", "validate_algorithm"]
 
@@ -131,5 +137,17 @@ def validate_algorithm(algorithm: CompressionAlgorithm,
     except Exception as exc:  # noqa: BLE001
         record("rejects empty gradient", False,
                f"raised {type(exc).__name__}, expected ValueError")
+
+    source_dsl = getattr(algorithm, "source_dsl", None)
+    if source_dsl:
+        analysis = analyze_source(source_dsl,
+                                  path=f"<{algorithm.name}>")
+        record("static analysis clean", not analysis.errors,
+               f"{len(analysis.errors)} error(s), "
+               f"{len(analysis.warnings)} warning(s)")
+        record("layout proven consistent", analysis.layout_proven,
+               "encode concat matches decode extract sequence"
+               if analysis.layout_proven
+               else "prover could not match encode/decode layouts")
 
     return report

@@ -17,6 +17,7 @@ relative fp32 rate for other GPUs.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -105,7 +106,9 @@ def _layer_sizes(total_mb: float, max_mb: float, count: int,
     """
     if count < 1:
         raise ValueError("need at least one gradient")
-    rng = np.random.default_rng(abs(hash(seed)) % (2**32))
+    # crc32, not hash(): str hashing is salted by PYTHONHASHSEED, which
+    # would give every interpreter run a different layer-size draw.
+    rng = np.random.default_rng(zlib.crc32(seed.encode("utf-8")))
     total = int(total_mb * MB)
     biggest = int(max_mb * MB)
     if count == 1:

@@ -1,0 +1,415 @@
+"""Tests for the CompLL static analyzer (repro.compll.analysis).
+
+Golden diagnostics per rule, layout proofs for every bundled codec, and
+the wiring into compile_algorithm / validate_algorithm.
+"""
+
+import json
+
+import pytest
+
+from repro.compll import (
+    StaticAnalysisError, analyze_source, compile_algorithm,
+    validate_algorithm,
+)
+from repro.compll.analysis import RULES
+from repro.compll.analysis.__main__ import main as analysis_main
+from repro.compll.library import BUNDLED_ALGORITHMS, dsl_source, \
+    terngrad_source
+
+pytestmark = []
+
+
+def _wrap(encode_body="", decode_body="", extra=""):
+    """Minimal valid program with injectable bodies."""
+    return f"""
+param EncodeParams {{ }}
+param DecodeParams {{ }}
+{extra}
+void encode(float* gradient, uint8* compressed, EncodeParams params) {{
+    uint32 n = gradient.size;
+{encode_body}
+    compressed = concat(n);
+}}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {{
+    uint32 n = extract(compressed, uint32);
+{decode_body}
+}}
+"""
+
+
+def rules_of(report, severity=None):
+    return [d.rule for d in report.diagnostics
+            if severity is None or d.severity == severity]
+
+
+# -- front-end wrapping -------------------------------------------------------
+
+def test_cll000_parse_error_becomes_diagnostic():
+    report = analyze_source("void encode(", path="broken.cll")
+    assert rules_of(report) == ["CLL000"]
+    assert not report.ok()
+    assert report.errors[0].file == "broken.cll"
+
+
+def test_cll000_semantic_error_carries_location():
+    src = _wrap(encode_body="    float x = nosuchname;")
+    report = analyze_source(src)
+    assert rules_of(report) == ["CLL000"]
+    assert report.errors[0].line > 0
+
+
+# -- dataflow -----------------------------------------------------------------
+
+def test_cll001_dead_store():
+    src = _wrap(encode_body="    float x = 1;\n    x = 2;\n"
+                            "    float y = x;\n    n = y;")
+    report = analyze_source(src)
+    assert "CLL001" in rules_of(report)
+    dead = [d for d in report.diagnostics
+            if d.rule == "CLL001" and "'x'" in d.message]
+    assert dead
+    assert dead[0].line > 0 and dead[0].column > 0
+
+
+def test_cll002_unused_local():
+    src = _wrap(encode_body="    float unused = 3;")
+    report = analyze_source(src)
+    assert "CLL002" in rules_of(report)
+
+
+def test_cll002_exempts_side_effecting_initializers():
+    # terngrad's `tail` pattern: extract() advances the cursor even when
+    # the value is unused, so removing it would change behavior.
+    src = _wrap(decode_body="    uint8 skip = extract(compressed, uint8);")
+    report = analyze_source(src)
+    assert "CLL002" not in rules_of(report)
+
+
+def test_cll003_unused_udf_param_but_not_entry_params():
+    src = _wrap(extra="float ignores(float elem) {\n    return 1;\n}")
+    report = analyze_source(src)
+    rules = rules_of(report)
+    assert "CLL003" in rules
+    # encode/decode params are API-fixed; never flagged.
+    flagged = [d.message for d in report.diagnostics
+               if d.rule == "CLL003"]
+    assert all("elem" in m for m in flagged)
+
+
+def test_cll004_unused_global():
+    src = _wrap(extra="float never_touched;")
+    report = analyze_source(src)
+    assert "CLL004" in rules_of(report)
+
+
+def test_cll005_use_before_init():
+    src = _wrap(encode_body="    float x;\n    n = x + 1;")
+    report = analyze_source(src)
+    assert "CLL005" in rules_of(report, severity="error")
+
+
+def test_cll006_maybe_uninit_through_branch():
+    src = _wrap(encode_body="    float x;\n"
+                            "    if (n > 0) {\n        x = 1;\n    }\n"
+                            "    n = x;")
+    report = analyze_source(src)
+    rules = rules_of(report)
+    assert "CLL006" in rules
+    assert "CLL005" not in rules
+
+
+def test_both_branch_init_is_definite():
+    src = _wrap(encode_body="    float x;\n"
+                            "    if (n > 0) {\n        x = 1;\n    }"
+                            " else {\n        x = 2;\n    }\n"
+                            "    n = x;")
+    report = analyze_source(src)
+    rules = rules_of(report)
+    assert "CLL005" not in rules and "CLL006" not in rules
+
+
+# -- constants ----------------------------------------------------------------
+
+def test_cll010_uint_overflow():
+    src = _wrap(encode_body="    uint2 q = 5;\n    n = q;")
+    report = analyze_source(src)
+    overflow = [d for d in report.diagnostics if d.rule == "CLL010"]
+    assert overflow and overflow[0].severity == "error"
+    assert "0..3" in overflow[0].message
+
+
+def test_cll010_propagates_through_branches():
+    src = _wrap(encode_body="    uint32 a = 200;\n"
+                            "    if (n > 0) {\n        a = 200;\n    }\n"
+                            "    uint8 b = a + 100;\n    n = b;")
+    report = analyze_source(src)
+    assert "CLL010" in rules_of(report)
+
+
+def test_cll011_division_by_constant_zero():
+    src = _wrap(encode_body="    float z = n / (3 - 3);\n    n = z;")
+    report = analyze_source(src)
+    assert "CLL011" in rules_of(report, severity="error")
+
+
+def test_cll012_oversized_shift():
+    src = _wrap(encode_body="    uint32 s = n << 33;\n    n = s;")
+    report = analyze_source(src)
+    assert "CLL012" in rules_of(report)
+
+
+def test_cll013_constant_condition():
+    src = _wrap(encode_body="    if (1 > 0) {\n        n = 1;\n    }")
+    report = analyze_source(src)
+    assert "CLL013" in rules_of(report)
+
+
+# -- purity -------------------------------------------------------------------
+
+_IMPURE = """
+param EncodeParams { }
+param DecodeParams { }
+float acc;
+
+float addAcc(float elem) {
+    acc = acc + elem;
+    return acc;
+}
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+    float* vals = map(gradient, addAcc);
+    uint32 n = vals.size;
+    compressed = concat(n, vals);
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+    uint32 n = extract(compressed, uint32);
+    float* vals = extract(compressed, float, n);
+    gradient = vals;
+}
+"""
+
+
+def test_cll020_global_writing_udf_in_map():
+    report = analyze_source(_IMPURE)
+    rules = rules_of(report)
+    assert "CLL020" in rules and "CLL021" in rules
+    blocker = [d for d in report.diagnostics if d.rule == "CLL020"][0]
+    assert blocker.severity == "error"
+    assert "addAcc" in blocker.message
+
+
+def test_cll020_detected_transitively():
+    src = _IMPURE.replace(
+        "float addAcc(float elem) {\n    acc = acc + elem;\n    return acc;\n}",
+        "float store(float v) {\n    acc = v;\n    return v;\n}\n\n"
+        "float addAcc(float elem) {\n    return store(elem);\n}")
+    report = analyze_source(src)
+    assert "CLL020" in rules_of(report)
+
+
+def test_cll022_stochastic_udf_is_info_only():
+    report = analyze_source(terngrad_source(2))
+    infos = [d for d in report.diagnostics if d.rule == "CLL022"]
+    assert infos and all(d.severity == "info" for d in infos)
+    assert report.ok(strict=True)  # infos never fail, even strict
+
+
+def test_purity_summaries_exposed():
+    report = analyze_source(_IMPURE)
+    assert report.purity["addAcc"].writes_globals == frozenset({"acc"})
+    assert not report.purity["addAcc"].parallelizable
+
+
+# -- layout proofs -------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(BUNDLED_ALGORITHMS))
+def test_bundled_codec_analyzes_clean_and_layout_proven(name):
+    report = analyze_source(dsl_source(name), path=f"{name}.cll")
+    assert report.ok(strict=True), report.render()
+    assert report.layout_proven, report.render()
+    assert report.layout.fields  # non-empty proof table
+
+
+@pytest.mark.parametrize("bitwidth", [1, 2, 4, 8])
+def test_terngrad_rewrites_stay_proven(bitwidth):
+    report = analyze_source(terngrad_source(bitwidth))
+    assert report.ok(strict=True), report.render()
+    assert report.layout_proven
+
+
+def test_cll030_swapped_concat_field_order():
+    src = dsl_source("tbq").replace(
+        "concat(tau, nsel, indices, signs)",
+        "concat(nsel, tau, indices, signs)")
+    report = analyze_source(src)
+    assert "CLL030" in rules_of(report, severity="error")
+    assert not report.layout_proven
+
+
+def test_cll030_field_count_mismatch():
+    src = dsl_source("adacomp").replace(
+        "concat(nsel, indices, values)", "concat(indices, values)")
+    report = analyze_source(src)
+    assert "CLL030" in rules_of(report, severity="error")
+
+
+def test_cll031_unprovable_count_is_warning():
+    src = dsl_source("adacomp").replace(
+        "uint32* indices = extract(compressed, uint32, nsel);",
+        "uint32* indices = extract(compressed, uint32, gradient.size);")
+    report = analyze_source(src)
+    assert "CLL031" in rules_of(report, severity="warning")
+    assert not report.layout_proven
+    assert report.ok()          # lax mode still compiles
+    assert not report.ok(strict=True)
+
+
+def test_cll033_extract_in_branch():
+    src = _wrap(decode_body="    if (n > 0) {\n"
+                            "        float v = extract(compressed, float);"
+                            "\n        gradient = scatter(gradient.size, "
+                            "gradient, gradient);\n    }")
+    report = analyze_source(src)
+    assert "CLL033" in rules_of(report)
+    assert not report.layout_proven
+
+
+def test_cll034_divergent_encode_paths():
+    src = """
+param EncodeParams { }
+param DecodeParams { }
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+    uint32 n = gradient.size;
+    if (n > 10) {
+        compressed = concat(n, gradient);
+    } else {
+        compressed = concat(n);
+    }
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+    uint32 n = extract(compressed, uint32);
+    float* vals = extract(compressed, float, n);
+    gradient = vals;
+}
+"""
+    report = analyze_source(src)
+    assert "CLL034" in rules_of(report, severity="error")
+
+
+def test_layout_proof_table_contents():
+    report = analyze_source(dsl_source("tbq"))
+    proof = report.layout
+    assert [f.tag for f in proof.fields] == ["f4", "u4", "u4", "b1"]
+    assert [f.kind for f in proof.fields] == \
+        ["scalar", "scalar", "array", "array"]
+    # Both arrays' counts are carried by field 1 (nsel).
+    assert "field 1" in proof.fields[2].proof
+    assert proof.fields[0].offset_bits == "0"
+    rendered = proof.render()
+    assert "PROVEN" in rendered and "nsel" in rendered
+
+
+# -- compile/verify wiring -----------------------------------------------------
+
+def test_compile_blocks_on_analysis_errors():
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        compile_algorithm(_IMPURE, name="impure-map")
+    assert "CLL020" in str(excinfo.value)
+    assert excinfo.value.report.errors
+
+
+def test_compile_blocks_on_swapped_layout():
+    src = dsl_source("tbq").replace(
+        "concat(tau, nsel, indices, signs)",
+        "concat(nsel, tau, indices, signs)")
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        compile_algorithm(src, name="tbq-swapped",
+                          params={"threshold": 0.05})
+    assert any(d.rule == "CLL030" for d in excinfo.value.report.errors)
+
+
+def test_compile_strict_blocks_on_warnings():
+    src = dsl_source("onebit").replace(
+        "uint1* signs = map(gradient, isPositive);",
+        "uint1* signs = map(gradient, isPositive);\n"
+        "    float unused_tmp = 3;")
+    compile_algorithm(src, name="warned")  # lax: compiles
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        compile_algorithm(src, name="warned", strict=True)
+    assert not excinfo.value.report.errors  # warnings only
+
+
+def test_compiled_algorithm_carries_report():
+    algo = compile_algorithm(dsl_source("onebit"), name="onebit-analyzed")
+    assert algo.analysis is not None
+    assert algo.analysis.layout_proven
+    assert not algo.analysis.errors
+
+
+def test_validate_algorithm_includes_static_verdict():
+    algo = compile_algorithm(dsl_source("onebit"), name="onebit-validated")
+    report = validate_algorithm(algo, sizes=(64,))
+    names = {c.name for c in report.checks}
+    assert "static analysis clean" in names
+    assert "layout proven consistent" in names
+    assert all(c.passed for c in report.checks
+               if c.name in ("static analysis clean",
+                             "layout proven consistent"))
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_text_output_on_bundled_sources(capsys, tmp_path):
+    paths = [f"src/repro/compll/dsl_sources/{name}.cll"
+             for name in sorted(BUNDLED_ALGORITHMS)]
+    code = analysis_main(paths)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("PROVEN") == len(paths)
+
+
+def test_cli_json_and_exit_code(capsys, tmp_path):
+    bad = tmp_path / "bad.cll"
+    bad.write_text(dsl_source("tbq").replace(
+        "concat(tau, nsel, indices, signs)",
+        "concat(nsel, tau, indices, signs)"), encoding="utf-8")
+    code = analysis_main(["--format", "json", str(bad)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    (entry,) = payload["reports"]
+    assert entry["ok"] is False
+    assert any(d["rule"] == "CLL030" for d in entry["diagnostics"])
+    assert entry["layout_proven"] is False
+
+
+def test_cli_strict_fails_on_warning(capsys, tmp_path):
+    warned = tmp_path / "warn.cll"
+    warned.write_text(_wrap(encode_body="    float unused = 3;"),
+                      encoding="utf-8")
+    assert analysis_main([str(warned)]) == 0
+    capsys.readouterr()
+    assert analysis_main(["--strict", str(warned)]) == 1
+
+
+# -- rule registry -------------------------------------------------------------
+
+def test_every_emitted_rule_is_documented():
+    emitted = set()
+    sources = [dsl_source(n) for n in BUNDLED_ALGORITHMS]
+    sources.append(_IMPURE)
+    sources.append(_wrap(encode_body="    uint2 q = 5;\n    float x;\n"
+                                     "    n = x;\n    n = q;"))
+    for src in sources:
+        emitted.update(d.rule for d in analyze_source(src).diagnostics)
+    assert emitted <= set(RULES)
+
+
+def test_rules_table_severities_are_valid():
+    for rule, (severity, summary) in RULES.items():
+        assert severity in ("error", "warning", "info"), rule
+        assert summary

@@ -111,3 +111,87 @@ def test_if_else_chain_roundtrip():
 def test_unary_and_index_roundtrip():
     source = "float f(float* a, uint32 k) { return -a[k - 1]; }"
     assert roundtrip_equal(source)
+
+
+# -- source spans and error rendering -----------------------------------------
+
+def test_parser_attaches_spans():
+    program = parse(dsl_source("tbq"))
+    encode = program.function("encode")
+    assert encode.span is not None and encode.span.line > 1
+    first_stmt = encode.body.statements[0]
+    assert first_stmt.span.column == 5  # four-space indent
+
+
+def test_spans_do_not_affect_equality():
+    # Same program text parsed twice with different leading blank lines:
+    # every span differs, yet the ASTs compare equal.
+    source = dsl_source("onebit")
+    assert parse(source) == parse("\n\n" + source)
+    a = parse(source).function("encode").span
+    b = parse("\n\n" + source).function("encode").span
+    assert a.line + 2 == b.line
+
+
+def test_semantic_error_carries_span_and_location_text():
+    from repro.compll import SemanticError, analyze
+    source = """
+param EncodeParams { }
+param DecodeParams { }
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+    compressed = concat(mystery);
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+    gradient = gradient;
+}
+"""
+    with pytest.raises(SemanticError, match=r"line 6, column \d+") as exc:
+        analyze(parse(source))
+    assert exc.value.span is not None
+    assert exc.value.span.line == 6
+
+
+def test_format_error_renders_caret():
+    from repro.compll import SemanticError, analyze
+    from repro.compll.printer import format_error
+    source = ("param EncodeParams { }\n"
+              "param DecodeParams { }\n"
+              "\n"
+              "void encode(float* gradient, uint8* compressed, "
+              "EncodeParams params) {\n"
+              "    compressed = concat(mystery);\n"
+              "}\n"
+              "\n"
+              "void decode(uint8* compressed, float* gradient, "
+              "DecodeParams params) {\n"
+              "    gradient = gradient;\n"
+              "}\n")
+    try:
+        analyze(parse(source))
+    except SemanticError as exc:
+        rendered = format_error(source, exc)
+    assert "SemanticError" in rendered
+    assert "concat(mystery)" in rendered     # offending line shown
+    caret_line = rendered.splitlines()[-1]
+    assert caret_line.strip() == "^"
+
+
+def test_format_source_context_bounds():
+    from repro.compll.printer import format_source_context
+    assert format_source_context("one\ntwo", 0) == ""
+    assert format_source_context("one\ntwo", 3) == ""
+    ctx = format_source_context("one\ntwo", 2, column=2)
+    assert "two" in ctx and ctx.splitlines()[1].endswith("^")
+
+
+def test_format_error_falls_back_to_message_location():
+    from repro.compll import ParseError
+    from repro.compll.printer import format_error
+    source = "param EncodeParams {\n???\n}\n"
+    try:
+        parse(source)
+    except (ParseError, SyntaxError) as exc:
+        rendered = format_error(source, exc)
+    assert "???" in rendered  # located via the "line N" in the message

@@ -1,0 +1,263 @@
+"""Tests for the determinism linter (repro.analysis.simlint)."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.simlint import (
+    Allowlist, lint_file, lint_paths, load_allowlist, main as simlint_main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(tmp_path, source, filename="mod.py"):
+    target = tmp_path / filename
+    target.write_text(source, encoding="utf-8")
+    return lint_file(target)
+
+
+def rules_of(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+# -- SIM101: wall clock -------------------------------------------------------
+
+def test_sim101_time_time_in_strategy(tmp_path):
+    # The injected-violation scenario: a sync strategy stamping results
+    # with the host clock instead of simulated time.
+    diags = lint_snippet(tmp_path, """
+import time
+
+class RingAllReduce:
+    def finish(self, result):
+        result.finished_at = time.time()
+""")
+    assert rules_of(diags) == ["SIM101"]
+    assert diags[0].severity == "error"
+    assert diags[0].line == 6
+
+
+def test_sim101_datetime_and_aliases(tmp_path):
+    diags = lint_snippet(tmp_path, """
+from datetime import datetime
+import time as clock
+
+a = datetime.now()
+b = clock.perf_counter()
+c = clock.monotonic()
+""")
+    assert rules_of(diags) == ["SIM101", "SIM101", "SIM101"]
+
+
+def test_sim101_ignores_unrelated_attributes(tmp_path):
+    diags = lint_snippet(tmp_path, """
+class Env:
+    def time(self):
+        return self.now
+
+def use(env):
+    return env.time()
+""")
+    assert diags == []
+
+
+# -- SIM102: unseeded RNG -----------------------------------------------------
+
+def test_sim102_unseeded_default_rng(tmp_path):
+    diags = lint_snippet(tmp_path, """
+import numpy as np
+
+rng = np.random.default_rng()
+""")
+    assert rules_of(diags) == ["SIM102"]
+
+
+def test_sim102_seeded_rng_is_fine(tmp_path):
+    diags = lint_snippet(tmp_path, """
+import numpy as np
+import random
+
+rng = np.random.default_rng(1234)
+r = random.Random(7)
+""")
+    assert diags == []
+
+
+def test_sim102_global_module_functions(tmp_path):
+    diags = lint_snippet(tmp_path, """
+import numpy as np
+import random
+
+a = np.random.randn(10)
+b = random.random()
+random.shuffle([1, 2])
+""")
+    assert rules_of(diags) == ["SIM102", "SIM102", "SIM102"]
+
+
+def test_sim102_instance_methods_not_flagged(tmp_path):
+    diags = lint_snippet(tmp_path, """
+import random
+
+rng = random.Random(0)
+x = rng.random()
+y = rng.shuffle([1])
+""")
+    assert diags == []
+
+
+# -- SIM103: mutable defaults -------------------------------------------------
+
+def test_sim103_mutable_default(tmp_path):
+    diags = lint_snippet(tmp_path, """
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+def index(key, table={}):
+    return table.get(key)
+""")
+    assert rules_of(diags) == ["SIM103", "SIM103"]
+
+
+def test_sim103_none_default_ok(tmp_path):
+    diags = lint_snippet(tmp_path, """
+def accumulate(item, bucket=None, names=()):
+    bucket = bucket if bucket is not None else []
+    return bucket
+""")
+    assert diags == []
+
+
+# -- SIM104: set iteration ----------------------------------------------------
+
+def test_sim104_for_over_set(tmp_path):
+    diags = lint_snippet(tmp_path, """
+names = {"a", "b"}
+for name in {"x", "y"}:
+    print(name)
+result = [n for n in set(["p", "q"])]
+""")
+    assert rules_of(diags) == ["SIM104", "SIM104"]
+    assert all(d.severity == "warning" for d in diags)
+
+
+def test_sim104_sorted_wrapper_ok(tmp_path):
+    diags = lint_snippet(tmp_path, """
+for name in sorted({"x", "y"}):
+    print(name)
+""")
+    assert diags == []
+
+
+# -- SIM105: telemetry guard --------------------------------------------------
+
+def test_sim105_unguarded_telemetry(tmp_path):
+    diags = lint_snippet(tmp_path, """
+def run(self):
+    self.env.telemetry.counter("tasks", 1)
+""")
+    assert rules_of(diags) == ["SIM105"]
+
+
+def test_sim105_guarded_telemetry_ok(tmp_path):
+    diags = lint_snippet(tmp_path, """
+def run(self):
+    if self.env.telemetry is not None:
+        self.env.telemetry.counter("tasks", 1)
+
+def other(self):
+    if self.telemetry:
+        self.telemetry.finish(span)
+""")
+    assert diags == []
+
+
+def test_sim105_telemetry_package_exempt(tmp_path):
+    pkg = tmp_path / "telemetry"
+    pkg.mkdir()
+    target = pkg / "core.py"
+    target.write_text("def f(sink):\n    sink.telemetry.emit(1)\n",
+                      encoding="utf-8")
+    assert lint_file(target) == []
+
+
+# -- allowlist ----------------------------------------------------------------
+
+def test_allowlist_suppresses_and_reports_unused(tmp_path):
+    src = tmp_path / "pkg"
+    src.mkdir()
+    (src / "clocky.py").write_text(
+        "import time\nT = time.time()\n", encoding="utf-8")
+    allow = tmp_path / ".simlint-allow"
+    allow.write_text(
+        "pkg/clocky.py SIM101 operator-facing display only\n"
+        "pkg/ghost.py SIM102 stale entry\n", encoding="utf-8")
+    findings, suppressed = lint_paths([src],
+                                      allowlist=load_allowlist(allow))
+    assert rules_of(suppressed) == ["SIM101"]
+    assert rules_of(findings) == ["SIM900"]  # stale entry, info only
+    assert findings[0].severity == "info"
+
+
+def test_allowlist_requires_justification(tmp_path):
+    allow = tmp_path / ".simlint-allow"
+    allow.write_text("pkg/clocky.py SIM101\n", encoding="utf-8")
+    parsed = load_allowlist(allow)
+    assert parsed.entries == []
+    assert rules_of(parsed.parse_diagnostics) == ["SIM000"]
+
+
+def test_allowlist_discovered_from_parent(tmp_path):
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    (nested / "clocky.py").write_text(
+        "import time\nT = time.time()\n", encoding="utf-8")
+    (tmp_path / ".simlint-allow").write_text(
+        "*/clocky.py SIM101 display only\n", encoding="utf-8")
+    findings, suppressed = lint_paths([nested])
+    assert rules_of(findings) == []
+    assert rules_of(suppressed) == ["SIM101"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_strict_exit_codes(tmp_path, capsys):
+    target = tmp_path / "warny.py"
+    target.write_text("for x in {1, 2}:\n    pass\n", encoding="utf-8")
+    assert simlint_main([str(target)]) == 0      # warning, lax
+    capsys.readouterr()
+    assert simlint_main(["--strict", str(target)]) == 1
+
+
+def test_cli_json_format(tmp_path, capsys):
+    target = tmp_path / "clocky.py"
+    target.write_text("import time\nT = time.time()\n", encoding="utf-8")
+    code = simlint_main(["--format", "json", str(target)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["counts"]["error"] == 1
+    assert payload["diagnostics"][0]["rule"] == "SIM101"
+
+
+def test_cli_missing_path(tmp_path, capsys):
+    assert simlint_main([str(tmp_path / "nope.py")]) == 2
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    diags = lint_snippet(tmp_path, "def broken(:\n")
+    assert rules_of(diags) == ["SIM000"]
+
+
+# -- dogfood: the repo's own sources stay clean --------------------------------
+
+def test_src_repro_is_clean_in_strict_mode():
+    src = REPO_ROOT / "src" / "repro"
+    allowlist = load_allowlist(REPO_ROOT / ".simlint-allow")
+    findings, suppressed = lint_paths([src], allowlist=allowlist,
+                                      root=REPO_ROOT)
+    failing = [d for d in findings if d.severity in ("error", "warning")]
+    assert failing == [], "\n".join(d.render() for d in failing)
+    # The allowlist is minimal and justified: every entry is used.
+    assert all(entry.used for entry in allowlist.entries)
+    assert suppressed  # the suppressions are load-bearing
