@@ -35,6 +35,8 @@ _API_NAMES = frozenset({
     "IterationResult", "Profile", "SYSTEMS", "SystemConfig", "TrainingJob",
     "run_system", "simulate_iteration",
     "ConfigError",
+    "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig", "SyncPlan",
+    "build_plan", "default_graph_cache", "sync_plan_dump", "verify_plan",
     "MetricsRegistry", "Span", "TelemetryCollector", "attach",
     "current_collector", "detach", "flame_summary", "telemetry_session",
     "to_chrome_trace", "to_metrics_csv", "to_metrics_json",

@@ -50,6 +50,15 @@ or ambiently, covering every simulation in the block::
                    algorithm="onebit")
 
 See ``docs/TELEMETRY.md`` for the full tour.
+
+Sync-plan IR
+------------
+Strategies lower through a declarative :class:`SyncPlan` IR and an
+optimization-pass pipeline before any tasks are instantiated; tuning
+constants live in :class:`PassConfig` (``simulate_iteration(...,
+pass_config=...)``), lowered graphs are memoized in
+:func:`default_graph_cache`, and :func:`sync_plan_dump` captures the IR
+of every graph built inside a ``with`` block.  See ``docs/SYNC_IR.md``.
 """
 
 from __future__ import annotations
@@ -59,6 +68,18 @@ from .algorithms import (
     available_algorithms,
     get_algorithm,
     register_algorithm,
+)
+from .casync import (
+    DEFAULT_PASS_CONFIG,
+    PassConfig,
+    SyncPlan,
+    build_plan,
+    verify_plan,
+)
+from .casync.lower import (
+    GraphCache,
+    default_graph_cache,
+    sync_plan_dump,
 )
 from .cluster import (
     CLUSTER_PRESETS,
@@ -113,6 +134,9 @@ __all__ = [
     "run_system", "simulate_iteration",
     # errors
     "ConfigError",
+    # sync-plan IR (see docs/SYNC_IR.md)
+    "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig", "SyncPlan",
+    "build_plan", "default_graph_cache", "sync_plan_dump", "verify_plan",
     # telemetry
     "MetricsRegistry", "Span", "TelemetryCollector", "attach",
     "current_collector", "detach", "flame_summary", "telemetry_session",

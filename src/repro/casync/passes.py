@@ -1,0 +1,423 @@
+"""Optimization-pass pipeline over the SyncPlan IR.
+
+The three CaSync optimizations (§3.2/§3.3) -- previously re-implemented
+inside every strategy behind boolean flags -- are expressed here as
+independent passes over :class:`~repro.casync.ir.SyncPlan`:
+
+* :class:`SelectivePass` (directive phase) -- apply the §3.3 planner's
+  per-gradient <compress?, K> verdicts; without it every gradient is
+  compressed indiscriminately.
+* :class:`PartitionPass` (directive phase) -- enable pipelining by
+  promoting the planner's K (or the fixed ``default_part_bytes`` rule)
+  into the structural partition count; without it K = 1 (whole-gradient
+  encode-then-transfer, the OSS co-design shape).
+* :class:`FuseDecodeMergePass` (op phase) -- fuse adjacent decode+merge
+  pairs into the single §5 kernel (lowered through
+  :meth:`~repro.strategies.base.TaskBuilder.aggregate_received`).
+* :class:`BulkRoutePass` (op phase) -- mark small transfers for the
+  global bulk-synchronization coordinator and enable batch compression.
+
+A pipeline is simply a list of passes, so the Fig. 11 ablation is "run
+with a pass removed" instead of toggling flags threaded through strategy
+internals.  :func:`build_plan` runs directive passes, expands the
+strategy's structure, runs op passes, and *always* finishes with
+:class:`VerifyPass`, which rejects malformed plans (unmatched receives,
+cycles, byte-conservation violations) before anything is lowered.
+
+:class:`PassConfig` is the single home of the tuning constants that used
+to be duplicated between strategies and the coordinator
+(``BULK_ELIGIBLE_BYTES`` / ``DEFAULT_PART_BYTES`` / the coordinator's
+batching policy); override it per run via
+``simulate_iteration(pass_config=...)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from .ir import (
+    Directive,
+    Op,
+    PlanVerificationError,
+    ReadyRef,
+    SyncPlan,
+)
+from .planner import GradientPlan
+
+__all__ = [
+    "DEFAULT_PASS_CONFIG",
+    "BulkRoutePass",
+    "FuseDecodeMergePass",
+    "PartitionPass",
+    "Pass",
+    "PassConfig",
+    "PassContext",
+    "SelectivePass",
+    "VerifyPass",
+    "build_plan",
+    "verify_plan",
+    "wire_nbytes",
+]
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Shared tuning constants for the pass pipeline and the coordinator.
+
+    One source of truth: strategies (via :class:`BulkRoutePass`) and the
+    bulk-sync :class:`~repro.casync.tasks.Coordinator` read the same
+    values, so eligibility and batching policy cannot drift apart.
+    """
+
+    #: Transfers below this wire size route through the bulk coordinator.
+    bulk_eligible_bytes: float = 256 * 1024
+    #: Fallback partition size when selective planning is off.
+    default_part_bytes: float = 4 * 1024 * 1024
+    #: Coordinator flush threshold: batched bytes per link.
+    coordinator_batch_bytes: float = 4 * 1024 * 1024
+    #: Coordinator flush timeout for an aging batch.
+    coordinator_timeout_s: float = 0.0005
+
+    def token(self) -> tuple:
+        """Hashable identity for cache keys."""
+        return (self.bulk_eligible_bytes, self.default_part_bytes,
+                self.coordinator_batch_bytes, self.coordinator_timeout_s)
+
+
+DEFAULT_PASS_CONFIG = PassConfig()
+
+
+def wire_nbytes(algorithm, nbytes: float) -> float:
+    """Compressed wire size of a ``nbytes`` float32 payload.
+
+    The single size model shared by the pass pipeline, the lowering stage,
+    and :meth:`~repro.strategies.base.TaskBuilder.compressed_nbytes`.
+    """
+    if algorithm is None:
+        return nbytes
+    return float(algorithm.compressed_nbytes(max(1, int(nbytes) // 4)))
+
+
+@dataclass
+class PassContext:
+    """Everything a pass (or expansion) may consult.
+
+    Deliberately environment-free: nothing here references the simulation
+    :class:`~repro.sim.Environment`, which is what makes plan building and
+    lowering cacheable across iterations and runs.
+    """
+
+    num_nodes: int
+    cluster: object
+    algorithm: Optional[object] = None
+    plans: Optional[Dict[str, GradientPlan]] = None
+    config: PassConfig = DEFAULT_PASS_CONFIG
+
+    def wire(self, size) -> float:
+        """Resolve a :class:`~repro.casync.ir.SizeExpr` to wire bytes."""
+        return size.wire(lambda raw: wire_nbytes(self.algorithm, raw))
+
+
+class Pass:
+    """Base class: a named transformation over a SyncPlan."""
+
+    name: str = "pass"
+    #: "directive" passes run before structural expansion, "op" after.
+    phase: str = "op"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class SelectivePass(Pass):
+    """Apply the §3.3 planner's per-gradient <compress?, K> decisions."""
+
+    name = "selective"
+    phase = "directive"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        for name in plan.directives:
+            directive = plan.directives[name]
+            gplan = None if pctx.plans is None else pctx.plans.get(name)
+            if gplan is None:
+                choices = [] if pctx.plans is None else sorted(pctx.plans)
+                raise ConfigError(
+                    "plan", name, choices,
+                    hint="selective compression needs the §3.3 planner's "
+                         "output for every gradient; pass plans= to "
+                         "simulate_iteration (or make_plans(...))")
+            directive.compress = gplan.compress
+            directive.planned_partitions = gplan.partitions
+
+
+class PartitionPass(Pass):
+    """Pipelining: promote partition counts into the plan structure.
+
+    Uses the planner's K when :class:`SelectivePass` recorded one,
+    otherwise the fixed ``default_part_bytes`` rule capped at N.  Without
+    this pass every gradient stays whole (K = 1): encode must finish
+    before any byte moves -- the coarse-grained co-design behaviour.
+    """
+
+    name = "partition"
+    phase = "directive"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        part_bytes = pctx.config.default_part_bytes
+        for name in plan.directives:
+            directive = plan.directives[name]
+            if directive.planned_partitions is not None:
+                directive.partitions = max(1, directive.planned_partitions)
+            else:
+                directive.partitions = min(
+                    pctx.num_nodes,
+                    max(1, math.ceil(directive.nbytes / part_bytes)))
+
+
+class FuseDecodeMergePass(Pass):
+    """Fuse adjacent decode+merge pairs into one kernel (§5).
+
+    Frontends emit the aggregation of a received compressed buffer as an
+    explicit ``decode`` followed by a ``merge`` (both marked ``fusable``).
+    This pass collapses each pair into a single ``decode_merge`` op, which
+    lowering maps to the fused kernel (a scatter-add for sparsification
+    codecs).  Removing the pass is the "no fusion" ablation: the pair
+    lowers as two kernel launches with an intermediate dense buffer.
+    """
+
+    name = "fuse-decode-merge"
+    phase = "op"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        consumer_count: Dict[int, int] = {}
+        for op in plan.ops:
+            for dep in op.deps:
+                if not isinstance(dep, ReadyRef):
+                    consumer_count[dep] = consumer_count.get(dep, 0) + 1
+        by_uid = plan.by_uid()
+        fused: Dict[int, int] = {}  # dropped merge uid -> fused op uid
+        for op in plan.ops:
+            if not (op.kind == "merge" and op.attrs.get("fusable")
+                    and len(op.deps) == 1
+                    and not isinstance(op.deps[0], ReadyRef)):
+                continue
+            dec = by_uid.get(op.deps[0])
+            if (dec is None or dec.kind != "decode"
+                    or not dec.attrs.get("fusable")
+                    or dec.node != op.node
+                    or consumer_count.get(dec.uid, 0) != 1):
+                continue
+            dec.kind = "decode_merge"
+            dec.label = op.label
+            dec.attrs.pop("fusable", None)
+            dec.attrs["fused"] = True
+            fused[op.uid] = dec.uid
+        if not fused:
+            return
+        plan.ops = [op for op in plan.ops if op.uid not in fused]
+        for op in plan.ops:
+            if any(not isinstance(d, ReadyRef) and d in fused
+                   for d in op.deps):
+                op.deps = tuple(
+                    fused.get(d, d) if not isinstance(d, ReadyRef) else d
+                    for d in op.deps)
+        plan.meta["fused_decode_merge"] = len(fused)
+
+
+class BulkRoutePass(Pass):
+    """Bulk synchronization: route small sends through the coordinator.
+
+    Sends the frontend marked ``bulk_eligible`` (point-to-point pushes and
+    pulls; never serial ring hops, where a per-hop flush delay would
+    accumulate) become coordinator-batched when their wire size is below
+    ``bulk_eligible_bytes``.  The pass also marks the plan for GPU batch
+    compression (one fused launch for simultaneously-ready small kernels).
+    """
+
+    name = "bulk-route"
+    phase = "op"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        marked = 0
+        threshold = pctx.config.bulk_eligible_bytes
+        for op in plan.ops:
+            if op.kind != "send" or not op.attrs.get("bulk_eligible"):
+                continue
+            if pctx.wire(op.size) < threshold:
+                op.attrs["bulk"] = True
+                marked += 1
+        plan.meta["batch_compression"] = True
+        plan.meta["bulk_sends"] = marked
+
+
+class VerifyPass(Pass):
+    """Reject malformed plans before lowering (always the final pass)."""
+
+    name = "verify"
+    phase = "op"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        verify_plan(plan)
+        plan.meta["verified"] = True
+
+
+def _sizes_match(a: float, b: float) -> bool:
+    return abs(a - b) <= 1e-6 * max(abs(a), abs(b), 1.0)
+
+
+def _check_flow(send: Op, consumer: Op) -> None:
+    """Byte conservation along one cross-node edge."""
+    if consumer.kind in ("decode", "decode_merge"):
+        if not send.size.compressed:
+            raise PlanVerificationError(
+                f"{consumer!r} decodes {send!r}, which is not compressed")
+        if not _sizes_match(send.size.nbytes, consumer.size.nbytes):
+            raise PlanVerificationError(
+                f"byte-count mismatch along {send!r} -> {consumer!r}: "
+                f"{send.size.nbytes} != {consumer.size.nbytes}")
+    elif consumer.kind == "merge":
+        if send.size.compressed:
+            raise PlanVerificationError(
+                f"{consumer!r} merges compressed payload from {send!r} "
+                "without a decode")
+        if not _sizes_match(send.size.nbytes, consumer.size.nbytes):
+            raise PlanVerificationError(
+                f"byte-count mismatch along {send!r} -> {consumer!r}: "
+                f"{send.size.nbytes} != {consumer.size.nbytes}")
+    elif consumer.kind == "copy":
+        if not _sizes_match(send.size.nbytes, consumer.size.nbytes):
+            raise PlanVerificationError(
+                f"byte-count mismatch along {send!r} -> {consumer!r}: "
+                f"{send.size.nbytes} != {consumer.size.nbytes}")
+    elif consumer.kind == "cpu":
+        if (consumer.attrs.get("duration_s") is None
+                and consumer.size.nbytes
+                and not _sizes_match(send.size.nbytes,
+                                     consumer.size.nbytes)):
+            raise PlanVerificationError(
+                f"byte-count mismatch along {send!r} -> {consumer!r}: "
+                f"{send.size.nbytes} != {consumer.size.nbytes}")
+    # send->send forwarding and barriers carry no payload contract.
+
+
+def verify_plan(plan: SyncPlan) -> None:
+    """Structural verification of a SyncPlan.
+
+    Checks, in the spirit of the CompLL layout proofs (PR 3):
+
+    * ops appear in topological order and reference only earlier ops
+      (acyclicity) with unique uids;
+    * every node / send destination is inside the cluster, no self-sends;
+    * ready-event dependencies are local to the consuming node;
+    * every cross-node dependency is backed by a matching ``send`` whose
+      destination is the consuming node ("every recv matched to a send");
+    * every send is consumed by at least one op on its destination;
+    * bytes are conserved along each send -> consumer flow, and
+      compressed payloads are only consumed by decoding ops.
+    """
+    n = plan.num_nodes
+    for name in plan.directives:
+        directive = plan.directives[name]
+        if directive.partitions < 1:
+            raise PlanVerificationError(
+                f"directive {name}: partitions must be >= 1, "
+                f"got {directive.partitions}")
+    seen: Dict[int, Op] = {}
+    consumers: Dict[int, List[Op]] = {}
+    for op in plan.ops:
+        if op.uid in seen:
+            raise PlanVerificationError(f"duplicate op uid {op.uid}")
+        if op.kind not in ("encode", "decode", "merge", "decode_merge",
+                           "copy", "cpu", "send", "barrier"):
+            raise PlanVerificationError(f"unknown op kind {op.kind!r}")
+        if not 0 <= op.node < n:
+            raise PlanVerificationError(f"{op!r}: node out of range")
+        if op.kind == "send":
+            if op.dst is None or not 0 <= op.dst < n:
+                raise PlanVerificationError(
+                    f"{op!r}: send destination out of range")
+            if op.dst == op.node:
+                raise PlanVerificationError(f"{op!r}: self-send")
+        if op.size.nbytes < 0:
+            raise PlanVerificationError(f"{op!r}: negative size")
+        for dep in op.deps:
+            if isinstance(dep, ReadyRef):
+                if not 0 <= dep.node < n:
+                    raise PlanVerificationError(
+                        f"{op!r}: ready ref node out of range")
+                if dep.node != op.node:
+                    raise PlanVerificationError(
+                        f"{op!r} depends on gradient readiness of remote "
+                        f"node {dep.node}; ready events are node-local")
+                continue
+            dep_op = seen.get(dep)
+            if dep_op is None:
+                raise PlanVerificationError(
+                    f"{op!r} depends on unknown or later op #{dep} "
+                    "(cycle or dangling edge)")
+            consumers.setdefault(dep, []).append(op)
+            if dep_op.node != op.node:
+                if dep_op.kind != "send" or dep_op.dst != op.node:
+                    raise PlanVerificationError(
+                        f"{op!r} receives from node {dep_op.node} but "
+                        f"dependency {dep_op!r} is not a send targeting "
+                        f"node {op.node}")
+                _check_flow(dep_op, op)
+        seen[op.uid] = op
+    for op in plan.ops:
+        if op.kind != "send":
+            continue
+        if not any(c.node == op.dst for c in consumers.get(op.uid, [])):
+            raise PlanVerificationError(
+                f"{op!r} is never consumed on destination node {op.dst}")
+
+
+def build_plan(strategy, pctx: PassContext, model, telemetry=None,
+               now: float = 0.0) -> SyncPlan:
+    """Run the full frontend pipeline: directives -> expand -> op passes.
+
+    ``strategy`` supplies :meth:`~repro.strategies.base.Strategy.expand`
+    (structure) and :meth:`~repro.strategies.base.Strategy.passes` (the
+    optimization list).  :class:`VerifyPass` always runs last, whether or
+    not the strategy requested it.  ``telemetry`` records one span per
+    pass (category ``syncplan``) at simulated time ``now``.
+    """
+    algo_name = None
+    if pctx.algorithm is not None:
+        algo_name = getattr(pctx.algorithm, "name", type(pctx.algorithm).__name__)
+    plan = SyncPlan(strategy.name, pctx.num_nodes, algorithm=algo_name)
+    for grad in model.gradients:
+        plan.directives[grad.name] = Directive(
+            gradient=grad.name, nbytes=grad.nbytes,
+            compress=strategy.compression)
+    applied: List[str] = []
+
+    def run_stage(name, fn):
+        span = None
+        if telemetry is not None:
+            span = telemetry.begin(f"syncplan:{name}", category="syncplan",
+                                   track="syncplan/passes", at=now,
+                                   strategy=strategy.name)
+            telemetry.metrics.counter("syncplan.passes").inc()
+        fn()
+        if span is not None:
+            telemetry.finish(span, now, ops=len(plan.ops))
+        applied.append(name)
+
+    pipeline = [p for p in strategy.passes() if not isinstance(p, VerifyPass)]
+    for p in pipeline:
+        if p.phase == "directive":
+            run_stage(p.name, lambda p=p: p.run(plan, pctx))
+    run_stage("expand", lambda: strategy.expand(plan, pctx, model))
+    for p in pipeline:
+        if p.phase == "op":
+            run_stage(p.name, lambda p=p: p.run(plan, pctx))
+    run_stage("verify", lambda: VerifyPass().run(plan, pctx))
+    plan.meta["passes"] = applied
+    return plan

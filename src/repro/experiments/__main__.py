@@ -7,16 +7,20 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments --quick       # smaller clusters, faster
     python -m repro.experiments fig9 --trace trace.json --metrics metrics.csv
+    python -m repro.experiments fig11 --dump-sync-plan plans/
 
 Rendered outputs print to stdout and are saved under ``results/``.
 ``--trace`` attaches a telemetry collector to every simulation in the run
 and writes a Chrome-tracing/Perfetto JSON timeline; ``--metrics`` dumps
-the metrics registry (``.csv`` or ``.json`` by extension).
+the metrics registry (``.csv`` or ``.json`` by extension);
+``--dump-sync-plan`` writes every distinct SyncPlan IR built during the
+run as ``<strategy>-<digest>.json``/``.txt`` pairs (see docs/SYNC_IR.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from pathlib import Path
@@ -77,6 +81,9 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", metavar="FILE",
                         help="write collected metrics to FILE "
                              "(.csv or .json)")
+    parser.add_argument("--dump-sync-plan", metavar="DIR",
+                        help="dump every SyncPlan IR built during the run "
+                             "as JSON + text into DIR")
     args = parser.parse_args(argv)
 
     registry = build_registry(quick=args.quick)
@@ -98,18 +105,27 @@ def main(argv=None) -> int:
         from ..telemetry import TelemetryCollector, attach, detach
         collector = TelemetryCollector()
         attach(collector)
+    if args.dump_sync_plan:
+        from ..casync.lower import sync_plan_dump
+        dump_ctx = sync_plan_dump(args.dump_sync_plan)
+    else:
+        dump_ctx = contextlib.nullcontext()
     try:
-        for name in selected:
-            start = time.time()
-            text = registry[name]()
-            elapsed = time.time() - start
-            (out_dir / f"{name}.txt").write_text(text + "\n")
-            print(text)
-            print(f"[{name} regenerated in {elapsed:.1f}s -> "
-                  f"{out_dir / (name + '.txt')}]\n")
+        with dump_ctx:
+            for name in selected:
+                start = time.time()
+                text = registry[name]()
+                elapsed = time.time() - start
+                (out_dir / f"{name}.txt").write_text(text + "\n")
+                print(text)
+                print(f"[{name} regenerated in {elapsed:.1f}s -> "
+                      f"{out_dir / (name + '.txt')}]\n")
     finally:
         if collector is not None:
             detach(collector)
+    if args.dump_sync_plan:
+        dumped = sorted(Path(args.dump_sync_plan).glob("*.json"))
+        print(f"[{len(dumped)} sync plan(s) -> {args.dump_sync_plan}]")
     if collector is not None:
         if args.trace:
             from ..telemetry import write_chrome_trace

@@ -16,6 +16,14 @@ stage, exactly as the paper's latency breakdown does:
 Paper deltas: VGG19 sync cost falls 41.2% (on-GPU), then 7.8%
 (pipelining), 26.1% (bulk), 19.9% (SeCoPa); Bert-base falls 10.0%, 10.6%,
 6.6%, 7.4%; on-CPU *adds* 32.2% for VGG19.
+
+Since the SyncPlan IR refactor, each ablation stage corresponds exactly
+to removing optimization passes from the strategy's pipeline
+(:meth:`~repro.strategies.base.Strategy.passes`): ``on-gpu`` runs with no
+optional passes, ``+pipelining`` adds PartitionPass, ``+bulk`` adds
+BulkRoutePass, and ``+secopa`` adds SelectivePass -- so this figure is
+literally a pass-pipeline ablation.  Inspect any stage's IR with
+``python -m repro.experiments fig11 --dump-sync-plan DIR``.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Union
 
 from ..algorithms import available_algorithms
 from ..algorithms.base import CompressionAlgorithm
+from ..casync.passes import PassConfig
 from ..casync.planner import (CostModel, GradientPlan,
                               SelectivePlanner, plans_from_json,
                               plans_to_json)
@@ -134,13 +135,17 @@ class TrainingJob:
 
     def run(self, pipelining: bool = True, bulk: bool = True,
             selective: bool = True,
-            telemetry: Optional[TelemetryCollector] = None
+            telemetry: Optional[TelemetryCollector] = None,
+            pass_config: Optional[PassConfig] = None
             ) -> IterationResult:
         """Simulate one steady-state iteration; returns its metrics.
 
         Pass ``telemetry=`` a :class:`~repro.telemetry.TelemetryCollector`
         to record spans and metrics for this run (the ambient collector
         from :func:`repro.telemetry.attach` is used otherwise).
+        ``pass_config=`` overrides the SyncPlan pass-pipeline tuning
+        constants (partition size, bulk-eligibility threshold, coordinator
+        batching) for this run; see :mod:`repro.casync.passes`.
         """
         strategy: Strategy = get_strategy(
             self.strategy_name, pipelining=pipelining, bulk=bulk,
@@ -149,7 +154,7 @@ class TrainingJob:
             self.model, self.cluster, strategy, algorithm=self.algorithm,
             plans=self.plans if selective else None,
             use_coordinator=bulk, batch_compression=bulk,
-            telemetry=telemetry)
+            telemetry=telemetry, pass_config=pass_config)
 
     def save_plans(self, path) -> None:
         """Persist the planner's per-gradient decisions as JSON."""

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..algorithms.base import CompressionAlgorithm
+from ..casync.ir import SyncPlan
+from ..casync.passes import Pass, PassConfig, PassContext
 from ..casync.planner import GradientPlan
 from ..casync.tasks import Coordinator, NodeEngine, Task, TaskGraph
 from ..cluster import ClusterSpec
@@ -50,6 +52,9 @@ class SyncContext:
     algorithm: Optional[CompressionAlgorithm] = None
     plans: Optional[Dict[str, GradientPlan]] = None
     coordinator: Optional[Coordinator] = None
+    #: Tuning constants for the SyncPlan pass pipeline (and the
+    #: coordinator); None means :data:`~repro.casync.passes.DEFAULT_PASS_CONFIG`.
+    pass_config: Optional[PassConfig] = None
 
     @property
     def num_nodes(self) -> int:
@@ -189,17 +194,55 @@ class TaskBuilder:
 class Strategy(ABC):
     """A gradient synchronization strategy.
 
-    ``build`` must return a TaskGraph whose completion means every node has
-    the fully aggregated value of every gradient of ``model``.
+    Strategies are IR frontends: :meth:`expand` emits the structural
+    :class:`~repro.casync.ir.SyncPlan` ops for one iteration, and
+    :meth:`passes` names the CaSync optimizations to apply to it.  The
+    concrete :meth:`build` runs the whole pipeline -- directive passes,
+    expansion, op passes, verification, lowering -- through the graph
+    cache (:func:`repro.casync.lower.build_graph`) and returns a
+    TaskGraph whose completion means every node has the fully aggregated
+    value of every gradient of ``model``.
     """
 
     name: str = "strategy"
     #: Whether this strategy compresses gradients.
     compression: bool = False
 
-    @abstractmethod
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        """Emit this strategy's ops into ``plan`` (after directive passes).
+
+        Must only consult ``pctx`` (cluster/algorithm/plans/config) and the
+        plan's directives -- never a live Environment -- so expansion stays
+        deterministic and cacheable.  Not abstract for backwards
+        compatibility: a legacy strategy may override :meth:`build`
+        directly and skip the IR pipeline entirely.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement expand() "
+            "(or override build() to bypass the SyncPlan pipeline)")
+
+    def passes(self) -> List[Pass]:
+        """Optimization passes to run over the plan (verify is implicit)."""
+        return []
+
+    def cache_token(self) -> tuple:
+        """Hashable configuration identity for the graph cache.
+
+        The default captures every scalar constructor attribute, which
+        covers all built-in strategies; override for exotic state.
+        """
+        try:
+            attrs = vars(self)
+        except TypeError:
+            return ()
+        return tuple((k, v) for k, v in sorted(attrs.items())
+                     if isinstance(v, (bool, int, float, str)))
+
     def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
-        """Construct the task graph for one iteration."""
+        """Construct the task graph for one iteration (via the IR pipeline)."""
+        from ..casync.lower import build_graph  # deferred: avoids a cycle
+        return build_graph(self, ctx, model)
 
     def __repr__(self) -> str:
         return f"<Strategy {self.name}>"

@@ -1,21 +1,27 @@
 """CaSync synchronization strategies: CaSync-PS and CaSync-Ring (§3).
 
-Both strategies compose the five primitives under the task-graph
-architecture, with the three CaSync optimizations individually switchable
-for the Fig. 11 ablation:
+Both strategies are SyncPlan IR frontends: :meth:`expand` emits the
+structural op stream (the five primitives composed per topology), and the
+three CaSync optimizations are independent passes selected by
+:meth:`passes` -- the Fig. 11 ablation ladder is literally "run with a
+pass removed":
 
-* ``pipelining`` -- partition gradients (per the plan's K) so encode of
-  one partition overlaps the transfer of another, and fuse decode+merge;
-  with pipelining off, a gradient is encoded whole before any byte moves
-  and decoded whole after every byte arrives (the OSS co-design shape).
-* ``bulk`` -- route small transfers through the global coordinator
-  (message batching per link) and enable batch compression on the GPU
-  (one launch for many small kernels).  Enable via
-  ``simulate_iteration(use_coordinator=True, batch_compression=True)``;
-  the strategy marks which sends are eligible.
-* ``selective`` -- honor the §3.3 planner's per-gradient <compress?, K>
-  plan; with it off, everything is compressed and K falls back to a fixed
-  partitioning rule.
+* ``pipelining`` -> :class:`~repro.casync.passes.PartitionPass` --
+  partition gradients (per the plan's K) so encode of one partition
+  overlaps the transfer of another; with the pass absent, a gradient is
+  encoded whole before any byte moves and decoded whole after every byte
+  arrives (the OSS co-design shape).
+* ``bulk`` -> :class:`~repro.casync.passes.BulkRoutePass` -- route small
+  eligible transfers through the global coordinator (message batching per
+  link) and mark the plan for GPU batch compression.  Enable the engines
+  via ``simulate_iteration(use_coordinator=True, batch_compression=True)``.
+* ``selective`` -> :class:`~repro.casync.passes.SelectivePass` -- honor
+  the §3.3 planner's per-gradient <compress?, K> plan; with the pass
+  absent, everything is compressed and K falls back to the fixed
+  partitioning rule in :class:`~repro.casync.passes.PassConfig`.
+
+Decode+merge fusion (:class:`~repro.casync.passes.FuseDecodeMergePass`)
+is part of the CaSync architecture itself (§5) and always on.
 
 CaSync aggregators run on the GPU (unlike BytePS's host-CPU servers), and
 workers co-locate with aggregators (§6.1).
@@ -23,21 +29,29 @@ workers co-locate with aggregators (§6.1).
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional
+from typing import List
 
-from ..casync.planner import GradientPlan
-from ..casync.tasks import TaskGraph
-from ..casync.topology import Topology, ps_topology, ring_topology
+from ..casync.ir import ReadyRef, SizeExpr, SyncPlan
+from ..casync.passes import (
+    DEFAULT_PASS_CONFIG,
+    BulkRoutePass,
+    FuseDecodeMergePass,
+    PartitionPass,
+    Pass,
+    PassContext,
+    SelectivePass,
+)
+from ..casync.topology import ps_topology, ring_topology
 from ..models import GradientSpec, ModelSpec
-from .base import Strategy, SyncContext, TaskBuilder
+from .base import Strategy
 
 __all__ = ["CaSyncPS", "CaSyncRing"]
 
-#: Transfers below this size are routed through the bulk coordinator.
-BULK_ELIGIBLE_BYTES = 256 * 1024
-#: Fallback partition size when selective planning is off.
-DEFAULT_PART_BYTES = 4 * 1024 * 1024
+#: Back-compat re-exports; the authoritative values live in
+#: :class:`~repro.casync.passes.PassConfig` so the strategies and the
+#: coordinator share one source of truth.
+BULK_ELIGIBLE_BYTES = DEFAULT_PASS_CONFIG.bulk_eligible_bytes
+DEFAULT_PART_BYTES = DEFAULT_PASS_CONFIG.default_part_bytes
 
 
 class _CaSyncBase(Strategy):
@@ -49,27 +63,16 @@ class _CaSyncBase(Strategy):
         self.bulk = bulk
         self.selective = selective
 
-    def _plan(self, ctx: SyncContext, grad: GradientSpec) -> GradientPlan:
+    def passes(self) -> List[Pass]:
+        passes: List[Pass] = []
         if self.selective:
-            plan = ctx.plan_for(grad)
-            if plan is None:
-                raise ValueError(
-                    f"selective mode needs a plan for {grad.name}; "
-                    "pass plans= to simulate_iteration")
-            if not self.pipelining and plan.partitions > 1:
-                plan = GradientPlan(plan.name, plan.nbytes, plan.compress,
-                                    1, plan.predicted_time)
-            return plan
+            passes.append(SelectivePass())
         if self.pipelining:
-            k = min(ctx.num_nodes,
-                    max(1, math.ceil(grad.nbytes / DEFAULT_PART_BYTES)))
-        else:
-            k = 1
-        return GradientPlan(name=grad.name, nbytes=grad.nbytes,
-                            compress=True, partitions=k, predicted_time=0.0)
-
-    def _bulk_flag(self, nbytes: float) -> bool:
-        return self.bulk and nbytes < BULK_ELIGIBLE_BYTES
+            passes.append(PartitionPass())
+        passes.append(FuseDecodeMergePass())
+        if self.bulk:
+            passes.append(BulkRoutePass())
+        return passes
 
 
 class CaSyncPS(_CaSyncBase):
@@ -77,12 +80,11 @@ class CaSyncPS(_CaSyncBase):
 
     name = "casync-ps"
 
-    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
-        if ctx.algorithm is None:
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        if pctx.algorithm is None:
             raise ValueError(f"{self.name} requires a compression algorithm")
-        graph = TaskGraph(ctx.env)
-        builder = TaskBuilder(ctx)
-        n = ctx.num_nodes
+        n = plan.num_nodes
         # §3.1: the bipartite worker<->aggregator topology is decoupled
         # from the strategy; aggregators rotate over the topology's
         # aggregator set for load balance.
@@ -90,11 +92,10 @@ class CaSyncPS(_CaSyncBase):
         aggregator_pool = topology.aggregators()
         agg_rr = 0
         for grad in model.gradients:
-            plan = self._plan(ctx, grad)
-            k = plan.partitions
+            directive = plan.directive(grad.name)
+            k = directive.partitions
             part = grad.nbytes / k
-            compressed = builder.compressed_nbytes(part)
-            wire = compressed if plan.compress else part
+            wire = SizeExpr(part, compressed=directive.compress)
             for p in range(k):
                 aggregator = aggregator_pool[agg_rr % len(aggregator_pool)]
                 agg_rr += 1
@@ -102,56 +103,55 @@ class CaSyncPS(_CaSyncBase):
 
                 merges = []
                 for w in range(n):
-                    src_dep = ctx.ready_event(w, grad)
-                    if plan.compress:
-                        enc = graph.add(
-                            builder.encode(w, part, f"enc:{label}@{w}"),
-                            deps=[src_dep])
-                        src_dep = enc
+                    src_dep = ReadyRef(w, grad.name)
+                    if directive.compress:
+                        src_dep = plan.add(
+                            "encode", w, f"enc:{label}@{w}", SizeExpr(part),
+                            deps=[src_dep], grad=grad.name)
                     if w != aggregator:
-                        src_dep = graph.add(
-                            builder.send(w, aggregator, wire,
-                                         f"push:{label}@{w}",
-                                         bulk=self._bulk_flag(wire)),
-                            deps=[src_dep])
-                    # GPU-side aggregation; decode fuses with merge.
-                    if plan.compress:
-                        agg = graph.add(
-                            builder.aggregate_received(
-                                aggregator, part, f"agg:{label}@{w}"),
-                            deps=[src_dep])
+                        src_dep = plan.add(
+                            "send", w, f"push:{label}@{w}", wire,
+                            deps=[src_dep], dst=aggregator, grad=grad.name,
+                            bulk_eligible=True)
+                    # GPU-side aggregation; the fusion pass collapses the
+                    # decode+merge pair into the §5 fused kernel.
+                    if directive.compress:
+                        dec = plan.add(
+                            "decode", aggregator, f"agg:{label}@{w}",
+                            SizeExpr(part), deps=[src_dep], grad=grad.name,
+                            fusable=True)
+                        agg = plan.add(
+                            "merge", aggregator, f"agg:{label}@{w}",
+                            SizeExpr(part), deps=[dec], grad=grad.name,
+                            fusable=True)
                     else:
-                        agg = graph.add(
-                            builder.merge(aggregator, part,
-                                          f"agg:{label}@{w}"),
-                            deps=[src_dep])
+                        agg = plan.add(
+                            "merge", aggregator, f"agg:{label}@{w}",
+                            SizeExpr(part), deps=[src_dep], grad=grad.name)
                     merges.append(agg)
 
                 tail = merges
-                if plan.compress:
-                    tail = [graph.add(
-                        builder.encode(aggregator, part, f"enc-out:{label}"),
-                        deps=merges)]
+                if directive.compress:
+                    tail = [plan.add(
+                        "encode", aggregator, f"enc-out:{label}",
+                        SizeExpr(part), deps=merges, grad=grad.name)]
                 for w in range(n):
                     if w == aggregator:
-                        graph.add(builder.notify(w, f"done:{label}@{w}"),
-                                  deps=tail)
+                        plan.add("barrier", w, f"done:{label}@{w}",
+                                 deps=tail, grad=grad.name)
                         continue
-                    pull = graph.add(
-                        builder.send(aggregator, w, wire,
-                                     f"pull:{label}@{w}",
-                                     bulk=self._bulk_flag(wire)),
-                        deps=tail)
-                    if plan.compress:
-                        dec = graph.add(
-                            builder.decode(w, part, f"dec:{label}@{w}"),
-                            deps=[pull])
-                        graph.add(builder.notify(w, f"done:{label}@{w}"),
-                                  deps=[dec])
+                    pull = plan.add(
+                        "send", aggregator, f"pull:{label}@{w}", wire,
+                        deps=tail, dst=w, grad=grad.name, bulk_eligible=True)
+                    if directive.compress:
+                        dec = plan.add(
+                            "decode", w, f"dec:{label}@{w}", SizeExpr(part),
+                            deps=[pull], grad=grad.name)
+                        plan.add("barrier", w, f"done:{label}@{w}",
+                                 deps=[dec], grad=grad.name)
                     else:
-                        graph.add(builder.notify(w, f"done:{label}@{w}"),
-                                  deps=[pull])
-        return graph
+                        plan.add("barrier", w, f"done:{label}@{w}",
+                                 deps=[pull], grad=grad.name)
 
 
 class CaSyncRing(_CaSyncBase):
@@ -159,17 +159,16 @@ class CaSyncRing(_CaSyncBase):
 
     name = "casync-ring"
 
-    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
-        if ctx.algorithm is None:
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        if pctx.algorithm is None:
             raise ValueError(f"{self.name} requires a compression algorithm")
-        graph = TaskGraph(ctx.env)
-        builder = TaskBuilder(ctx)
-        n = ctx.num_nodes
+        n = plan.num_nodes
         if n == 1:
             for grad in model.gradients:
-                graph.add(builder.notify(0, f"done:{grad.name}"),
-                          deps=[ctx.ready_event(0, grad)])
-            return graph
+                plan.add("barrier", 0, f"done:{grad.name}",
+                         deps=[ReadyRef(0, grad.name)], grad=grad.name)
+            return
         # §3.1: clockwise ring edges come from the topology graph.
         topology = ring_topology(n)
 
@@ -178,100 +177,79 @@ class CaSyncRing(_CaSyncBase):
         # paying 2(N-1) per-gradient micro-hops (§3.2's batched time slots).
         raw: List[GradientSpec] = []
         for grad in model.gradients:
-            plan = self._plan(ctx, grad)
-            if not plan.compress:
+            directive = plan.directive(grad.name)
+            if not directive.compress:
                 raw.append(grad)
                 continue
-            k = plan.partitions
+            k = directive.partitions
             part = grad.nbytes / k
-            compressed = builder.compressed_nbytes(part)
-            wire = compressed if plan.compress else part
+            wire = SizeExpr(part, compressed=True)
             for c in range(k):
                 start = c % n
                 label = f"{grad.name}.c{c}"
-                # Aggregation: n-1 hops; each hop encodes its partial
-                # (if compressing), sends, and the receiver decode+merges.
+                # Aggregation: n-1 hops; each hop encodes its partial,
+                # sends, and the receiver decode+merges (fused by the
+                # fusion pass).
                 prev = None
                 for step in range(n - 1):
                     holder = (start + step) % n
                     nxt = topology.successor(holder)
-                    deps = [ctx.ready_event(holder, grad)]
+                    deps = [ReadyRef(holder, grad.name)]
                     if prev is not None:
                         deps.append(prev)
-                    if plan.compress:
-                        enc = graph.add(
-                            builder.encode(holder, part,
-                                           f"enc:{label}.{step}"),
-                            deps=deps)
-                        deps = [enc]
+                    enc = plan.add(
+                        "encode", holder, f"enc:{label}.{step}",
+                        SizeExpr(part), deps=deps, grad=grad.name)
                     # Ring hops are serial chains: routing them through the
-                    # coordinator would add a flush delay per hop, so
-                    # CaSync-Ring's bulk benefits come from batch
-                    # compression and raw-bucket fusion instead.
-                    send = graph.add(
-                        builder.send(holder, nxt, wire,
-                                     f"hop:{label}.{step}"),
-                        deps=deps)
-                    recv_deps = [send, ctx.ready_event(nxt, grad)]
-                    if plan.compress:
-                        prev = graph.add(
-                            builder.aggregate_received(nxt, part,
-                                                       f"agg:{label}.{step}"),
-                            deps=recv_deps)
-                    else:
-                        prev = graph.add(
-                            builder.merge(nxt, part, f"agg:{label}.{step}"),
-                            deps=recv_deps)
+                    # coordinator would add a flush delay per hop, so they
+                    # are never bulk-eligible; CaSync-Ring's bulk benefits
+                    # come from batch compression and raw-bucket fusion.
+                    send = plan.add(
+                        "send", holder, f"hop:{label}.{step}", wire,
+                        deps=[enc], dst=nxt, grad=grad.name)
+                    dec = plan.add(
+                        "decode", nxt, f"agg:{label}.{step}", SizeExpr(part),
+                        deps=[send, ReadyRef(nxt, grad.name)],
+                        grad=grad.name, fusable=True)
+                    prev = plan.add(
+                        "merge", nxt, f"agg:{label}.{step}", SizeExpr(part),
+                        deps=[dec], grad=grad.name, fusable=True)
 
                 # Dissemination: encode the final value once, then forward
                 # the compressed buffer n-1 hops; receivers decode locally
                 # (overlapping the next hop's transfer).
                 final_holder = (start + n - 1) % n
-                if plan.compress:
-                    head = graph.add(
-                        builder.encode(final_holder, part,
-                                       f"enc-final:{label}"),
-                        deps=[prev])
-                else:
-                    head = prev
-                done_marks = {final_holder: graph.add(
-                    builder.notify(final_holder, f"done:{label}"),
-                    deps=[prev])}
+                head = plan.add(
+                    "encode", final_holder, f"enc-final:{label}",
+                    SizeExpr(part), deps=[prev], grad=grad.name)
+                plan.add("barrier", final_holder, f"done:{label}",
+                         deps=[prev], grad=grad.name)
                 hop_dep = head
                 for step in range(n - 1):
                     holder = (final_holder + step) % n
                     nxt = topology.successor(holder)
-                    send = graph.add(
-                        builder.send(holder, nxt, wire,
-                                     f"bcast:{label}.{step}"),
-                        deps=[hop_dep])
+                    send = plan.add(
+                        "send", holder, f"bcast:{label}.{step}", wire,
+                        deps=[hop_dep], dst=nxt, grad=grad.name)
                     hop_dep = send
-                    if plan.compress:
-                        dec = graph.add(
-                            builder.decode(nxt, part, f"dec:{label}.{step}"),
-                            deps=[send])
-                        done_marks[nxt] = graph.add(
-                            builder.notify(nxt, f"done:{label}@{nxt}"),
-                            deps=[dec])
-                    else:
-                        done_marks[nxt] = graph.add(
-                            builder.notify(nxt, f"done:{label}@{nxt}"),
-                            deps=[send])
+                    dec = plan.add(
+                        "decode", nxt, f"dec:{label}.{step}", SizeExpr(part),
+                        deps=[send], grad=grad.name)
+                    plan.add("barrier", nxt, f"done:{label}@{nxt}",
+                             deps=[dec], grad=grad.name)
 
-        self._raw_ring(ctx, graph, builder, raw)
-        return graph
+        self._raw_ring(plan, raw)
 
-    def _raw_ring(self, ctx: SyncContext, graph: TaskGraph,
-                  builder: TaskBuilder, raw: List[GradientSpec],
+    def _raw_ring(self, plan: SyncPlan, raw: List[GradientSpec],
                   bucket_bytes: float = 4 * 1024 * 1024) -> None:
         """Fused raw allreduce of the planner's uncompressed gradients."""
         from .ring import bucketize  # local import avoids a cycle
 
-        n = ctx.num_nodes
+        n = plan.num_nodes
         for b, bucket in enumerate(bucketize(raw, bucket_bytes)):
             size = sum(g.nbytes for g in bucket)
-            chunk = size / n
-            ready = [[ctx.ready_event(i, g) for g in bucket]
+            chunk = SizeExpr(size / n)
+            ready = [[ReadyRef(i, g.name) for g in bucket]
                      for i in range(n)]
             sends = {}
             merges = {}
@@ -279,24 +257,22 @@ class CaSyncRing(_CaSyncBase):
                 for i in range(n):
                     deps = (list(ready[i]) if step == 0
                             else [merges[(i, step - 1)]])
-                    sends[(i, step)] = graph.add(
-                        builder.send(i, (i + 1) % n, chunk,
-                                     f"raw-rs{b}.{step}@{i}"),
-                        deps=deps)
+                    sends[(i, step)] = plan.add(
+                        "send", i, f"raw-rs{b}.{step}@{i}", chunk,
+                        deps=deps, dst=(i + 1) % n)
                 for i in range(n):
-                    merges[(i, step)] = graph.add(
-                        builder.merge(i, chunk, f"raw-mrg{b}.{step}@{i}"),
+                    merges[(i, step)] = plan.add(
+                        "merge", i, f"raw-mrg{b}.{step}@{i}", chunk,
                         deps=[sends[((i - 1) % n, step)]] + list(ready[i]))
             ag = {}
             for step in range(n - 1):
                 for i in range(n):
                     deps = ([merges[(i, n - 2)]] if step == 0
                             else [ag[((i - 1) % n, step - 1)]])
-                    ag[(i, step)] = graph.add(
-                        builder.send(i, (i + 1) % n, chunk,
-                                     f"raw-ag{b}.{step}@{i}"),
-                        deps=deps)
+                    ag[(i, step)] = plan.add(
+                        "send", i, f"raw-ag{b}.{step}@{i}", chunk,
+                        deps=deps, dst=(i + 1) % n)
             for i in range(n):
                 deps = [merges[(i, n - 2)]] + [
                     ag[((i - 1) % n, step)] for step in range(n - 1)]
-                graph.add(builder.notify(i, f"raw-done{b}@{i}"), deps=deps)
+                plan.add("barrier", i, f"raw-done{b}@{i}", deps=deps)

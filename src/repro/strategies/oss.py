@@ -17,13 +17,22 @@ These reproduce the *co-design* the paper criticizes -- compression logic
   (N-1 forwarding steps); every node then decodes and merges all N buffers
   strictly after the bulk communication finishes -- coarse-grained, no
   compression/communication pipelining, no selective compression.
+
+As IR frontends: neither runs the partition/bulk/selective passes (the
+optimizations are exactly what the OSS co-design lacks).  Ring-OSS keeps
+:class:`~repro.casync.passes.FuseDecodeMergePass` because its per-buffer
+aggregation uses the fused decode+merge kernel; BytePS-OSS decodes and
+sums in separate host-CPU steps, so nothing is fusable there.
 """
 
 from __future__ import annotations
 
-from ..casync.tasks import TaskGraph
+from typing import List
+
+from ..casync.ir import ReadyRef, SizeExpr, SyncPlan
+from ..casync.passes import FuseDecodeMergePass, Pass, PassContext
 from ..models import ModelSpec
-from .base import Strategy, SyncContext, TaskBuilder
+from .base import Strategy
 from .ps import partition_sizes
 
 __all__ = ["BytePSOSSCompression", "RingOSSCompression"]
@@ -45,12 +54,15 @@ class BytePSOSSCompression(Strategy):
         self.part_bytes = float(part_bytes)
         self.worker_on_cpu = worker_on_cpu
 
-    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
-        if ctx.algorithm is None:
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        if pctx.algorithm is None:
             raise ValueError(f"{self.name} requires a compression algorithm")
-        graph = TaskGraph(ctx.env)
-        builder = TaskBuilder(ctx)
-        n = ctx.num_nodes
+        n = plan.num_nodes
+        # ``as_cpu``: costed by the GPU-kind builder method but executed on
+        # the host-CPU executor (the OSS on-CPU codec path).
+        worker_cpu = ({"on_cpu": True, "as_cpu": True}
+                      if self.worker_on_cpu else {})
         server_rr = 0
         for grad in model.gradients:
             parts = partition_sizes(grad.nbytes, self.part_bytes)
@@ -58,65 +70,55 @@ class BytePSOSSCompression(Strategy):
                 server = server_rr % n
                 server_rr += 1
                 label = f"{grad.name}.p{p}"
-                compressed = builder.compressed_nbytes(part)
+                size = SizeExpr(part)
+                wire = SizeExpr(part, compressed=True)
 
                 merges = []
                 for w in range(n):
-                    # Worker: staging copy + on-GPU encode of this slice.
-                    stage = graph.add(
-                        builder.copy(w, part, f"stage:{label}@{w}"),
-                        deps=[ctx.ready_event(w, grad)])
-                    enc = builder.encode(w, part, f"enc:{label}@{w}",
-                                         on_cpu=self.worker_on_cpu)
-                    if self.worker_on_cpu:
-                        enc.kind = "cpu"
-                    graph.add(enc, deps=[stage])
+                    # Worker: staging copy + encode of this slice.
+                    stage = plan.add(
+                        "copy", w, f"stage:{label}@{w}", size,
+                        deps=[ReadyRef(w, grad.name)], grad=grad.name)
+                    enc = plan.add(
+                        "encode", w, f"enc:{label}@{w}", size, deps=[stage],
+                        grad=grad.name, **worker_cpu)
                     if w == server:
                         arrived = enc
                     else:
-                        arrived = graph.add(
-                            builder.send(w, server, compressed,
-                                         f"push:{label}@{w}"),
-                            deps=[enc])
-                    # Server (host CPU): decode then accumulate.
-                    dec = graph.add(
-                        builder.decode(server, part,
-                                       f"srv-dec:{label}@{w}", on_cpu=True,
-                                       allocates_output=True),
-                        deps=[arrived])
-                    dec.kind = "cpu"
-                    agg = graph.add(
-                        builder.cpu_aggregate(server, part,
-                                              f"srv-agg:{label}@{w}"),
-                        deps=[dec])
+                        arrived = plan.add(
+                            "send", w, f"push:{label}@{w}", wire,
+                            deps=[enc], dst=server, grad=grad.name)
+                    # Server (host CPU): decode then accumulate -- two
+                    # separate steps, never fused (no ``fusable`` marks).
+                    dec = plan.add(
+                        "decode", server, f"srv-dec:{label}@{w}", size,
+                        deps=[arrived], grad=grad.name, on_cpu=True,
+                        allocates_output=True, as_cpu=True)
+                    agg = plan.add(
+                        "cpu", server, f"srv-agg:{label}@{w}", size,
+                        deps=[dec], grad=grad.name)
                     merges.append(agg)
 
                 # Server re-encodes the aggregate on the CPU, then pulls.
-                srv_enc = graph.add(
-                    builder.encode(server, part, f"srv-enc:{label}",
-                                   on_cpu=True),
-                    deps=merges)
-                srv_enc.kind = "cpu"
+                srv_enc = plan.add(
+                    "encode", server, f"srv-enc:{label}", size, deps=merges,
+                    grad=grad.name, on_cpu=True, as_cpu=True)
                 for w in range(n):
                     if w == server:
                         arrived = srv_enc
                     else:
-                        arrived = graph.add(
-                            builder.send(server, w, compressed,
-                                         f"pull:{label}@{w}"),
-                            deps=[srv_enc])
-                    unstage = graph.add(
-                        builder.copy(w, part, f"unstage:{label}@{w}"),
-                        deps=[arrived])
-                    dec = builder.decode(w, part, f"dec:{label}@{w}",
-                                         on_cpu=self.worker_on_cpu,
-                                         allocates_output=True)
-                    if self.worker_on_cpu:
-                        dec.kind = "cpu"
-                    graph.add(dec, deps=[unstage])
-                    graph.add(builder.notify(w, f"done:{label}@{w}"),
-                              deps=[dec])
-        return graph
+                        arrived = plan.add(
+                            "send", server, f"pull:{label}@{w}", wire,
+                            deps=[srv_enc], dst=w, grad=grad.name)
+                    unstage = plan.add(
+                        "copy", w, f"unstage:{label}@{w}", size,
+                        deps=[arrived], grad=grad.name)
+                    dec = plan.add(
+                        "decode", w, f"dec:{label}@{w}", size,
+                        deps=[unstage], grad=grad.name,
+                        allocates_output=True, **worker_cpu)
+                    plan.add("barrier", w, f"done:{label}@{w}", deps=[dec],
+                             grad=grad.name)
 
 
 class RingOSSCompression(Strategy):
@@ -125,29 +127,34 @@ class RingOSSCompression(Strategy):
     name = "ring-oss"
     compression = True
 
-    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
-        if ctx.algorithm is None:
+    def passes(self) -> List[Pass]:
+        # Per-buffer aggregation uses the fused decode+merge kernel; the
+        # CaSync-only optimizations (partition/bulk/selective) stay off.
+        return [FuseDecodeMergePass()]
+
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        if pctx.algorithm is None:
             raise ValueError(f"{self.name} requires a compression algorithm")
-        graph = TaskGraph(ctx.env)
-        builder = TaskBuilder(ctx)
-        n = ctx.num_nodes
+        n = plan.num_nodes
         if n == 1:
             for grad in model.gradients:
-                graph.add(builder.notify(0, f"done:{grad.name}"),
-                          deps=[ctx.ready_event(0, grad)])
-            return graph
+                plan.add("barrier", 0, f"done:{grad.name}",
+                         deps=[ReadyRef(0, grad.name)], grad=grad.name)
+            return
 
         prev_done = [None] * n  # allreduce ops serialize, as in Horovod
         for grad in model.gradients:
-            compressed = builder.compressed_nbytes(grad.nbytes)
+            size = SizeExpr(grad.nbytes)
+            wire = SizeExpr(grad.nbytes, compressed=True)
             encodes = []
             for i in range(n):
-                deps = [ctx.ready_event(i, grad)]
+                deps = [ReadyRef(i, grad.name)]
                 if prev_done[i] is not None:
                     deps.append(prev_done[i])
-                encodes.append(graph.add(
-                    builder.encode(i, grad.nbytes, f"enc:{grad.name}@{i}"),
-                    deps=deps))
+                encodes.append(plan.add(
+                    "encode", i, f"enc:{grad.name}@{i}", size, deps=deps,
+                    grad=grad.name))
 
             # Allgather: at step s, node i forwards the buffer that
             # originated at node (i - s) mod n to its successor.
@@ -158,25 +165,25 @@ class RingOSSCompression(Strategy):
                         deps = [encodes[i]]
                     else:
                         deps = [sends[((i - 1) % n, step - 1)]]
-                    sends[(i, step)] = graph.add(
-                        builder.send(i, (i + 1) % n, compressed,
-                                     f"ag:{grad.name}.{step}@{i}"),
-                        deps=deps)
+                    sends[(i, step)] = plan.add(
+                        "send", i, f"ag:{grad.name}.{step}@{i}", wire,
+                        deps=deps, dst=(i + 1) % n, grad=grad.name)
 
             # Coarse-grained: every node decodes + merges all n buffers
             # only after its whole allgather completed (no pipelining).
             for i in range(n):
                 all_received = [sends[((i - 1) % n, step)]
                                 for step in range(n - 1)] + [encodes[i]]
-                barrier = graph.add(
-                    builder.notify(i, f"ag-done:{grad.name}@{i}"),
-                    deps=all_received)
-                last = barrier
-                for b in range(n):
-                    last = graph.add(
-                        builder.aggregate_received(
-                            i, grad.nbytes, f"agg:{grad.name}.{b}@{i}"),
-                        deps=[last])
-                prev_done[i] = graph.add(
-                    builder.notify(i, f"done:{grad.name}@{i}"), deps=[last])
-        return graph
+                last = plan.add(
+                    "barrier", i, f"ag-done:{grad.name}@{i}",
+                    deps=all_received, grad=grad.name)
+                for buf in range(n):
+                    dec = plan.add(
+                        "decode", i, f"agg:{grad.name}.{buf}@{i}", size,
+                        deps=[last], grad=grad.name, fusable=True)
+                    last = plan.add(
+                        "merge", i, f"agg:{grad.name}.{buf}@{i}", size,
+                        deps=[dec], grad=grad.name, fusable=True)
+                prev_done[i] = plan.add(
+                    "barrier", i, f"done:{grad.name}@{i}", deps=[last],
+                    grad=grad.name)

@@ -11,11 +11,12 @@ the result back to every worker.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
-from ..casync.tasks import TaskGraph
-from ..models import GradientSpec, ModelSpec
-from .base import Strategy, SyncContext, TaskBuilder
+from ..casync.ir import ReadyRef, SizeExpr, SyncPlan
+from ..casync.passes import PassContext
+from ..models import ModelSpec
+from .base import Strategy
 
 __all__ = ["BytePS", "partition_sizes"]
 
@@ -38,10 +39,9 @@ class BytePS(Strategy):
     def __init__(self, part_bytes: float = 4 * 1024 * 1024):
         self.part_bytes = float(part_bytes)
 
-    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
-        graph = TaskGraph(ctx.env)
-        builder = TaskBuilder(ctx)
-        n = ctx.num_nodes
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        n = plan.num_nodes
         server_rr = 0
         for grad in model.gradients:
             parts = partition_sizes(grad.nbytes, self.part_bytes)
@@ -49,33 +49,32 @@ class BytePS(Strategy):
                 server = server_rr % n
                 server_rr += 1
                 label = f"{grad.name}.p{p}"
+                size = SizeExpr(part)
                 # Push: every worker sends its slice to the server.
                 aggregates = []
                 for w in range(n):
                     if w == server:
                         # Local slice still crosses PCIe into host memory.
-                        agg = builder.cpu_aggregate(server, part,
-                                                    f"agg:{label}@{w}")
-                        graph.add(agg, deps=[ctx.ready_event(w, grad)])
+                        agg = plan.add(
+                            "cpu", server, f"agg:{label}@{w}", size,
+                            deps=[ReadyRef(w, grad.name)], grad=grad.name)
                     else:
-                        push = graph.add(
-                            builder.send(w, server, part, f"push:{label}@{w}"),
-                            deps=[ctx.ready_event(w, grad)])
-                        agg = graph.add(
-                            builder.cpu_aggregate(server, part,
-                                                  f"agg:{label}@{w}"),
-                            deps=[push])
+                        push = plan.add(
+                            "send", w, f"push:{label}@{w}", size,
+                            deps=[ReadyRef(w, grad.name)], dst=server,
+                            grad=grad.name)
+                        agg = plan.add(
+                            "cpu", server, f"agg:{label}@{w}", size,
+                            deps=[push], grad=grad.name)
                     aggregates.append(agg)
                 # Pull: server returns the aggregate to every worker.
                 for w in range(n):
                     if w == server:
-                        done = builder.notify(w, f"pulled:{label}@{w}")
-                        graph.add(done, deps=aggregates)
+                        plan.add("barrier", w, f"pulled:{label}@{w}",
+                                 deps=aggregates, grad=grad.name)
                     else:
-                        pull = graph.add(
-                            builder.send(server, w, part,
-                                         f"pull:{label}@{w}"),
-                            deps=aggregates)
-                        graph.add(builder.notify(w, f"pulled:{label}@{w}"),
-                                  deps=[pull])
-        return graph
+                        pull = plan.add(
+                            "send", server, f"pull:{label}@{w}", size,
+                            deps=aggregates, dst=w, grad=grad.name)
+                        plan.add("barrier", w, f"pulled:{label}@{w}",
+                                 deps=[pull], grad=grad.name)

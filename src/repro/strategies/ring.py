@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from typing import List
 
-from ..casync.tasks import TaskGraph
+from ..casync.ir import ReadyRef, SizeExpr, SyncPlan
+from ..casync.passes import PassContext
 from ..models import GradientSpec, ModelSpec
-from .base import Strategy, SyncContext, TaskBuilder
+from .base import Strategy
 
 __all__ = ["RingAllreduce", "bucketize"]
 
@@ -63,8 +64,12 @@ class RingAllreduce(Strategy):
         self.bucket_bytes = float(bucket_bytes)
         self.gpu_ring = gpu_ring
 
-    def _step_overhead(self, ctx: SyncContext) -> float:
-        """Extra serial seconds per node-level ring step."""
+    def _step_overhead(self, ctx) -> float:
+        """Extra serial seconds per node-level ring step.
+
+        ``ctx`` is anything exposing ``num_nodes`` and ``cluster`` (a
+        SyncContext or a :class:`~repro.casync.passes.PassContext`).
+        """
         n = ctx.num_nodes
         node_steps = 2 * (n - 1)
         if not self.gpu_ring:
@@ -77,27 +82,26 @@ class RingAllreduce(Strategy):
         extra = gpu_steps * per_step - node_steps * ctx.cluster.network.latency_s
         return max(0.0, extra / node_steps)
 
-    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
-        graph = TaskGraph(ctx.env)
-        builder = TaskBuilder(ctx)
-        n = ctx.num_nodes
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        n = plan.num_nodes
         if n == 1:
             for grad in model.gradients:
-                done = builder.notify(0, f"done:{grad.name}")
-                graph.add(done, deps=[ctx.ready_event(0, grad)])
-            return graph
+                plan.add("barrier", 0, f"done:{grad.name}",
+                         deps=[ReadyRef(0, grad.name)], grad=grad.name)
+            return
 
-        step_overhead = self._step_overhead(ctx)
+        step_overhead = self._step_overhead(pctx)
         buckets = bucketize(model.gradients, self.bucket_bytes)
         prev_done = [None] * n  # serializes buckets per node
         for b, bucket in enumerate(buckets):
             size = sum(g.nbytes for g in bucket)
-            chunk = size / n
-            ready = [[ctx.ready_event(i, g) for g in bucket]
+            chunk = SizeExpr(size / n)
+            ready = [[ReadyRef(i, g.name) for g in bucket]
                      for i in range(n)]
 
-            sends = {}   # (node, step) -> Task, reduce-scatter phase
-            merges = {}  # (node, step) -> Task
+            sends = {}   # (node, step) -> op uid, reduce-scatter phase
+            merges = {}  # (node, step) -> op uid
             for step in range(n - 1):
                 for i in range(n):
                     if step == 0:
@@ -107,20 +111,17 @@ class RingAllreduce(Strategy):
                     else:
                         deps = [merges[(i, step - 1)]]
                     if step_overhead > 0:
-                        pause = graph.add(
-                            builder.cpu_work(i, step_overhead,
-                                             f"ringstep{b}.{step}@{i}"),
-                            deps=deps)
+                        pause = plan.add(
+                            "cpu", i, f"ringstep{b}.{step}@{i}", deps=deps,
+                            duration_s=step_overhead)
                         deps = [pause]
-                    sends[(i, step)] = graph.add(
-                        builder.send(i, (i + 1) % n, chunk,
-                                     f"rs{b}.{step}@{i}"),
-                        deps=deps)
+                    sends[(i, step)] = plan.add(
+                        "send", i, f"rs{b}.{step}@{i}", chunk, deps=deps,
+                        dst=(i + 1) % n)
                 for i in range(n):
                     deps = [sends[((i - 1) % n, step)]] + list(ready[i])
-                    merges[(i, step)] = graph.add(
-                        builder.merge(i, chunk, f"merge{b}.{step}@{i}"),
-                        deps=deps)
+                    merges[(i, step)] = plan.add(
+                        "merge", i, f"merge{b}.{step}@{i}", chunk, deps=deps)
 
             ag_sends = {}
             for step in range(n - 1):
@@ -130,20 +131,17 @@ class RingAllreduce(Strategy):
                     else:
                         deps = [ag_sends[((i - 1) % n, step - 1)]]
                     if step_overhead > 0:
-                        pause = graph.add(
-                            builder.cpu_work(i, step_overhead,
-                                             f"agstep{b}.{step}@{i}"),
-                            deps=deps)
+                        pause = plan.add(
+                            "cpu", i, f"agstep{b}.{step}@{i}", deps=deps,
+                            duration_s=step_overhead)
                         deps = [pause]
-                    ag_sends[(i, step)] = graph.add(
-                        builder.send(i, (i + 1) % n, chunk,
-                                     f"ag{b}.{step}@{i}"),
-                        deps=deps)
+                    ag_sends[(i, step)] = plan.add(
+                        "send", i, f"ag{b}.{step}@{i}", chunk, deps=deps,
+                        dst=(i + 1) % n)
 
             for i in range(n):
                 deps = [merges[(i, n - 2)]]
                 deps += [ag_sends[((i - 1) % n, step)]
                          for step in range(n - 1)]
-                prev_done[i] = graph.add(
-                    builder.notify(i, f"bucket{b}-done@{i}"), deps=deps)
-        return graph
+                prev_done[i] = plan.add(
+                    "barrier", i, f"bucket{b}-done@{i}", deps=deps)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..algorithms.base import CompressionAlgorithm
+from ..casync.passes import DEFAULT_PASS_CONFIG, PassConfig
 from ..casync.planner import CostModel, GradientPlan, SelectivePlanner
 from ..casync.memory import peak_buffer_memory
 from ..casync.tasks import Coordinator, NodeEngine, TaskGraph, run_graph
@@ -114,9 +115,15 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
                        degradation: bool = True,
                        sync_deadline_s: Optional[float] = None,
                        heartbeat_timeout_s: float = 0.02,
-                       telemetry: Optional[TelemetryCollector] = None
+                       telemetry: Optional[TelemetryCollector] = None,
+                       pass_config: Optional[PassConfig] = None
                        ) -> IterationResult:
     """Simulate one BSP iteration and return its metrics.
+
+    ``pass_config`` overrides the SyncPlan pass pipeline's tuning
+    constants (bulk eligibility, fallback partition size, and the
+    coordinator's batching policy) -- see
+    :class:`~repro.casync.passes.PassConfig`; None uses the defaults.
 
     ``straggler=(node, factor)`` slows that node's compute by ``factor``
     (>1): BSP's synchronization barrier means one slow node stalls the
@@ -163,8 +170,11 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
     gpus = [Gpu(env, cluster.node.gpu, index=i)
             for i in range(cluster.num_nodes)]
-    coordinator = (Coordinator(env, fabric, retry_policy=policy,
-                               membership=membership)
+    pconf = pass_config if pass_config is not None else DEFAULT_PASS_CONFIG
+    coordinator = (Coordinator(env, fabric,
+                               size_threshold=pconf.coordinator_batch_bytes,
+                               timeout_s=pconf.coordinator_timeout_s,
+                               retry_policy=policy, membership=membership)
                    if use_coordinator else None)
     engines = [NodeEngine(env, i, gpus[i], fabric, coordinator=coordinator,
                           batch_compression=batch_compression,
@@ -181,7 +191,8 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
 
     ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
                       engines=engines, ready=ready, algorithm=algorithm,
-                      plans=plans, coordinator=coordinator)
+                      plans=plans, coordinator=coordinator,
+                      pass_config=pconf)
     graph = strategy.build(ctx, model)
 
     gpu_spec = cluster.node.gpu

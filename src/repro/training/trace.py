@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..algorithms.base import CompressionAlgorithm
+from ..casync.passes import DEFAULT_PASS_CONFIG, PassConfig
 from ..casync.planner import GradientPlan
 from ..casync.tasks import Coordinator, NodeEngine, run_graph
 from ..cluster import ClusterSpec
@@ -90,7 +91,8 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
                     degradation: bool = True,
                     sync_deadline_s: Optional[float] = None,
                     heartbeat_timeout_s: float = 0.02,
-                    telemetry: Optional[TelemetryCollector] = None
+                    telemetry: Optional[TelemetryCollector] = None,
+                    pass_config: Optional[PassConfig] = None
                     ) -> IterationTrace:
     """Simulate one iteration, returning the full task timeline.
 
@@ -115,8 +117,11 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
     gpus = [Gpu(env, cluster.node.gpu, index=i)
             for i in range(cluster.num_nodes)]
-    coordinator = (Coordinator(env, fabric, retry_policy=policy,
-                               membership=membership)
+    pconf = pass_config if pass_config is not None else DEFAULT_PASS_CONFIG
+    coordinator = (Coordinator(env, fabric,
+                               size_threshold=pconf.coordinator_batch_bytes,
+                               timeout_s=pconf.coordinator_timeout_s,
+                               retry_policy=policy, membership=membership)
                    if use_coordinator else None)
     engines = [NodeEngine(env, i, gpus[i], fabric, coordinator=coordinator,
                           batch_compression=batch_compression,
@@ -131,7 +136,8 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
              for grad in model.gradients}
     ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
                       engines=engines, ready=ready, algorithm=algorithm,
-                      plans=plans, coordinator=coordinator)
+                      plans=plans, coordinator=coordinator,
+                      pass_config=pconf)
     graph = strategy.build(ctx, model)
 
     gpu_spec = cluster.node.gpu

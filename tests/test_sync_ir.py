@@ -1,0 +1,389 @@
+"""Tests for the SyncPlan IR, pass pipeline, verifier, and graph cache.
+
+The verifier is the safety net between strategy frontends and the
+lowering backend: the mutant tests take *real, valid* plans, corrupt them
+in the three ways the acceptance criteria name (dropped send, swapped
+dependency, byte-count mismatch), and require rejection.  The cache tests
+pin the hit/miss discipline and warm-build determinism that make cached
+instantiation safe.
+"""
+
+import pytest
+
+from repro.casync.ir import (
+    PlanVerificationError,
+    ReadyRef,
+    SizeExpr,
+    SyncPlan,
+)
+from repro.casync.lower import (
+    GraphCache,
+    cache_key,
+    default_graph_cache,
+    lower_plan,
+    sync_plan_dump,
+)
+from repro.casync.passes import (
+    DEFAULT_PASS_CONFIG,
+    BulkRoutePass,
+    PartitionPass,
+    PassConfig,
+    PassContext,
+    build_plan,
+    verify_plan,
+    wire_nbytes,
+)
+from repro.cluster import ec2_v100_cluster
+from repro.errors import ConfigError
+from repro.experiments.common import default_algorithm
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import BytePS, CaSyncPS, CaSyncRing
+from repro.telemetry import TelemetryCollector
+from repro.training import make_plans, simulate_iteration
+
+MB = 1024 * 1024
+
+
+def small_model(sizes=(8 * MB, MB, 64 * 1024)):
+    grads = tuple(GradientSpec(f"m.g{i}", s) for i, s in enumerate(sizes))
+    return ModelSpec(name="m", gradients=grads, batch_size=4,
+                     batch_unit="images", v100_iteration_s=0.002)
+
+
+def pctx_for(n=3, algorithm="tbq", plans=None, config=None):
+    return PassContext(
+        num_nodes=n, cluster=ec2_v100_cluster(n),
+        algorithm=default_algorithm(algorithm) if algorithm else None,
+        plans=plans,
+        config=config if config is not None else DEFAULT_PASS_CONFIG)
+
+
+def casync_plan(n=3, **flags):
+    """A real, verified CaSync-PS plan to mutate."""
+    flags.setdefault("selective", False)
+    pctx = pctx_for(n)
+    return build_plan(CaSyncPS(**flags), pctx, small_model()), pctx
+
+
+# -- IR basics ---------------------------------------------------------------
+
+def test_plan_construction_and_introspection():
+    plan = SyncPlan("test", 2, algorithm="tbq")
+    enc = plan.add("encode", 0, "enc", size=SizeExpr(1024, compressed=True),
+                   deps=(ReadyRef(0, "g"),), grad="g")
+    snd = plan.add("send", 0, "push", size=SizeExpr(1024, compressed=True),
+                   deps=(enc,), dst=1, grad="g")
+    dec = plan.add("decode", 1, "dec", size=SizeExpr(1024, compressed=True),
+                   deps=(snd,), grad="g")
+    plan.add("barrier", 1, "done", deps=(dec,), grad="g")
+    assert plan.counts() == {"encode": 1, "send": 1, "decode": 1,
+                             "barrier": 1}
+    assert [op.uid for op in plan.ops_for("g")] == [enc, snd, dec, 3]
+    verify_plan(plan)                       # well-formed
+    assert plan.digest() == plan.digest()   # content-addressed, stable
+    assert "send@0 ->1" in plan.format_text()
+    obj = plan.to_json_obj()
+    assert obj["ops"][1]["dst"] == 1
+    assert obj["ops"][2]["deps"] == [["op", snd]]
+
+
+def test_op_kind_and_send_dst_validated_at_construction():
+    plan = SyncPlan("test", 2)
+    with pytest.raises(ValueError, match="unknown op kind"):
+        plan.add("teleport", 0, "x")
+    with pytest.raises(ValueError, match="destination"):
+        plan.add("send", 0, "x")
+
+
+def test_size_expr_wire_resolution():
+    algo = default_algorithm("tbq")
+    raw = SizeExpr(1024.0)
+    packed = SizeExpr(1024.0, compressed=True)
+    sizer = lambda nbytes: wire_nbytes(algo, nbytes)
+    assert raw.wire(sizer) == 1024.0
+    assert packed.wire(sizer) == wire_nbytes(algo, 1024.0) < 1024.0
+
+
+# -- verifier: mutants of real plans (acceptance criteria) -------------------
+
+def test_real_casync_plan_verifies_clean():
+    plan, _ = casync_plan()
+    verify_plan(plan)
+    assert plan.meta["verified"] is True
+
+
+def test_verifier_rejects_dropped_send():
+    plan, _ = casync_plan()
+    victim = next(op for op in plan.ops if op.kind == "send")
+    plan.ops = [op for op in plan.ops if op.uid != victim.uid]
+    with pytest.raises(PlanVerificationError, match="unknown or later op"):
+        verify_plan(plan)
+
+
+def test_verifier_rejects_swapped_dependency():
+    # Reorder a consumer before the send it receives from: the forward
+    # reference is indistinguishable from a cycle and must be rejected.
+    plan, _ = casync_plan()
+    send = next(op for op in plan.ops if op.kind == "send")
+    consumer = next(op for op in plan.ops
+                    if send.uid in [d for d in op.deps
+                                    if not isinstance(d, ReadyRef)])
+    plan.ops.remove(consumer)
+    plan.ops.insert(plan.ops.index(send), consumer)
+    with pytest.raises(PlanVerificationError, match="cycle or dangling"):
+        verify_plan(plan)
+
+
+def test_verifier_rejects_byte_count_mismatch():
+    plan, _ = casync_plan()
+    send = next(op for op in plan.ops if op.kind == "send")
+    send.size = SizeExpr(send.size.nbytes * 2, send.size.compressed)
+    with pytest.raises(PlanVerificationError, match="byte-count mismatch"):
+        verify_plan(plan)
+
+
+def test_verifier_rejects_compressed_payload_without_decode():
+    plan, _ = casync_plan()
+    by_uid = plan.by_uid()
+    consumer = next(
+        op for op in plan.ops
+        if op.kind in ("decode", "decode_merge")
+        and any(not isinstance(d, ReadyRef) and by_uid[d].kind == "send"
+                for d in op.deps))
+    consumer.kind = "merge"
+    with pytest.raises(PlanVerificationError, match="without a decode"):
+        verify_plan(plan)
+
+
+def test_verifier_rejects_self_send_and_unconsumed_send():
+    plan, _ = casync_plan()
+    send = next(op for op in plan.ops if op.kind == "send")
+    original_dst = send.dst
+    send.dst = send.node
+    with pytest.raises(PlanVerificationError, match="self-send"):
+        verify_plan(plan)
+    send.dst = original_dst
+    # An orphan send that nothing on the destination ever consumes.
+    plan.add("send", 0, "orphan", size=SizeExpr(64), dst=1)
+    with pytest.raises(PlanVerificationError, match="never consumed"):
+        verify_plan(plan)
+
+
+def test_verifier_rejects_remote_ready_ref():
+    plan = SyncPlan("test", 2)
+    plan.add("encode", 0, "enc", size=SizeExpr(64),
+             deps=(ReadyRef(1, "g"),), grad="g")
+    with pytest.raises(PlanVerificationError, match="node-local"):
+        verify_plan(plan)
+
+
+def test_verifier_rejects_cross_node_edge_without_send():
+    plan = SyncPlan("test", 2)
+    enc = plan.add("encode", 0, "enc", size=SizeExpr(64, compressed=True))
+    plan.add("decode", 1, "dec", size=SizeExpr(64, compressed=True),
+             deps=(enc,))
+    with pytest.raises(PlanVerificationError, match="not a send targeting"):
+        verify_plan(plan)
+
+
+# -- passes ------------------------------------------------------------------
+
+def test_selective_pass_missing_plan_raises_config_error():
+    pctx = pctx_for(plans=None)
+    with pytest.raises(ConfigError) as err:
+        build_plan(CaSyncPS(selective=True), pctx, small_model())
+    assert "planner" in str(err.value)
+
+    # A plan set that misses one gradient is rejected too, naming choices.
+    model = small_model()
+    plans = make_plans(model, pctx.cluster, pctx.algorithm, "ps_colocated")
+    del plans["m.g1"]
+    with pytest.raises(ConfigError, match="m.g1"):
+        build_plan(CaSyncPS(selective=True),
+                   pctx_for(plans=plans), model)
+
+
+def test_partition_pass_uses_config_part_bytes():
+    model = small_model(sizes=(8 * MB,))
+    coarse, _ = (build_plan(CaSyncPS(selective=False), pctx_for(), model),
+                 None)
+    assert coarse.directives["m.g0"].partitions == 2  # 8MB / 4MB default
+
+    fine = build_plan(
+        CaSyncPS(selective=False),
+        pctx_for(config=PassConfig(default_part_bytes=float(MB))), model)
+    # ceil(8MB/1MB)=8 capped at num_nodes=3
+    assert fine.directives["m.g0"].partitions == 3
+
+    unpartitioned = build_plan(
+        CaSyncPS(selective=False, pipelining=False), pctx_for(), model)
+    assert unpartitioned.directives["m.g0"].partitions == 1
+
+
+def test_bulk_route_pass_threshold_from_config():
+    plan, _ = casync_plan()
+    assert plan.meta["bulk_sends"] > 0
+
+    none_bulk = build_plan(
+        CaSyncPS(selective=False),
+        pctx_for(config=PassConfig(bulk_eligible_bytes=0.0)), small_model())
+    assert none_bulk.meta["bulk_sends"] == 0
+    assert not any(op.attrs.get("bulk") for op in none_bulk.ops)
+
+
+def test_pass_pipeline_matches_strategy_flags():
+    assert [p.name for p in CaSyncPS().passes()] == [
+        "selective", "partition", "fuse-decode-merge", "bulk-route"]
+    assert [p.name for p in
+            CaSyncRing(pipelining=False, bulk=False,
+                       selective=False).passes()] == ["fuse-decode-merge"]
+    assert BytePS().passes() == []
+    plan, _ = casync_plan(pipelining=True, bulk=True)
+    assert plan.meta["passes"] == ["partition", "expand",
+                                   "fuse-decode-merge", "bulk-route",
+                                   "verify"]
+
+
+def test_fuse_pass_collapses_decode_merge_pairs():
+    plan, _ = casync_plan()
+    assert plan.meta["fused_decode_merge"] > 0
+    assert any(op.kind == "decode_merge" for op in plan.ops)
+    # No fusable merge may survive with a fusable decode feeding it.
+    by_uid = plan.by_uid()
+    for op in plan.ops:
+        if op.kind != "merge" or not op.attrs.get("fusable"):
+            continue
+        for dep in op.deps:
+            if isinstance(dep, ReadyRef):
+                continue
+            assert not (by_uid[dep].kind == "decode"
+                        and by_uid[dep].attrs.get("fusable"))
+
+
+# -- pass_config through the public entry points -----------------------------
+
+def test_simulate_iteration_accepts_pass_config_override():
+    model = small_model(sizes=(16 * MB, 8 * MB))
+    cluster = ec2_v100_cluster(4)
+    algo = default_algorithm("tbq")
+    base = simulate_iteration(model, cluster, CaSyncPS(selective=False),
+                              algorithm=algo)
+    coarse = simulate_iteration(
+        model, cluster, CaSyncPS(selective=False), algorithm=algo,
+        pass_config=PassConfig(default_part_bytes=64.0 * MB))
+    # 64MB partitions collapse pipelining to whole-gradient transfers:
+    # the overlap is gone, so the timeline must actually change.
+    assert coarse.iteration_time != base.iteration_time
+
+
+def test_training_job_run_accepts_pass_config():
+    from repro import TrainingJob
+    job = TrainingJob("vgg19", algorithm="tbq")
+    result = job.run(pass_config=PassConfig(default_part_bytes=2.0 * MB))
+    assert result.iteration_time > 0
+
+
+# -- lowering and the graph cache --------------------------------------------
+
+def test_lowered_recipe_is_environment_free_and_ordered():
+    plan, pctx = casync_plan()
+    recipe = lower_plan(plan, pctx)
+    assert len(recipe.specs) == len(plan.ops)
+    assert recipe.plan_digest == plan.digest()
+    for spec, op in zip(recipe.specs, plan.ops):
+        assert spec.node == op.node
+        assert spec.label == op.label
+    kinds = {spec.kind for spec in recipe.specs}
+    assert "barrier" not in kinds          # barriers lower to notify
+    assert "notify" in kinds
+
+
+def test_send_specs_carry_wire_sizes():
+    plan, pctx = casync_plan()
+    recipe = lower_plan(plan, pctx)
+    for spec, op in zip(recipe.specs, plan.ops):
+        if op.kind == "send":
+            assert spec.nbytes == pytest.approx(pctx.wire(op.size))
+
+
+def test_cache_key_sensitivity():
+    model = small_model()
+    pctx = pctx_for()
+    base = cache_key(CaSyncPS(selective=False), model, pctx)
+    assert base == cache_key(CaSyncPS(selective=False), model, pctx_for())
+    assert base != cache_key(CaSyncPS(selective=False, bulk=False),
+                             model, pctx)
+    assert base != cache_key(CaSyncRing(selective=False), model, pctx)
+    assert base != cache_key(CaSyncPS(selective=False), model, pctx_for(n=4))
+    assert base != cache_key(CaSyncPS(selective=False), model,
+                             pctx_for(algorithm="dgc"))
+    assert base != cache_key(
+        CaSyncPS(selective=False), model,
+        pctx_for(config=PassConfig(default_part_bytes=float(MB))))
+    assert base != cache_key(CaSyncPS(selective=False),
+                             small_model(sizes=(MB,)), pctx)
+
+
+def test_graph_cache_hit_miss_and_fifo_eviction():
+    cache = GraphCache(maxsize=2)
+    plan, pctx = casync_plan()
+    recipe = lower_plan(plan, pctx)
+    assert cache.get(("a",)) is None
+    cache.put(("a",), recipe)
+    assert cache.get(("a",)) is recipe
+    assert (cache.hits, cache.misses) == (1, 1)
+    cache.put(("b",), recipe)
+    cache.put(("c",), recipe)              # evicts ("a",), FIFO
+    assert len(cache) == 2
+    assert cache.get(("a",)) is None
+    assert cache.get(("c",)) is recipe
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == 0
+
+    with pytest.raises(ValueError):
+        GraphCache(maxsize=0)
+
+
+def test_cache_counters_and_warm_determinism_end_to_end():
+    model = small_model()
+    cluster = ec2_v100_cluster(3)
+    default_graph_cache().clear()
+
+    def run():
+        tel = TelemetryCollector()
+        result = simulate_iteration(model, cluster, CaSyncPS(selective=False),
+                                    algorithm=default_algorithm("tbq"),
+                                    telemetry=tel)
+        rows = {r["name"]: r["value"] for r in tel.metrics.snapshot()
+                if r["name"].startswith("syncplan.cache")}
+        return result, rows
+
+    cold, cold_rows = run()
+    warm, warm_rows = run()
+    assert cold_rows.get("syncplan.cache.miss") == 1
+    assert "syncplan.cache.hit" not in cold_rows
+    assert warm_rows.get("syncplan.cache.hit") == 1
+    assert "syncplan.cache.miss" not in warm_rows
+    assert warm == cold                    # cached graph is bit-identical
+
+
+def test_sync_plan_dump_writes_json_and_text(tmp_path):
+    model = small_model()
+    cluster = ec2_v100_cluster(3)
+    default_graph_cache().clear()
+    with sync_plan_dump(tmp_path):
+        simulate_iteration(model, cluster, CaSyncPS(selective=False),
+                           algorithm=default_algorithm("tbq"))
+        # Cache hit on the second build must still dump (idempotently).
+        simulate_iteration(model, cluster, CaSyncPS(selective=False),
+                           algorithm=default_algorithm("tbq"))
+    json_files = sorted(tmp_path.glob("*.json"))
+    txt_files = sorted(tmp_path.glob("*.txt"))
+    assert len(json_files) == 1 and len(txt_files) == 1
+    assert json_files[0].stem == txt_files[0].stem
+    assert json_files[0].stem.startswith("casync-ps-")
+    import json
+    obj = json.loads(json_files[0].read_text())
+    assert obj["strategy"] == "casync-ps"
+    assert obj["meta"]["verified"] is True
+    assert "SyncPlan strategy=casync-ps" in txt_files[0].read_text()

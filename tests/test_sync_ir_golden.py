@@ -1,0 +1,106 @@
+"""Golden snapshots of the SyncPlan IR, per strategy x algorithm.
+
+Each case builds the full frontend pipeline (directive passes -> expand
+-> op passes -> verify) for a fixed model on a 4-node EC2 cluster and
+compares the complete JSON dump against a checked-in golden file under
+``tests/golden/sync_ir/``.  Any change to a strategy frontend, a pass, or
+the IR encoding shows up as a readable JSON diff here -- alongside the
+behavioural check in ``test_graph_equivalence.py`` which hashes the
+executed timeline.
+
+Regenerate after an intentional IR change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_sync_ir_golden.py
+
+and review the diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.casync.passes import PassContext, build_plan
+from repro.cluster import ec2_v100_cluster
+from repro.experiments.common import default_algorithm
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import (
+    BytePS,
+    BytePSOSSCompression,
+    CaSyncPS,
+    CaSyncRing,
+    RingAllreduce,
+    RingOSSCompression,
+)
+from repro.training import make_plans
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "sync_ir"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+NUM_NODES = 4
+MB = 1024 * 1024
+
+#: (case name, strategy factory, algorithm name, planner preset)
+CASES = [
+    ("byteps", BytePS, None, None),
+    ("ring", RingAllreduce, None, None),
+]
+for _algo in ("tbq", "dgc", "onebit"):
+    CASES.extend([
+        (f"casync-ps-{_algo}", CaSyncPS, _algo, "ps_colocated"),
+        (f"casync-ring-{_algo}", CaSyncRing, _algo, "ring"),
+        (f"byteps-oss-{_algo}", BytePSOSSCompression, _algo, None),
+        (f"ring-oss-{_algo}", RingOSSCompression, _algo, None),
+    ])
+
+
+def golden_model() -> ModelSpec:
+    """Fixed workload: sizes straddle the partition (4MB) and
+    bulk-eligibility (256KB) thresholds so every pass has work to do."""
+    sizes = (8 * MB, 3 * MB, 192 * 1024, 48 * 1024)
+    grads = tuple(GradientSpec(f"gold.g{i}", s)
+                  for i, s in enumerate(sizes))
+    return ModelSpec(name="gold", gradients=grads, batch_size=4,
+                     batch_unit="images", v100_iteration_s=0.002)
+
+
+def build_case(strategy_cls, algo_name, preset):
+    cluster = ec2_v100_cluster(NUM_NODES)
+    algorithm = default_algorithm(algo_name) if algo_name else None
+    model = golden_model()
+    plans = (make_plans(model, cluster, algorithm, preset)
+             if preset else None)
+    strategy = strategy_cls()
+    pctx = PassContext(num_nodes=NUM_NODES, cluster=cluster,
+                       algorithm=algorithm, plans=plans)
+    return build_plan(strategy, pctx, model)
+
+
+@pytest.mark.parametrize("name,strategy_cls,algo,preset", CASES,
+                         ids=[c[0] for c in CASES])
+def test_ir_matches_golden(name, strategy_cls, algo, preset):
+    plan = build_case(strategy_cls, algo, preset)
+    dumped = json.loads(plan.to_json())
+    path = GOLDEN_DIR / f"{name}-n{NUM_NODES}.json"
+    if REGEN:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(plan.to_json() + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden {path.name}; regenerate with REPRO_REGEN_GOLDEN=1")
+    golden = json.loads(path.read_text())
+    assert dumped == golden, (
+        f"SyncPlan IR for {name} drifted from {path.name}; if intentional, "
+        "regenerate with REPRO_REGEN_GOLDEN=1 and review the diff")
+
+
+def test_golden_dir_has_no_stale_files():
+    expected = {f"{c[0]}-n{NUM_NODES}.json" for c in CASES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
+
+
+def test_golden_plans_are_deterministic():
+    a = build_case(CaSyncPS, "tbq", "ps_colocated")
+    b = build_case(CaSyncPS, "tbq", "ps_colocated")
+    assert a.digest() == b.digest()

@@ -267,6 +267,10 @@ def test_strategy_registry_instances_record_same_spans():
     cluster = ec2_v100_cluster(3)
 
     def spans_with(strategy):
+        from repro.casync.lower import default_graph_cache
+        # Cold-build both runs: a warm graph-cache hit legitimately skips
+        # the per-pass syncplan spans, which is not what this test probes.
+        default_graph_cache().clear()
         tel = TelemetryCollector()
         simulate_iteration(model, cluster, strategy, algorithm=OneBit(),
                            use_coordinator=True, batch_compression=True,
