@@ -1,0 +1,160 @@
+"""Benchmark: parallel + cached experiment regeneration vs serial.
+
+Three measurements over one batch of real experiment jobs:
+
+* **serial** -- every job in-process, no cache (the old CLI behavior);
+* **parallel** -- the same jobs across ``--workers`` processes
+  (acceptance bar: >= 3x faster with 8 workers on an 8-core host);
+* **warm cache** -- the same jobs against a populated cache
+  (acceptance bar: zero job executions, hardware-independent).
+
+Both runs are asserted payload-identical to serial before any timing
+is reported -- a fast wrong answer is a failure, not a speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_experiment_runner.py           # full
+    PYTHONPATH=src python benchmarks/bench_experiment_runner.py --smoke   # CI
+
+The parallel bar is only enforced in the full run (and only when the
+host has enough cores); ``--smoke`` checks correctness plus the
+warm-cache zero-execution guarantee, which holds on any machine.
+Writes ``BENCH_experiment_runner.json`` (override with ``--output``)
+and exits non-zero if an enforced bar is missed (``--no-check`` to
+report only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.common import canonical_json
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ResultCache,
+    artifact_plans,
+)
+
+#: Artifact -> shrunken kwargs: enough real simulator work to measure,
+#: small enough to finish quickly even serially.
+SMOKE_OVERRIDES = {
+    "table1": {"num_nodes": 2},
+    "fig10": {"num_nodes": 2},
+}
+SMOKE_ARTIFACTS = ("table1", "fig10", "kernel_speed")
+
+FULL_OVERRIDES = {
+    "fig13": {"steps": 60, "eval_every": 15, "workers": 2, "num_nodes": 4},
+}
+FULL_ARTIFACTS = ("table1", "table5", "table6", "table7", "fig9", "fig10",
+                  "fig11", "fig12", "fig13", "kernel_speed")
+
+
+def batch(smoke: bool):
+    names = SMOKE_ARTIFACTS if smoke else FULL_ARTIFACTS
+    overrides = SMOKE_OVERRIDES if smoke else FULL_OVERRIDES
+    plans = artifact_plans(quick=True, overrides={
+        k: v for k, v in overrides.items() if k in names})
+    specs = []
+    for name in names:
+        specs.extend(plans[name].specs())
+    return specs
+
+
+def timed_run(runner, specs):
+    start = time.perf_counter()
+    report = runner.run(specs)
+    elapsed = time.perf_counter() - start
+    report.raise_on_failure()
+    return elapsed, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small batch, correctness + warm-cache "
+                             "bars only (CI)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="pool size for the parallel measurement")
+    parser.add_argument("--output", default="BENCH_experiment_runner.json",
+                        help="result JSON path")
+    parser.add_argument("--no-check", action="store_true",
+                        help="report without enforcing the bars")
+    args = parser.parse_args(argv)
+
+    specs = batch(args.smoke)
+    print(f"{len(specs)} jobs "
+          f"({'smoke' if args.smoke else 'full'} batch), "
+          f"{args.workers} workers, {os.cpu_count()} cores")
+
+    serial_s, serial = timed_run(ExperimentRunner(), specs)
+    baseline = canonical_json(serial.payloads)
+    print(f"serial            {serial_s:8.2f}s   "
+          f"{serial.executed} executed")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        parallel_s, parallel = timed_run(
+            ExperimentRunner(max_workers=args.workers, cache=cache), specs)
+        assert canonical_json(parallel.payloads) == baseline, \
+            "parallel payloads diverged from serial"
+        speedup = serial_s / parallel_s if parallel_s else float("inf")
+        print(f"parallel x{args.workers:<4d}    {parallel_s:8.2f}s   "
+              f"{parallel.executed} executed   {speedup:5.2f}x")
+
+        warm_s, warm = timed_run(
+            ExperimentRunner(max_workers=args.workers, cache=cache), specs)
+        assert canonical_json(warm.payloads) == baseline, \
+            "cached payloads diverged from serial"
+        print(f"warm cache        {warm_s:8.2f}s   "
+              f"{warm.executed} executed   {warm.cache_hits} hits")
+
+    payload = {
+        "benchmark": "experiment_runner",
+        "smoke": args.smoke,
+        "jobs": len(specs),
+        "workers": args.workers,
+        "cores": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(speedup, 2),
+        "warm_s": round(warm_s, 3),
+        "warm_executed": warm.executed,
+        "warm_cache_hits": warm.cache_hits,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"[results -> {args.output}]")
+
+    if args.no_check:
+        return 0
+    failures = []
+    if warm.executed != 0:
+        failures.append(f"warm cache executed {warm.executed} jobs "
+                        "(must be 0)")
+    # The 3x parallel bar needs real cores; skip it in smoke mode and on
+    # small hosts rather than fail on hardware the bar doesn't target.
+    cores = os.cpu_count() or 1
+    if not args.smoke and args.workers >= 8 and cores >= 8:
+        if speedup < 3.0:
+            failures.append(f"parallel speedup {speedup:.2f}x < 3x "
+                            f"with {args.workers} workers")
+    elif not args.smoke:
+        print(f"[parallel bar not enforced: {cores} cores]")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("OK: warm cache executes zero jobs"
+          + ("" if args.smoke else "; parallel bar "
+             + ("met" if cores >= 8 and args.workers >= 8
+                else "not applicable")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

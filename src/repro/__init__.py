@@ -34,6 +34,8 @@ _API_NAMES = frozenset({
     "local_1080ti_cluster",
     "IterationResult", "Profile", "SYSTEMS", "SystemConfig", "TrainingJob",
     "run_system", "simulate_iteration",
+    "ExperimentRunner", "JobSpec", "ResultCache", "RunJournal", "RunReport",
+    "artifact_plans", "job_digest", "run_artifacts",
     "ConfigError",
     "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig", "SyncPlan",
     "build_plan", "default_graph_cache", "sync_plan_dump", "verify_plan",

@@ -89,7 +89,16 @@ from .cluster import (
     local_1080ti_cluster,
 )
 from .errors import ConfigError
-from .experiments.common import SYSTEMS, SystemConfig, run_system
+from .experiments.common import SYSTEMS, JobSpec, SystemConfig, run_system
+from .experiments.runner import (
+    ExperimentRunner,
+    ResultCache,
+    RunJournal,
+    RunReport,
+    artifact_plans,
+    job_digest,
+    run_artifacts,
+)
 from .hipress import Profile, TrainingJob
 from .models import MODEL_NAMES, ModelSpec, all_models, get_model
 from .strategies import (
@@ -132,6 +141,9 @@ __all__ = [
     # running things
     "IterationResult", "Profile", "SYSTEMS", "SystemConfig", "TrainingJob",
     "run_system", "simulate_iteration",
+    # experiment runner (see EXPERIMENTS.md)
+    "ExperimentRunner", "JobSpec", "ResultCache", "RunJournal", "RunReport",
+    "artifact_plans", "job_digest", "run_artifacts",
     # errors
     "ConfigError",
     # sync-plan IR (see docs/SYNC_IR.md)

@@ -1,9 +1,14 @@
 """Experiment drivers regenerating every table and figure of the paper.
 
-Each module exposes ``run(...)`` (returns structured results) and
-``render(results)`` (returns the printable paper-vs-measured comparison).
-The corresponding benchmarks in ``benchmarks/`` call these and print the
-rendered output.
+Each module exposes a ``jobs(...)`` manifest of independent
+:class:`~repro.experiments.common.JobSpec` units, ``run_job(...)``
+(computes one unit's JSON payload), ``assemble(payloads, ...)`` (folds
+payloads into result objects), plus ``run(...)`` (the serial
+composition of the three) and ``render(results)`` (the printable
+paper-vs-measured comparison).  :mod:`repro.experiments.runner`
+executes the manifests in parallel with content-addressed result
+caching, bit-identical to the serial path.  The corresponding
+benchmarks in ``benchmarks/`` call these and print the rendered output.
 """
 
 from . import (
@@ -20,13 +25,29 @@ from . import (
     table6,
     table7,
 )
-from .common import SYSTEMS, default_algorithm, format_table, run_system
+from .common import (JobSpec, SYSTEMS, default_algorithm, execute_job,
+                     execute_serial, format_table, run_system)
+from .runner import (ArtifactPlan, ExperimentRunner, JobFailure, ResultCache,
+                     RunJournal, RunReport, artifact_plans, job_digest,
+                     run_artifacts)
 from .throughput import ThroughputSweep, render_sweep, sweep
 
 __all__ = [
+    "ArtifactPlan",
+    "ExperimentRunner",
+    "JobFailure",
+    "JobSpec",
+    "ResultCache",
+    "RunJournal",
+    "RunReport",
     "SYSTEMS",
     "ThroughputSweep",
+    "artifact_plans",
     "default_algorithm",
+    "execute_job",
+    "execute_serial",
+    "job_digest",
+    "run_artifacts",
     "fig10",
     "fig11",
     "fig12",

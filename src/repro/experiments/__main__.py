@@ -6,15 +6,28 @@ Usage::
     python -m repro.experiments table1 fig11  # selected artifacts
     python -m repro.experiments --list
     python -m repro.experiments --quick       # smaller clusters, faster
+    python -m repro.experiments --jobs 8      # parallel across processes
+    python -m repro.experiments --resume      # continue an interrupted run
     python -m repro.experiments fig9 --trace trace.json --metrics metrics.csv
     python -m repro.experiments fig11 --dump-sync-plan plans/
 
 Rendered outputs print to stdout and are saved under ``results/``.
-``--trace`` attaches a telemetry collector to every simulation in the run
-and writes a Chrome-tracing/Perfetto JSON timeline; ``--metrics`` dumps
-the metrics registry (``.csv`` or ``.json`` by extension);
-``--dump-sync-plan`` writes every distinct SyncPlan IR built during the
-run as ``<strategy>-<digest>.json``/``.txt`` pairs (see docs/SYNC_IR.md).
+
+Every invocation routes through :mod:`repro.experiments.runner`: each
+artifact's jobs manifest is executed (in-process by default, across
+``--jobs N`` worker processes otherwise) with results memoized in a
+content-addressed cache (``--cache-dir``, default ``<output-dir>/.cache``;
+``--no-cache`` disables).  A run journal makes interrupted regenerations
+resumable with ``--resume``.  Parallel, cached, and serial runs are
+bit-identical -- see ``tests/test_runner_conformance.py``.
+
+``--trace`` attaches a telemetry collector and writes a
+Chrome-tracing/Perfetto JSON timeline (with ``--jobs N`` the simulations
+run in worker processes, so the trace covers the runner's own per-job
+spans rather than simulator internals); ``--metrics`` dumps the metrics
+registry (``.csv`` or ``.json`` by extension); ``--dump-sync-plan``
+writes every distinct SyncPlan IR built during the run (in-process runs
+only, so it conflicts with ``--jobs``).
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from . import (
     fig7, fig8, fig9, fig10, fig11, fig12, fig13, kernel_speed,
     table1, table5, table6, table7,
 )
+from .runner import ExperimentRunner, ResultCache, RunJournal, artifact_plans
 
 
 def _runner(module, **kwargs):
@@ -45,6 +59,12 @@ def _fig12_runner(**kwargs):
 
 
 def build_registry(quick: bool):
+    """Legacy serial registry: name -> zero-arg render closure.
+
+    Kept for API compatibility; ``main`` itself now routes through
+    :func:`repro.experiments.runner.artifact_plans`, which mirrors
+    these parameterizations exactly.
+    """
     nodes = 8 if quick else 16
     sweep_nodes = (4, 8) if quick else (4, 16)
     return {
@@ -75,6 +95,19 @@ def main(argv=None) -> int:
                         help="smaller clusters for a fast pass")
     parser.add_argument("--output-dir", default="results",
                         help="directory for rendered text outputs")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes (0 = in-process serial)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip jobs already completed by an "
+                             "interrupted run (needs the cache)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed result cache "
+                             "(default: <output-dir>/.cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every job; do not read or "
+                             "write the cache")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job timeout in seconds")
     parser.add_argument("--trace", metavar="FILE",
                         help="record all simulations and write a "
                              "Chrome-tracing JSON timeline to FILE")
@@ -83,22 +116,37 @@ def main(argv=None) -> int:
                              "(.csv or .json)")
     parser.add_argument("--dump-sync-plan", metavar="DIR",
                         help="dump every SyncPlan IR built during the run "
-                             "as JSON + text into DIR")
+                             "as JSON + text into DIR (in-process only)")
     args = parser.parse_args(argv)
 
-    registry = build_registry(quick=args.quick)
+    plans = artifact_plans(quick=args.quick)
     if args.list:
-        print("\n".join(sorted(registry)))
+        print("\n".join(sorted(plans)))
         return 0
 
-    selected = args.artifacts or sorted(registry)
-    unknown = [a for a in selected if a not in registry]
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the cache; drop --no-cache")
+    if args.dump_sync_plan and args.jobs:
+        parser.error("--dump-sync-plan requires an in-process run; "
+                     "drop --jobs")
+
+    selected = args.artifacts or sorted(plans)
+    unknown = [a for a in selected if a not in plans]
     if unknown:
         parser.error(f"unknown artifacts: {unknown}; "
-                     f"available: {sorted(registry)}")
+                     f"available: {sorted(plans)}")
 
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+
+    cache = journal = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir \
+            else out_dir / ".cache"
+        cache = ResultCache(cache_dir)
+        journal = RunJournal(cache_dir / "journal.jsonl")
 
     collector = None
     if args.trace or args.metrics:
@@ -110,19 +158,53 @@ def main(argv=None) -> int:
         dump_ctx = sync_plan_dump(args.dump_sync_plan)
     else:
         dump_ctx = contextlib.nullcontext()
+
+    def progress(event):
+        print(f"  [{event['done']}/{event['total']}] {event['job_id']} "
+              f"({event['status']}, {event['duration_s']:.1f}s)",
+              file=sys.stderr)
+
+    runner = ExperimentRunner(
+        max_workers=args.jobs, cache=cache, journal=journal,
+        resume=args.resume, timeout_s=args.timeout, telemetry=collector,
+        progress=progress)
+
+    specs = []
+    for name in selected:
+        specs.extend(plans[name].specs())
+
+    start = time.time()
+    exit_code = 0
     try:
         with dump_ctx:
+            report = runner.run(specs)
             for name in selected:
-                start = time.time()
-                text = registry[name]()
-                elapsed = time.time() - start
+                if any(f.job_id.startswith(f"{name}/")
+                       for f in report.failures):
+                    continue
+                text = plans[name].render(plans[name].assemble(
+                    report.payloads))
                 (out_dir / f"{name}.txt").write_text(text + "\n")
                 print(text)
-                print(f"[{name} regenerated in {elapsed:.1f}s -> "
-                      f"{out_dir / (name + '.txt')}]\n")
+                print(f"[{name} -> {out_dir / (name + '.txt')}]\n")
+    except KeyboardInterrupt:
+        print("\n[interrupted -- rerun with --resume to continue]",
+              file=sys.stderr)
+        return 130
     finally:
         if collector is not None:
+            from ..telemetry import detach
             detach(collector)
+    elapsed = time.time() - start
+    print(f"[{report.executed} executed, {report.cache_hits} cached"
+          f"{f', {report.resumed} resumed' if report.resumed else ''}"
+          f", {len(report.failures)} failed in {elapsed:.1f}s]")
+    for failure in report.failures:
+        print(f"  FAILED {failure.job_id}: [{failure.kind}] "
+              f"{failure.error_type}: {failure.message.splitlines()[0]}",
+              file=sys.stderr)
+        exit_code = 1
+
     if args.dump_sync_plan:
         dumped = sorted(Path(args.dump_sync_plan).glob("*.json"))
         print(f"[{len(dumped)} sync plan(s) -> {args.dump_sync_plan}]")
@@ -139,7 +221,7 @@ def main(argv=None) -> int:
             else:
                 path.write_text(to_metrics_csv(collector))
             print(f"[metrics -> {path}]")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -16,12 +16,14 @@ Defines the *systems under test* exactly as §6.1 configures them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+import importlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
 
 from ..algorithms import available_algorithms, get_algorithm
 from ..algorithms.base import CompressionAlgorithm
-from ..cluster import ClusterSpec
+from ..cluster import ClusterSpec, ec2_v100_cluster, local_1080ti_cluster
 from ..errors import ConfigError
 from ..models import MODEL_NAMES, ModelSpec, get_model
 from ..strategies import Strategy, get_strategy
@@ -29,7 +31,9 @@ from ..telemetry import TelemetryCollector
 from ..training import IterationResult, make_plans, simulate_iteration
 
 __all__ = ["SystemConfig", "SYSTEMS", "run_system", "default_algorithm",
-           "ec2_tcp_network", "format_table"]
+           "ec2_tcp_network", "format_table",
+           "JobSpec", "CLUSTER_FACTORIES", "canonical_json",
+           "execute_job", "execute_serial"]
 
 #: §6.1 default algorithm parameters ("we inherit the parameter settings
 #: from their original papers").
@@ -150,6 +154,82 @@ def run_system(system: str, model, cluster: ClusterSpec,
         use_coordinator=config.use_coordinator,
         batch_compression=config.batch_compression,
         telemetry=telemetry)
+
+
+# -- job manifests -----------------------------------------------------------
+#
+# Every figure/table module decomposes its work into independent *jobs*
+# (one per strategy x model x cluster point, typically) by declaring a
+# ``jobs(**kwargs)`` manifest of :class:`JobSpec` rows.  A job is executed
+# by calling ``<module>.<call>(**params)`` in any process -- the params
+# are JSON values, the payload it returns must be a JSON value too -- and
+# the module's ``assemble(payloads, **kwargs)`` folds the payloads back
+# into the structured results its ``run()`` returns.  ``run()`` itself is
+# ``assemble(execute_serial(jobs(...)), ...)``, so the serial path and the
+# process-parallel :mod:`repro.experiments.runner` execute the *same*
+# decomposition; the conformance suite then proves the outputs are
+# bit-identical across serial / parallel / cached / resumed runs.
+
+#: Cluster presets jobs may reference by name (factories are not JSON).
+CLUSTER_FACTORIES = {
+    "ec2": ec2_v100_cluster,
+    "local": local_1080ti_cluster,
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independently executable unit of a figure/table regeneration.
+
+    ``params`` must contain only JSON values (numbers, strings, bools,
+    lists, dicts, None) so the spec can cross a process boundary and be
+    digested into a stable cache key.  ``algorithm``/``algorithm_params``
+    duplicate any compression settings from ``params`` so the runner can
+    fold the *instantiated* algorithm's identity token (the GraphCache
+    keying discipline from :mod:`repro.casync.lower`) into the job digest.
+    """
+
+    artifact: str                 # e.g. "fig7"
+    job_id: str                   # unique within a manifest, e.g. "fig7/vgg19-ring-n4"
+    module: str                   # dotted module, e.g. "repro.experiments.fig7"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    call: str = "run_job"
+    algorithm: Optional[str] = None
+    algorithm_params: Optional[Mapping[str, Any]] = None
+    timeout_s: Optional[float] = None
+
+    def resolve(self):
+        """The callable this job runs."""
+        module = importlib.import_module(self.module)
+        return getattr(module, self.call)
+
+
+def canonical_json(value) -> str:
+    """Canonical JSON encoding: sorted keys, no whitespace, exact floats."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False)
+
+
+def execute_job(spec: JobSpec):
+    """Run one job in-process and return its JSON-normalized payload.
+
+    The round trip through :func:`canonical_json` pins the contract that
+    payloads are JSON values: the serial path sees exactly what a worker
+    process or a cache hit would deliver (tuples become lists, numpy
+    scalars are rejected loudly rather than silently drifting).
+    """
+    payload = spec.resolve()(**dict(spec.params))
+    return json.loads(canonical_json(payload))
+
+
+def execute_serial(specs) -> Dict[str, Any]:
+    """Reference executor: every job in manifest order, in this process."""
+    results: Dict[str, Any] = {}
+    for spec in specs:
+        if spec.job_id in results:
+            raise ValueError(f"duplicate job id {spec.job_id!r}")
+        results[spec.job_id] = execute_job(spec)
+    return results
 
 
 def format_table(headers, rows) -> str:

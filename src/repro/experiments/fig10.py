@@ -10,12 +10,13 @@ BytePS(OSS-onebit) by up to 53.3%; surprisingly, BytePS(OSS-onebit) runs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from ..cluster import local_1080ti_cluster
-from .common import SYSTEMS, format_table, run_system
+from .common import (JobSpec, SYSTEMS, execute_serial, format_table,
+                     run_system)
 
-__all__ = ["PAPER", "run", "render"]
+__all__ = ["PAPER", "jobs", "run", "run_job", "assemble", "render"]
 
 SYSTEM_KEYS = ("byteps", "ring", "byteps-oss", "hipress-ps", "hipress-ring")
 
@@ -34,22 +35,51 @@ class Fig10Result:
     normalized: Dict[str, float]
 
 
-def run(models: Sequence[str] = ("bert-base", "vgg19"),
-        num_nodes: int = 16) -> Dict[str, Fig10Result]:
-    cluster = local_1080ti_cluster(num_nodes)
-    out = {}
+def jobs(models: Sequence[str] = ("bert-base", "vgg19"),
+         num_nodes: int = 16) -> List[JobSpec]:
+    """One job per (model, system) on the local cluster."""
+    specs = []
     for model in models:
-        throughput = {}
         for system in SYSTEM_KEYS:
             algo = "onebit" if SYSTEMS[system].compression else None
-            result = run_system(system, model, cluster, algorithm=algo,
-                                on_ec2=False)
-            throughput[system] = result.throughput
+            specs.append(JobSpec(
+                artifact="fig10",
+                job_id=f"fig10/{model}-{system}-n{num_nodes}",
+                module=__name__,
+                params={"model": model, "system": system, "algorithm": algo,
+                        "num_nodes": num_nodes},
+                algorithm=algo))
+    return specs
+
+
+def run_job(model: str, system: str, algorithm, num_nodes: int) -> Dict:
+    result = run_system(system, model, local_1080ti_cluster(num_nodes),
+                        algorithm=algorithm, on_ec2=False)
+    return {"throughput": result.throughput}
+
+
+def assemble(payloads: Mapping[str, Dict],
+             models: Sequence[str] = ("bert-base", "vgg19"),
+             num_nodes: int = 16) -> Dict[str, Fig10Result]:
+    out = {}
+    for model in models:
+        throughput = {
+            system: payloads[f"fig10/{model}-{system}-n{num_nodes}"]
+            ["throughput"]
+            for system in SYSTEM_KEYS
+        }
         base = throughput["byteps"]
         out[model] = Fig10Result(
             model=model,
             normalized={k: v / base for k, v in throughput.items()})
     return out
+
+
+def run(models: Sequence[str] = ("bert-base", "vgg19"),
+        num_nodes: int = 16) -> Dict[str, Fig10Result]:
+    return assemble(execute_serial(jobs(models=models,
+                                        num_nodes=num_nodes)),
+                    models=models, num_nodes=num_nodes)
 
 
 def render(results: Dict[str, Fig10Result]) -> str:

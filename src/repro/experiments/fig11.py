@@ -29,7 +29,7 @@ literally a pass-pipeline ablation.  Inspect any stage's IR with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..cluster import local_1080ti_cluster
 from ..strategies import (
@@ -40,9 +40,10 @@ from ..strategies import (
     RingAllreduce,
 )
 from ..training import make_plans, simulate_iteration
-from .common import default_algorithm, format_table
+from .common import JobSpec, default_algorithm, execute_serial, format_table
 
-__all__ = ["PAPER_DELTAS", "run", "render", "AblationStage"]
+__all__ = ["PAPER_DELTAS", "jobs", "run", "run_job", "assemble", "render",
+           "AblationStage"]
 
 #: Paper per-stage relative sync-cost changes (negative = reduction).
 PAPER_DELTAS: Dict[str, Dict[str, float]] = {
@@ -69,48 +70,82 @@ def _stages_for(model_name: str):
     return RingAllreduce(), CaSyncRing, "ring", False
 
 
-def run(num_nodes: int = 16,
-        models: Tuple[str, ...] = ("vgg19", "bert-base")
-        ) -> Dict[str, List[AblationStage]]:
+def _stage_names(model: str) -> Tuple[str, ...]:
+    """Ablation stages in paper order (on-cpu applies to VGG19 only)."""
+    _, _, _, include_cpu = _stages_for(model)
+    stages = ["default"]
+    if include_cpu:
+        stages.append("on-cpu")
+    stages.extend(["on-gpu", "+pipelining", "+bulk", "+secopa"])
+    return tuple(stages)
+
+
+def _stage_kwargs(model: str, stage: str, cluster, algorithm) -> dict:
+    """simulate_iteration kwargs for one ablation stage."""
+    baseline, casync_cls, preset, _ = _stages_for(model)
+    if stage == "default":
+        return dict(strategy=baseline, algorithm=None)
+    if stage == "on-cpu":
+        return dict(strategy=BytePSOSSCompression(worker_on_cpu=True),
+                    algorithm=algorithm)
+    if stage == "on-gpu":
+        return dict(strategy=casync_cls(pipelining=False, bulk=False,
+                                        selective=False),
+                    algorithm=algorithm)
+    if stage == "+pipelining":
+        return dict(strategy=casync_cls(pipelining=True, bulk=False,
+                                        selective=False),
+                    algorithm=algorithm)
+    if stage == "+bulk":
+        return dict(strategy=casync_cls(pipelining=True, bulk=True,
+                                        selective=False),
+                    algorithm=algorithm, use_coordinator=True,
+                    batch_compression=True)
+    if stage == "+secopa":
+        plans = make_plans(model_spec(model), cluster, algorithm, preset)
+        return dict(strategy=casync_cls(pipelining=True, bulk=True,
+                                        selective=True),
+                    algorithm=algorithm, plans=plans, use_coordinator=True,
+                    batch_compression=True)
+    raise ValueError(f"unknown ablation stage {stage!r}")
+
+
+def jobs(num_nodes: int = 16,
+         models: Tuple[str, ...] = ("vgg19", "bert-base")) -> List[JobSpec]:
+    """One job per (model, ablation stage) simulation."""
+    return [
+        JobSpec(artifact="fig11",
+                job_id=f"fig11/{model}-{stage}-n{num_nodes}",
+                module=__name__,
+                params={"model": model, "stage": stage,
+                        "num_nodes": num_nodes},
+                algorithm=None if stage == "default" else "onebit")
+        for model in models
+        for stage in _stage_names(model)
+    ]
+
+
+def run_job(model: str, stage: str, num_nodes: int) -> Dict:
     cluster = local_1080ti_cluster(num_nodes)
     algorithm = default_algorithm("onebit")
+    kwargs = _stage_kwargs(model, stage, cluster, algorithm)
+    strategy = kwargs.pop("strategy")
+    result = simulate_iteration(model_spec(model), cluster, strategy,
+                                **kwargs)
+    return {"sync_time": result.exposed_sync_time,
+            "compute_time": result.compute_time}
+
+
+def assemble(payloads: Mapping[str, Dict], num_nodes: int = 16,
+             models: Tuple[str, ...] = ("vgg19", "bert-base")
+             ) -> Dict[str, List[AblationStage]]:
     out: Dict[str, List[AblationStage]] = {}
     for model in models:
-        baseline, casync_cls, preset, include_cpu = _stages_for(model)
-        plans = make_plans(model_spec(model), cluster, algorithm, preset)
-        stages: List[Tuple[str, dict]] = [("default", dict(
-            strategy=baseline, algorithm=None))]
-        if include_cpu:
-            stages.append(("on-cpu", dict(
-                strategy=BytePSOSSCompression(worker_on_cpu=True),
-                algorithm=algorithm)))
-        stages.extend([
-            ("on-gpu", dict(
-                strategy=casync_cls(pipelining=False, bulk=False,
-                                    selective=False),
-                algorithm=algorithm)),
-            ("+pipelining", dict(
-                strategy=casync_cls(pipelining=True, bulk=False,
-                                    selective=False),
-                algorithm=algorithm)),
-            ("+bulk", dict(
-                strategy=casync_cls(pipelining=True, bulk=True,
-                                    selective=False),
-                algorithm=algorithm, use_coordinator=True,
-                batch_compression=True)),
-            ("+secopa", dict(
-                strategy=casync_cls(pipelining=True, bulk=True,
-                                    selective=True),
-                algorithm=algorithm, plans=plans, use_coordinator=True,
-                batch_compression=True)),
-        ])
         rows: List[AblationStage] = []
         previous_sync = None
-        for stage_name, kwargs in stages:
-            strategy = kwargs.pop("strategy")
-            result = simulate_iteration(model_spec(model), cluster,
-                                        strategy, **kwargs)
-            sync = result.exposed_sync_time
+        for stage_name in _stage_names(model):
+            payload = payloads[f"fig11/{model}-{stage_name}-n{num_nodes}"]
+            sync = payload["sync_time"]
             delta = (None if previous_sync in (None, 0)
                      else sync / previous_sync - 1.0)
             # on-cpu is measured against default, later stages against the
@@ -120,13 +155,20 @@ def run(num_nodes: int = 16,
                 delta = sync / base_sync - 1.0 if base_sync else None
             rows.append(AblationStage(
                 stage=stage_name, sync_time=sync,
-                compute_time=result.compute_time,
+                compute_time=payload["compute_time"],
                 delta_vs_previous=delta,
                 paper_delta=PAPER_DELTAS[model].get(stage_name)))
             if stage_name != "on-cpu":
                 previous_sync = sync
         out[model] = rows
     return out
+
+
+def run(num_nodes: int = 16,
+        models: Tuple[str, ...] = ("vgg19", "bert-base")
+        ) -> Dict[str, List[AblationStage]]:
+    return assemble(execute_serial(jobs(num_nodes=num_nodes, models=models)),
+                    num_nodes=num_nodes, models=models)
 
 
 def model_spec(name: str):

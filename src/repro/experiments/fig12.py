@@ -13,12 +13,19 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..cluster import ec2_v100_cluster, local_1080ti_cluster
-from .common import format_table, run_system
+from .common import JobSpec, execute_serial, format_table, run_system
 
-__all__ = ["PAPER", "run_bandwidth", "run_rate", "render"]
+__all__ = ["PAPER", "jobs", "run_job", "assemble", "run_bandwidth",
+           "run_rate", "render"]
+
+#: Fig. 12a grid: (cluster preset, bandwidth settings in Gbps).
+BANDWIDTH_GRID = (("ec2", (100.0, 25.0)), ("local", (56.0, 10.0)))
+#: Fig. 12b grid.
+TERNGRAD_BITWIDTHS = (2, 4, 8)
+DGC_RATES = (0.001, 0.01, 0.05)
 
 PAPER = {
     "terngrad_drop": (0.128, 0.236),   # bitwidth 4, 8 vs 2
@@ -38,23 +45,109 @@ class BandwidthPoint:
         return self.hipress_throughput / self.baseline_throughput
 
 
-def run_bandwidth(num_nodes: int = 16) -> List[BandwidthPoint]:
-    """Fig. 12a: Bert-base HiPress vs Ring at high/low bandwidth."""
-    points = []
-    for cluster_name, factory, bandwidths in (
-            ("ec2", ec2_v100_cluster, (100.0, 25.0)),
-            ("local", local_1080ti_cluster, (56.0, 10.0))):
+def _bandwidth_jobs(num_nodes: int) -> List[JobSpec]:
+    specs = []
+    for cluster_name, bandwidths in BANDWIDTH_GRID:
         for gbps in bandwidths:
-            cluster = factory(num_nodes, bandwidth_gbps=gbps)
-            on_ec2 = cluster_name == "ec2"
-            hipress = run_system("hipress-ps", "bert-base", cluster,
-                                 algorithm="onebit", on_ec2=on_ec2)
-            base = run_system("ring", "bert-base", cluster, on_ec2=on_ec2)
+            for system, algo in (("hipress-ps", "onebit"), ("ring", None)):
+                specs.append(JobSpec(
+                    artifact="fig12",
+                    job_id=(f"fig12/bw-{cluster_name}-{gbps:g}gbps-"
+                            f"{system}-n{num_nodes}"),
+                    module=__name__,
+                    params={"kind": "bandwidth", "cluster": cluster_name,
+                            "gbps": gbps, "system": system,
+                            "algorithm": algo, "num_nodes": num_nodes},
+                    algorithm=algo))
+    return specs
+
+
+def _rate_jobs(num_nodes: int) -> List[JobSpec]:
+    specs = []
+    for bitwidth in TERNGRAD_BITWIDTHS:
+        specs.append(JobSpec(
+            artifact="fig12",
+            job_id=f"fig12/rate-terngrad-{bitwidth}bit-n{num_nodes}",
+            module=__name__,
+            params={"kind": "rate", "algorithm": "terngrad",
+                    "algorithm_params": {"bitwidth": bitwidth},
+                    "num_nodes": num_nodes},
+            algorithm="terngrad", algorithm_params={"bitwidth": bitwidth}))
+    for rate in DGC_RATES:
+        specs.append(JobSpec(
+            artifact="fig12",
+            job_id=f"fig12/rate-dgc-{rate:g}-n{num_nodes}",
+            module=__name__,
+            params={"kind": "rate", "algorithm": "dgc",
+                    "algorithm_params": {"rate": rate},
+                    "num_nodes": num_nodes},
+            algorithm="dgc", algorithm_params={"rate": rate}))
+    return specs
+
+
+def jobs(num_nodes: int = 16) -> List[JobSpec]:
+    """Both panels: bandwidth grid plus compression-rate grid."""
+    return _bandwidth_jobs(num_nodes) + _rate_jobs(num_nodes)
+
+
+def run_job(kind: str, **params) -> Dict:
+    if kind == "bandwidth":
+        factory = (ec2_v100_cluster if params["cluster"] == "ec2"
+                   else local_1080ti_cluster)
+        cluster = factory(params["num_nodes"],
+                          bandwidth_gbps=params["gbps"])
+        result = run_system(params["system"], "bert-base", cluster,
+                            algorithm=params["algorithm"],
+                            on_ec2=params["cluster"] == "ec2")
+        return {"throughput": result.throughput}
+    if kind == "rate":
+        cluster = local_1080ti_cluster(params["num_nodes"])
+        result = run_system("hipress-ps", "vgg19", cluster,
+                            algorithm=params["algorithm"],
+                            algorithm_params=params["algorithm_params"],
+                            on_ec2=False)
+        return {"throughput": result.throughput}
+    raise ValueError(f"unknown fig12 job kind {kind!r}")
+
+
+def _assemble_bandwidth(payloads: Mapping[str, Dict],
+                        num_nodes: int) -> List[BandwidthPoint]:
+    points = []
+    for cluster_name, bandwidths in BANDWIDTH_GRID:
+        for gbps in bandwidths:
+            stem = f"fig12/bw-{cluster_name}-{gbps:g}gbps"
             points.append(BandwidthPoint(
                 cluster=cluster_name, bandwidth_gbps=gbps,
-                hipress_throughput=hipress.throughput,
-                baseline_throughput=base.throughput))
+                hipress_throughput=payloads[
+                    f"{stem}-hipress-ps-n{num_nodes}"]["throughput"],
+                baseline_throughput=payloads[
+                    f"{stem}-ring-n{num_nodes}"]["throughput"]))
     return points
+
+
+def _assemble_rate(payloads: Mapping[str, Dict],
+                   num_nodes: int) -> List["RatePoint"]:
+    points = []
+    for bitwidth in TERNGRAD_BITWIDTHS:
+        payload = payloads[f"fig12/rate-terngrad-{bitwidth}bit-n{num_nodes}"]
+        points.append(RatePoint("terngrad", f"{bitwidth}-bit",
+                                payload["throughput"]))
+    for rate in DGC_RATES:
+        payload = payloads[f"fig12/rate-dgc-{rate:g}-n{num_nodes}"]
+        points.append(RatePoint("dgc", f"{rate:.1%}", payload["throughput"]))
+    return points
+
+
+def assemble(payloads: Mapping[str, Dict], num_nodes: int = 16
+             ) -> Tuple[List[BandwidthPoint], List["RatePoint"]]:
+    return (_assemble_bandwidth(payloads, num_nodes),
+            _assemble_rate(payloads, num_nodes))
+
+
+def run_bandwidth(num_nodes: int = 16) -> List[BandwidthPoint]:
+    """Fig. 12a: Bert-base HiPress vs Ring at high/low bandwidth."""
+    return _assemble_bandwidth(execute_serial(_bandwidth_jobs(num_nodes)),
+                               num_nodes)
 
 
 @dataclass(frozen=True)
@@ -71,21 +164,7 @@ def run_rate(num_nodes: int = 16) -> List[RatePoint]:
     Figure 10", where VGG19's synchronization is not fully hidden, so the
     extra volume of weaker compression actually shows up.
     """
-    cluster = local_1080ti_cluster(num_nodes)
-    points = []
-    for bitwidth in (2, 4, 8):
-        result = run_system("hipress-ps", "vgg19", cluster,
-                            algorithm="terngrad",
-                            algorithm_params={"bitwidth": bitwidth},
-                            on_ec2=False)
-        points.append(RatePoint("terngrad", f"{bitwidth}-bit",
-                                result.throughput))
-    for rate in (0.001, 0.01, 0.05):
-        result = run_system("hipress-ps", "vgg19", cluster,
-                            algorithm="dgc", algorithm_params={"rate": rate},
-                            on_ec2=False)
-        points.append(RatePoint("dgc", f"{rate:.1%}", result.throughput))
-    return points
+    return _assemble_rate(execute_serial(_rate_jobs(num_nodes)), num_nodes)
 
 
 def render(bandwidth: List[BandwidthPoint], rates: List[RatePoint]) -> str:

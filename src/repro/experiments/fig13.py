@@ -15,7 +15,7 @@ local-cluster profile.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -30,9 +30,10 @@ from ..minidnn import (
     ReLU,
     Sequential,
 )
-from .common import format_table, run_system
+from .common import JobSpec, execute_serial, format_table, run_system
 
-__all__ = ["ConvergenceCurve", "run", "render", "PAPER"]
+__all__ = ["ConvergenceCurve", "jobs", "run", "run_job", "assemble",
+           "render", "PAPER"]
 
 PAPER = {"time_saving": 0.286}  # "up to 28.6% less time"
 
@@ -119,59 +120,127 @@ def _steps_to(points, target, lower_is_better) -> int:
     return -1
 
 
-def run(steps: int = 300, eval_every: int = 15, workers: int = 4,
-        num_nodes: int = 16) -> Dict[str, List[ConvergenceCurve]]:
-    cluster = local_1080ti_cluster(num_nodes)
+#: Simulator runs giving the wall-time axis: LSTM-role task syncs via
+#: Ring vs HiPress-CaSync-Ring(DGC); classifier-role via Ring vs
+#: HiPress-CaSync-PS(TernGrad), as in the paper.
+SIM_GRID = (
+    ("lm", "baseline", "ring", "lstm", None),
+    ("lm", "hipress", "hipress-ring", "lstm", "dgc"),
+    ("cls", "baseline", "ring", "resnet50", None),
+    ("cls", "hipress", "hipress-ps", "resnet50", "terngrad"),
+)
 
-    # Per-iteration wall times from the throughput simulator: LSTM-role
-    # task syncs via Ring vs HiPress-CaSync-Ring(DGC); classifier-role
-    # via BytePS vs HiPress-CaSync-PS(TernGrad), as in the paper.
-    lm_base = run_system("ring", "lstm", cluster, on_ec2=False)
-    lm_hipress = run_system("hipress-ring", "lstm", cluster,
-                            algorithm="dgc", on_ec2=False)
-    cls_base = run_system("ring", "resnet50", cluster, on_ec2=False)
-    cls_hipress = run_system("hipress-ps", "resnet50", cluster,
-                             algorithm="terngrad", on_ec2=False)
 
-    lm_points_base = _train_lm(None, "none", steps, eval_every, workers, 7)
-    # DGC's published 0.1% rate is tuned to multi-hundred-MB models; its
-    # own paper warms up with gentler rates on small ones.  This LM has
-    # ~10k parameters, so the equivalent working rate is far higher.
-    lm_points_comp = _train_lm(DGC(rate=0.25), "dgc", steps, eval_every,
-                               workers, 7)
-    cls_points_base = _train_classifier(None, "none", steps, eval_every,
-                                        workers, 9)
-    cls_points_comp = _train_classifier(TernGrad(bitwidth=2, seed=5),
-                                        "error", steps, eval_every,
-                                        workers, 9)
+def jobs(steps: int = 300, eval_every: int = 15, workers: int = 4,
+         num_nodes: int = 16) -> List[JobSpec]:
+    """Four simulator jobs (wall-time axis) + four training jobs."""
+    specs = []
+    for task, role, system, model, algo in SIM_GRID:
+        specs.append(JobSpec(
+            artifact="fig13",
+            job_id=f"fig13/sim-{task}-{role}-n{num_nodes}",
+            module=__name__,
+            params={"kind": "sim", "system": system, "model": model,
+                    "algorithm": algo, "num_nodes": num_nodes},
+            algorithm=algo))
+    for task in ("lm", "cls"):
+        for role in ("baseline", "hipress"):
+            specs.append(JobSpec(
+                artifact="fig13",
+                job_id=f"fig13/train-{task}-{role}",
+                module=__name__,
+                params={"kind": "train", "task": task, "role": role,
+                        "steps": steps, "eval_every": eval_every,
+                        "workers": workers}))
+    return specs
+
+
+def run_job(kind: str, **params) -> object:
+    if kind == "sim":
+        cluster = local_1080ti_cluster(params["num_nodes"])
+        result = run_system(params["system"], params["model"], cluster,
+                            algorithm=params["algorithm"], on_ec2=False)
+        return {"iteration_time": result.iteration_time}
+    if kind == "train":
+        steps = params["steps"]
+        eval_every = params["eval_every"]
+        workers = params["workers"]
+        task, role = params["task"], params["role"]
+        if task == "lm":
+            if role == "baseline":
+                points = _train_lm(None, "none", steps, eval_every,
+                                   workers, 7)
+            else:
+                # DGC's published 0.1% rate is tuned to multi-hundred-MB
+                # models; its own paper warms up with gentler rates on
+                # small ones.  This LM has ~10k parameters, so the
+                # equivalent working rate is far higher.
+                points = _train_lm(DGC(rate=0.25), "dgc", steps,
+                                   eval_every, workers, 7)
+        else:
+            if role == "baseline":
+                points = _train_classifier(None, "none", steps, eval_every,
+                                           workers, 9)
+            else:
+                points = _train_classifier(TernGrad(bitwidth=2, seed=5),
+                                           "error", steps, eval_every,
+                                           workers, 9)
+        return [[step, float(value)] for step, value in points]
+    raise ValueError(f"unknown fig13 job kind {kind!r}")
+
+
+def assemble(payloads: Mapping[str, object], steps: int = 300,
+             eval_every: int = 15, workers: int = 4, num_nodes: int = 16
+             ) -> Dict[str, List[ConvergenceCurve]]:
+    iter_times = {
+        (task, role): payloads[f"fig13/sim-{task}-{role}-n{num_nodes}"]
+        ["iteration_time"]
+        for task, role, _, _, _ in SIM_GRID
+    }
+    points = {
+        (task, role): [(step, value) for step, value in
+                       payloads[f"fig13/train-{task}-{role}"]]
+        for task in ("lm", "cls")
+        for role in ("baseline", "hipress")
+    }
 
     # Targets: what the baseline reaches by the end (the paper uses the
     # model-zoo reference numbers the baseline attains).
-    lm_target = min(v for _, v in lm_points_base) * 1.05
-    cls_target = max(v for _, v in cls_points_base) * 0.98
+    lm_target = min(v for _, v in points[("lm", "baseline")]) * 1.05
+    cls_target = max(v for _, v in points[("cls", "baseline")]) * 0.98
 
-    def curve(task, system, points, iteration_time, target, lower):
+    def curve(task_label, task, role, target, lower):
+        pts = points[(task, role)]
+        system = "baseline" if role == "baseline" else "hipress"
         return ConvergenceCurve(
-            task=task, system=system, iteration_time=iteration_time,
-            steps=tuple(s for s, _ in points),
-            metric=tuple(v for _, v in points),
+            task=task_label, system=system,
+            iteration_time=iter_times[(task, role)],
+            steps=tuple(s for s, _ in pts),
+            metric=tuple(v for _, v in pts),
             target=target,
-            steps_to_target=_steps_to(points, target, lower))
+            steps_to_target=_steps_to(pts, target, lower))
 
     return {
         "lm-perplexity": [
-            curve("lm-perplexity", "baseline", lm_points_base,
-                  lm_base.iteration_time, lm_target, True),
-            curve("lm-perplexity", "hipress", lm_points_comp,
-                  lm_hipress.iteration_time, lm_target, True),
+            curve("lm-perplexity", "lm", "baseline", lm_target, True),
+            curve("lm-perplexity", "lm", "hipress", lm_target, True),
         ],
         "classifier-accuracy": [
-            curve("classifier-accuracy", "baseline", cls_points_base,
-                  cls_base.iteration_time, cls_target, False),
-            curve("classifier-accuracy", "hipress", cls_points_comp,
-                  cls_hipress.iteration_time, cls_target, False),
+            curve("classifier-accuracy", "cls", "baseline", cls_target,
+                  False),
+            curve("classifier-accuracy", "cls", "hipress", cls_target,
+                  False),
         ],
     }
+
+
+def run(steps: int = 300, eval_every: int = 15, workers: int = 4,
+        num_nodes: int = 16) -> Dict[str, List[ConvergenceCurve]]:
+    return assemble(
+        execute_serial(jobs(steps=steps, eval_every=eval_every,
+                            workers=workers, num_nodes=num_nodes)),
+        steps=steps, eval_every=eval_every, workers=workers,
+        num_nodes=num_nodes)
 
 
 def render(results: Dict[str, List[ConvergenceCurve]]) -> str:

@@ -10,12 +10,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-from .throughput import ThroughputSweep, render_sweep, sweep
+from .common import JobSpec, execute_serial
+from .throughput import (ThroughputSweep, assemble_sweep, render_sweep,
+                         sweep_jobs)
 
-__all__ = ["PAPER_SPEEDUPS", "run", "render"]
+__all__ = ["PAPER_SPEEDUPS", "jobs", "run", "assemble", "render"]
 
 #: §6.2 headline comparisons at 128 GPUs: (model, system, baseline) ->
 #: paper speedup (fraction).
@@ -41,12 +42,29 @@ PANELS = {
 }
 
 
-def run(node_counts: Sequence[int] = (1, 2, 4, 8, 16)
-        ) -> Dict[str, ThroughputSweep]:
+def jobs(node_counts: Sequence[int] = (1, 2, 4, 8, 16)) -> List[JobSpec]:
+    """One job per (panel model, system, cluster point)."""
+    specs: List[JobSpec] = []
+    for model, panel in PANELS.items():
+        specs.extend(sweep_jobs("fig7", model, node_counts=node_counts,
+                                **panel))
+    return specs
+
+
+def assemble(payloads: Mapping[str, Dict],
+             node_counts: Sequence[int] = (1, 2, 4, 8, 16)
+             ) -> Dict[str, ThroughputSweep]:
     return {
-        model: sweep(model, node_counts=node_counts, **panel)
+        model: assemble_sweep(payloads, "fig7", model,
+                              node_counts=node_counts, **panel)
         for model, panel in PANELS.items()
     }
+
+
+def run(node_counts: Sequence[int] = (1, 2, 4, 8, 16)
+        ) -> Dict[str, ThroughputSweep]:
+    return assemble(execute_serial(jobs(node_counts=node_counts)),
+                    node_counts=node_counts)
 
 
 def render(results: Dict[str, ThroughputSweep]) -> str:

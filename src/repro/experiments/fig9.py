@@ -15,14 +15,15 @@ invocation of the CLI captures fig9's underlying spans too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..cluster import ec2_v100_cluster
 from ..telemetry import (TelemetryCollector, current_collector,
                          utilization_series)
-from .common import format_table, run_system
+from .common import JobSpec, execute_serial, format_table, run_system
 
-__all__ = ["run", "render", "UtilizationTrace"]
+__all__ = ["jobs", "run", "run_job", "assemble", "render",
+           "UtilizationTrace"]
 
 PANELS = {
     "bert-large": ("hipress-ring", "onebit"),
@@ -54,13 +55,36 @@ def _traced_utilization(system, model, cluster, bin_s, algorithm=None):
     return tuple(series)
 
 
-def run(num_nodes: int = 16, bin_s: float = 0.02) -> Dict[str, UtilizationTrace]:
-    cluster = ec2_v100_cluster(num_nodes)
-    traces = {}
+def jobs(num_nodes: int = 16, bin_s: float = 0.02) -> List[JobSpec]:
+    """One traced run per (panel model, system)."""
+    specs = []
     for model, (hipress_system, algorithm) in PANELS.items():
-        ring_series = _traced_utilization("ring", model, cluster, bin_s)
-        hipress_series = _traced_utilization(hipress_system, model, cluster,
-                                             bin_s, algorithm=algorithm)
+        for system, algo in (("ring", None), (hipress_system, algorithm)):
+            specs.append(JobSpec(
+                artifact="fig9",
+                job_id=f"fig9/{model}-{system}-n{num_nodes}",
+                module=__name__,
+                params={"model": model, "system": system, "algorithm": algo,
+                        "num_nodes": num_nodes, "bin_s": bin_s},
+                algorithm=algo))
+    return specs
+
+
+def run_job(model: str, system: str, algorithm, num_nodes: int,
+            bin_s: float) -> List[float]:
+    return list(_traced_utilization(system, model,
+                                    ec2_v100_cluster(num_nodes), bin_s,
+                                    algorithm=algorithm))
+
+
+def assemble(payloads: Mapping[str, List[float]], num_nodes: int = 16,
+             bin_s: float = 0.02) -> Dict[str, UtilizationTrace]:
+    traces = {}
+    for model, (hipress_system, _) in PANELS.items():
+        ring_series = tuple(
+            payloads[f"fig9/{model}-ring-n{num_nodes}"])
+        hipress_series = tuple(
+            payloads[f"fig9/{model}-{hipress_system}-n{num_nodes}"])
         traces[model] = UtilizationTrace(
             model=model,
             ring_series=ring_series,
@@ -70,6 +94,11 @@ def run(num_nodes: int = 16, bin_s: float = 0.02) -> Dict[str, UtilizationTrace]
             hipress_mean=(sum(hipress_series) / len(hipress_series)
                           if hipress_series else 0.0))
     return traces
+
+
+def run(num_nodes: int = 16, bin_s: float = 0.02) -> Dict[str, UtilizationTrace]:
+    return assemble(execute_serial(jobs(num_nodes=num_nodes, bin_s=bin_s)),
+                    num_nodes=num_nodes, bin_s=bin_s)
 
 
 def _sparkline(series: Tuple[float, ...], width: int = 40) -> str:

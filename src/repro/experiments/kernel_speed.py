@@ -18,14 +18,15 @@ OSS-GPU implementations and the 35x host penalty for CPU ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Mapping
 
 from ..algorithms import DGC, OneBit, TBQ
 from ..gpu import V100
 from ..models import MB
-from .common import format_table
+from .common import JobSpec, execute_serial, format_table
 
-__all__ = ["PAPER", "run", "render", "KernelComparison"]
+__all__ = ["PAPER", "jobs", "run", "run_job", "assemble", "render",
+           "KernelComparison"]
 
 PAPER = {
     "tbq_oss_encode_ms": 38.2,
@@ -58,32 +59,57 @@ class KernelComparison:
     paper_speedup: float
 
 
-def run(nbytes: int = 256 * MB) -> List[KernelComparison]:
+#: (algorithm, baseline label, paper speedup key) in table order.
+COMPARISONS = (
+    ("tbq", "OSS-TBQ (GPU)", "tbq_speedup"),
+    ("dgc", "OSS-DGC (GPU)", "dgc_speedup"),
+    ("onebit", "OSS-onebit (CPU)", "onebit_cpu_speedup"),
+)
+
+
+def jobs(nbytes: int = 256 * MB) -> List[JobSpec]:
+    """One job per CompLL-vs-OSS kernel comparison."""
+    return [
+        JobSpec(artifact="kernel-speed",
+                job_id=f"kernel-speed/{algorithm}-{nbytes}b",
+                module=__name__,
+                params={"algorithm": algorithm, "nbytes": nbytes},
+                algorithm=algorithm)
+        for algorithm, _, _ in COMPARISONS
+    ]
+
+
+def run_job(algorithm: str, nbytes: int) -> Dict[str, float]:
+    if algorithm == "tbq":
+        compll_s = TBQ(threshold=0.05).encode_time(nbytes, V100)
+    elif algorithm == "dgc":
+        compll_s = DGC(rate=0.001).encode_time(nbytes, V100)
+    elif algorithm == "onebit":
+        compll_s = OneBit().encode_time(nbytes, V100)
+    else:
+        raise ValueError(f"unknown kernel-speed algorithm {algorithm!r}")
+    if algorithm in OSS_GPU_SHAPE:
+        passes, kernels, eff = OSS_GPU_SHAPE[algorithm]
+        oss_s = V100.kernel_time(passes * nbytes / eff, kernels=kernels)
+    else:
+        oss_s = compll_s * CPU_FACTOR
+    return {"compll_s": compll_s, "oss_s": oss_s}
+
+
+def assemble(payloads: Mapping[str, Dict[str, float]],
+             nbytes: int = 256 * MB) -> List[KernelComparison]:
     rows = []
-    tbq = TBQ(threshold=0.05)
-    compll_tbq = tbq.encode_time(nbytes, V100)
-    passes, kernels, eff = OSS_GPU_SHAPE["tbq"]
-    oss_tbq = V100.kernel_time(passes * nbytes / eff, kernels=kernels)
-    rows.append(KernelComparison(
-        "tbq", "OSS-TBQ (GPU)", compll_tbq * 1000, oss_tbq * 1000,
-        oss_tbq / compll_tbq, PAPER["tbq_speedup"]))
-
-    dgc = DGC(rate=0.001)
-    compll_dgc = dgc.encode_time(nbytes, V100)
-    passes, kernels, eff = OSS_GPU_SHAPE["dgc"]
-    oss_dgc = V100.kernel_time(passes * nbytes / eff, kernels=kernels)
-    rows.append(KernelComparison(
-        "dgc", "OSS-DGC (GPU)", compll_dgc * 1000, oss_dgc * 1000,
-        oss_dgc / compll_dgc, PAPER["dgc_speedup"]))
-
-    onebit = OneBit()
-    compll_onebit = onebit.encode_time(nbytes, V100)
-    oss_onebit_cpu = compll_onebit * CPU_FACTOR
-    rows.append(KernelComparison(
-        "onebit", "OSS-onebit (CPU)", compll_onebit * 1000,
-        oss_onebit_cpu * 1000, oss_onebit_cpu / compll_onebit,
-        PAPER["onebit_cpu_speedup"]))
+    for algorithm, baseline, paper_key in COMPARISONS:
+        payload = payloads[f"kernel-speed/{algorithm}-{nbytes}b"]
+        compll_s, oss_s = payload["compll_s"], payload["oss_s"]
+        rows.append(KernelComparison(
+            algorithm, baseline, compll_s * 1000, oss_s * 1000,
+            oss_s / compll_s, PAPER[paper_key]))
     return rows
+
+
+def run(nbytes: int = 256 * MB) -> List[KernelComparison]:
+    return assemble(execute_serial(jobs(nbytes=nbytes)), nbytes=nbytes)
 
 
 def render(rows: List[KernelComparison]) -> str:

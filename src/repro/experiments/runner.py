@@ -1,0 +1,647 @@
+"""Parallel, resumable experiment runner with content-addressed caching.
+
+Every figure/table module decomposes its work into independent jobs (a
+``jobs()`` manifest of :class:`~repro.experiments.common.JobSpec`), runs
+each job to a JSON payload (``run_job``), and folds the payloads back
+into its result objects (``assemble``).  This module is the orchestrator
+on top of that protocol:
+
+* :class:`ExperimentRunner` executes a batch of job specs either
+  in-process (``max_workers=0``) or across a ``ProcessPoolExecutor``,
+  with per-job timeouts and *typed* failure capture -- a worker never
+  takes the run down, it reports ``error``/``timeout``/``crash``.
+* :class:`ResultCache` memoizes each job's payload on disk under a
+  content-addressed digest (:func:`job_digest`) covering the code
+  version, the job's parameters, the pass-pipeline configuration, and
+  the compression algorithm's identity -- the same keying discipline as
+  :func:`repro.casync.lower.cache_key`.  A warm cache re-run executes
+  zero jobs.
+* :class:`RunJournal` records the run as append-only JSON lines, so an
+  interrupted regeneration is *resumable*: ``--resume`` replays
+  completed jobs from the cache and only executes the remainder.
+
+Bit-identity is by construction, not luck: the serial path
+(``module.run()``) is itself ``assemble(execute_serial(jobs()))``, and
+``execute_job`` canonicalizes every payload through one JSON round-trip,
+so a payload computed in-process, in a worker, or read back from the
+cache is the same JSON value.  ``tests/test_runner_conformance.py``
+locks this in for every artifact.
+
+Wall-clock note: this module intentionally reads the *host* clock
+(``time.perf_counter``) -- it measures the harness itself (job latency,
+speedup, progress), never simulated behavior.  All simulated timings
+still come exclusively from the event loop; see ``.simlint-allow``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..casync.lower import _algorithm_token
+from ..casync.passes import PassConfig
+from . import (fig7, fig8, fig9, fig10, fig11, fig12, fig13, kernel_speed,
+               table1, table5, table6, table7)
+from .common import JobSpec, canonical_json, default_algorithm, execute_job
+
+__all__ = [
+    "ArtifactPlan",
+    "ExperimentRunner",
+    "JobFailure",
+    "JobOutcome",
+    "ResultCache",
+    "RunJournal",
+    "RunReport",
+    "artifact_plans",
+    "code_token",
+    "job_digest",
+    "run_artifacts",
+]
+
+#: Protocol version folded into every digest; bump to invalidate all
+#: cached payloads when the payload contract itself changes.
+DIGEST_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed job identity
+
+
+def _iter_source_files() -> List[Path]:
+    root = Path(__file__).resolve().parents[1]  # src/repro
+    return sorted(p for p in root.rglob("*")
+                  if p.suffix in (".py", ".cll") and p.is_file())
+
+
+_CODE_TOKEN: Optional[str] = None
+
+
+def code_token() -> str:
+    """Digest of every source file under ``repro`` (cached per process).
+
+    Any edit to the simulator, an algorithm, or an experiment module
+    changes this token and therefore every job digest -- stale cached
+    payloads can never be served across code versions.
+    """
+    global _CODE_TOKEN
+    if _CODE_TOKEN is None:
+        h = hashlib.sha256()
+        root = Path(__file__).resolve().parents[1]
+        for path in _iter_source_files():
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _CODE_TOKEN = h.hexdigest()
+    return _CODE_TOKEN
+
+
+def _spec_algorithm_token(spec: JobSpec) -> Optional[Tuple]:
+    if spec.algorithm is None:
+        return None
+    algorithm = default_algorithm(spec.algorithm,
+                                  **dict(spec.algorithm_params or {}))
+    return _algorithm_token(algorithm)
+
+
+def job_digest(spec: JobSpec,
+               pass_config: Optional[PassConfig] = None) -> str:
+    """Content address of one job's payload.
+
+    Follows the :func:`repro.casync.lower.cache_key` discipline: the
+    digest covers everything the payload may depend on -- code version,
+    the callable's identity, all parameters, the pass-pipeline tuning
+    constants, and the (recursively tokenized) compression algorithm.
+    """
+    config = pass_config if pass_config is not None else PassConfig()
+    identity = {
+        "version": DIGEST_VERSION,
+        "code": code_token(),
+        "artifact": spec.artifact,
+        "job_id": spec.job_id,
+        "module": spec.module,
+        "call": spec.call,
+        "params": dict(spec.params),
+        "pass_config": list(config.token()),
+        "algorithm": _spec_algorithm_token(spec),
+    }
+    return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# On-disk payload cache
+
+
+class ResultCache:
+    """Content-addressed payload store: ``<dir>/<d[:2]>/<digest>.json``.
+
+    Writes are atomic (temp file + ``os.replace``), so a crashed or
+    killed run never leaves a truncated entry -- at worst the payload is
+    missing and gets recomputed.  Corrupt entries read as misses.
+    """
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, digest: str) -> Path:
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Any]:
+        path = self.path(digest)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["payload"]
+
+    def put(self, digest: str, job_id: str, payload: Any) -> None:
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = canonical_json(
+            {"digest": digest, "job_id": job_id, "payload": payload})
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(record)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("??/*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Run journal (resumability)
+
+
+class RunJournal:
+    """Append-only JSONL record of a run's progress.
+
+    One line per event: ``run_start``, ``job_done`` (with the job's
+    digest and status), ``interrupted``, ``run_complete``.  A resumed
+    run reads the journal to learn which jobs already finished and
+    fetches their payloads from the cache by digest.
+    """
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+
+    def append(self, event: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(canonical_json(event) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def events(self) -> List[Dict[str, Any]]:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        events = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # torn final line from a crash
+        return events
+
+    def completed(self) -> Dict[str, str]:
+        """job_id -> digest for every successfully finished job."""
+        done = {}
+        for event in self.events():
+            if event.get("event") == "job_done" and \
+                    event.get("status") == "ok":
+                done[event["job_id"]] = event["digest"]
+        return done
+
+
+# ---------------------------------------------------------------------------
+# Typed outcomes
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job's typed failure: it never tears down the whole run."""
+
+    job_id: str
+    kind: str                   # "error" | "timeout" | "crash"
+    error_type: str
+    message: str
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    job_id: str
+    digest: str
+    status: str                 # "ok" | "cached" | "resumed" | failure kind
+    duration_s: float = 0.0
+
+
+@dataclass
+class RunReport:
+    """What a batch run produced, and how."""
+
+    payloads: Dict[str, Any] = field(default_factory=dict)
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
+    executed: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            lines = [f"  {f.job_id}: [{f.kind}] {f.error_type}: {f.message}"
+                     for f in self.failures]
+            raise RuntimeError(
+                f"{len(self.failures)} job(s) failed:\n" + "\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (subprocess entry point)
+
+
+def _spec_to_wire(spec: JobSpec) -> Dict[str, Any]:
+    return {"artifact": spec.artifact, "job_id": spec.job_id,
+            "module": spec.module, "params": dict(spec.params),
+            "call": spec.call, "algorithm": spec.algorithm,
+            "algorithm_params": (None if spec.algorithm_params is None
+                                 else dict(spec.algorithm_params)),
+            "timeout_s": spec.timeout_s}
+
+
+def _spec_from_wire(wire: Mapping[str, Any]) -> JobSpec:
+    return JobSpec(**wire)
+
+
+class _JobTimeout(Exception):
+    pass
+
+
+def _raise_timeout(signum, frame):
+    raise _JobTimeout()
+
+
+def _execute_wire(wire: Dict[str, Any],
+                  timeout_s: Optional[float]) -> Dict[str, Any]:
+    """Run one job in a worker process; always returns a tagged status.
+
+    The per-job timeout uses ``SIGALRM``/``setitimer`` (POSIX only; on
+    platforms without it the timeout is best-effort skipped).  Raising
+    out of here would poison the whole pool, so every exception becomes
+    a typed record instead.
+    """
+    spec = _spec_from_wire(wire)
+    effective = spec.timeout_s if spec.timeout_s is not None else timeout_s
+    armed = False
+    if effective and hasattr(signal, "setitimer"):
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, effective)
+        armed = True
+    t0 = time.perf_counter()
+    try:
+        payload = execute_job(spec)
+        return {"status": "ok", "job_id": spec.job_id, "payload": payload,
+                "duration_s": time.perf_counter() - t0}
+    except _JobTimeout:
+        return {"status": "timeout", "job_id": spec.job_id,
+                "error_type": "JobTimeout",
+                "message": f"exceeded {effective:g}s",
+                "duration_s": time.perf_counter() - t0}
+    except KeyboardInterrupt:
+        raise  # in-process Ctrl-C must reach the journal
+    except BaseException as exc:  # typed capture, never propagate
+        return {"status": "failed", "job_id": spec.job_id,
+                "error_type": type(exc).__name__,
+                "message": f"{exc}\n{traceback.format_exc(limit=8)}",
+                "duration_s": time.perf_counter() - t0}
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+# ---------------------------------------------------------------------------
+# The runner
+
+
+class ExperimentRunner:
+    """Execute a batch of job specs with caching, timeouts, telemetry.
+
+    ``max_workers=0`` runs everything in-process (serial); ``>= 1``
+    fans out across a ``ProcessPoolExecutor``.  ``progress`` is called
+    after every settled job with a small event dict -- the CLI uses it
+    for live output, the crash-resume tests use it as a kill point.
+    """
+
+    def __init__(self, max_workers: int = 0,
+                 cache: Optional[ResultCache] = None,
+                 journal: Optional[RunJournal] = None,
+                 resume: bool = False,
+                 timeout_s: Optional[float] = None,
+                 pass_config: Optional[PassConfig] = None,
+                 mp_context: Optional[str] = None,
+                 telemetry=None,
+                 progress: Optional[Callable[[Dict[str, Any]], None]] = None):
+        if resume and cache is None:
+            raise ValueError("--resume needs the cache: completed jobs are "
+                             "reloaded by digest (pass a ResultCache)")
+        if max_workers < 0:
+            raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+        self.max_workers = max_workers
+        self.cache = cache
+        self.journal = journal
+        self.resume = resume
+        self.timeout_s = timeout_s
+        self.pass_config = pass_config
+        self.mp_context = mp_context
+        self.telemetry = telemetry
+        self.progress = progress
+
+    # -- helpers ----------------------------------------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name).inc()
+
+    def _journal(self, event: Dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.append(event)
+
+    def _settle(self, report: RunReport, spec: JobSpec, digest: str,
+                status: str, payload: Any, duration_s: float,
+                started_at: float, total: int,
+                failure: Optional[JobFailure] = None) -> None:
+        """Fold one finished job into the report, journal, telemetry."""
+        if failure is None:
+            report.payloads[spec.job_id] = payload
+            if status == "ok" and self.cache is not None:
+                self.cache.put(digest, spec.job_id, payload)
+        else:
+            report.failures.append(failure)
+        report.outcomes.append(JobOutcome(
+            job_id=spec.job_id, digest=digest, status=status,
+            duration_s=duration_s))
+        self._journal({"event": "job_done", "job_id": spec.job_id,
+                       "digest": digest, "status": status,
+                       "duration_s": duration_s})
+        if self.telemetry is not None:
+            at = time.perf_counter() - started_at
+            span = self.telemetry.begin(
+                spec.job_id, category="job", track="runner/jobs",
+                at=max(0.0, at - duration_s), status=status)
+            self.telemetry.finish(span, at)
+        self._count(f"runner.jobs.{status}"
+                    if status in ("ok", "cached", "resumed") else
+                    "runner.jobs.failed")
+        self._emit({"event": "job", "job_id": spec.job_id, "status": status,
+                    "done": len(report.outcomes), "total": total,
+                    "duration_s": duration_s})
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> RunReport:
+        started = time.perf_counter()
+        specs = list(specs)
+        ids = [s.job_id for s in specs]
+        if len(ids) != len(set(ids)):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate job ids: {dupes}")
+
+        if self.telemetry is not None:
+            self.telemetry.start_run("experiment-runner")
+        report = RunReport()
+        digests = {s.job_id: job_digest(s, self.pass_config) for s in specs}
+        total = len(specs)
+        self._journal({"event": "run_start", "jobs": total,
+                       "workers": self.max_workers,
+                       "resume": self.resume})
+
+        pending: List[JobSpec] = []
+        journal_done = self.journal.completed() if (
+            self.resume and self.journal is not None) else {}
+        for spec in specs:
+            digest = digests[spec.job_id]
+            # Resume: trust the journal only if the digest still matches
+            # (an edit between runs invalidates the completed record).
+            if self.resume and journal_done.get(spec.job_id) == digest:
+                payload = self.cache.get(digest)
+                if payload is not None:
+                    report.resumed += 1
+                    report.cache_hits += 1
+                    self._count("runner.cache.hit")
+                    self._settle(report, spec, digest, "resumed", payload,
+                                 0.0, started, total)
+                    continue
+            if self.cache is not None:
+                payload = self.cache.get(digest)
+                if payload is not None:
+                    report.cache_hits += 1
+                    self._count("runner.cache.hit")
+                    self._settle(report, spec, digest, "cached", payload,
+                                 0.0, started, total)
+                    continue
+                self._count("runner.cache.miss")
+            pending.append(spec)
+
+        try:
+            if self.max_workers == 0:
+                self._run_serial(report, pending, digests, started, total)
+            else:
+                self._run_pool(report, pending, digests, started, total)
+        except KeyboardInterrupt:
+            self._journal({"event": "interrupted",
+                           "completed": len(report.outcomes),
+                           "jobs": total})
+            raise
+
+        report.duration_s = time.perf_counter() - started
+        self._journal({"event": "run_complete", "jobs": total,
+                       "executed": report.executed,
+                       "cache_hits": report.cache_hits,
+                       "resumed": report.resumed,
+                       "failed": len(report.failures),
+                       "duration_s": report.duration_s})
+        return report
+
+    def _run_serial(self, report: RunReport, pending: Sequence[JobSpec],
+                    digests: Mapping[str, str], started: float,
+                    total: int) -> None:
+        for spec in pending:
+            result = _execute_wire(_spec_to_wire(spec), self.timeout_s)
+            self._finish_result(report, spec, digests[spec.job_id], result,
+                                result.get("duration_s", 0.0), started,
+                                total)
+
+    def _run_pool(self, report: RunReport, pending: Sequence[JobSpec],
+                  digests: Mapping[str, str], started: float,
+                  total: int) -> None:
+        if not pending:
+            return
+        import multiprocessing
+        method = self.mp_context or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        ctx = multiprocessing.get_context(method)
+        with ProcessPoolExecutor(max_workers=self.max_workers,
+                                 mp_context=ctx) as pool:
+            futures = {pool.submit(_execute_wire, _spec_to_wire(spec),
+                                   self.timeout_s): spec
+                       for spec in pending}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # The worker died hard (OOM, signal): a typed
+                        # crash for this job; unfinished siblings settle
+                        # the same way on their own futures.
+                        result = {"status": "crash", "job_id": spec.job_id,
+                                  "error_type": "BrokenProcessPool",
+                                  "message": "worker process died"}
+                    self._finish_result(report, spec, digests[spec.job_id],
+                                        result,
+                                        result.get("duration_s", 0.0),
+                                        started, total)
+
+    def _finish_result(self, report: RunReport, spec: JobSpec, digest: str,
+                       result: Mapping[str, Any], duration_s: float,
+                       started: float, total: int) -> None:
+        status = result["status"]
+        if status == "ok":
+            report.executed += 1
+            self._settle(report, spec, digest, "ok", result["payload"],
+                         duration_s, started, total)
+        else:
+            report.executed += 1
+            failure = JobFailure(
+                job_id=spec.job_id,
+                kind="timeout" if status == "timeout"
+                else "crash" if status == "crash" else "error",
+                error_type=result["error_type"],
+                message=result["message"])
+            self._settle(report, spec, digest, failure.kind, None,
+                         duration_s, started, total, failure=failure)
+
+
+# ---------------------------------------------------------------------------
+# Artifact plans: the full figure/table registry as job manifests
+
+
+@dataclass(frozen=True)
+class ArtifactPlan:
+    """One artifact's decomposition: manifest + reassembly + rendering."""
+
+    name: str
+    module: Any
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: ``assemble`` returns a tuple whose items are separate ``render``
+    #: arguments (fig12's two panels).
+    render_star: bool = False
+
+    def specs(self) -> List[JobSpec]:
+        return list(self.module.jobs(**dict(self.kwargs)))
+
+    def assemble(self, payloads: Mapping[str, Any]) -> Any:
+        own = {job.job_id: payloads[job.job_id] for job in self.specs()}
+        return self.module.assemble(own, **dict(self.kwargs))
+
+    def render(self, assembled: Any) -> str:
+        if self.render_star:
+            return self.module.render(*assembled)
+        return self.module.render(assembled)
+
+
+def artifact_plans(quick: bool = False,
+                   overrides: Optional[Mapping[str, Mapping[str, Any]]] = None
+                   ) -> Dict[str, ArtifactPlan]:
+    """Every paper artifact as an :class:`ArtifactPlan`.
+
+    Mirrors the CLI registry: ``quick`` shrinks the clusters.
+    ``overrides`` merges extra kwargs into named plans (tests use this
+    to shrink fig13's training run).
+    """
+    nodes = 8 if quick else 16
+    sweep_nodes = (4, 8) if quick else (4, 16)
+    plans = {
+        "table1": ArtifactPlan("table1", table1, {"num_nodes": nodes}),
+        "table5": ArtifactPlan("table5", table5),
+        "table6": ArtifactPlan("table6", table6),
+        "table7": ArtifactPlan("table7", table7),
+        "fig7": ArtifactPlan("fig7", fig7, {"node_counts": sweep_nodes}),
+        "fig8": ArtifactPlan("fig8", fig8, {"node_counts": sweep_nodes}),
+        "fig9": ArtifactPlan("fig9", fig9, {"num_nodes": nodes}),
+        "fig10": ArtifactPlan("fig10", fig10, {"num_nodes": nodes}),
+        "fig11": ArtifactPlan("fig11", fig11, {"num_nodes": nodes}),
+        "fig12": ArtifactPlan("fig12", fig12, {"num_nodes": nodes},
+                              render_star=True),
+        "fig13": ArtifactPlan("fig13", fig13),
+        "kernel_speed": ArtifactPlan("kernel_speed", kernel_speed),
+    }
+    for name, extra in (overrides or {}).items():
+        if name not in plans:
+            raise KeyError(f"unknown artifact {name!r}; "
+                           f"available: {sorted(plans)}")
+        plan = plans[name]
+        plans[name] = replace(plan, kwargs={**dict(plan.kwargs), **extra})
+    return plans
+
+
+def run_artifacts(names: Optional[Sequence[str]] = None,
+                  quick: bool = False,
+                  runner: Optional[ExperimentRunner] = None,
+                  overrides: Optional[Mapping[str, Mapping[str, Any]]] = None
+                  ) -> Tuple[Dict[str, Any], RunReport]:
+    """Regenerate artifacts through the runner; one shared job batch.
+
+    Jobs from all selected artifacts execute as a single batch, so
+    parallelism crosses artifact boundaries.  Returns
+    ``({name: {"result", "text"}}, report)``; raises if any job failed
+    (the journal and cache still hold the completed work, so a re-run
+    with ``resume`` picks up where it left off).
+    """
+    plans = artifact_plans(quick=quick, overrides=overrides)
+    selected = list(names) if names else sorted(plans)
+    unknown = [n for n in selected if n not in plans]
+    if unknown:
+        raise KeyError(f"unknown artifacts {unknown}; "
+                       f"available: {sorted(plans)}")
+    runner = runner or ExperimentRunner()
+    specs: List[JobSpec] = []
+    for name in selected:
+        specs.extend(plans[name].specs())
+    report = runner.run(specs)
+    report.raise_on_failure()
+    out = {}
+    for name in selected:
+        assembled = plans[name].assemble(report.payloads)
+        out[name] = {"result": assembled,
+                     "text": plans[name].render(assembled)}
+    return out, report

@@ -9,12 +9,12 @@ improves -- compression needs system support.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..cluster import ec2_v100_cluster
-from .common import format_table, run_system
+from .common import JobSpec, execute_serial, format_table, run_system
 
-__all__ = ["PAPER", "run", "render"]
+__all__ = ["PAPER", "jobs", "run", "run_job", "assemble", "render"]
 
 #: Paper values: (scaling efficiency, communication ratio).
 PAPER: Dict[Tuple[str, str], Tuple[float, float]] = {
@@ -42,18 +42,44 @@ class Table1Row:
     paper_comm_ratio: float
 
 
-def run(num_nodes: int = 16) -> List[Table1Row]:
-    cluster = ec2_v100_cluster(num_nodes)
+def jobs(num_nodes: int = 16) -> List[JobSpec]:
+    """One job per (model, system) row of the table."""
+    return [
+        JobSpec(artifact="table1",
+                job_id=f"table1/{model}-{system}-n{num_nodes}",
+                module=__name__,
+                params={"model": model, "system": system,
+                        "algorithm": algorithm, "num_nodes": num_nodes},
+                algorithm=algorithm)
+        for model, system, algorithm in ROWS
+    ]
+
+
+def run_job(model: str, system: str, algorithm, num_nodes: int) -> Dict:
+    result = run_system(system, model, ec2_v100_cluster(num_nodes),
+                        algorithm=algorithm)
+    return {"efficiency": result.scaling_efficiency,
+            "comm_ratio": result.comm_ratio}
+
+
+def assemble(payloads: Mapping[str, Dict],
+             num_nodes: int = 16) -> List[Table1Row]:
     rows = []
-    for model, system, algorithm in ROWS:
-        result = run_system(system, model, cluster, algorithm=algorithm)
+    for spec in jobs(num_nodes=num_nodes):
+        payload = payloads[spec.job_id]
+        model, system = spec.params["model"], spec.params["system"]
         paper_eff, paper_comm = PAPER[(model, system)]
         rows.append(Table1Row(
             model=model, system=system,
-            efficiency=result.scaling_efficiency,
-            comm_ratio=result.comm_ratio,
+            efficiency=payload["efficiency"],
+            comm_ratio=payload["comm_ratio"],
             paper_efficiency=paper_eff, paper_comm_ratio=paper_comm))
     return rows
+
+
+def run(num_nodes: int = 16) -> List[Table1Row]:
+    return assemble(execute_serial(jobs(num_nodes=num_nodes)),
+                    num_nodes=num_nodes)
 
 
 def render(rows: List[Table1Row]) -> str:

@@ -10,12 +10,12 @@ are embedded for side-by-side comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..compll import dsl_source, loc_stats
-from .common import format_table
+from .common import JobSpec, execute_serial, format_table
 
-__all__ = ["PAPER", "run", "render"]
+__all__ = ["PAPER", "jobs", "run", "run_job", "assemble", "render"]
 
 #: Paper Table 5: algorithm -> (oss_logic, oss_integration,
 #:                              compll_logic, compll_udf, compll_ops).
@@ -42,19 +42,42 @@ class Table5Row:
     paper_oss_integration: Optional[int]
 
 
-def run() -> List[Table5Row]:
+def jobs() -> List[JobSpec]:
+    """One job per DSL algorithm whose source we count."""
+    return [
+        JobSpec(artifact="table5", job_id=f"table5/{name}",
+                module=__name__, params={"algorithm": name})
+        for name in PAPER
+    ]
+
+
+def run_job(algorithm: str) -> Dict:
+    stats = loc_stats(dsl_source(algorithm))
+    return {"logic_lines": stats.logic_lines,
+            "udf_lines": stats.udf_lines,
+            "operators": stats.operators_used,
+            "integration_lines": stats.integration_lines}
+
+
+def assemble(payloads: Mapping[str, Dict]) -> List[Table5Row]:
     rows = []
-    for name, (oss_logic, oss_integ, p_logic, p_udf, p_ops) in PAPER.items():
-        stats = loc_stats(dsl_source(name))
+    for spec in jobs():
+        name = spec.params["algorithm"]
+        oss_logic, oss_integ, p_logic, p_udf, p_ops = PAPER[name]
+        stats = payloads[spec.job_id]
         rows.append(Table5Row(
             algorithm=name,
-            logic_lines=stats.logic_lines,
-            udf_lines=stats.udf_lines,
-            operators=stats.operators_used,
-            integration_lines=stats.integration_lines,
+            logic_lines=stats["logic_lines"],
+            udf_lines=stats["udf_lines"],
+            operators=stats["operators"],
+            integration_lines=stats["integration_lines"],
             paper_logic=p_logic, paper_udf=p_udf, paper_operators=p_ops,
             paper_oss_logic=oss_logic, paper_oss_integration=oss_integ))
     return rows
+
+
+def run() -> List[Table5Row]:
+    return assemble(execute_serial(jobs()))
 
 
 def render(rows: List[Table5Row]) -> str:

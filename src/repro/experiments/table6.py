@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
-from ..models import MB, all_models
-from .common import format_table
+from ..models import MB, all_models, get_model
+from .common import JobSpec, execute_serial, format_table
 
-__all__ = ["PAPER", "run", "render"]
+__all__ = ["PAPER", "jobs", "run", "run_job", "assemble", "render"]
 
 #: Paper Table 6: name -> (total MB, max gradient MB, #gradients).
 PAPER: Dict[str, Tuple[float, float, int]] = {
@@ -34,18 +34,40 @@ class Table6Row:
     paper_num_gradients: int
 
 
-def run() -> List[Table6Row]:
+def jobs() -> List[JobSpec]:
+    """One job per model in the zoo."""
+    return [
+        JobSpec(artifact="table6", job_id=f"table6/{model.name}",
+                module=__name__, params={"model": model.name})
+        for model in all_models()
+    ]
+
+
+def run_job(model: str) -> Dict:
+    spec = get_model(model)
+    return {"total_mb": spec.total_nbytes / MB,
+            "max_mb": spec.max_gradient_nbytes / MB,
+            "num_gradients": spec.num_gradients}
+
+
+def assemble(payloads: Mapping[str, Dict]) -> List[Table6Row]:
     rows = []
-    for model in all_models():
-        p_total, p_max, p_count = PAPER[model.name]
+    for spec in jobs():
+        name = spec.params["model"]
+        p_total, p_max, p_count = PAPER[name]
+        payload = payloads[spec.job_id]
         rows.append(Table6Row(
-            model=model.name,
-            total_mb=model.total_nbytes / MB,
-            max_mb=model.max_gradient_nbytes / MB,
-            num_gradients=model.num_gradients,
+            model=name,
+            total_mb=payload["total_mb"],
+            max_mb=payload["max_mb"],
+            num_gradients=payload["num_gradients"],
             paper_total_mb=p_total, paper_max_mb=p_max,
             paper_num_gradients=p_count))
     return rows
+
+
+def run() -> List[Table6Row]:
+    return assemble(execute_serial(jobs()))
 
 
 def render(rows: List[Table6Row]) -> str:

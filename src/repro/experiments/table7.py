@@ -8,15 +8,15 @@ partitions does it split?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..algorithms import OneBit
 from ..casync import CostModel, SelectivePlanner
 from ..cluster import ec2_v100_cluster
 from ..models import MB, GradientSpec
-from .common import format_table
+from .common import JobSpec, execute_serial, format_table
 
-__all__ = ["PAPER", "run", "render"]
+__all__ = ["PAPER", "jobs", "run", "run_job", "assemble", "render"]
 
 #: Paper Table 7: (strategy, nodes, size MB) -> (compress?, partitions).
 PAPER: Dict[Tuple[str, int, int], Tuple[bool, int]] = {
@@ -43,22 +43,47 @@ class Table7Row:
     paper_partitions: int
 
 
-def run() -> List[Table7Row]:
+PRESETS = {"ps": "ps_colocated", "ring": "ring"}
+
+
+def jobs() -> List[JobSpec]:
+    """One job per (strategy, cluster size, gradient size) plan query."""
+    return [
+        JobSpec(artifact="table7",
+                job_id=f"table7/{strategy}-n{nodes}-{size_mb}mb",
+                module=__name__,
+                params={"strategy": strategy, "nodes": nodes,
+                        "size_mb": size_mb},
+                algorithm="onebit")
+        for strategy in PRESETS
+        for nodes in NODE_COUNTS
+        for size_mb in SIZES_MB
+    ]
+
+
+def run_job(strategy: str, nodes: int, size_mb: int) -> Dict:
+    planner = SelectivePlanner(CostModel(
+        ec2_v100_cluster(nodes), OneBit(), strategy=PRESETS[strategy]))
+    plan = planner.plan_gradient(GradientSpec(f"g{size_mb}", size_mb * MB))
+    return {"compress": plan.compress, "partitions": plan.partitions}
+
+
+def assemble(payloads: Mapping[str, Dict]) -> List[Table7Row]:
     rows = []
-    algorithm = OneBit()
-    for strategy, preset in (("ps", "ps_colocated"), ("ring", "ring")):
-        for nodes in NODE_COUNTS:
-            planner = SelectivePlanner(CostModel(
-                ec2_v100_cluster(nodes), algorithm, strategy=preset))
-            for size_mb in SIZES_MB:
-                plan = planner.plan_gradient(
-                    GradientSpec(f"g{size_mb}", size_mb * MB))
-                p_compress, p_parts = PAPER[(strategy, nodes, size_mb)]
-                rows.append(Table7Row(
-                    strategy=strategy, nodes=nodes, size_mb=size_mb,
-                    compress=plan.compress, partitions=plan.partitions,
-                    paper_compress=p_compress, paper_partitions=p_parts))
+    for spec in jobs():
+        strategy = spec.params["strategy"]
+        nodes, size_mb = spec.params["nodes"], spec.params["size_mb"]
+        payload = payloads[spec.job_id]
+        p_compress, p_parts = PAPER[(strategy, nodes, size_mb)]
+        rows.append(Table7Row(
+            strategy=strategy, nodes=nodes, size_mb=size_mb,
+            compress=payload["compress"], partitions=payload["partitions"],
+            paper_compress=p_compress, paper_partitions=p_parts))
     return rows
+
+
+def run() -> List[Table7Row]:
+    return assemble(execute_serial(jobs()))
 
 
 def render(rows: List[Table7Row]) -> str:

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster import ClusterSpec, ec2_v100_cluster
-from .common import SYSTEMS, format_table, run_system
+from .common import (CLUSTER_FACTORIES, JobSpec, SYSTEMS, format_table,
+                     run_system)
 
-__all__ = ["ThroughputSweep", "sweep", "render_sweep", "speedup"]
+__all__ = ["ThroughputSweep", "sweep", "render_sweep", "speedup",
+           "sweep_jobs", "run_sweep_job", "assemble_sweep"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +46,56 @@ def sweep(model: str, systems: Sequence[str],
             result = run_system(system, model, cluster, algorithm=algo,
                                 on_ec2=on_ec2)
             series[system].append(result.throughput)
+    return ThroughputSweep(
+        model=model, algorithm=algorithm, gpu_counts=tuple(gpus),
+        series={k: tuple(v) for k, v in series.items()})
+
+
+def sweep_jobs(artifact: str, model: str, systems: Sequence[str],
+               algorithm: Optional[str] = None,
+               node_counts: Sequence[int] = (1, 2, 4, 8, 16),
+               cluster: str = "ec2",
+               on_ec2: bool = True) -> List[JobSpec]:
+    """The sweep of :func:`sweep`, decomposed one job per
+    (system, cluster point) -- the runner's unit of parallelism."""
+    specs = []
+    for nodes in node_counts:
+        for system in systems:
+            algo = algorithm if SYSTEMS[system].compression else None
+            specs.append(JobSpec(
+                artifact=artifact,
+                job_id=f"{artifact}/{model}-{system}-n{nodes}",
+                module=__name__, call="run_sweep_job",
+                params={"model": model, "system": system,
+                        "algorithm": algo, "nodes": nodes,
+                        "cluster": cluster, "on_ec2": on_ec2},
+                algorithm=algo))
+    return specs
+
+
+def run_sweep_job(model: str, system: str, algorithm: Optional[str],
+                  nodes: int, cluster: str = "ec2",
+                  on_ec2: bool = True) -> Dict:
+    spec = CLUSTER_FACTORIES[cluster](nodes)
+    result = run_system(system, model, spec, algorithm=algorithm,
+                        on_ec2=on_ec2)
+    return {"gpus": spec.total_gpus, "throughput": result.throughput}
+
+
+def assemble_sweep(payloads: Mapping[str, Dict], artifact: str, model: str,
+                   systems: Sequence[str],
+                   algorithm: Optional[str] = None,
+                   node_counts: Sequence[int] = (1, 2, 4, 8, 16)
+                   ) -> ThroughputSweep:
+    series: Dict[str, List[float]] = {s: [] for s in systems}
+    gpus = []
+    for nodes in node_counts:
+        gpus.append(payloads[f"{artifact}/{model}-{systems[0]}-n{nodes}"]
+                    ["gpus"])
+        for system in systems:
+            series[system].append(
+                payloads[f"{artifact}/{model}-{system}-n{nodes}"]
+                ["throughput"])
     return ThroughputSweep(
         model=model, algorithm=algorithm, gpu_counts=tuple(gpus),
         series={k: tuple(v) for k, v in series.items()})

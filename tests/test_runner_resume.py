@@ -1,0 +1,152 @@
+"""Crash/resume: an interrupted run continues without recomputation.
+
+The kill point comes from a :class:`repro.faults.FaultSchedule`: a
+``NodeCrash(at=N)`` is interpreted as "the host running the harness
+dies after N completed jobs" and delivered through the runner's
+progress callback as a ``KeyboardInterrupt`` -- the same path a real
+Ctrl-C or SIGINT takes.  After the crash, a ``resume=True`` run must
+
+* replay every completed job from the cache (cache-hit counters prove
+  no recomputation),
+* execute only the remainder, and
+* produce payloads byte-identical to an uninterrupted run.
+"""
+
+import pytest
+
+from repro.experiments import kernel_speed, table6, table7
+from repro.experiments.common import canonical_json
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ResultCache,
+    RunJournal,
+    job_digest,
+)
+from repro.faults import FaultSchedule, NodeCrash
+from repro.telemetry import TelemetryCollector
+
+
+def batch_specs():
+    return table6.jobs() + table7.jobs() + kernel_speed.jobs()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    specs = batch_specs()
+    report = ExperimentRunner().run(specs)
+    assert report.ok
+    return canonical_json(report.payloads)
+
+
+class HarnessKiller:
+    """Deliver a fault schedule's NodeCrash as a harness interrupt."""
+
+    def __init__(self, schedule: FaultSchedule):
+        self.kill_after = [int(e.at) for e in schedule
+                           if isinstance(e, NodeCrash)]
+        self.seen = 0
+
+    def __call__(self, event):
+        self.seen += 1
+        if self.kill_after and self.seen >= self.kill_after[0]:
+            self.kill_after.pop(0)
+            raise KeyboardInterrupt
+
+
+@pytest.mark.parametrize("kill_after", [1, 5, 12])
+def test_crash_then_resume_matches_uninterrupted(kill_after, tmp_path,
+                                                 uninterrupted):
+    specs = batch_specs()
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    schedule = FaultSchedule((NodeCrash(at=float(kill_after)),))
+    killer = HarnessKiller(schedule)
+
+    with pytest.raises(KeyboardInterrupt):
+        ExperimentRunner(cache=cache, journal=journal,
+                         progress=killer).run(specs)
+
+    events = journal.events()
+    assert events[-1]["event"] == "interrupted"
+    assert events[-1]["completed"] == kill_after
+    completed = journal.completed()
+    assert len(completed) == kill_after
+
+    tel = TelemetryCollector()
+    resumed = ExperimentRunner(cache=cache, journal=journal, resume=True,
+                               telemetry=tel).run(specs)
+    assert resumed.ok
+    assert resumed.resumed == kill_after
+    assert resumed.executed == len(specs) - kill_after
+    hits = [m for m in tel.metrics.snapshot()
+            if m["name"] == "runner.cache.hit"]
+    assert hits and hits[0]["value"] == kill_after
+    assert canonical_json(resumed.payloads) == uninterrupted
+
+
+def test_resume_after_clean_run_executes_nothing(tmp_path, uninterrupted):
+    specs = batch_specs()
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    first = ExperimentRunner(cache=cache, journal=journal).run(specs)
+    assert first.ok
+    again = ExperimentRunner(cache=cache, journal=journal,
+                             resume=True).run(specs)
+    assert again.executed == 0
+    assert again.resumed == len(specs)
+    assert canonical_json(again.payloads) == uninterrupted
+
+
+def test_resume_distrusts_stale_journal_digests(tmp_path, uninterrupted):
+    """A journal entry whose digest no longer matches is recomputed."""
+    specs = batch_specs()
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    # Forge a completed record under an outdated digest (as if the code
+    # or config changed between the crash and the resume).
+    journal.append({"event": "job_done", "job_id": specs[0].job_id,
+                    "digest": "0" * 64, "status": "ok"})
+    report = ExperimentRunner(cache=cache, journal=journal,
+                              resume=True).run(specs)
+    assert report.ok
+    assert report.resumed == 0          # forged entry was not trusted
+    assert report.executed == len(specs)
+    assert canonical_json(report.payloads) == uninterrupted
+
+
+def test_resume_survives_missing_cache_entry(tmp_path, uninterrupted):
+    """Journal says done but the cache entry is gone -> recompute."""
+    specs = batch_specs()
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    killer = HarnessKiller(FaultSchedule((NodeCrash(at=4.0),)))
+    with pytest.raises(KeyboardInterrupt):
+        ExperimentRunner(cache=cache, journal=journal,
+                         progress=killer).run(specs)
+    victim = specs[0]
+    cache.path(job_digest(victim)).unlink()
+    resumed = ExperimentRunner(cache=cache, journal=journal,
+                               resume=True).run(specs)
+    assert resumed.ok
+    assert resumed.resumed == 3         # 4 journaled, 1 evicted
+    assert resumed.executed == len(specs) - 3
+    assert canonical_json(resumed.payloads) == uninterrupted
+
+
+def test_interrupt_mid_pool_run_is_resumable(tmp_path, uninterrupted):
+    """The pool path persists the journal on interrupt too."""
+    specs = batch_specs()
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    killer = HarnessKiller(FaultSchedule((NodeCrash(at=6.0),)))
+    with pytest.raises(KeyboardInterrupt):
+        ExperimentRunner(max_workers=2, cache=cache, journal=journal,
+                         progress=killer).run(specs)
+    assert journal.events()[-1]["event"] == "interrupted"
+    done_before = len(journal.completed())
+    assert done_before >= 6
+    resumed = ExperimentRunner(cache=cache, journal=journal,
+                               resume=True).run(specs)
+    assert resumed.ok
+    assert resumed.resumed == done_before
+    assert canonical_json(resumed.payloads) == uninterrupted

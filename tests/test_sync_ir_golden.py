@@ -83,8 +83,12 @@ def test_ir_matches_golden(name, strategy_cls, algo, preset):
     dumped = json.loads(plan.to_json())
     path = GOLDEN_DIR / f"{name}-n{NUM_NODES}.json"
     if REGEN:
+        # Atomic replace: under pytest-xdist several workers may
+        # regenerate concurrently; a reader must never see a torn file.
         GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-        path.write_text(plan.to_json() + "\n")
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(plan.to_json() + "\n")
+        os.replace(tmp, path)
         return
     assert path.exists(), (
         f"missing golden {path.name}; regenerate with REPRO_REGEN_GOLDEN=1")
@@ -95,6 +99,10 @@ def test_ir_matches_golden(name, strategy_cls, algo, preset):
 
 
 def test_golden_dir_has_no_stale_files():
+    if REGEN:
+        # Mid-regeneration another xdist worker may not have written its
+        # cases yet; the check only means something against a settled dir.
+        pytest.skip("regenerating goldens; stale check needs a settled dir")
     expected = {f"{c[0]}-n{NUM_NODES}.json" for c in CASES}
     actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
     assert actual == expected
