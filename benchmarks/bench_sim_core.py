@@ -1,0 +1,274 @@
+"""Benchmark: the high-throughput simulator core vs the heap-engine oracle.
+
+Three measurements:
+
+* **bulk** (gated) -- simulated-message throughput of the vectorized
+  bulk-transfer path (slotted queue, pooled carrier events, one NumPy
+  reservation pass per bulk step) against the heap engine's one
+  generator-process-per-message path, on a fan-out + incast workload.
+  Acceptance bar: >= 10x.  Both engines must also agree exactly on the
+  final simulated clock and bytes moved -- a fast wrong answer is a
+  failure, not a speedup.
+* **queue-ops** (informational) -- raw push/pop throughput of
+  :class:`SlottedQueue` vs :class:`HeapQueue` on a heavily co-scheduled
+  agenda (many events per distinct timestamp, the shape DNN-training
+  simulations produce).
+* **scale sweep** (gated) -- the fig7-style weak-scaling sweep on the
+  256- and 1024-node EC2 presets, executed through the PR-5 experiment
+  runner, asserted to finish within a wall-clock budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_core.py           # full
+    PYTHONPATH=src python benchmarks/bench_sim_core.py --smoke   # CI
+
+Writes ``BENCH_sim_core.json`` (override with ``--output``) and exits
+non-zero if a gated bar is missed (``--no-check`` to report only);
+``--no-sweep`` skips the scale sweep for quick local iteration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.throughput import sweep_jobs
+from repro.net import Fabric, NetworkSpec
+from repro.sim import DEFAULT_ENGINE, HEAP_ENGINE, Environment, HeapQueue, SlottedQueue
+
+#: The gated event-throughput bar: tuned engine vs heap engine.
+BULK_BAR = 10.0
+
+SPEC = NetworkSpec(bandwidth_gbps=100.0, latency_us=8.0, efficiency=0.65)
+
+
+def _bulk_steps(nodes: int, steps: int, msgs_per_step: int, seed: int):
+    """A reproducible mixed fan-out/incast schedule of bulk steps.
+
+    Odd steps fan out from a handful of sources (a server pushing
+    updates); even steps incast toward a handful of sinks (workers
+    pushing gradients).  Sizes vary so per-NIC serialization queues are
+    irregular, like a real iteration.
+    """
+    rng = random.Random(seed)
+    hubs = max(2, nodes // 64)
+    schedule = []
+    for step in range(steps):
+        transfers = []
+        for i in range(msgs_per_step):
+            hub = rng.randrange(hubs)
+            other = rng.randrange(hubs, nodes)
+            nbytes = float(rng.randrange(4 * 1024, 256 * 1024))
+            if step % 2:
+                transfers.append((hub, other, nbytes))
+            else:
+                transfers.append((other, hub, nbytes))
+        # Pre-built (n, 3) arrays: the bulk API takes them directly, so
+        # the measurement isolates the engines, not list conversion.
+        schedule.append(np.asarray(transfers, dtype=np.float64))
+    return schedule
+
+
+def run_bulk_workload(engine, nodes: int, schedule) -> dict:
+    """Simulate the schedule on one engine; returns timing + end state.
+
+    The driver is engine-agnostic: ``bulk_transfer_batched`` runs one
+    NumPy reservation pass plus a single completion event per step on
+    the tuned engine, and degrades to one generator process per message
+    (three-plus heap events each) on the heap oracle.  Both must produce
+    bit-identical per-message delivery times.
+    """
+    env = Environment(engine=engine)
+    fabric = Fabric(env, nodes, SPEC)
+    delivery_times = []
+
+    def driver():
+        for transfers in schedule:
+            times = yield fabric.bulk_transfer_batched(transfers)
+            delivery_times.append(times)
+
+    proc = env.process(driver(), name="bulk-driver")
+    start = time.perf_counter()
+    env.run_until_complete(proc)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "finish_time": env.now,
+        "bytes_sent": fabric.stats.bytes_sent,
+        "messages": fabric.stats.messages,
+        "delivery_times": delivery_times,
+    }
+
+
+def bench_bulk(smoke: bool, reps: int) -> dict:
+    nodes = 256 if smoke else 1024
+    steps = 16 if smoke else 40
+    msgs = 512 if smoke else 2048
+    schedule = _bulk_steps(nodes, steps, msgs, seed=7)
+    total_msgs = steps * msgs
+
+    heap_walls, tuned_walls = [], []
+    heap_state = tuned_state = None
+    for _ in range(reps):
+        heap_state = run_bulk_workload(HEAP_ENGINE, nodes, schedule)
+        heap_walls.append(heap_state.pop("wall_s"))
+        tuned_state = run_bulk_workload(DEFAULT_ENGINE, nodes, schedule)
+        tuned_walls.append(tuned_state.pop("wall_s"))
+    if (tuned_state.pop("delivery_times")
+            != heap_state.pop("delivery_times")):
+        raise AssertionError(
+            "engines disagree on per-message delivery times")
+    if tuned_state != heap_state:
+        raise AssertionError(
+            f"engines disagree on the simulated outcome: "
+            f"heap={heap_state} tuned={tuned_state}")
+    # min-of-reps: allocator/GC noise is strictly additive, so the
+    # fastest repetition is the cleanest estimate of each engine's cost.
+    heap_s = min(heap_walls)
+    tuned_s = min(tuned_walls)
+    return {
+        "case": "bulk",
+        "nodes": nodes,
+        "bulk_steps": steps,
+        "messages": total_msgs,
+        "heap_s": round(heap_s, 4),
+        "tuned_s": round(tuned_s, 4),
+        "heap_msgs_per_s": round(total_msgs / heap_s),
+        "tuned_msgs_per_s": round(total_msgs / tuned_s),
+        "speedup": round(heap_s / tuned_s, 2) if tuned_s else float("inf"),
+        "state": heap_state,
+    }
+
+
+class _Stub:
+    """Minimal event stand-in for raw queue benchmarks."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self):
+        self._cancelled = False
+
+
+def bench_queue_ops(smoke: bool, reps: int) -> dict:
+    """Informational: raw agenda push/pop throughput, co-scheduled shape."""
+    n_events = 50_000 if smoke else 400_000
+    distinct_times = n_events // 64  # ~64 events per instant
+    rng = random.Random(11)
+    entries = [(float(rng.randrange(distinct_times)), rng.randrange(2))
+               for _ in range(n_events)]
+    out = {"case": "queue-ops", "events": n_events,
+           "distinct_times": distinct_times}
+    for name, cls in (("heap", HeapQueue), ("slotted", SlottedQueue)):
+        walls = []
+        for _ in range(reps):
+            stubs = [_Stub() for _ in range(n_events)]
+            queue = cls()
+            start = time.perf_counter()
+            for (t, prio), stub in zip(entries, stubs):
+                queue.push(t, prio, stub)
+            while len(queue):
+                queue.pop()
+            walls.append(time.perf_counter() - start)
+        wall = statistics.median(walls)
+        out[f"{name}_s"] = round(wall, 4)
+        out[f"{name}_ops_per_s"] = round(2 * n_events / wall)
+    out["speedup"] = round(out["heap_s"] / out["slotted_s"], 2)
+    return out
+
+
+def bench_scale_sweep(smoke: bool) -> dict:
+    """The fig7-scale sweep at 256/1024 nodes through the PR-5 runner."""
+    systems = ("byteps",) if smoke else ("byteps", "byteps-oss")
+    budget_s = 600.0 if smoke else 1500.0
+    specs = sweep_jobs("fig7_scale", "vgg19", systems, algorithm="onebit",
+                       node_counts=(256, 1024), cluster="ec2-v100-1024")
+    runner = ExperimentRunner(max_workers=2)
+    start = time.perf_counter()
+    report = runner.run(specs)
+    wall = time.perf_counter() - start
+    report.raise_on_failure()
+    throughputs = {job_id: payload["throughput"]
+                   for job_id, payload in sorted(report.payloads.items())}
+    return {
+        "case": "scale-sweep",
+        "systems": list(systems),
+        "node_counts": [256, 1024],
+        "jobs": len(specs),
+        "wall_s": round(wall, 2),
+        "budget_s": budget_s,
+        "within_budget": wall <= budget_s,
+        "throughput": throughputs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workloads and sweep (CI)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="measurements per case (default 3 smoke, "
+                             "5 full)")
+    parser.add_argument("--output", default="BENCH_sim_core.json",
+                        help="result JSON path")
+    parser.add_argument("--no-check", action="store_true",
+                        help="report without enforcing the gated bars")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the 256/1024-node runner sweep")
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps else (3 if args.smoke else 5)
+
+    bulk = bench_bulk(args.smoke, reps)
+    print(f"bulk        n={bulk['nodes']:<5d} {bulk['messages']} msgs   "
+          f"heap {bulk['heap_s']:8.3f}s   tuned {bulk['tuned_s']:8.3f}s   "
+          f"{bulk['speedup']:6.1f}x")
+
+    queue_ops = bench_queue_ops(args.smoke, reps)
+    print(f"queue-ops   {queue_ops['events']} events   "
+          f"heap {queue_ops['heap_s']:8.3f}s   "
+          f"slotted {queue_ops['slotted_s']:8.3f}s   "
+          f"{queue_ops['speedup']:6.1f}x  [informational]")
+
+    results = [bulk, queue_ops]
+    sweep = None
+    if not args.no_sweep:
+        sweep = bench_scale_sweep(args.smoke)
+        results.append(sweep)
+        print(f"scale-sweep {sweep['jobs']} jobs "
+              f"({'+'.join(sweep['systems'])} @ 256/1024 nodes)   "
+              f"{sweep['wall_s']:8.1f}s   budget {sweep['budget_s']:.0f}s")
+
+    payload = {"benchmark": "sim_core", "smoke": args.smoke, "reps": reps,
+               "bar": BULK_BAR, "results": results}
+    Path(args.output).write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"[results -> {args.output}]")
+
+    if args.no_check:
+        return 0
+    failures = []
+    if bulk["speedup"] < BULK_BAR:
+        failures.append(
+            f"bulk event-throughput speedup {bulk['speedup']:.1f}x "
+            f"< {BULK_BAR:.0f}x bar")
+    if sweep is not None and not sweep["within_budget"]:
+        failures.append(
+            f"scale sweep took {sweep['wall_s']:.0f}s "
+            f"> {sweep['budget_s']:.0f}s budget")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(f"OK: tuned engine >= {BULK_BAR:.0f}x heap-engine event "
+          "throughput" + ("" if sweep is None
+                          else "; 1024-node sweep within budget"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -234,10 +234,33 @@ class SyncPlan:
         return json.dumps(self.to_json_obj(), indent=indent, sort_keys=True)
 
     def digest(self) -> str:
-        """Content hash of the plan (cache/observability identity)."""
-        payload = json.dumps(self.to_json_obj(), sort_keys=True,
-                             separators=(",", ":"))
-        return hashlib.sha256(payload.encode()).hexdigest()
+        """Content hash of the plan (cache/observability identity).
+
+        Streams compact per-op rows straight into the hash instead of
+        materializing (and JSON-encoding) the whole plan: a 512-node
+        PS-style plan has millions of dependency edges and the dump-based
+        digest took longer than simulating the iteration.  The hash
+        changed when the encoding did; digests are only ever compared to
+        other digests computed by this same function, never pinned.
+        """
+        h = hashlib.sha256()
+        h.update(repr((self.strategy, self.num_nodes, self.algorithm,
+                       sorted(self.meta.items()))).encode())
+        for name in sorted(self.directives):
+            d = self.directives[name]
+            h.update(repr((name, d.nbytes, d.compress, d.partitions,
+                           d.planned_partitions)).encode())
+        for op in self.ops:
+            deps = tuple(
+                (dep.node, dep.gradient) if isinstance(dep, ReadyRef)
+                else dep
+                for dep in op.deps)
+            h.update(repr((op.uid, op.kind, op.node, op.label,
+                           op.size.nbytes, op.size.compressed, deps,
+                           op.dst, op.grad,
+                           sorted(op.attrs.items()) if op.attrs else ())
+                          ).encode())
+        return h.hexdigest()
 
     def format_text(self) -> str:
         """Human-readable dump (the text form of ``--dump-sync-plan``)."""

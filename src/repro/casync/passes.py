@@ -52,6 +52,7 @@ __all__ = [
     "BulkRoutePass",
     "FuseDecodeMergePass",
     "PartitionPass",
+    "CollapseFanInPass",
     "Pass",
     "PassConfig",
     "PassContext",
@@ -80,11 +81,18 @@ class PassConfig:
     coordinator_batch_bytes: float = 4 * 1024 * 1024
     #: Coordinator flush timeout for an aging batch.
     coordinator_timeout_s: float = 0.0005
+    #: Ops whose op-dependency fan-in exceeds this share a barrier op
+    #: instead of carrying every edge (see :class:`CollapseFanInPass`).
+    #: 0 disables collapsing.  The default sits above any fan-in a
+    #: small-cluster plan produces, so plans for existing presets are
+    #: byte-identical with the pass on.
+    fanin_collapse_threshold: int = 96
 
     def token(self) -> tuple:
         """Hashable identity for cache keys."""
         return (self.bulk_eligible_bytes, self.default_part_bytes,
-                self.coordinator_batch_bytes, self.coordinator_timeout_s)
+                self.coordinator_batch_bytes, self.coordinator_timeout_s,
+                self.fanin_collapse_threshold)
 
 
 DEFAULT_PASS_CONFIG = PassConfig()
@@ -256,6 +264,62 @@ class BulkRoutePass(Pass):
         plan.meta["bulk_sends"] = marked
 
 
+class CollapseFanInPass(Pass):
+    """Share one barrier op among huge same-node dependency fan-ins.
+
+    PS-style plans scale their dependency count quadratically: every pull
+    ``send`` living on a server node depends on all N aggregates on that
+    node, so N nodes x N deps explodes to millions of edges by N = 256 --
+    and arm()/lowering cost is linear in edges.  Whenever an op's op-uid
+    fan-in exceeds ``fanin_collapse_threshold``, this pass rewrites the op
+    to depend on a single ``barrier`` op carrying those deps; ops with the
+    *same* (node, deps) signature share one barrier, turning O(N^2) edges
+    into O(N).
+
+    Correctness: the barrier lives on the consumer's node, so cross-node
+    send/consume pairing still holds (the barrier consumes the sends on
+    the destination node), and barriers carry no payload contract.
+    Barriers lower to free ``notify`` tasks, which are excluded from
+    trace events; dependents still become ready at the exact same
+    simulated time.  Below the threshold -- all small-cluster presets --
+    plans are byte-identical to the pass being off.
+    """
+
+    name = "collapse-fanin"
+    phase = "op"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        threshold = pctx.config.fanin_collapse_threshold
+        if threshold <= 0:
+            return
+        new_ops: List[Op] = []
+        barriers: Dict[tuple, int] = {}
+        collapsed = 0
+        for op in plan.ops:
+            uid_deps = tuple(d for d in op.deps
+                             if not isinstance(d, ReadyRef))
+            if len(uid_deps) > threshold:
+                key = (op.node, uid_deps)
+                buid = barriers.get(key)
+                if buid is None:
+                    buid = plan._next_uid
+                    plan._next_uid += 1
+                    new_ops.append(Op(
+                        uid=buid, kind="barrier", node=op.node,
+                        label=f"fanin{len(uid_deps)}@n{op.node}",
+                        deps=uid_deps))
+                    barriers[key] = buid
+                ready = tuple(d for d in op.deps
+                              if isinstance(d, ReadyRef))
+                op.deps = (buid,) + ready
+                collapsed += 1
+            new_ops.append(op)
+        if collapsed:
+            plan.ops[:] = new_ops
+            plan.meta["fanin_collapsed"] = collapsed
+            plan.meta["fanin_barriers"] = len(barriers)
+
+
 class VerifyPass(Pass):
     """Reject malformed plans before lowering (always the final pass)."""
 
@@ -418,6 +482,10 @@ def build_plan(strategy, pctx: PassContext, model, telemetry=None,
     for p in pipeline:
         if p.phase == "op":
             run_stage(p.name, lambda p=p: p.run(plan, pctx))
+    # Structural scalability rewrite, not a strategy-selectable stage: it
+    # runs on every plan (and is deliberately absent from meta["passes"],
+    # which golden plan dumps pin).
+    CollapseFanInPass().run(plan, pctx)
     run_stage("verify", lambda: VerifyPass().run(plan, pctx))
     plan.meta["passes"] = applied
     return plan

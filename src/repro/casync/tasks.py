@@ -31,7 +31,7 @@ from ..faults.membership import Membership
 from ..faults.retry import RetryPolicy
 from ..gpu import Gpu, GpuSpec
 from ..net import Fabric
-from ..sim import Environment, Event, Store
+from ..sim import Environment, Event, Store, URGENT
 
 __all__ = ["Task", "TaskGraph", "NodeEngine", "Coordinator", "run_graph",
            "robust_transfer", "COMPUTE_KINDS"]
@@ -123,6 +123,15 @@ class TaskGraph:
                 raise ValueError(f"no engine for node {task.node}")
             engine.dispatch(task)
 
+        # Dependents are grouped per dependency event: the edge count is
+        # O(n^2) for PS-style plans (every pull send on a server depends on
+        # all n aggregates on that node), and one closure per edge
+        # dominated arm() time at scale.  One fanout callback per distinct
+        # event walks its dependents in registration order, which is
+        # exactly the order the per-edge callbacks used to run in.  No
+        # event fires while arm() runs, so deferring the attachment to
+        # after the wiring loop is safe.
+        groups: Dict[Event, List[Task]] = {}
         for task in self.tasks:
             deps = self._deps[task.id]
             task.pending = len(deps)
@@ -130,21 +139,29 @@ class TaskGraph:
                 dep_event = dep.completed if isinstance(dep, Task) else dep
                 if dep_event is None:
                     raise ValueError(f"dependency of {task!r} is not armed")
-
-                def on_done(_ev, task=task):
+                if dep_event.processed or dep_event.callbacks is None:
                     task.pending -= 1
-                    if task.pending == 0:
-                        dispatch(task)
-
-                if dep_event.processed:
-                    on_done(dep_event)
-                elif dep_event.callbacks is None:
-                    on_done(dep_event)
                 else:
-                    dep_event.callbacks.append(on_done)
+                    group = groups.get(dep_event)
+                    if group is None:
+                        groups[dep_event] = [task]
+                    else:
+                        group.append(task)
             if task.pending == 0:
                 dispatch(task)
+        for dep_event, dependents in groups.items():
+            dep_event.callbacks.append(_fanout_callback(dependents, dispatch))
         return [t.completed for t in self.tasks]
+
+
+def _fanout_callback(dependents: List[Task], dispatch):
+    """One callback per dependency event, decrementing all its dependents."""
+    def fanout(_event):
+        for task in dependents:
+            task.pending -= 1
+            if task.pending == 0:
+                dispatch(task)
+    return fanout
 
 
 def robust_transfer(env: Environment, fabric: Fabric, src: int, dst: int,
@@ -191,9 +208,13 @@ def robust_transfer(env: Environment, fabric: Fabric, src: int, dst: int,
                 pass  # this attempt failed outright; back off and retry
             else:
                 if xfer.triggered and xfer.ok:
+                    if not timer.processed:
+                        timer.cancel()  # don't leave a dead timer queued
                     return ("delivered", target)
                 if xfer.is_alive:
                     xfer.interrupt("retry-timeout")
+            if not timer.processed:
+                timer.cancel()
             failures += 1
             if membership is not None:
                 membership.suspect(target)
@@ -243,10 +264,25 @@ class Coordinator:
         queue.append((task, self.env.now))
         total = sum(t.nbytes for t, _ in queue)
         if total >= self.size_threshold:
-            self._flush(key)
+            if self._vector_eligible():
+                self._flush_bulk([key])
+            else:
+                self._flush(key)
         elif not self._ticker_running:
             self._ticker_running = True
             self.env.process(self._ticker(), name="coordinator-ticker")
+
+    def _vector_eligible(self) -> bool:
+        """True when flushes may take the vectorized bulk-transfer path.
+
+        Retries, fault injection, and telemetry spans all need the
+        per-flush generator; with none of those observers attached the
+        batched path is indistinguishable except for speed.
+        """
+        return (self.retry_policy is None
+                and self.env.engine.vector_bulk
+                and self.env.telemetry is None
+                and self.fabric.faults is None)
 
     def _flush(self, key: Tuple[int, int]) -> None:
         queue = self._queues.pop(key, [])
@@ -294,11 +330,64 @@ class Coordinator:
 
         self.env.process(transfer(), name=f"bulk:{src}->{dst}")
 
+    def _flush_bulk(self, keys: List[Tuple[int, int]]) -> None:
+        """Flush one or more link queues through the vectorized fabric path.
+
+        The per-flush generator process is replaced by a single pooled
+        URGENT *issue* event carrying the drained batches.  Queues are
+        drained here (at the instant :meth:`_flush` would have drained
+        them), but NIC reservation waits for the issue event to fire:
+        reserving eagerly would jump ahead of any same-instant URGENT
+        initializer already in the agenda, reordering reservations
+        relative to the per-process path.  Consecutive same-instant URGENT
+        events run back to back, so several keys flushed in one ticker
+        tick can share one issue event without anything interleaving.
+        """
+        batches = []
+        for key in keys:
+            queue = self._queues.pop(key, [])
+            if not queue:
+                continue
+            tasks = [t for t, _ in queue]
+            nbytes = sum(t.nbytes for t in tasks)
+            self.batches_flushed += 1
+            self.tasks_batched += len(tasks)
+            batches.append((key[0], key[1], nbytes, tasks))
+        if not batches:
+            return
+        env = self.env
+        issue = env._acquire_carrier(True, batches)
+        issue.callbacks.append(self._issue_bulk)
+        env.schedule(issue, priority=URGENT)
+
+    def _issue_bulk(self, event: Event) -> None:
+        batches = event._value
+        env = self.env
+
+        def deliver(index: int) -> None:
+            now = env.now
+            for task in batches[index][3]:
+                if task.completed.triggered:
+                    continue
+                task.finished_at = now
+                task.completed.succeed()
+
+        self.fabric.bulk_transfer(
+            [(src, dst, nbytes) for src, dst, nbytes, _ in batches],
+            handler=deliver)
+
     def _ticker(self):
         """Flush queues whose oldest entry exceeded the timeout."""
         while self._queues:
             yield self.env.timeout(self.timeout_s / 2)
             now = self.env.now
+            if self._vector_eligible():
+                due = [key for key in self._queues
+                       if self._queues[key]
+                       and now - self._queues[key][0][1] >= self.timeout_s]
+                if due:
+                    self._flush_bulk(due)
+                continue
             for key in list(self._queues):
                 queue = self._queues.get(key)
                 if queue and now - queue[0][1] >= self.timeout_s:
@@ -402,6 +491,10 @@ class NodeEngine:
             elif self.retry_policy is not None:
                 self.env.process(self._robust_send(task),
                                  name=f"send@{self.node}:{task.label}")
+            elif (self.env.engine.inline_sends
+                  and self.env.telemetry is None
+                  and self.fabric.faults is None):
+                self._send_inline(task)
             else:
                 self.env.process(self._send(task),
                                  name=f"send@{self.node}:{task.label}")
@@ -432,6 +525,71 @@ class NodeEngine:
         task.finished_at = self.env.now
         self.send_busy += task.finished_at - task.started_at
         self._finish_task_span(span, dst=task.dst)
+        if not task.completed.triggered:
+            task.completed.succeed()
+
+    def _send_inline(self, task: Task) -> None:
+        """Pristine send without a generator process (two pooled events).
+
+        The process path costs an ``Initialize`` event, a ``Timeout``, the
+        process-completion event, and two generator resumes per send.  When
+        nothing can observe the difference -- no retries, no faults, no
+        telemetry spans -- the same work is two pooled carrier events:
+
+        * an *issue* event at ``(now, URGENT)``, standing in for the
+          process initializer.  NIC reservation happens when it fires, NOT
+          here at dispatch time: a pending URGENT initializer of an
+          earlier-scheduled flush process must reserve first, exactly as
+          on the heap engine.
+        * a *finish* event at the delivery instant, doing the completion
+          bookkeeping the generator performed after its final timeout.
+
+        Omitting the process-completion event only shifts absolute
+        sequence numbers, never the relative order of visible events, so
+        trace hashes are unchanged (the equivalence battery pins this).
+        """
+        env = self.env
+        issue = env._acquire_carrier(True, task)
+        issue.callbacks.append(self._issue_send)
+        env.schedule(issue, priority=URGENT)
+
+    def _issue_send(self, event: Event) -> None:
+        task = event._value
+        env = self.env
+        now = env.now
+        task.started_at = now
+        fabric = self.fabric
+        src, dst = task.node, task.dst
+        fabric._check_node(src)
+        fabric._check_node(dst)
+        if task.nbytes < 0:
+            raise ValueError(f"negative transfer size {task.nbytes}")
+        if src == dst:
+            # Loopback is free: complete at the issue instant, like the
+            # generator path (which never touches the NIC).
+            task.finished_at = now
+            if not task.completed.triggered:
+                task.completed.succeed()
+            return
+        sender, receiver = fabric.nics[src], fabric.nics[dst]
+        serialize = task.nbytes / fabric.spec.bytes_per_second
+        up_finish = max(now, sender.up_free) + serialize
+        down_finish = max(now, receiver.down_free) + serialize
+        sender.up_free = up_finish
+        receiver.down_free = down_finish
+        sender.up_busy += serialize
+        receiver.down_busy += serialize
+        finish = max(up_finish, down_finish)
+        done = env._acquire_carrier(True, task)
+        done.callbacks.append(self._finish_send)
+        env.schedule(done, delay=finish + fabric.spec.latency_s - now)
+
+    def _finish_send(self, event: Event) -> None:
+        task = event._value
+        now = self.env.now
+        self.fabric.stats.record(task.node, task.nbytes)
+        task.finished_at = now
+        self.send_busy += now - task.started_at
         if not task.completed.triggered:
             task.completed.succeed()
 
@@ -485,9 +643,13 @@ class NodeEngine:
                     pass
                 else:
                     if xfer.triggered and xfer.ok:
+                        if not timer.processed:
+                            timer.cancel()
                         return ("delivered", target)
                     if xfer.is_alive:
                         xfer.interrupt("retry-timeout")
+                if not timer.processed:
+                    timer.cancel()
                 failures += 1
                 self.retries += 1
                 if membership is not None:

@@ -145,20 +145,44 @@ def local_1080ti_cluster(num_nodes: int = 16,
     )
 
 
+def _scaled(factory, default_nodes: int):
+    """A preset factory with a different default scale.
+
+    The returned factory still accepts ``num_nodes=`` explicitly, so
+    weak-scaling sweeps can keep using one preset name while overriding
+    the node count per job.
+    """
+    def build(num_nodes: Optional[int] = None, **overrides) -> ClusterSpec:
+        return factory(num_nodes=default_nodes if num_nodes is None
+                       else num_nodes, **overrides)
+    return build
+
+
 #: Named testbed presets, addressable from string configuration (e.g.
-#: ``TrainingJob(..., cluster="ec2-v100")``).
+#: ``TrainingJob(..., cluster="ec2-v100")``).  The ``-256`` / ``-1024``
+#: variants are the paper's EC2 hardware at datacenter scale, used by the
+#: fig7-scale sweeps that exercise the high-throughput simulator core.
 CLUSTER_PRESETS = {
     "ec2-v100": ec2_v100_cluster,
     "local-1080ti": local_1080ti_cluster,
+    "ec2-v100-256": _scaled(ec2_v100_cluster, 256),
+    "ec2-v100-1024": _scaled(ec2_v100_cluster, 1024),
 }
 
 
-def get_cluster(name: str, num_nodes: int = 16, **overrides) -> ClusterSpec:
-    """Build a preset cluster by name (mirrors the algorithm registry)."""
+def get_cluster(name: str, num_nodes: Optional[int] = None,
+                **overrides) -> ClusterSpec:
+    """Build a preset cluster by name (mirrors the algorithm registry).
+
+    ``num_nodes=None`` keeps the preset's own default scale (16 for the
+    base testbeds, 256/1024 for the scaled variants).
+    """
     try:
         factory = CLUSTER_PRESETS[name]
     except KeyError:
         raise KeyError(
             f"unknown cluster {name!r}; available: {sorted(CLUSTER_PRESETS)}"
         ) from None
+    if num_nodes is None:
+        return factory(**overrides)
     return factory(num_nodes=num_nodes, **overrides)

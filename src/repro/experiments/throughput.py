@@ -76,7 +76,14 @@ def sweep_jobs(artifact: str, model: str, systems: Sequence[str],
 def run_sweep_job(model: str, system: str, algorithm: Optional[str],
                   nodes: int, cluster: str = "ec2",
                   on_ec2: bool = True) -> Dict:
-    spec = CLUSTER_FACTORIES[cluster](nodes)
+    factory = CLUSTER_FACTORIES.get(cluster)
+    if factory is not None:
+        spec = factory(nodes)
+    else:
+        # Fall back to the full preset registry, which also carries the
+        # datacenter-scale variants (ec2-v100-256, ec2-v100-1024).
+        from ..cluster import get_cluster
+        spec = get_cluster(cluster, num_nodes=nodes)
     result = run_system(system, model, spec, algorithm=algorithm,
                         on_ec2=on_ec2)
     return {"gpus": spec.total_gpus, "throughput": result.throughput}

@@ -9,12 +9,22 @@ resumed when they fire.
 Determinism matters for a systems simulator: two events scheduled for the
 same instant are ordered by (priority, insertion sequence), so repeated runs
 of the same workload produce identical traces.
+
+The execution machinery behind that contract is selectable through
+:class:`SimEngine` (see ``docs/SIM_CORE.md``): the tuned default runs a
+slotted calendar queue with pooled kernel-internal events, while
+``SimEngine(queue="heap")`` preserves the original flat-heap engine as a
+differential oracle -- both produce bit-identical event orderings, which
+the equivalence battery in ``tests/test_engine_equivalence.py`` locks in.
 """
 
 from __future__ import annotations
 
-import heapq
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .queues import HeapQueue, SlottedQueue
 
 __all__ = [
     "Environment",
@@ -25,6 +35,12 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "SimEngine",
+    "DEFAULT_ENGINE",
+    "HEAP_ENGINE",
+    "default_engine",
+    "set_default_engine",
+    "use_engine",
     "NORMAL",
     "URGENT",
 ]
@@ -34,6 +50,81 @@ NORMAL = 1
 #: Priority for bookkeeping events that must run before normal ones at the
 #: same timestamp (e.g. resource releases).
 URGENT = 0
+
+#: Upper bound on recycled carrier events kept per environment.
+_POOL_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class SimEngine:
+    """Execution-machinery knobs for an :class:`Environment`.
+
+    Every combination implements the identical simulation semantics (the
+    (time, priority, sequence) total order); the knobs only select *how*
+    that order is produced:
+
+    queue: ``"slotted"`` (calendar queue, O(1) common-case insert) or
+        ``"heap"`` (the original flat binary heap, kept as the
+        differential oracle).
+    pool_events: recycle kernel-internal carrier events (process
+        initializers, immediate resumes, inline-send hops) through a
+        free list instead of allocating fresh ones.  User-visible events
+        (timeouts, conditions, task completions) are never pooled.
+    inline_sends: let :class:`~repro.casync.tasks.NodeEngine` execute
+        pristine-path send tasks as direct event hops instead of spawning
+        a generator process per message.
+    vector_bulk: let the bulk coordinator and
+        :meth:`~repro.net.fabric.Fabric.bulk_transfer` compute a whole
+        batch of transfers in one vectorized pass.
+    """
+
+    queue: str = "slotted"
+    pool_events: bool = True
+    inline_sends: bool = True
+    vector_bulk: bool = True
+
+    def __post_init__(self):
+        if self.queue not in ("slotted", "heap"):
+            raise ValueError(
+                f"unknown queue kind {self.queue!r}; use 'slotted' or 'heap'")
+
+
+#: The tuned engine every :class:`Environment` uses by default.
+DEFAULT_ENGINE = SimEngine()
+#: The pre-refactor engine: flat heap, no pooling, no fast paths.  The
+#: equivalence battery runs every configuration on both engines.
+HEAP_ENGINE = SimEngine(queue="heap", pool_events=False,
+                        inline_sends=False, vector_bulk=False)
+
+_default_engine = DEFAULT_ENGINE
+
+
+def default_engine() -> SimEngine:
+    """The engine newly constructed environments will use."""
+    return _default_engine
+
+
+def set_default_engine(engine: SimEngine) -> SimEngine:
+    """Swap the process-wide default engine; returns the previous one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+@contextmanager
+def use_engine(engine: SimEngine):
+    """Scope the default engine, e.g. to run a whole simulation (including
+    internally constructed environments) on the heap oracle::
+
+        with use_engine(HEAP_ENGINE):
+            trace = trace_iteration(...)
+    """
+    previous = set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)
 
 
 class SimulationError(Exception):
@@ -57,7 +148,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed",
-                 "_defused")
+                 "_defused", "_cancelled", "_recyclable")
 
     #: Sentinel meaning "no value yet".
     PENDING = object()
@@ -70,6 +161,8 @@ class Event:
         self._scheduled = False
         self._processed = False
         self._defused = False
+        self._cancelled = False
+        self._recyclable = False
 
     @property
     def triggered(self) -> bool:
@@ -86,6 +179,11 @@ class Event:
         return self._ok
 
     @property
+    def cancelled(self) -> bool:
+        """True if the event was removed from the agenda before firing."""
+        return self._cancelled
+
+    @property
     def defused(self) -> bool:
         """True if a failure of this event should not crash the simulation.
 
@@ -98,6 +196,12 @@ class Event:
     def defuse(self) -> "Event":
         """Mark this event's (potential) failure as deliberately unobserved."""
         self._defused = True
+        return self
+
+    def cancel(self) -> "Event":
+        """Remove this scheduled event from the agenda (see
+        :meth:`Environment.cancel`)."""
+        self.env.cancel(self)
         return self
 
     @property
@@ -128,6 +232,7 @@ class Event:
 
     def __repr__(self) -> str:
         state = "processed" if self._processed else (
+            "cancelled" if self._cancelled else
             "triggered" if self._scheduled else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
@@ -177,7 +282,12 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        Initialize(env, self)
+        if env._pool_events:
+            init = env._acquire_carrier(True, None)
+            init.callbacks.append(self._resume)
+            env.schedule(init, priority=URGENT)
+        else:
+            Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -235,12 +345,17 @@ class Process(Event):
         self._target = next_event
         if next_event._processed:
             # Already fired: resume immediately at the current time.
-            immediate = Event(self.env)
-            immediate._ok = next_event._ok
-            immediate._value = next_event._value
+            env = self.env
+            if env._pool_events:
+                immediate = env._acquire_carrier(next_event._ok,
+                                                 next_event._value)
+            else:
+                immediate = Event(env)
+                immediate._ok = next_event._ok
+                immediate._value = next_event._value
             immediate.callbacks.append(self._resume)
             self._target = immediate
-            self.env.schedule(immediate, priority=URGENT)
+            env.schedule(immediate, priority=URGENT)
         else:
             next_event.callbacks.append(self._resume)
 
@@ -328,12 +443,24 @@ class Environment:
         p = env.process(proc(env))
         env.run()
         assert env.now == 5 and p.value == "done"
+
+    ``engine`` selects the execution machinery (queue implementation,
+    event pooling, fast paths); None uses :func:`default_engine`.  All
+    engines produce bit-identical event orderings.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 engine: Optional[SimEngine] = None):
         self._now = float(initial_time)
-        self._queue: List[tuple] = []
-        self._seq = 0
+        self.engine = engine if engine is not None else _default_engine
+        self._queue = (HeapQueue() if self.engine.queue == "heap"
+                       else SlottedQueue())
+        self._pool_events = self.engine.pool_events
+        self._pool: List[Event] = []
+        #: Carrier events served from the free list (observability).
+        self.pooled_reuses = 0
+        #: Events removed from the agenda via :meth:`cancel`.
+        self.cancellations = 0
         #: Optional :class:`~repro.telemetry.TelemetryCollector`.  None (the
         #: default) keeps every instrumentation site on the zero-cost path:
         #: one ``is not None`` test, no recording, no extra sim events.
@@ -348,18 +475,40 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = NORMAL) -> None:
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._queue.push(self._now + delay, priority, event)
+
+    def cancel(self, event: Event) -> None:
+        """Remove a scheduled-but-unprocessed event from the agenda.
+
+        The event never fires: its callbacks do not run and it does not
+        advance the clock.  Cancelling an unscheduled or already-processed
+        event is a no-op.  Physical removal is lazy -- the queue skips
+        tombstones at pop time and compacts once they outnumber live
+        events -- so heavy cancel churn (retry timers, straggler
+        timeouts) cannot grow the agenda without bound.
+        """
+        if not event._scheduled or event._processed or event._cancelled:
+            return
+        event._cancelled = True
+        self.cancellations += 1
+        queue = self._queue
+        before = queue.compactions
+        queue.note_cancel()
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("sim.events_cancelled").inc()
+            if queue.compactions != before:
+                tel.metrics.counter("sim.queue_compactions").inc()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no more events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, event = self._queue.pop()
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for callback in callbacks:
@@ -367,13 +516,15 @@ class Environment:
         if (not event._ok and not callbacks and not event._defused
                 and not isinstance(event, Process)):
             raise event._value
+        if event._recyclable:
+            self._release_carrier(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the agenda is empty or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         while self._queue:
-            if until is not None and self._queue[0][0] > until:
+            if until is not None and self._queue.peek_time() > until:
                 self._now = until
                 return
             self.step()
@@ -390,6 +541,46 @@ class Environment:
         if process._ok:
             return process._value
         raise process._value
+
+    # -- carrier pooling --------------------------------------------------
+
+    def _acquire_carrier(self, ok: Optional[bool], value: Any) -> Event:
+        """A kernel-owned single-shot event, recycled after it fires.
+
+        Only for events whose whole life cycle the kernel controls
+        (process initializers, immediate resumes, inline-send hops):
+        nothing may hold a reference to a carrier after its callbacks ran.
+
+        With pooling disabled the carrier is a plain one-shot event, so
+        every ``SimEngine`` combination keeps identical visible semantics.
+        """
+        if not self._pool_events:
+            event = Event(self)
+            event._ok = ok
+            event._value = value
+            return event
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            self.pooled_reuses += 1
+        else:
+            event = Event(self)
+            event._recyclable = True
+        event._ok = ok
+        event._value = value
+        return event
+
+    def _release_carrier(self, event: Event) -> None:
+        if len(self._pool) >= _POOL_LIMIT:
+            return
+        event.callbacks = []
+        event._value = Event.PENDING
+        event._ok = None
+        event._scheduled = False
+        event._processed = False
+        event._defused = False
+        event._cancelled = False
+        self._pool.append(event)
 
     # -- factories --------------------------------------------------------
 

@@ -1,0 +1,178 @@
+"""Property tests for the agenda queues behind the simulator core.
+
+The slotted calendar queue is only allowed to be *faster* than the heap
+it replaced -- never different.  Hypothesis drives arbitrary
+push/pop/cancel interleavings against a sorted-list reference model
+enforcing the exact ``(time, priority, seq)`` total order the heap
+produced, including FIFO tie-breaks among events sharing an instant and
+priority.  A second property checks Interrupt delivery end-to-end: any
+schedule of sleepers and interrupters runs identically on the heap and
+tuned engines.
+
+The cancel-churn regression pins the tombstone bound: a workload that
+cancels almost everything it schedules must not grow the agenda beyond
+live events plus the compaction threshold.
+"""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (DEFAULT_ENGINE, HEAP_ENGINE, Environment, HeapQueue,
+                       Interrupt, SlottedQueue)
+from repro.sim.queues import COMPACT_MIN_TOMBSTONES
+
+#: A small time domain so same-instant collisions are common.
+TIMES = (0.0, 0.125, 0.25, 0.5, 1.0, 1.5, 2.0)
+
+OPS = st.lists(st.one_of(
+    st.tuples(st.just("push"), st.sampled_from(TIMES), st.integers(0, 1)),
+    st.tuples(st.just("pop")),
+    st.tuples(st.just("cancel"), st.integers(0, 2 ** 32)),
+), max_size=200)
+
+
+class _Stub:
+    """Minimal event stand-in: the queues only touch ``_cancelled``."""
+
+    __slots__ = ("_cancelled", "ident")
+
+    def __init__(self, ident: int):
+        self._cancelled = False
+        self.ident = ident
+
+
+def _apply(queue_cls, ops):
+    """Run ops against the queue and the sorted-list model in lockstep."""
+    queue = queue_cls()
+    model = []  # sorted (time, priority, seq, stub); seq makes keys unique
+    seq = 0
+    for op in ops:
+        if op[0] == "push":
+            seq += 1
+            stub = _Stub(seq)
+            queue.push(op[1], op[2], stub)
+            bisect.insort(model, (op[1], op[2], seq, stub))
+        elif op[0] == "pop":
+            if not model:
+                continue
+            t, _p, _s, stub = model.pop(0)
+            qt, qev = queue.pop()
+            assert qt == t, f"popped time {qt} != model time {t}"
+            assert qev is stub, (
+                f"popped #{qev.ident}, model expected #{stub.ident}")
+        else:  # cancel an arbitrary still-queued event
+            if not model:
+                continue
+            _t, _p, _s, stub = model.pop(op[1] % len(model))
+            stub._cancelled = True
+            queue.note_cancel()
+        assert len(queue) == len(model)
+        expected = model[0][0] if model else float("inf")
+        assert queue.peek_time() == expected
+    while model:  # drain: total order must survive to the end
+        t, _p, _s, stub = model.pop(0)
+        qt, qev = queue.pop()
+        assert qt == t and qev is stub
+    assert len(queue) == 0
+    assert queue.peek_time() == float("inf")
+
+
+@pytest.mark.parametrize("queue_cls", [HeapQueue, SlottedQueue])
+@given(ops=OPS)
+@settings(max_examples=120, deadline=None)
+def test_queue_matches_sorted_model(queue_cls, ops):
+    _apply(queue_cls, ops)
+
+
+@pytest.mark.parametrize("queue_cls", [HeapQueue, SlottedQueue])
+def test_same_instant_fifo_within_priority(queue_cls):
+    """Ties at one (time, priority) slot pop in push order; urgent first."""
+    queue = queue_cls()
+    normal = [_Stub(i) for i in range(50)]
+    urgent = [_Stub(100 + i) for i in range(50)]
+    for n, u in zip(normal, urgent):
+        queue.push(1.0, 1, n)
+        queue.push(1.0, 0, u)
+    popped = [queue.pop()[1].ident for _ in range(100)]
+    assert popped == [s.ident for s in urgent] + [s.ident for s in normal]
+
+
+@st.composite
+def interrupt_scenario(draw):
+    n = draw(st.integers(1, 5))
+    delays = draw(st.lists(st.sampled_from(TIMES[1:]),
+                           min_size=n, max_size=n))
+    pokes = draw(st.lists(
+        st.tuples(st.sampled_from(TIMES), st.integers(0, n - 1)),
+        max_size=6))
+    return delays, sorted(pokes)
+
+
+def _run_interrupts(engine, delays, pokes):
+    env = Environment(engine=engine)
+    log = []
+
+    def sleeper(i, delay):
+        try:
+            yield env.timeout(delay)
+            log.append(("done", i, env.now))
+        except Interrupt as exc:
+            log.append(("interrupted", i, env.now, str(exc.cause)))
+
+    procs = [env.process(sleeper(i, d)) for i, d in enumerate(delays)]
+
+    def interrupter():
+        now = 0.0
+        for at, target in pokes:
+            if at > now:
+                yield env.timeout(at - now)
+                now = at
+            if procs[target].is_alive:
+                procs[target].interrupt(f"poke@{at}")
+
+    env.process(interrupter())
+    env.run()
+    return log
+
+
+@given(scenario=interrupt_scenario())
+@settings(max_examples=80, deadline=None)
+def test_interrupt_delivery_engine_equivalent(scenario):
+    delays, pokes = scenario
+    oracle = _run_interrupts(HEAP_ENGINE, delays, pokes)
+    tuned = _run_interrupts(DEFAULT_ENGINE, delays, pokes)
+    assert tuned == oracle
+
+
+@pytest.mark.parametrize("engine", [HEAP_ENGINE, DEFAULT_ENGINE],
+                         ids=["heap", "slotted"])
+def test_cancel_churn_keeps_queue_bounded(engine):
+    """Heavy cancel churn must not accumulate unbounded tombstones.
+
+    The workload schedules far-future timeouts and cancels almost all of
+    them, repeatedly -- the pattern robust transfers with retry timers
+    produce.  Lazy deletion alone would retain every tombstone until its
+    timestamp drains; the compaction hook must keep the agenda's physical
+    size within live + threshold at all times.
+    """
+    env = Environment(engine=engine)
+    high_water = 0
+
+    def churner():
+        for round_ in range(40):
+            timers = [env.timeout(1000.0 + i) for i in range(50)]
+            yield env.timeout(0.001)
+            for timer in timers:
+                timer.cancel()
+        yield env.timeout(0.001)
+
+    proc = env.process(churner())
+    while proc.is_alive:
+        env.step()
+        queue = env._queue
+        high_water = max(high_water, len(queue) + queue.tombstones)
+    live_peak = 50 + 2  # one round's timers + process bookkeeping
+    assert high_water <= live_peak + COMPACT_MIN_TOMBSTONES * 2, (
+        f"agenda grew to {high_water} physical entries under cancel churn")
