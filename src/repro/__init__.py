@@ -37,8 +37,11 @@ _API_NAMES = frozenset({
     "ExperimentRunner", "JobSpec", "ResultCache", "RunJournal", "RunReport",
     "artifact_plans", "job_digest", "run_artifacts",
     "ConfigError",
-    "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig", "SyncPlan",
-    "build_plan", "default_graph_cache", "sync_plan_dump", "verify_plan",
+    "AdaptivePass", "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig",
+    "SyncPlan", "build_plan", "default_graph_cache", "get_pass",
+    "list_passes", "register_pass", "sync_plan_dump", "verify_plan",
+    "CompressionPolicy", "DecisionLog", "DecisionMap", "GradientDecision",
+    "PolicyController", "PolicyRun", "parse_policy", "run_policy",
     "MetricsRegistry", "Span", "TelemetryCollector", "attach",
     "current_collector", "detach", "flame_summary", "telemetry_session",
     "to_chrome_trace", "to_metrics_csv", "to_metrics_json",

@@ -1,0 +1,140 @@
+"""Observed signals the adaptive control plane feeds on.
+
+Three signal sources, matching the ISSUE/ROADMAP triple:
+
+* **layer size** -- static, straight off the model's
+  :class:`~repro.models.GradientSpec`;
+* **gradient regime** (norm / sparsity) -- the simulator has no real
+  tensors at control-plane granularity, so
+  :class:`SyntheticGradientStream` synthesizes a training-shaped,
+  *stateless* per-(seed, gradient, iteration) trajectory: norms decay
+  with minibatch noise and occasional critical-regime spikes, sparsity
+  grows toward an asymptote.  Statelessness (every value is a pure
+  function of the crc32-hashed key) is what makes controller decisions
+  deterministic, seekable, and replayable from a recorded log;
+* **measured link bandwidth** -- :class:`BandwidthTracker` EMA-smooths
+  the fabric's achieved goodput
+  (:attr:`~repro.training.IterationResult.measured_link_bandwidth`,
+  PR-6's ``fabric.stats``), quantized so small jitters don't thrash the
+  planner or the graph cache.
+
+crc32 (not ``hash()``) keys the RNG because str hashing is
+PYTHONHASHSEED-salted -- the same idiom as ``repro.models.zoo``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["GradientSignal", "SyntheticGradientStream", "BandwidthTracker"]
+
+
+@dataclass(frozen=True)
+class GradientSignal:
+    """One gradient's observed regime at one iteration."""
+
+    norm: float
+    sparsity: float  # fraction of near-zero elements, in [0, 1)
+
+
+def _unit(key: str) -> float:
+    """Deterministic uniform [0, 1) from a string key (stateless)."""
+    return (zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF) / 2.0 ** 32
+
+
+class SyntheticGradientStream:
+    """Training-shaped per-gradient norm/sparsity trajectories.
+
+    ``signals(iteration)`` is a pure function of ``(seed, iteration)``:
+    calling it out of order, twice, or from a replayed run yields the
+    same values bit-for-bit.
+
+    Shape: each gradient starts at a size-derived base norm that decays
+    geometrically (``decay``) with +/-15 % multiplicative minibatch
+    noise; roughly every ``spike_period`` iterations (phase offset by
+    gradient identity) it enters a critical regime -- the norm jumps by
+    ``spike_factor`` -- which is what the accordion policy detects.
+    Sparsity climbs from ``base_sparsity`` toward ~0.99 as training
+    converges.
+    """
+
+    def __init__(self, model, seed: str = "adaptive",
+                 decay: float = 0.985, spike_period: int = 13,
+                 spike_factor: float = 3.0, base_sparsity: float = 0.5):
+        if spike_period < 1:
+            raise ValueError(
+                f"spike_period must be >= 1, got {spike_period}")
+        self.model = model
+        self.seed = str(seed)
+        self.decay = float(decay)
+        self.spike_period = int(spike_period)
+        self.spike_factor = float(spike_factor)
+        self.base_sparsity = float(base_sparsity)
+
+    def signal(self, name: str, nbytes: float,
+               iteration: int) -> GradientSignal:
+        key = f"{self.seed}:{name}:{iteration}"
+        rng = np.random.default_rng(zlib.crc32(key.encode("utf-8")))
+        noise = 1.0 + 0.15 * (2.0 * float(rng.random()) - 1.0)
+        # Base norm ~ sqrt(num elements), scaled by a stable per-tensor
+        # factor in [0.5, 2.0).
+        scale = 0.5 + 1.5 * _unit(f"{self.seed}:base:{name}")
+        base = scale * float(np.sqrt(max(1.0, nbytes / 4.0)))
+        norm = base * (self.decay ** iteration) * noise
+        phase = int(_unit(f"{self.seed}:phase:{name}") * self.spike_period)
+        if (iteration + phase) % self.spike_period == 0:
+            norm *= self.spike_factor
+        ramp = iteration / (iteration + 50.0)
+        sparsity = self.base_sparsity + (0.99 - self.base_sparsity) * ramp
+        sparsity = min(0.99, sparsity * (1.0 + 0.02 * (2.0 * float(
+            rng.random()) - 1.0)))
+        return GradientSignal(norm=norm, sparsity=max(0.0, sparsity))
+
+    def signals(self, iteration: int) -> Dict[str, GradientSignal]:
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        return {g.name: self.signal(g.name, g.nbytes, iteration)
+                for g in self.model.gradients}
+
+
+class BandwidthTracker:
+    """EMA over measured per-link goodput, quantized for planner reuse.
+
+    ``update`` folds in one iteration's measurement; ``planning_gbps``
+    returns the estimate rounded to ``quantum_gbps`` steps -- coarse
+    enough that the bandwidth policy's cost model (and hence the graph
+    cache) only re-plans on *material* bandwidth shifts, fine enough to
+    track congestion.  Before any measurement the spec bandwidth is the
+    estimate (the controller must decide at iteration 0).
+    """
+
+    def __init__(self, spec_bytes_per_second: float,
+                 smoothing: float = 0.5, quantum_gbps: float = 2.0):
+        if spec_bytes_per_second <= 0:
+            raise ValueError("spec bandwidth must be positive")
+        if not 0 <= smoothing < 1:
+            raise ValueError(f"smoothing must be in [0, 1), got {smoothing}")
+        if quantum_gbps <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum_gbps}")
+        self.spec = float(spec_bytes_per_second)
+        self.smoothing = float(smoothing)
+        self.quantum_gbps = float(quantum_gbps)
+        self.estimate = float(spec_bytes_per_second)
+        self.observations = 0
+
+    def update(self, measured_bytes_per_second: float) -> None:
+        if measured_bytes_per_second <= 0:
+            return  # nothing moved this iteration; keep the estimate
+        self.estimate = (self.smoothing * self.estimate
+                         + (1.0 - self.smoothing)
+                         * float(measured_bytes_per_second))
+        self.observations += 1
+
+    def planning_gbps(self) -> float:
+        gbps = self.estimate * 8.0 / 1e9
+        return max(self.quantum_gbps,
+                   round(gbps / self.quantum_gbps) * self.quantum_gbps)

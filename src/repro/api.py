@@ -63,6 +63,14 @@ of every graph built inside a ``with`` block.  See ``docs/SYNC_IR.md``.
 
 from __future__ import annotations
 
+from .adaptive import (
+    CompressionPolicy,
+    DecisionLog,
+    PolicyController,
+    PolicyRun,
+    parse_policy,
+    run_policy,
+)
 from .algorithms import (
     CompressionAlgorithm,
     available_algorithms,
@@ -71,9 +79,15 @@ from .algorithms import (
 )
 from .casync import (
     DEFAULT_PASS_CONFIG,
+    AdaptivePass,
+    DecisionMap,
+    GradientDecision,
     PassConfig,
     SyncPlan,
     build_plan,
+    get_pass,
+    list_passes,
+    register_pass,
     verify_plan,
 )
 from .casync.lower import (
@@ -147,8 +161,12 @@ __all__ = [
     # errors
     "ConfigError",
     # sync-plan IR (see docs/SYNC_IR.md)
-    "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig", "SyncPlan",
-    "build_plan", "default_graph_cache", "sync_plan_dump", "verify_plan",
+    "AdaptivePass", "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig",
+    "SyncPlan", "build_plan", "default_graph_cache", "get_pass",
+    "list_passes", "register_pass", "sync_plan_dump", "verify_plan",
+    # adaptive control plane (see docs/ADAPTIVE.md)
+    "CompressionPolicy", "DecisionLog", "DecisionMap", "GradientDecision",
+    "PolicyController", "PolicyRun", "parse_policy", "run_policy",
     # telemetry
     "MetricsRegistry", "Span", "TelemetryCollector", "attach",
     "current_collector", "detach", "flame_summary", "telemetry_session",

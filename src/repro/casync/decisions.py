@@ -1,0 +1,113 @@
+"""Per-gradient compression decisions: the adaptive control plane's IR input.
+
+The adaptive controller (:mod:`repro.adaptive`) decides, per gradient and
+per iteration, *whether* to compress, *which* algorithm to use, and *how
+many* partitions to cut.  Those verdicts travel as a :class:`DecisionMap`
+-- an immutable, content-keyed bundle that
+:class:`~repro.casync.passes.AdaptivePass` applies to a plan's directives
+and that :func:`repro.casync.lower.cache_key` folds into the graph-cache
+identity, so two iterations with different decisions can never share a
+lowered recipe while identical decision maps replay warm.
+
+Deliberately environment-free and controller-free: a DecisionMap carries
+only data (plus the instantiated algorithm palette for the lowering cost
+model), which is what makes decisions serializable, replayable from a
+recorded log, and safe to hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["GradientDecision", "DecisionMap"]
+
+
+@dataclass(frozen=True)
+class GradientDecision:
+    """The controller's verdict for one gradient in one iteration.
+
+    ``algorithm`` names an entry of the owning :class:`DecisionMap`'s
+    palette; None means the plan's default algorithm.  ``partitions`` is
+    the proposed pipelining K (promoted into plan structure by
+    :class:`~repro.casync.passes.PartitionPass`, exactly like the §3.3
+    planner's K); None defers to the fixed partitioning rule.
+    """
+
+    compress: bool
+    algorithm: Optional[str] = None
+    partitions: Optional[int] = None
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {"compress": self.compress, "algorithm": self.algorithm,
+                "partitions": self.partitions}
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, object]) -> "GradientDecision":
+        return cls(compress=bool(obj["compress"]),
+                   algorithm=obj.get("algorithm"),
+                   partitions=obj.get("partitions"))
+
+
+class DecisionMap:
+    """One iteration's complete set of per-gradient decisions.
+
+    ``palette`` maps the algorithm keys decisions reference to
+    *instantiated* :class:`~repro.algorithms.base.CompressionAlgorithm`
+    objects (the lowering stage costs encode/decode through them).
+    ``decisions`` must cover every gradient the plan will carry --
+    :class:`~repro.casync.passes.AdaptivePass` raises a typed
+    :class:`~repro.errors.ConfigError` on any gap.
+    """
+
+    def __init__(self, decisions: Mapping[str, GradientDecision],
+                 palette: Optional[Mapping[str, object]] = None):
+        self.decisions: Dict[str, GradientDecision] = dict(decisions)
+        self.palette: Dict[str, object] = dict(palette or {})
+        for name in sorted(self.decisions):
+            dec = self.decisions[name]
+            if dec.algorithm is not None \
+                    and dec.algorithm not in self.palette:
+                from ..errors import ConfigError
+                raise ConfigError(
+                    "decision algorithm", dec.algorithm, self.palette,
+                    hint=f"gradient {name!r} references a palette entry "
+                         "the DecisionMap does not carry")
+
+    def get(self, gradient: str) -> Optional[GradientDecision]:
+        return self.decisions.get(gradient)
+
+    def algorithm_for(self, gradient: str, default=None):
+        """Resolve the palette algorithm a gradient's decision names."""
+        dec = self.decisions.get(gradient)
+        if dec is None or dec.algorithm is None:
+            return default
+        return self.palette[dec.algorithm]
+
+    def content(self) -> Tuple:
+        """Hashable identity of the *decisions* (palette hashed separately
+        by :func:`repro.casync.lower.cache_key`, which knows how to token
+        an algorithm instance)."""
+        return tuple(
+            (name, d.compress, d.algorithm, d.partitions)
+            for name, d in sorted(self.decisions.items()))
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {name: self.decisions[name].to_json_obj()
+                for name in sorted(self.decisions)}
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DecisionMap):
+            return NotImplemented
+        return self.content() == other.content()
+
+    def __hash__(self) -> int:
+        return hash(self.content())
+
+    def __repr__(self) -> str:
+        compressed = sum(1 for d in self.decisions.values() if d.compress)
+        return (f"<DecisionMap {compressed}/{len(self.decisions)} "
+                f"compressed, palette={sorted(self.palette)}>")

@@ -154,6 +154,13 @@ class Directive:
     :class:`~repro.casync.passes.SelectivePass`; it only takes structural
     effect when :class:`~repro.casync.passes.PartitionPass` is in the
     pipeline (pipelining enabled) and promotes it into ``partitions``.
+
+    ``algorithm`` overrides the plan-wide codec for this gradient; it is
+    only ever set by :class:`~repro.casync.passes.AdaptivePass` (a
+    palette key resolved through the active
+    :class:`~repro.casync.decisions.DecisionMap`).  None means "use the
+    plan's default algorithm", and the JSON dump omits the field in that
+    case so pre-adaptive golden snapshots stay byte-identical.
     """
 
     gradient: str
@@ -161,14 +168,18 @@ class Directive:
     compress: bool = False
     partitions: int = 1
     planned_partitions: Optional[int] = None
+    algorithm: Optional[str] = None
 
     def to_json_obj(self) -> Dict[str, object]:
-        return {
+        obj: Dict[str, object] = {
             "nbytes": self.nbytes,
             "compress": self.compress,
             "partitions": self.partitions,
             "planned_partitions": self.planned_partitions,
         }
+        if self.algorithm is not None:
+            obj["algorithm"] = self.algorithm
+        return obj
 
 
 class SyncPlan:
@@ -248,8 +259,13 @@ class SyncPlan:
                        sorted(self.meta.items()))).encode())
         for name in sorted(self.directives):
             d = self.directives[name]
-            h.update(repr((name, d.nbytes, d.compress, d.partitions,
-                           d.planned_partitions)).encode())
+            row = (name, d.nbytes, d.compress, d.partitions,
+                   d.planned_partitions)
+            # Keep the pre-adaptive encoding for default-codec directives
+            # so digests only move when a per-gradient override exists.
+            if d.algorithm is not None:
+                row = row + (d.algorithm,)
+            h.update(repr(row).encode())
         for op in self.ops:
             deps = tuple(
                 (dep.node, dep.gradient) if isinstance(dep, ReadyRef)
@@ -272,9 +288,11 @@ class SyncPlan:
         lines.append(f"directives ({len(self.directives)}):")
         for name in sorted(self.directives):
             d = self.directives[name]
+            algo = f"  algo={d.algorithm}" if d.algorithm is not None else ""
             lines.append(
                 f"  {name}: {d.nbytes} B  "
-                f"{'compress' if d.compress else 'raw'}  K={d.partitions}")
+                f"{'compress' if d.compress else 'raw'}  K={d.partitions}"
+                f"{algo}")
         counts = self.counts()
         summary = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
         lines.append(f"ops ({len(self.ops)}): {summary}")

@@ -118,7 +118,7 @@ def _spec_for(op: Op, builder, pctx: PassContext,
         else:
             task = builder.cpu_aggregate(op.node, nbytes, op.label)
     elif op.kind == "send":
-        task = builder.send(op.node, op.dst, pctx.wire(op.size), op.label,
+        task = builder.send(op.node, op.dst, pctx.wire_op(op), op.label,
                             bulk=bool(op.attrs.get("bulk")))
     elif op.kind == "barrier":
         task = builder.notify(op.node, op.label)
@@ -135,10 +135,31 @@ def _spec_for(op: Op, builder, pctx: PassContext,
 
 
 def lower_plan(plan: SyncPlan, pctx: PassContext) -> LoweredRecipe:
-    """Resolve a (verified) plan into an environment-free recipe."""
+    """Resolve a (verified) plan into an environment-free recipe.
+
+    Under an adaptive :class:`~repro.casync.decisions.DecisionMap`, each
+    op is costed through a TaskBuilder bound to *its gradient's* codec
+    (one builder per palette entry, created lazily); without decisions
+    every op uses the plan-wide default builder, byte-identically to the
+    pre-adaptive lowering.
+    """
     from ..strategies.base import TaskBuilder  # deferred: avoids a cycle
 
     builder = TaskBuilder(_BuilderContext(pctx.cluster, pctx.algorithm))
+    builders: Dict[Optional[str], object] = {None: builder}
+
+    def builder_for(op: Op):
+        if pctx.decisions is None or op.grad is None:
+            return builder
+        dec = pctx.decisions.get(op.grad)
+        key = None if dec is None else dec.algorithm
+        chosen = builders.get(key)
+        if chosen is None:
+            chosen = TaskBuilder(_BuilderContext(
+                pctx.cluster, pctx.decisions.palette[key]))
+            builders[key] = chosen
+        return chosen
+
     index_of: Dict[int, int] = {}
     specs: List[TaskSpec] = []
     for op in plan.ops:
@@ -149,7 +170,7 @@ def lower_plan(plan: SyncPlan, pctx: PassContext) -> LoweredRecipe:
             else:
                 deps.append(("t", index_of[dep]))
         index_of[op.uid] = len(specs)
-        specs.append(_spec_for(op, builder, pctx, tuple(deps)))
+        specs.append(_spec_for(op, builder_for(op), pctx, tuple(deps)))
     return LoweredRecipe(specs=specs, plan_digest=plan.digest(),
                          strategy=plan.strategy, num_nodes=plan.num_nodes,
                          meta=dict(plan.meta))
@@ -213,16 +234,38 @@ def _plans_token(plans) -> Optional[str]:
     return hashlib.sha256(plans_to_json(plans).encode()).hexdigest()
 
 
+def _decisions_token(decisions) -> Optional[Tuple]:
+    """Content identity of one iteration's adaptive decisions.
+
+    Any decision input that changes plan shape -- a compress flip, a
+    palette re-assignment, a partition override, or a re-parameterized
+    palette codec -- must change this token, or a warm recipe built for
+    different decisions would be replayed (the keying bug this guards).
+    """
+    if decisions is None:
+        return None
+    palette = tuple((key, _algorithm_token(decisions.palette[key]))
+                    for key in sorted(decisions.palette))
+    return (decisions.content(), palette)
+
+
 def cache_key(strategy, model, pctx: PassContext) -> Tuple:
-    """Identity of a lowered graph: everything the recipe depends on."""
+    """Identity of a lowered graph: everything the recipe depends on.
+
+    Passes contribute their *name and parameter token* (a name alone
+    would alias two differently-tuned instances of the same pass), and
+    adaptive decision maps are content-keyed via :func:`_decisions_token`.
+    """
     return (
-        (strategy.name, tuple(p.name for p in strategy.passes()),
+        (strategy.name,
+         tuple((p.name, p.cache_token()) for p in strategy.passes()),
          strategy.cache_token()),
         (model.name, tuple((g.name, g.nbytes) for g in model.gradients)),
         (pctx.num_nodes, repr(pctx.cluster.node), repr(pctx.cluster.network)),
         _algorithm_token(pctx.algorithm),
         _plans_token(pctx.plans),
         pctx.config.token(),
+        _decisions_token(pctx.decisions),
     )
 
 
@@ -313,7 +356,8 @@ def build_graph(strategy, ctx, model,
         num_nodes=ctx.cluster.num_nodes, cluster=ctx.cluster,
         algorithm=ctx.algorithm, plans=ctx.plans,
         config=(ctx.pass_config if getattr(ctx, "pass_config", None)
-                is not None else DEFAULT_PASS_CONFIG))
+                is not None else DEFAULT_PASS_CONFIG),
+        decisions=getattr(ctx, "decisions", None))
     tel = getattr(ctx.env, "telemetry", None)
     store = cache if cache is not None else _DEFAULT_CACHE
     key = cache_key(strategy, model, pctx)

@@ -29,15 +29,27 @@ to be duplicated between strategies and the coordinator
 (``BULK_ELIGIBLE_BYTES`` / ``DEFAULT_PART_BYTES`` / the coordinator's
 batching policy); override it per run via
 ``simulate_iteration(pass_config=...)``.
+
+Passes are also a *registry* (:func:`register_pass` / :func:`get_pass` /
+:func:`list_passes`): strategies build their pipelines from pass names,
+and third-party passes plug in without editing this module.  The adaptive
+control plane's decision point is :class:`AdaptivePass` (directive
+phase): it applies a per-gradient
+:class:`~repro.casync.decisions.DecisionMap` -- computed by a
+:class:`~repro.adaptive.controller.PolicyController` from observed
+bandwidth / gradient-regime / size signals -- onto the plan's directives,
+overriding the static §3.3 verdicts.  Decisions are content-keyed into
+the graph-cache token by :func:`repro.casync.lower.cache_key`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Type
 
 from ..errors import ConfigError
+from .decisions import DecisionMap
 from .ir import (
     Directive,
     Op,
@@ -49,6 +61,7 @@ from .planner import GradientPlan
 
 __all__ = [
     "DEFAULT_PASS_CONFIG",
+    "AdaptivePass",
     "BulkRoutePass",
     "FuseDecodeMergePass",
     "PartitionPass",
@@ -59,6 +72,9 @@ __all__ = [
     "SelectivePass",
     "VerifyPass",
     "build_plan",
+    "get_pass",
+    "list_passes",
+    "register_pass",
     "verify_plan",
     "wire_nbytes",
 ]
@@ -123,10 +139,30 @@ class PassContext:
     algorithm: Optional[object] = None
     plans: Optional[Dict[str, GradientPlan]] = None
     config: PassConfig = DEFAULT_PASS_CONFIG
+    #: Per-gradient adaptive decisions for this iteration (None = the
+    #: static path; plans built with and without decisions lower through
+    #: different graph-cache keys -- see ``lower.cache_key``).
+    decisions: Optional[DecisionMap] = None
 
     def wire(self, size) -> float:
         """Resolve a :class:`~repro.casync.ir.SizeExpr` to wire bytes."""
         return size.wire(lambda raw: wire_nbytes(self.algorithm, raw))
+
+    def algorithm_for(self, grad: Optional[str]):
+        """The codec a gradient's payload moves through.
+
+        The plan-wide default unless an adaptive decision names a palette
+        override for ``grad``.  Ops that belong to no single gradient
+        (``grad is None``, e.g. raw ring buckets) always use the default.
+        """
+        if self.decisions is None or grad is None:
+            return self.algorithm
+        return self.decisions.algorithm_for(grad, default=self.algorithm)
+
+    def wire_op(self, op) -> float:
+        """Wire bytes of an op's payload under its *own* gradient's codec."""
+        return op.size.wire(
+            lambda raw: wire_nbytes(self.algorithm_for(op.grad), raw))
 
 
 class Pass:
@@ -138,6 +174,26 @@ class Pass:
 
     def run(self, plan: SyncPlan, pctx: PassContext) -> None:
         raise NotImplementedError
+
+    def cache_token(self) -> tuple:
+        """Hashable parameter identity, folded into the graph-cache key.
+
+        The key used to record only pass *names*, so a pass carrying
+        tuning state could alias a differently-parameterized twin.  The
+        default covers scalar (and scalar-tuple) instance attributes;
+        passes with richer state must override.
+        """
+        items = []
+        state = vars(self)
+        for key in sorted(state):
+            value = state[key]
+            if isinstance(value, (bool, int, float, str, type(None))):
+                items.append((key, value))
+            elif isinstance(value, tuple) and all(
+                    isinstance(v, (bool, int, float, str, type(None)))
+                    for v in value):
+                items.append((key, value))
+        return tuple(items)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
@@ -162,6 +218,53 @@ class SelectivePass(Pass):
                          "simulate_iteration (or make_plans(...))")
             directive.compress = gplan.compress
             directive.planned_partitions = gplan.partitions
+
+
+class AdaptivePass(Pass):
+    """Apply one iteration's adaptive per-gradient decisions (§control plane).
+
+    The decision point of :mod:`repro.adaptive`: a
+    :class:`~repro.casync.decisions.DecisionMap` -- computed *outside*
+    the pass pipeline by a policy controller, so plan building stays
+    environment-free and cacheable -- lands on the directives here.
+    Each decision may flip ``compress``, name a palette codec override
+    (``Directive.algorithm``), and propose a partition count that
+    :class:`PartitionPass` later promotes into structure.
+
+    Runs after :class:`SelectivePass` (adaptive verdicts override the
+    static §3.3 planner where both are present) and before
+    :class:`PartitionPass`.  Raises a typed
+    :class:`~repro.errors.ConfigError` when no decisions were supplied or
+    a gradient has none: silent partial coverage would make replay
+    ambiguous.
+    """
+
+    name = "adaptive"
+    phase = "directive"
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        if pctx.decisions is None:
+            raise ConfigError(
+                "decisions", None, [],
+                hint="AdaptivePass needs a DecisionMap: run through a "
+                     "CompressionPolicy (repro.adaptive) or pass "
+                     "decisions= to simulate_iteration")
+        overridden = 0
+        for name in plan.directives:
+            directive = plan.directives[name]
+            dec = pctx.decisions.get(name)
+            if dec is None:
+                raise ConfigError(
+                    "decision", name, sorted(pctx.decisions.decisions),
+                    hint="the DecisionMap must cover every gradient in "
+                         "the model")
+            directive.compress = dec.compress
+            directive.algorithm = dec.algorithm
+            if dec.partitions is not None:
+                directive.planned_partitions = dec.partitions
+            if dec.algorithm is not None:
+                overridden += 1
+        plan.meta["adaptive_overrides"] = overridden
 
 
 class PartitionPass(Pass):
@@ -257,7 +360,7 @@ class BulkRoutePass(Pass):
         for op in plan.ops:
             if op.kind != "send" or not op.attrs.get("bulk_eligible"):
                 continue
-            if pctx.wire(op.size) < threshold:
+            if pctx.wire_op(op) < threshold:
                 op.attrs["bulk"] = True
                 marked += 1
         plan.meta["batch_compression"] = True
@@ -329,6 +432,61 @@ class VerifyPass(Pass):
     def run(self, plan: SyncPlan, pctx: PassContext) -> None:
         verify_plan(plan)
         plan.meta["verified"] = True
+
+
+# -- pass registry -----------------------------------------------------------
+#
+# Strategies assemble their pipelines from pass *names*, and third-party
+# passes register here (via repro.api.register_pass) instead of editing
+# this module.  Names must be unique; lookup failures raise a typed
+# ConfigError carrying the valid choices.
+
+_PASS_REGISTRY: Dict[str, Type[Pass]] = {}
+
+
+def register_pass(cls: Type[Pass]) -> Type[Pass]:
+    """Register a :class:`Pass` subclass under its ``name``.
+
+    Usable as a decorator.  Re-registering a name is rejected unless it
+    is the same class (idempotent re-imports are fine); shadowing a
+    built-in pass silently would make strategy pipelines ambiguous.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, Pass)):
+        raise TypeError(f"register_pass expects a Pass subclass, got {cls!r}")
+    name = cls.name
+    if not name or name == Pass.name:
+        raise ValueError(
+            f"{cls.__name__} must define a unique 'name' class attribute")
+    existing = _PASS_REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"pass name {name!r} is already registered to "
+            f"{existing.__name__}")
+    _PASS_REGISTRY[name] = cls
+    return cls
+
+
+def get_pass(name: str) -> Type[Pass]:
+    """Look up a registered pass class by name (typed error on miss)."""
+    try:
+        return _PASS_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            "pass", name, sorted(_PASS_REGISTRY),
+            hint="register custom passes via repro.api.register_pass"
+        ) from None
+
+
+def list_passes() -> List[str]:
+    """Names of all registered passes, sorted."""
+    return sorted(_PASS_REGISTRY)
+
+
+for _cls in (SelectivePass, AdaptivePass, PartitionPass,
+             FuseDecodeMergePass, BulkRoutePass, CollapseFanInPass,
+             VerifyPass):
+    register_pass(_cls)
+del _cls
 
 
 def _sizes_match(a: float, b: float) -> bool:

@@ -12,6 +12,7 @@ benchmarks in ``benchmarks/`` call these and print the rendered output.
 """
 
 from . import (
+    adaptive,
     fig7,
     fig8,
     fig9,
@@ -48,6 +49,7 @@ __all__ = [
     "execute_serial",
     "job_digest",
     "run_artifacts",
+    "adaptive",
     "fig10",
     "fig11",
     "fig12",

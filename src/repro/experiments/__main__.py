@@ -39,7 +39,7 @@ import time
 from pathlib import Path
 
 from . import (
-    fig7, fig8, fig9, fig10, fig11, fig12, fig13, kernel_speed,
+    adaptive, fig7, fig8, fig9, fig10, fig11, fig12, fig13, kernel_speed,
     table1, table5, table6, table7,
 )
 from .runner import ExperimentRunner, ResultCache, RunJournal, artifact_plans
@@ -68,6 +68,9 @@ def build_registry(quick: bool):
     nodes = 8 if quick else 16
     sweep_nodes = (4, 8) if quick else (4, 16)
     return {
+        "adaptive": _runner(adaptive, num_nodes=nodes,
+                            large_nodes=32 if quick else None,
+                            iterations=2 if quick else 4),
         "table1": _runner(table1, num_nodes=nodes),
         "table5": _runner(table5),
         "table6": _runner(table6),

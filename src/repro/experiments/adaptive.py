@@ -1,0 +1,186 @@
+"""Adaptive-vs-fixed compression policies across cluster profiles.
+
+Not a paper artifact: this driver evaluates the PR-7 adaptive control
+plane (:mod:`repro.adaptive`, ``docs/ADAPTIVE.md``).  Every
+:data:`POLICIES` entry runs on every :func:`profiles` row -- the
+standard EC2 testbed, the same testbed under link congestion (where
+§3.3's compress-or-not tradeoffs bite hardest), and the 256-node EC2
+preset -- via the multi-iteration control loop
+(:func:`repro.adaptive.run_policy`), one job per (profile, policy)
+point.
+
+The headline check: on at least one profile an *adaptive* policy beats
+every *fixed* one, because re-planning under the measured link bandwidth
+(or mixing codecs by layer size) finds per-gradient choices a single
+static codec cannot express.  ``render`` prints the per-profile ranking
+and calls that comparison out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..adaptive import run_policy
+from ..cluster import get_cluster
+from .common import JobSpec, execute_serial, format_table
+
+__all__ = ["POLICIES", "jobs", "run_job", "run", "assemble", "render",
+           "profiles"]
+
+#: (key, policy spec) -- the palette under comparison.  Three fixed
+#: single-codec policies and three adaptive ones over the same codecs.
+POLICIES: Tuple[Tuple[str, str], ...] = (
+    ("fixed-onebit", "fixed:algorithm=onebit"),
+    ("fixed-dgc", "fixed:algorithm=dgc"),
+    ("fixed-terngrad", "fixed:algorithm=terngrad"),
+    ("size", "size:small=terngrad,large=dgc,threshold_bytes=4194304"),
+    ("bandwidth", "bandwidth:algorithm=dgc"),
+    ("accordion", "accordion:conservative=terngrad,aggressive=dgc"),
+)
+
+
+def profiles(num_nodes: int = 16,
+             large_nodes: Optional[int] = None,
+             iterations: int = 4,
+             large_iterations: int = 2) -> List[Dict]:
+    """The cluster profiles under test (JSON rows; see :func:`run_job`).
+
+    ``large_nodes=None`` runs the ``ec2-v100-256`` preset at its native
+    256 nodes (expensive: minutes per policy); quick/test runs shrink it.
+    """
+    return [
+        {"key": "ec2", "model": "vgg19", "preset": "ec2-v100",
+         "num_nodes": num_nodes, "bandwidth_gbps": None,
+         "iterations": iterations},
+        {"key": "ec2-congested", "model": "vgg19", "preset": "ec2-v100",
+         "num_nodes": num_nodes, "bandwidth_gbps": 8.0,
+         "iterations": iterations},
+        {"key": "ec2-256", "model": "lstm", "preset": "ec2-v100-256",
+         "num_nodes": large_nodes, "bandwidth_gbps": None,
+         "iterations": large_iterations},
+    ]
+
+
+def jobs(num_nodes: int = 16, large_nodes: Optional[int] = None,
+         iterations: int = 4, large_iterations: int = 2,
+         strategy: str = "casync-ps") -> List[JobSpec]:
+    """One job per (cluster profile, policy) point."""
+    specs: List[JobSpec] = []
+    for profile in profiles(num_nodes=num_nodes, large_nodes=large_nodes,
+                            iterations=iterations,
+                            large_iterations=large_iterations):
+        for policy_key, policy in POLICIES:
+            specs.append(JobSpec(
+                artifact="adaptive",
+                job_id=f"adaptive/{profile['key']}-{policy_key}",
+                module="repro.experiments.adaptive",
+                params={
+                    "model": profile["model"],
+                    "preset": profile["preset"],
+                    "num_nodes": profile["num_nodes"],
+                    "bandwidth_gbps": profile["bandwidth_gbps"],
+                    "policy": policy,
+                    "strategy": strategy,
+                    "iterations": profile["iterations"],
+                }))
+    return specs
+
+
+def run_job(model: str, preset: str, num_nodes: Optional[int],
+            bandwidth_gbps: Optional[float], policy: str, strategy: str,
+            iterations: int) -> Dict:
+    """Run one policy on one cluster profile; the JSON payload is the
+    full :meth:`~repro.adaptive.PolicyRun.to_json_obj` record."""
+    cluster = get_cluster(preset, num_nodes=num_nodes)
+    if bandwidth_gbps is not None:
+        cluster = cluster.with_bandwidth(bandwidth_gbps)
+    run = run_policy(model, cluster, policy, strategy=strategy,
+                     iterations=iterations)
+    payload = run.to_json_obj()
+    payload["cluster"] = cluster.name
+    payload["num_nodes"] = cluster.num_nodes
+    payload["model"] = model
+    return payload
+
+
+def assemble(payloads: Mapping[str, Dict], num_nodes: int = 16,
+             large_nodes: Optional[int] = None, iterations: int = 4,
+             large_iterations: int = 2,
+             strategy: str = "casync-ps") -> Dict[str, Dict]:
+    """Fold job payloads into per-profile comparisons.
+
+    Each profile's entry carries its policy payloads plus the ranking:
+    ``best`` / ``best_fixed`` policy keys and ``adaptive_wins`` (an
+    adaptive policy strictly beat every fixed one).
+    """
+    results: Dict[str, Dict] = {}
+    for profile in profiles(num_nodes=num_nodes, large_nodes=large_nodes,
+                            iterations=iterations,
+                            large_iterations=large_iterations):
+        key = profile["key"]
+        rows = {
+            policy_key: payloads[f"adaptive/{key}-{policy_key}"]
+            for policy_key, _ in POLICIES}
+        ranked = sorted(rows, key=lambda k: rows[k]["mean_iteration_time"])
+        fixed = [k for k in ranked if rows[k]["policy_kind"] == "fixed"]
+        best = ranked[0]
+        best_fixed = fixed[0]
+        results[key] = {
+            "profile": profile,
+            "policies": rows,
+            "ranking": ranked,
+            "best": best,
+            "best_fixed": best_fixed,
+            "adaptive_wins": (
+                rows[best]["mean_iteration_time"]
+                < rows[best_fixed]["mean_iteration_time"]),
+        }
+    return results
+
+
+def run(num_nodes: int = 16, large_nodes: Optional[int] = None,
+        iterations: int = 4, large_iterations: int = 2,
+        strategy: str = "casync-ps") -> Dict[str, Dict]:
+    kwargs = dict(num_nodes=num_nodes, large_nodes=large_nodes,
+                  iterations=iterations, large_iterations=large_iterations,
+                  strategy=strategy)
+    return assemble(execute_serial(jobs(**kwargs)), **kwargs)
+
+
+def render(results: Dict[str, Dict]) -> str:
+    parts = []
+    for key, result in results.items():
+        profile = result["profile"]
+        rows = result["policies"]
+        first = rows[result["ranking"][0]]
+        congestion = (f", link capped at {profile['bandwidth_gbps']:g} Gbps"
+                      if profile["bandwidth_gbps"] else "")
+        parts.append(
+            f"Adaptive vs fixed -- {profile['model']} x {first['cluster']} "
+            f"({first['num_nodes']} nodes{congestion}), "
+            f"{profile['iterations']} iteration(s)")
+        table = []
+        for policy_key in result["ranking"]:
+            payload = rows[policy_key]
+            compressed = payload["compressed_per_iteration"]
+            table.append([
+                policy_key,
+                payload["policy"],
+                f"{payload['mean_iteration_time'] * 1e3:.3f}",
+                f"{sum(compressed) / len(compressed):.1f}"
+                if compressed else "static",
+            ])
+        parts.append(format_table(
+            ["policy", "spec", "mean iter (ms)", "compressed/iter"], table))
+        best, best_fixed = result["best"], result["best_fixed"]
+        if result["adaptive_wins"]:
+            gain = (rows[best_fixed]["mean_iteration_time"]
+                    / rows[best]["mean_iteration_time"] - 1.0)
+            parts.append(
+                f"  adaptive '{best}' beats every fixed policy "
+                f"(+{gain:.2%} over '{best_fixed}')")
+        else:
+            parts.append(f"  best: fixed '{best_fixed}' "
+                         f"(no adaptive win on this profile)")
+        parts.append("")
+    return "\n".join(parts).rstrip()

@@ -113,7 +113,8 @@ def run_system(system: str, model, cluster: ClusterSpec,
                algorithm: Optional[str] = None,
                algorithm_params: Optional[Dict] = None,
                on_ec2: bool = True,
-               telemetry: Optional[TelemetryCollector] = None
+               telemetry: Optional[TelemetryCollector] = None,
+               policy=None
                ) -> IterationResult:
     """Simulate one iteration of ``model`` under a named system.
 
@@ -122,6 +123,14 @@ def run_system(system: str, model, cluster: ClusterSpec,
     raise :class:`~repro.errors.ConfigError` listing the valid choices.
     ``telemetry`` attaches a collector for this run (see
     :mod:`repro.telemetry`).
+
+    ``policy=`` accepts a :class:`~repro.adaptive.CompressionPolicy` (or
+    policy string) instead of the ``algorithm``/``algorithm_params`` pair.
+    A fixed policy maps onto the identical static path; an adaptive one
+    requires a CaSync system (the AdaptivePass is a SyncPlan-pipeline
+    stage) and runs this single iteration under a fresh controller's
+    iteration-0 decisions -- use :func:`repro.adaptive.run_policy` for the
+    full multi-iteration control loop.
     """
     try:
         config = SYSTEMS[system]
@@ -134,6 +143,33 @@ def run_system(system: str, model, cluster: ClusterSpec,
             raise ConfigError("model", model, MODEL_NAMES) from None
     if config.tcp_on_ec2 and on_ec2:
         cluster = ec2_tcp_network(cluster)
+    if policy is not None:
+        from ..adaptive.policy import CompressionPolicy, parse_policy
+        if isinstance(policy, str):
+            policy = parse_policy(policy)
+        if not isinstance(policy, CompressionPolicy):
+            raise ConfigError(
+                "policy", policy, ["CompressionPolicy", "policy string"],
+                hint="build one via CompressionPolicy.fixed/size_adaptive/"
+                     "bandwidth_adaptive/accordion")
+        if algorithm is not None or algorithm_params is not None:
+            raise ConfigError(
+                "algorithm", algorithm, [],
+                hint="pass policy= or the legacy algorithm=/"
+                     "algorithm_params= kwargs, not both")
+        if not config.compression:
+            raise ConfigError(
+                "system", system,
+                [k for k, c in SYSTEMS.items() if c.compression],
+                hint="policies pick compression codecs; this system "
+                     "does not compress")
+        if policy.is_fixed:
+            spec = policy.fixed_algorithm()
+            algorithm = spec.name
+            algorithm_params = dict(spec.params)
+        else:
+            return _run_system_adaptive(config, model, cluster, policy,
+                                        telemetry=telemetry)
     algo = None
     plans = None
     if config.compression:
@@ -151,6 +187,35 @@ def run_system(system: str, model, cluster: ClusterSpec,
     strategy = config.strategy_factory()
     return simulate_iteration(
         model, cluster, strategy, algorithm=algo, plans=plans,
+        use_coordinator=config.use_coordinator,
+        batch_compression=config.batch_compression,
+        telemetry=telemetry)
+
+
+def _run_system_adaptive(config: "SystemConfig", model,
+                         cluster: ClusterSpec, policy,
+                         telemetry: Optional[TelemetryCollector] = None
+                         ) -> IterationResult:
+    """One iteration of a CaSync system under an adaptive policy."""
+    from ..adaptive.controller import PolicyController
+    from ..adaptive.runtime import PLANNER_KINDS
+    if config.strategy not in PLANNER_KINDS:
+        raise ConfigError(
+            "system", config.key,
+            [c.key for c in SYSTEMS.values()
+             if c.strategy in PLANNER_KINDS],
+            hint="adaptive policies run through the SyncPlan pipeline; "
+                 "use a CaSync-based system")
+    controller = PolicyController(
+        policy, model, cluster,
+        planner_kind=config.planner_kind or PLANNER_KINDS[config.strategy])
+    decisions = controller.decide(0)
+    default_key = {"size": "large", "bandwidth": "algorithm",
+                   "accordion": "conservative"}[policy.kind]
+    strategy = get_strategy(config.strategy, selective=False, adaptive=True)
+    return simulate_iteration(
+        model, cluster, strategy,
+        algorithm=controller.palette[default_key], decisions=decisions,
         use_coordinator=config.use_coordinator,
         batch_compression=config.batch_compression,
         telemetry=telemetry)

@@ -50,8 +50,8 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
 
 from ..casync.lower import _algorithm_token
 from ..casync.passes import PassConfig
-from . import (fig7, fig8, fig9, fig10, fig11, fig12, fig13, kernel_speed,
-               table1, table5, table6, table7)
+from . import (adaptive, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
+               kernel_speed, table1, table5, table6, table7)
 from .common import JobSpec, canonical_json, default_algorithm, execute_job
 
 __all__ = [
@@ -591,6 +591,12 @@ def artifact_plans(quick: bool = False,
     nodes = 8 if quick else 16
     sweep_nodes = (4, 8) if quick else (4, 16)
     plans = {
+        "adaptive": ArtifactPlan(
+            "adaptive", adaptive,
+            # quick shrinks the 256-node preset profile to 32 nodes; the
+            # full run keeps the preset's native scale (expensive).
+            {"num_nodes": nodes, "large_nodes": 32 if quick else None,
+             "iterations": 2 if quick else 4, "large_iterations": 2}),
         "table1": ArtifactPlan("table1", table1, {"num_nodes": nodes}),
         "table5": ArtifactPlan("table5", table5),
         "table6": ArtifactPlan("table6", table6),

@@ -1,6 +1,8 @@
 """HiPress: the top-level compression-aware training framework facade."""
 
-from .adaptive import AccordionController, AdaptiveAlgorithm
+# Accordion moved into the adaptive control plane; the old
+# repro.hipress.adaptive path is a warning shim.
+from ..adaptive.accordion import AccordionController, AdaptiveAlgorithm
 from .framework import Profile, TrainingJob
 
 __all__ = ["AccordionController", "AdaptiveAlgorithm", "Profile",

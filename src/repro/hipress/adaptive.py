@@ -1,137 +1,22 @@
-"""Accordion-style adaptive compression (Agarwal et al., 2020).
+"""Deprecated import path: moved to :mod:`repro.adaptive.accordion`.
 
-The paper's related-work section notes that Accordion -- which "dynamically
-sets compression rates to balance accuracy and performance" -- "can be
-employed by HiPress as an advanced feature".  This module is that feature:
-
-* :class:`AccordionController` detects *critical learning regimes* from
-  the rate of change of per-tensor gradient norms (rapid change = the
-  model is moving through important loss-landscape structure);
-* :class:`AdaptiveAlgorithm` wraps two codecs -- a conservative one used
-  inside critical regimes, an aggressive one outside -- behind the
-  standard :class:`~repro.algorithms.base.CompressionAlgorithm` API, so it
-  drops into HiPress, the planner, and the data-parallel trainer
-  unchanged.  A one-byte header records which codec encoded each buffer.
+Accordion-style adaptive compression was folded into the adaptive
+control plane (PR 7): :class:`~repro.adaptive.accordion.AccordionController`
+now also drives the ``CompressionPolicy.accordion(...)`` policy, and
+:class:`~repro.adaptive.accordion.AdaptiveAlgorithm` lives beside it.
+Importing from ``repro.hipress.adaptive`` keeps working but warns; there
+is no second adaptive code path behind this module.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import warnings
 
-import numpy as np
-
-from ..algorithms.base import CompressionAlgorithm, KernelProfile
-from ..algorithms.packing import ByteReader, ByteWriter
+from ..adaptive.accordion import AccordionController, AdaptiveAlgorithm
 
 __all__ = ["AccordionController", "AdaptiveAlgorithm"]
 
-
-class AccordionController:
-    """Critical-regime detector over per-tensor gradient norms.
-
-    A tensor is *critical* when its gradient norm changed by more than
-    ``threshold`` (relatively) since the last observation -- the heuristic
-    Accordion uses at epoch granularity, applied here per call.
-    The very first observation of a tensor is treated as critical
-    (training starts in a critical regime).
-    """
-
-    def __init__(self, threshold: float = 0.5, smoothing: float = 0.8):
-        if threshold <= 0:
-            raise ValueError(f"threshold must be positive, got {threshold}")
-        if not 0 <= smoothing < 1:
-            raise ValueError(
-                f"smoothing must be in [0, 1), got {smoothing}")
-        self.threshold = float(threshold)
-        self.smoothing = float(smoothing)
-        self._norms: Dict[str, float] = {}
-        self.critical_calls = 0
-        self.relaxed_calls = 0
-
-    def is_critical(self, name: str, gradient: np.ndarray) -> bool:
-        norm = float(np.linalg.norm(gradient))
-        baseline = self._norms.get(name)
-        if baseline is None:
-            self._norms[name] = norm
-            self.critical_calls += 1
-            return True
-        # Compare against an EMA baseline: minibatch norms are noisy, and
-        # Accordion's regime signal is the trend, not per-step jitter.
-        critical = abs(norm - baseline) / max(baseline, 1e-12) \
-            > self.threshold
-        self._norms[name] = (self.smoothing * baseline
-                             + (1 - self.smoothing) * norm)
-        if critical:
-            self.critical_calls += 1
-        else:
-            self.relaxed_calls += 1
-        return critical
-
-    def reset(self) -> None:
-        self._norms.clear()
-        self.critical_calls = 0
-        self.relaxed_calls = 0
-
-
-class AdaptiveAlgorithm(CompressionAlgorithm):
-    """Two-codec adaptive compression behind the standard API.
-
-    Buffer layout: ``mode:u1 | inner buffer`` where mode 0 = conservative,
-    1 = aggressive.  Tensor identity for regime tracking comes from the
-    gradient's size (callers that need exact identity can pass ``name`` to
-    :meth:`encode_named`, which the data-parallel trainer does through the
-    error-feedback wrapper's name argument).
-    """
-
-    name = "adaptive"
-    category = "adaptive"
-
-    def __init__(self, conservative: CompressionAlgorithm,
-                 aggressive: CompressionAlgorithm,
-                 controller: Optional[AccordionController] = None):
-        self.conservative = conservative
-        self.aggressive = aggressive
-        self.controller = controller or AccordionController()
-        # Cost-model kernels follow the aggressive codec (the steady
-        # state); sizes are planned conservatively (see compressed_nbytes).
-        self.profile: KernelProfile = aggressive.profile
-
-    # -- core API -----------------------------------------------------------
-
-    def encode(self, gradient: np.ndarray) -> np.ndarray:
-        grad = np.ascontiguousarray(gradient, dtype=np.float32).ravel()
-        return self.encode_named(f"anon:{grad.size}", grad)
-
-    def encode_named(self, name: str, gradient: np.ndarray) -> np.ndarray:
-        grad = np.ascontiguousarray(gradient, dtype=np.float32).ravel()
-        if grad.size == 0:
-            raise ValueError("cannot compress an empty gradient")
-        critical = self.controller.is_critical(name, grad)
-        codec = self.conservative if critical else self.aggressive
-        mode = 0 if critical else 1
-        return (ByteWriter()
-                .scalar(mode, "u1")
-                .array(codec.encode(grad))
-                .finish())
-
-    def decode(self, compressed: np.ndarray) -> np.ndarray:
-        reader = ByteReader(compressed)
-        mode = int(reader.scalar("u1"))
-        codec = self.conservative if mode == 0 else self.aggressive
-        return codec.decode(reader.rest())
-
-    def compressed_nbytes(self, num_elements: int) -> int:
-        # Plan with the larger (conservative) codec's size: critical-regime
-        # traffic is the worst case the synchronizer must absorb.
-        return 1 + max(self.conservative.compressed_nbytes(num_elements),
-                       self.aggressive.compressed_nbytes(num_elements))
-
-    # -- introspection ---------------------------------------------------------
-
-    @property
-    def critical_fraction(self) -> float:
-        total = (self.controller.critical_calls
-                 + self.controller.relaxed_calls)
-        if total == 0:
-            return 0.0
-        return self.controller.critical_calls / total
+warnings.warn(
+    "repro.hipress.adaptive is deprecated; import AccordionController / "
+    "AdaptiveAlgorithm from repro.adaptive (repro.adaptive.accordion)",
+    DeprecationWarning, stacklevel=2)

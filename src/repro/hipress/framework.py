@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from ..adaptive.policy import CompressionPolicy, parse_policy
+from ..adaptive.runtime import PolicyRun, run_policy
 from ..algorithms import available_algorithms
 from ..algorithms.base import CompressionAlgorithm
 from ..casync.passes import PassConfig
@@ -66,10 +68,11 @@ class TrainingJob:
 
     PLANNER_KINDS = {"casync-ps": "ps_colocated", "casync-ring": "ring"}
 
-    def __init__(self, model, algorithm="onebit",
+    def __init__(self, model, algorithm=None,
                  strategy: str = "casync-ps",
                  cluster: Union[ClusterSpec, str, None] = None,
-                 algorithm_params: Optional[Dict] = None):
+                 algorithm_params: Optional[Dict] = None,
+                 policy: Union[CompressionPolicy, str, None] = None):
         name = resolve_strategy_name(strategy)   # warns on hipress-* aliases
         if name not in self.PLANNER_KINDS:
             raise ConfigError("strategy", strategy, self.PLANNER_KINDS)
@@ -80,6 +83,28 @@ class TrainingJob:
                 raise ConfigError("model", model, MODEL_NAMES) from None
         else:
             self.model = model
+        if isinstance(policy, str):
+            policy = parse_policy(policy)
+        self.policy: Optional[CompressionPolicy] = policy
+        self.last_policy_run: Optional[PolicyRun] = None
+        if policy is not None:
+            # The typed policy surface supersedes the legacy kwargs; mixing
+            # them is ambiguous, so refuse loudly rather than guess.
+            if algorithm is not None or algorithm_params is not None:
+                raise ConfigError(
+                    "algorithm", algorithm, [],
+                    hint="pass policy= or the legacy algorithm=/"
+                         "algorithm_params= kwargs, not both")
+            if policy.is_fixed:
+                algorithm = policy.fixed_algorithm().instantiate()
+            else:
+                # Planning/profiling accessors (.plans, .profile) need one
+                # concrete codec; use the policy's primary palette entry.
+                key = {"size": "large", "bandwidth": "algorithm",
+                       "accordion": "conservative"}[policy.kind]
+                algorithm = policy.instantiate_palette()[key]
+        elif algorithm is None:
+            algorithm = "onebit"                 # the historical default
         if isinstance(algorithm, str):
             try:
                 self.algorithm: CompressionAlgorithm = default_algorithm(
@@ -136,9 +161,11 @@ class TrainingJob:
     def run(self, pipelining: bool = True, bulk: bool = True,
             selective: bool = True,
             telemetry: Optional[TelemetryCollector] = None,
-            pass_config: Optional[PassConfig] = None
+            pass_config: Optional[PassConfig] = None,
+            policy: Union[CompressionPolicy, str, None] = None,
+            iterations: int = 1
             ) -> IterationResult:
-        """Simulate one steady-state iteration; returns its metrics.
+        """Simulate steady-state iteration(s); returns the last's metrics.
 
         Pass ``telemetry=`` a :class:`~repro.telemetry.TelemetryCollector`
         to record spans and metrics for this run (the ambient collector
@@ -146,7 +173,25 @@ class TrainingJob:
         ``pass_config=`` overrides the SyncPlan pass-pipeline tuning
         constants (partition size, bulk-eligibility threshold, coordinator
         batching) for this run; see :mod:`repro.casync.passes`.
+
+        ``policy=`` (or a job-level policy from the constructor) routes the
+        run through :func:`repro.adaptive.run_policy`: fixed policies take
+        the identical static path; adaptive ones close the decide ->
+        simulate -> observe loop for ``iterations`` iterations (policy runs
+        always plan selectively, so ``selective=False`` has no effect).
+        The full :class:`~repro.adaptive.runtime.PolicyRun` is kept on
+        ``self.last_policy_run``.
         """
+        policy = policy if policy is not None else self.policy
+        if policy is not None:
+            run = run_policy(
+                self.model, self.cluster, policy,
+                strategy=self.strategy_name, iterations=iterations,
+                use_coordinator=bulk, batch_compression=bulk,
+                pipelining=pipelining, bulk=bulk,
+                pass_config=pass_config, telemetry=telemetry)
+            self.last_policy_run = run
+            return run.results[-1]
         strategy: Strategy = get_strategy(
             self.strategy_name, pipelining=pipelining, bulk=bulk,
             selective=selective)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..algorithms.base import CompressionAlgorithm
+from ..casync.decisions import DecisionMap
 from ..casync.ir import SyncPlan
 from ..casync.passes import Pass, PassConfig, PassContext
 from ..casync.planner import GradientPlan
@@ -55,6 +56,10 @@ class SyncContext:
     #: Tuning constants for the SyncPlan pass pipeline (and the
     #: coordinator); None means :data:`~repro.casync.passes.DEFAULT_PASS_CONFIG`.
     pass_config: Optional[PassConfig] = None
+    #: This iteration's adaptive per-gradient decisions (None = static
+    #: path); consumed by :class:`~repro.casync.passes.AdaptivePass` and
+    #: content-keyed into the graph cache.
+    decisions: Optional[DecisionMap] = None
 
     @property
     def num_nodes(self) -> int:
@@ -229,15 +234,21 @@ class Strategy(ABC):
     def cache_token(self) -> tuple:
         """Hashable configuration identity for the graph cache.
 
-        The default captures every scalar constructor attribute, which
-        covers all built-in strategies; override for exotic state.
+        The default captures every scalar (or scalar-tuple, e.g.
+        ``extra_passes`` name lists) constructor attribute, which covers
+        all built-in strategies; override for exotic state.
         """
         try:
             attrs = vars(self)
         except TypeError:
             return ()
+
+        def scalar(v):
+            return isinstance(v, (bool, int, float, str))
+
         return tuple((k, v) for k, v in sorted(attrs.items())
-                     if isinstance(v, (bool, int, float, str)))
+                     if scalar(v) or (isinstance(v, tuple)
+                                      and all(scalar(x) for x in v)))
 
     def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
         """Construct the task graph for one iteration (via the IR pipeline)."""

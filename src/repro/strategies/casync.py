@@ -34,12 +34,9 @@ from typing import List
 from ..casync.ir import ReadyRef, SizeExpr, SyncPlan
 from ..casync.passes import (
     DEFAULT_PASS_CONFIG,
-    BulkRoutePass,
-    FuseDecodeMergePass,
-    PartitionPass,
     Pass,
     PassContext,
-    SelectivePass,
+    get_pass,
 )
 from ..casync.topology import ps_topology, ring_topology
 from ..models import GradientSpec, ModelSpec
@@ -58,21 +55,36 @@ class _CaSyncBase(Strategy):
     compression = True
 
     def __init__(self, pipelining: bool = True, bulk: bool = True,
-                 selective: bool = True):
+                 selective: bool = True, adaptive: bool = False,
+                 extra_passes=()):
         self.pipelining = pipelining
         self.bulk = bulk
         self.selective = selective
+        #: Insert AdaptivePass (after selective, before partition) so a
+        #: DecisionMap threaded through the SyncContext lands on the
+        #: directives; requires decisions= at simulate time.
+        self.adaptive = adaptive
+        #: Registry names of additional passes appended after the
+        #: built-ins -- the plug-in point for third-party passes
+        #: (repro.api.register_pass).  Unknown names raise ConfigError.
+        self.extra_passes = tuple(extra_passes)
+
+    def pass_names(self) -> List[str]:
+        names: List[str] = []
+        if self.selective:
+            names.append("selective")
+        if self.adaptive:
+            names.append("adaptive")
+        if self.pipelining:
+            names.append("partition")
+        names.append("fuse-decode-merge")
+        if self.bulk:
+            names.append("bulk-route")
+        names.extend(self.extra_passes)
+        return names
 
     def passes(self) -> List[Pass]:
-        passes: List[Pass] = []
-        if self.selective:
-            passes.append(SelectivePass())
-        if self.pipelining:
-            passes.append(PartitionPass())
-        passes.append(FuseDecodeMergePass())
-        if self.bulk:
-            passes.append(BulkRoutePass())
-        return passes
+        return [get_pass(name)() for name in self.pass_names()]
 
 
 class CaSyncPS(_CaSyncBase):

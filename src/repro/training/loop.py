@@ -75,6 +75,10 @@ class IterationResult:
     #: Robust-execution report when the iteration ran under fault
     #: injection (None on the pristine path).
     fault_report: Optional[RobustSyncReport] = None
+    #: Achieved per-link goodput (bytes actually sent / NIC busy time),
+    #: the bandwidth signal the adaptive control plane's
+    #: bandwidth_adaptive policy feeds on.  0.0 when nothing moved.
+    measured_link_bandwidth: float = 0.0
 
     @property
     def total_gpus(self) -> int:
@@ -116,14 +120,21 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
                        sync_deadline_s: Optional[float] = None,
                        heartbeat_timeout_s: float = 0.02,
                        telemetry: Optional[TelemetryCollector] = None,
-                       pass_config: Optional[PassConfig] = None
-                       ) -> IterationResult:
+                       pass_config: Optional[PassConfig] = None,
+                       decisions=None) -> IterationResult:
     """Simulate one BSP iteration and return its metrics.
 
     ``pass_config`` overrides the SyncPlan pass pipeline's tuning
     constants (bulk eligibility, fallback partition size, and the
     coordinator's batching policy) -- see
     :class:`~repro.casync.passes.PassConfig`; None uses the defaults.
+
+    ``decisions`` threads one iteration's adaptive per-gradient
+    :class:`~repro.casync.decisions.DecisionMap` into the pass pipeline
+    (the strategy must carry :class:`~repro.casync.passes.AdaptivePass`,
+    e.g. ``get_strategy("casync-ps", adaptive=True)``); decisions are
+    content-keyed into the graph cache, so changed decisions rebuild the
+    plan and identical ones replay warm.
 
     ``straggler=(node, factor)`` slows that node's compute by ``factor``
     (>1): BSP's synchronization barrier means one slow node stalls the
@@ -192,7 +203,7 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
     ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
                       engines=engines, ready=ready, algorithm=algorithm,
                       plans=plans, coordinator=coordinator,
-                      pass_config=pconf)
+                      pass_config=pconf, decisions=decisions)
     graph = strategy.build(ctx, model)
 
     gpu_spec = cluster.node.gpu
@@ -310,6 +321,8 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
 
     comm_busy = sum(nic.up_busy for nic in fabric.nics)
     comm_ratio = (comm_busy / cluster.num_nodes) / iteration_time
+    measured_bw = (fabric.stats.bytes_sent / comm_busy
+                   if comm_busy > 0 else 0.0)
     compression_time = (sum(g.log.busy_time("compression") for g in gpus)
                         / cluster.num_nodes)
     exposed = max(0.0, iteration_time - compute_time)
@@ -351,6 +364,7 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
         coordinator_batches=coordinator.batches_flushed if coordinator else 0,
         peak_comm_buffer_bytes=peak_memory,
         fault_report=report,
+        measured_link_bandwidth=measured_bw,
     )
 
 

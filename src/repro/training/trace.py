@@ -92,8 +92,8 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
                     sync_deadline_s: Optional[float] = None,
                     heartbeat_timeout_s: float = 0.02,
                     telemetry: Optional[TelemetryCollector] = None,
-                    pass_config: Optional[PassConfig] = None
-                    ) -> IterationTrace:
+                    pass_config: Optional[PassConfig] = None,
+                    decisions=None) -> IterationTrace:
     """Simulate one iteration, returning the full task timeline.
 
     The fault parameters mirror
@@ -137,7 +137,7 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
     ctx = SyncContext(env=env, cluster=cluster, fabric=fabric, gpus=gpus,
                       engines=engines, ready=ready, algorithm=algorithm,
                       plans=plans, coordinator=coordinator,
-                      pass_config=pconf)
+                      pass_config=pconf, decisions=decisions)
     graph = strategy.build(ctx, model)
 
     gpu_spec = cluster.node.gpu

@@ -1,0 +1,135 @@
+"""Fixed-policy equivalence: ``CompressionPolicy.fixed`` is bit-identical.
+
+The adaptive control plane's compatibility contract: routing a static
+codec choice through the typed policy surface must not perturb a single
+simulated event.  This suite replays every configuration pinned in
+``tests/golden/trace_hashes.json`` (the full SYSTEMS matrix plus the
+Fig. 11 ablation ladder) with the algorithm instantiated *via*
+``CompressionPolicy.fixed(...)`` instead of the legacy ``algorithm=``
+kwargs, and requires the exact pre-adaptive trace hashes.
+
+Raw (no-compression) configurations have no policy to route through;
+they run unchanged so the golden matrix stays covered end to end.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adaptive import CompressionPolicy, run_policy
+from repro.cluster import ec2_v100_cluster
+from repro.experiments.common import SYSTEMS
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import get_strategy
+from repro.training import make_plans
+from repro.training.trace import trace_hash, trace_iteration
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_hashes.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+KB = 1024
+MB = 1024 * 1024
+
+# Mirrors tests/test_graph_equivalence.py exactly: same model, same
+# algorithm sweep, same ablation ladder -- the matrix must stay in
+# lockstep or test_matrix_is_complete fails.
+ALGORITHMS = ("onebit", "dgc", "tbq")
+
+ABLATION_FLAGS = (
+    ("none", dict(pipelining=False, bulk=False, selective=False)),
+    ("pipe", dict(pipelining=True, bulk=False, selective=False)),
+    ("pipe+bulk", dict(pipelining=True, bulk=True, selective=False)),
+    ("pipe+bulk+secopa", dict(pipelining=True, bulk=True, selective=True)),
+)
+
+
+def equivalence_model() -> ModelSpec:
+    sizes = (8 * MB, 2 * MB, 900 * KB, 64 * KB, 16 * KB)
+    grads = tuple(GradientSpec(f"eq.g{i}", s) for i, s in enumerate(sizes))
+    return ModelSpec(name="equiv-tiny", gradients=grads, batch_size=8,
+                     batch_unit="images", v100_iteration_s=0.012)
+
+
+def _planner_kind(strategy_name: str) -> str:
+    return "ring" if "ring" in strategy_name else "ps_colocated"
+
+
+def policy_cases():
+    """The golden matrix, with compressed cases re-routed through
+    ``CompressionPolicy.fixed``."""
+    model = equivalence_model()
+    cluster = ec2_v100_cluster(4)
+
+    def make_runner(strategy_name, algo_name, flags, use_coordinator,
+                    batch_compression, selective):
+        def run():
+            algorithm = None
+            if algo_name is not None:
+                policy = CompressionPolicy.fixed(algo_name)
+                algorithm = policy.fixed_algorithm().instantiate()
+            plans = None
+            if selective:
+                plans = make_plans(model, cluster, algorithm,
+                                   _planner_kind(strategy_name))
+            strategy = get_strategy(strategy_name, **flags)
+            trace = trace_iteration(
+                model, cluster, strategy, algorithm=algorithm, plans=plans,
+                use_coordinator=use_coordinator,
+                batch_compression=batch_compression)
+            return trace_hash(trace)
+        return run
+
+    for key in sorted(SYSTEMS):
+        config = SYSTEMS[key]
+        algos = ALGORITHMS if config.compression else (None,)
+        for algo in algos:
+            yield f"{key}/{algo or 'raw'}/n4", make_runner(
+                config.strategy, algo, {}, config.use_coordinator,
+                config.batch_compression,
+                selective=config.planner_kind is not None)
+
+    for strategy_name in ("casync-ps", "casync-ring"):
+        for stage, flags in ABLATION_FLAGS:
+            yield f"{strategy_name}:{stage}/onebit/n4", make_runner(
+                strategy_name, "onebit", dict(flags),
+                use_coordinator=flags["bulk"],
+                batch_compression=flags["bulk"],
+                selective=flags["selective"])
+
+
+CASES = dict(policy_cases())
+
+
+def test_matrix_is_complete():
+    """Every golden configuration is exercised through the policy path."""
+    assert sorted(CASES) == sorted(GOLDEN)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_fixed_policy_trace_is_bit_identical(case):
+    assert CASES[case]() == GOLDEN[case], (
+        f"{case}: CompressionPolicy.fixed perturbed the simulated "
+        "timeline -- the fixed path must bypass the adaptive plane "
+        "entirely")
+
+
+def test_run_policy_fixed_matches_legacy_entry_point():
+    """``run_policy`` with a fixed policy == the legacy kwargs loop."""
+    from repro.experiments.common import default_algorithm
+    from repro.training import simulate_iteration
+
+    model = equivalence_model()
+    cluster = ec2_v100_cluster(4)
+    run = run_policy(model, cluster, "fixed:algorithm=onebit",
+                     iterations=2)
+    algorithm = default_algorithm("onebit")
+    plans = make_plans(model, cluster, algorithm, "ps_colocated")
+    strategy = get_strategy("casync-ps")
+    legacy = [simulate_iteration(model, cluster, strategy,
+                                 algorithm=algorithm, plans=plans,
+                                 use_coordinator=True,
+                                 batch_compression=True)
+              for _ in range(2)]
+    assert run.iteration_times == [r.iteration_time for r in legacy]
+    assert len(run.log) == 0      # fixed policies log no decisions

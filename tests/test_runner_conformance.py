@@ -24,6 +24,8 @@ from repro.experiments.runner import (
 
 #: Shrunken kwargs per artifact -- keys must match artifact_plans names.
 TINY = {
+    "adaptive": {"num_nodes": 2, "large_nodes": 2, "iterations": 2,
+                 "large_iterations": 2},
     "table1": {"num_nodes": 2},
     "fig7": {"node_counts": (1, 2)},
     "fig8": {"node_counts": (1, 2)},
