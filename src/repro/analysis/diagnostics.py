@@ -60,7 +60,7 @@ class Diagnostic:
     column: int = 0            # 1-based; 0 = no location
     hint: str = ""             # optional fix suggestion
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.severity not in _RANK:
             raise ValueError(
                 f"unknown severity {self.severity!r}; "

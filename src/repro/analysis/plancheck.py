@@ -1,0 +1,1143 @@
+"""PlanCheck: a whole-plan concurrency analyzer for the SyncPlan IR.
+
+The pass pipeline (:mod:`repro.casync.passes`) earns its speedups by
+reordering, fusing, and bulk-routing communication -- exactly the
+transformations that can silently introduce deadlocks, lost sends, buffer
+races, or byte-flow leaks.  The in-pipeline :class:`VerifyPass` is a
+*local* guard: it checks each edge in isolation.  PlanCheck is the
+*global* one: given a post-passes :class:`~repro.casync.ir.SyncPlan` (and
+optionally its environment-free
+:class:`~repro.casync.lower.LoweredRecipe`), it builds an explicit
+happens-before relation from op dependencies, ``ReadyRef`` events,
+send/recv pairing, and fan-in barriers, then proves four properties,
+reporting violations as :class:`~repro.analysis.diagnostics.Diagnostic`
+records whose line spans index the plan dump
+(:meth:`~repro.casync.ir.SyncPlan.format_text`):
+
+1. **Deadlock-freedom** (PC10x) -- the dependency relation is acyclic,
+   every cross-node receive is backed by a matching reachable ``send``,
+   and no send is lost.  Structural checks are shared with the verifier
+   (:func:`repro.casync.passes.verify_diagnostics`).
+2. **Buffer safety** (PC2xx) -- no unordered read/write or write/write
+   pair touches the same gradient-buffer region, where a region is
+   ``(node, gradient, partition)`` and an op with no partition token
+   aliases the whole buffer.  This is the static counterpart of the
+   dynamic :func:`repro.casync.memory.buffer_lifetimes` analysis.
+3. **Byte-flow conservation** (PC3xx) -- a whole-graph symbolic proof
+   over :class:`~repro.casync.ir.SizeExpr`: every node's final value
+   observes every declared contribution of every gradient (the
+   allreduce completeness invariant), same-node producer edges conserve
+   bytes (generalizing the verifier's cross-node-only ``_check_flow``),
+   and every directive is realized by structure.
+4. **Decision coverage** (PC4xx) -- under an adaptive
+   :class:`~repro.casync.decisions.DecisionMap`, every decision targets a
+   plan gradient and every directive agrees with its decision; directive
+   intent (compress / partitions) always matches emitted structure.
+
+PC5xx checks pass policy (bulk routing eligibility and thresholds);
+PC6xx cross-checks a lowered recipe against its plan (spec/op agreement,
+dependency encoding, wire sizes through the shared size model).
+
+Entry points:
+
+* :func:`check_plan` -- analyze one plan (plus optional recipe), return a
+  :class:`PlanReport`.
+* ``build_plan(..., check=True)`` / ``GraphCache(admission="strict")`` /
+  ``REPRO_PLANCHECK=1`` -- strict admission: plans are only lowered and
+  cached if they check clean (:class:`PlanCheckError` otherwise).
+* ``python -m repro.analysis.plancheck`` -- run the analyzer over all
+  golden SYSTEMS configurations (the 22-case equivalence matrix) plus
+  the adaptive policies; ``--mutants`` runs the pass-mutant corpus
+  (:mod:`repro.analysis.planmutants`).
+
+See ``docs/ANALYSIS.md`` for the property definitions, the full
+error-code table, and CLI examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+from ..casync.index import (PlanIndex, invalidate as invalidate_index,
+                            plan_index, region_pid as _region_pid)
+from ..casync.ir import Op, PlanVerificationError, ReadyRef, SyncPlan
+from ..casync.passes import (PassContext, _sizes_match, plan_file,
+                             verify_diagnostics)
+from .diagnostics import (Diagnostic, ERROR, count_by_severity, exit_code,
+                          has_errors, render_text, sort_diagnostics)
+
+__all__ = [
+    "PLANCHECK_RULES",
+    "PlanCheckError",
+    "PlanReport",
+    "check_plan",
+    "check_recipe",
+    "iter_cases",
+    "main",
+]
+
+#: Every rule PlanCheck (or the shared structural verifier) can emit.
+PLANCHECK_RULES: Dict[str, str] = {
+    # structural / deadlock-freedom (repro.casync.passes.verify_diagnostics)
+    "PC100": "directive partition count out of range",
+    "PC101": "duplicate op uid",
+    "PC102": "unknown op kind",
+    "PC103": "node, send destination, or ready-ref out of range",
+    "PC104": "self-send",
+    "PC105": "negative payload size",
+    "PC106": "dependency on an unknown or later op (cycle or dangling edge)",
+    "PC107": "ready-event dependency on a remote node",
+    "PC108": "cross-node dependency not backed by a matching send",
+    "PC109": "send never consumed on its destination (lost send)",
+    "PC110": "byte-flow violation along a cross-node send edge",
+    # buffer safety
+    "PC201": "unordered write/write pair on one gradient-buffer region",
+    "PC202": "unordered read/write pair on one gradient-buffer region",
+    # byte-flow conservation / aggregation completeness
+    "PC301": "incomplete aggregation: a node never observes a contribution",
+    "PC302": "byte-count mismatch along a same-node producer edge",
+    "PC303": "directive never realized by any op",
+    # decision coverage
+    "PC401": "decision coverage gap between the DecisionMap and the plan",
+    "PC402": "directive contradicts its adaptive decision",
+    "PC403": "compression structure emitted under a raw directive",
+    "PC404": "compress directive with no realizing encode",
+    "PC405": "directive plans more partitions than the ops realize",
+    # pass policy
+    "PC501": "bulk-routed send violates the bulk-eligibility policy",
+    # lowered-recipe cross-checks
+    "PC601": "lowered spec count differs from the plan's op count",
+    "PC602": "lowered spec field disagrees with its op",
+    "PC603": "lowered dependency encoding disagrees with the op's deps",
+    "PC604": "lowered dependency is forward or self-referential",
+    "PC605": "lowered task has a negative duration or size",
+    "PC606": "lowered send wire size disagrees with the plan's size model",
+}
+
+
+class PlanCheckError(PlanVerificationError):
+    """Strict-mode rejection: the whole-plan analyzer found violations.
+
+    Subclasses :class:`~repro.casync.ir.PlanVerificationError` so callers
+    that already guard plan building keep working; ``diagnostics``
+    carries the structured findings.
+    """
+
+
+@dataclass
+class PlanReport:
+    """The outcome of analyzing one plan (and optionally its recipe)."""
+
+    name: str
+    strategy: str
+    num_nodes: int
+    num_ops: int
+    diagnostics: Tuple[Diagnostic, ...]
+
+    def ok(self, strict: bool = False) -> bool:
+        """True when nothing failing was found (strict: warnings fail)."""
+        return not has_errors(self.diagnostics, strict=strict)
+
+    def counts(self) -> Dict[str, int]:
+        return count_by_severity(self.diagnostics)
+
+    def render_text(self) -> str:
+        if not self.diagnostics:
+            return (f"ok {self.name}: {self.num_ops} ops, "
+                    f"{self.num_nodes} nodes, 0 findings")
+        return render_text(sort_diagnostics(self.diagnostics))
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        from dataclasses import asdict
+        ordered = sort_diagnostics(self.diagnostics)
+        return {
+            "name": self.name,
+            "strategy": self.strategy,
+            "num_nodes": self.num_nodes,
+            "num_ops": self.num_ops,
+            "counts": count_by_severity(ordered),
+            "diagnostics": [asdict(d) for d in ordered],
+        }
+
+    def raise_if_failed(self, strict: bool = False) -> None:
+        """Raise :class:`PlanCheckError` when the report is not clean."""
+        if not self.ok(strict=strict):
+            raise PlanCheckError(
+                f"PlanCheck rejected plan {self.name}:\n"
+                + render_text(self.diagnostics),
+                diagnostics=self.diagnostics)
+
+
+#: Op kinds that carry a payload contract along a same-node producer edge
+#: (barriers and cpu ops are duration- or fan-in-shaped, not byte-shaped).
+_PAYLOAD_CONSUMERS = ("send", "decode", "decode_merge", "copy", "merge")
+_PAYLOAD_CONSUMERS_SET = frozenset(_PAYLOAD_CONSUMERS)
+
+#: Fan-in at which backward searches stop expanding an op's deps and
+#: consult its memoized ancestor set instead (see ``_ancestors``).
+_WIDE_JOIN = 8
+
+
+class _PlanAnalyzer:
+    """One-shot deep analysis of a structurally-valid plan.
+
+    All structural derivations (uid->index map, predecessor lists,
+    gradient groups, ready seeds, encode/decode classification) come
+    from the shared :class:`~repro.casync.index.PlanIndex` -- computed
+    once per plan at the end of ``build_plan`` and reused by lowering --
+    so on the GraphCache admission path the analyzer pays only for rule
+    *evaluation*.  When a lowered ``recipe`` is supplied, the PC6xx
+    cross-checks mirror each spec against the same index
+    (:meth:`_check_recipe_specs`).
+    """
+
+    def __init__(self, plan: SyncPlan, pctx: Optional[PassContext],
+                 file: str, recipe: Any = None) -> None:
+        self.plan = plan
+        self.pctx = pctx
+        self.file = file
+        self.n = plan.num_nodes
+        self.ops = plan.ops
+        self._op_lines: Optional[Dict[int, int]] = None
+        self._dir_lines: Optional[Dict[str, int]] = None
+        self._anc_memo: Dict[int, frozenset] = {}
+        self._wire_memo: Dict[Tuple[Optional[str], float, bool], float] = {}
+        self.findings: List[Diagnostic] = []
+        idx = plan_index(plan)
+        self.index_of = idx.index_of
+        self.preds = idx.preds
+        self.by_grad = idx.by_grad
+        self.consumed = idx.consumed
+        self.ready_seeds = idx.ready_seeds
+        self.encodes = idx.encodes
+        self.plain_decodes = idx.plain_decodes
+        # Shared with the index on purpose: pid() memoizes the (rare)
+        # regions the index builder did not classify, and later
+        # analyzer runs over the same plan reuse them.
+        self._pids = idx.region_pids
+        ops = self.ops
+        self.bulk_sends = [ops[i] for i in idx.bulk_sends]
+        self._check_encode_edges(idx)
+        if recipe is not None:
+            self._check_recipe_specs(recipe, idx)
+
+    def _check_encode_edges(self, idx: PlanIndex) -> None:
+        """PC302 over the index's encode->consumer edges.
+
+        Same-node producer edges must conserve bytes.  The verifier
+        only checks cross-node (send) edges; a fused decode_merge fed
+        by a local encode is exactly the edge it never sees.  Only
+        encode producers carry the contract, which is why the index
+        pre-extracts their out-edges.
+        """
+        ops = self.ops
+        payload_consumers = _PAYLOAD_CONSUMERS_SET
+        for j, i in idx.encode_out_edges:
+            op = ops[i]
+            if op.kind not in payload_consumers:
+                continue
+            producer = ops[j]
+            if producer.node != op.node:
+                continue
+            nbytes = op.size.nbytes
+            if not nbytes:
+                continue
+            pbytes = producer.size.nbytes
+            if (pbytes and pbytes != nbytes
+                    and not _sizes_match(pbytes, nbytes)):
+                self.emit(
+                    "PC302",
+                    f"byte-count mismatch along same-node "
+                    f"edge {producer!r} -> {op!r}: "
+                    f"{pbytes} != {nbytes}",
+                    uid=op.uid)
+
+    def _check_recipe_specs(self, recipe: Any, idx: PlanIndex) -> None:
+        """PC6xx: mirror every lowered spec against its op.
+
+        Lowering consumes the same index, so a faithful recipe's dep
+        tuples *are* the index's own ``dep_encodings`` objects -- the
+        identity probe makes the all-clean case one pointer compare
+        per op (with the structural ``==`` as the fallback for recipes
+        lowered elsewhere), and when dmatch holds PC604 cannot fire
+        either (an index "t" entry always points earlier).  Only a
+        discrepancy pays for the full rule walk in :meth:`_check_spec`.
+        """
+        ops = self.ops
+        specs = recipe.specs
+        if len(specs) != len(ops):
+            self.emit(
+                "PC601",
+                f"recipe has {len(specs)} specs but the plan has "
+                f"{len(ops)} ops")
+            return
+        encodings = idx.dep_encodings
+        index_of = idx.index_of
+        wire_op = None if self.pctx is None else self.pctx.wire_op
+        #: gradient -> [(nbytes, compressed, wire), ...] -- the inline
+        #: wire-size cache (sends dominate large plans; a tuple-keyed
+        #: memo pays a tuple allocation per send, a per-gradient scan
+        #: of 1-3 entries does not).
+        wire_lists: Dict[Optional[str], List[Tuple[float, bool, float]]] = {}
+        wire_lists_get = wire_lists.get
+        for i, op in enumerate(ops):
+            spec = specs[i]
+            sdeps = spec.deps
+            expected = encodings[i]
+            dmatch = sdeps is expected or sdeps == expected
+            if (not dmatch or spec.label != op.label
+                    or spec.node != op.node
+                    or spec.duration < 0 or spec.nbytes < 0):
+                self._check_spec(i, spec, op, sdeps, dmatch, index_of)
+            elif op.kind == "send":
+                if spec.dst != op.dst:
+                    self._check_spec(i, spec, op, sdeps, dmatch, index_of)
+                elif wire_op is not None:
+                    sz = op.size
+                    nb = sz.nbytes
+                    comp = sz.compressed
+                    wire = None
+                    wlist = wire_lists_get(op.grad)
+                    if wlist is None:
+                        wire_lists[op.grad] = wlist = []
+                    else:
+                        for enb, ecomp, ewire in wlist:
+                            if enb == nb and ecomp == comp:
+                                wire = ewire
+                                break
+                    if wire is None:
+                        wire = wire_op(op)
+                        wlist.append((nb, comp, wire))
+                    if (spec.nbytes != wire
+                            and not _sizes_match(spec.nbytes, wire)):
+                        self._check_spec(i, spec, op, sdeps, dmatch,
+                                         index_of)
+
+    def _check_spec(self, i: int, spec: Any, op: Op, sdeps: Any,
+                    dmatch: bool, index_of: Dict[int, int]) -> None:
+        """PC602-PC606 for one (spec, op) pair (see :func:`check_recipe`).
+
+        ``dmatch`` is the dependency-mirror verdict the shared dep walk
+        already computed; the slow path below only re-derives the
+        expected encoding to build the message.
+        """
+        if spec.node != op.node or spec.label != op.label:
+            self.emit(
+                "PC602",
+                f"spec[{i}] ({spec.label!r}@{spec.node}) disagrees with "
+                f"{op!r}", uid=op.uid)
+            return
+        kind = op.kind
+        if kind == "send" and spec.dst != op.dst:
+            self.emit(
+                "PC602",
+                f"spec[{i}] sends to {spec.dst} but {op!r} targets "
+                f"{op.dst}", uid=op.uid)
+        if spec.duration < 0 or spec.nbytes < 0:
+            self.emit(
+                "PC605",
+                f"spec[{i}] for {op!r} has negative cost "
+                f"(duration={spec.duration}, nbytes={spec.nbytes})",
+                uid=op.uid)
+        for sd in sdeps:
+            if sd[0] == "t" and sd[1] >= i:
+                self.emit(
+                    "PC604",
+                    f"spec[{i}] depends on spec[{sd[1]}], which is not "
+                    f"earlier in the recipe", uid=op.uid)
+        if not dmatch:
+            expected: List[Tuple[Any, ...]] = []
+            for dep in op.deps:
+                if type(dep) is ReadyRef:
+                    expected.append(("r", dep.node, dep.gradient))
+                else:
+                    expected.append(("t", index_of[dep]))
+            self.emit(
+                "PC603",
+                f"spec[{i}] dependency encoding {list(sdeps)!r} "
+                f"disagrees with {op!r} deps {expected!r}", uid=op.uid)
+        if kind == "send" and self.pctx is not None:
+            wire = self.wire_of(op)
+            if spec.nbytes != wire and not _sizes_match(spec.nbytes, wire):
+                self.emit(
+                    "PC606",
+                    f"spec[{i}] wire size {spec.nbytes} disagrees with "
+                    f"the size model's {wire} for {op!r}", uid=op.uid)
+
+    def wire_of(self, op: Op) -> float:
+        """Memoized size-model wire size (pure in gradient and size)."""
+        key = (op.grad, op.size.nbytes, op.size.compressed)
+        wire = self._wire_memo.get(key)
+        if wire is None:
+            assert self.pctx is not None
+            wire = self._wire_memo[key] = self.pctx.wire_op(op)
+        return wire
+
+    def pid(self, i: int) -> Optional[int]:
+        """Cached :func:`_region_pid` of the op at index ``i``."""
+        pid = self._pids.get(i, -1)
+        if pid == -1:
+            pid = self._pids[i] = _region_pid(self.ops[i])
+        return pid
+
+    # -- reporting ----------------------------------------------------------
+
+    def emit(self, rule: str, message: str, uid: Optional[int] = None,
+             directive: Optional[str] = None, hint: str = "") -> None:
+        line = 0
+        if uid is not None:
+            if self._op_lines is None:
+                self._op_lines = self.plan.op_lines()
+            line = self._op_lines.get(uid, 0)
+        elif directive is not None:
+            if self._dir_lines is None:
+                self._dir_lines = self.plan.directive_lines()
+            line = self._dir_lines.get(directive, 0)
+        self.findings.append(Diagnostic(
+            rule=rule, severity=ERROR, message=message, file=self.file,
+            line=line, hint=hint))
+
+    # -- happens-before oracle ----------------------------------------------
+
+    def _ancestors(self, k: int) -> frozenset:
+        """Memoized full ancestor index set of a high-fan-in op.
+
+        :meth:`ordered` answers many queries whose backward searches
+        all re-expand the same wide joins (a PS re-encode over every
+        worker's merge, a collapsed fan-in barrier); materializing
+        those ops' ancestries once turns each later visit into one set
+        lookup.  Nested wide joins reuse each other's memoized sets.
+        """
+        anc = self._anc_memo.get(k)
+        if anc is None:
+            preds = self.preds
+            memo = self._anc_memo
+            seen: Set[int] = set(preds[k])
+            stack = list(seen)
+            while stack:
+                j = stack.pop()
+                cached = memo.get(j)
+                if cached is not None:
+                    seen |= cached
+                    continue
+                for p in preds[j]:
+                    if p not in seen:
+                        seen.add(p)
+                        stack.append(p)
+            anc = self._anc_memo[k] = frozenset(seen)
+        return anc
+
+    def ordered(self, a: int, b: int) -> bool:
+        """Is there a dependency path between op indexes ``a`` and ``b``?
+
+        Ops are in topological order (uids/indexes only reference
+        earlier ones), so a path can only run from the lower index to
+        the higher; the backward search prunes every branch that drops
+        below the target instead of materializing full reachability,
+        and consults :meth:`_ancestors` instead of expanding wide
+        joins.
+        """
+        if a == b:
+            return True
+        lo, hi = (a, b) if a < b else (b, a)
+        preds = self.preds
+        if lo in preds[hi]:  # direct edge: skip the search setup
+            return True
+        stack = [hi]
+        seen: Set[int] = set()
+        seen_add = seen.add
+        while stack:
+            k = stack.pop()
+            if k == lo:
+                return True
+            plist = preds[k]
+            # Chain compression: ring plans are chain-shaped, so most
+            # hops have exactly one predecessor -- follow those runs
+            # inline, where the per-hop stack bookkeeping would
+            # otherwise dominate the search.
+            while len(plist) == 1:
+                k = plist[0]
+                if k <= lo:
+                    if k == lo:
+                        return True
+                    plist = ()  # dropped below the target: dead end
+                    break
+                if k in seen:
+                    plist = ()
+                    break
+                seen_add(k)
+                plist = preds[k]
+            if len(plist) >= _WIDE_JOIN:
+                if lo in self._ancestors(k):
+                    return True
+                continue
+            for j in plist:
+                if j >= lo and j not in seen:
+                    seen_add(j)
+                    stack.append(j)
+        return False
+
+    # -- property 3: byte-flow conservation ---------------------------------
+
+    def _reaches_any(self, i: int, targets: Set[int], lo: int) -> bool:
+        """Does any op index in ``targets`` reach op index ``i``?
+
+        The same pruned backward search as :meth:`ordered` (``lo`` must
+        be ``min(targets)``), stopping at the first target hit.
+        """
+        stack = [i]
+        seen: Set[int] = set()
+        seen_add = seen.add
+        preds = self.preds
+        while stack:
+            k = stack.pop()
+            plist = preds[k]
+            # Same chain compression as :meth:`ordered`.
+            while len(plist) == 1:
+                j = plist[0]
+                if j < lo or j in seen:
+                    plist = ()
+                    break
+                if j in targets:
+                    return True
+                seen_add(j)
+                k = j
+                plist = preds[k]
+            if len(plist) >= _WIDE_JOIN:
+                if not self._ancestors(k).isdisjoint(targets):
+                    return True
+                continue
+            for j in plist:
+                if j >= lo and j not in seen:
+                    if j in targets:
+                        return True
+                    seen_add(j)
+                    stack.append(j)
+        return False
+
+    def check_byte_flow(self) -> None:
+        """PC301/PC302/PC303: whole-graph conservation of contributions.
+
+        Two families of flow keys feed the proof:
+
+        * ``("r", gradient)`` -- backward-pass readiness, seeded by
+          ``ReadyRef`` deps;
+        * ``("e", gradient, partition)`` -- encoded contributions,
+          seeded at every *initial* ``encode`` op (one with no earlier
+          encode of the same key in its ancestry; re-encodes of an
+          already-aggregated value, like ring dissemination or a PS
+          server's enc-out, transform an existing flow rather than
+          originate one).  Tracking these per partition is what catches
+          a dropped edge on *one* partition's aggregation while the
+          sibling partitions still flow.
+
+        Every node's sinks must jointly observe every declared origin of
+        every flow key -- dropping one dependency edge anywhere (e.g.
+        from a collapsed fan-in barrier) breaks this even though each
+        remaining edge still verifies locally.
+
+        Observing an origin is pure reachability, so rather than
+        forward-propagating per-op origin sets (whose width grows with
+        the model and made the proof quadratic on large plans), one
+        backward pass computes per op the ``n``-bit set of nodes owning
+        a sink it can reach; node ``v`` observes origin ``(op i, node
+        b)`` iff bit ``v`` is set at some op seeding that origin.
+        """
+        n = self.n
+        ops = self.ops
+        num_ops = len(ops)
+        preds = self.preds
+        consumed = self.consumed
+        #: flow key -> [(seeding op index, origin node), ...]; the
+        #: "r" keys can alias the index's lists (only "e" lists grow).
+        seeds: Dict[Tuple[Any, ...], List[Tuple[int, int]]] = {
+            ("r", grad): entries
+            for grad, entries in self.ready_seeds.items()}
+
+        # Initial-vs-re-encode.  An encode reachable from an earlier
+        # encode of the same key transforms that flow instead of
+        # originating one (it is downstream of an initial encode by
+        # induction on topological order).  The probes stay
+        # near-constant: a re-encode sits a hop or two above the
+        # aggregation it re-compresses, and an initial encode's
+        # ancestry is a ReadyRef or a local copy of one.
+        for (grad, pid), idxs in self.encodes.items():
+            first = idxs[0]
+            key_seeds = seeds.setdefault(("e", grad, pid), [])
+            key_seeds.append((first, ops[first].node))
+            if len(idxs) > 1:
+                targets = {first}
+                for i in idxs[1:]:
+                    if not self._reaches_any(i, targets, first):
+                        key_seeds.append((i, ops[i].node))
+                    targets.add(i)
+
+        # Backward pass: rev[i] = nodes owning a sink reachable from i.
+        rev = [0] * num_ops
+        for i in range(num_ops - 1, -1, -1):
+            r = rev[i]
+            if not consumed[i]:  # sink: no later op includes it
+                r |= 1 << ops[i].node
+                rev[i] = r
+            if r:
+                for j in preds[i]:
+                    rev[j] |= r
+
+        full = (1 << n) - 1
+        for key in sorted(seeds, key=repr):
+            key_seeds = seeds[key]
+            #: origin node -> nodes observing it via any seeding op.
+            origin_cover: Dict[int, int] = {}
+            for i, b in key_seeds:
+                origin_cover[b] = origin_cover.get(b, 0) | rev[i]
+            joint = full
+            for cover in origin_cover.values():
+                joint &= cover
+            if joint == full:
+                continue
+            grad = key[1]
+            what = (f"gradient {grad!r}" if key[0] == "r" else
+                    f"gradient {grad!r} (encoded partition {key[2]})")
+            for node in range(n):
+                missing = [b for b in sorted(origin_cover)
+                           if not (origin_cover[b] >> node) & 1]
+                if missing:
+                    self.emit(
+                        "PC301",
+                        f"node {node} never observes contribution(s) "
+                        f"from node(s) {missing} of {what} at any "
+                        f"sink op",
+                        directive=(grad if grad in self.plan.directives
+                                   else None),
+                        hint="a dependency edge feeding this node's "
+                             "aggregation was dropped or rerouted")
+
+        # PC303: a directive with no structural trace at all.
+        if n > 1:
+            realized: Set[str] = {key[1] for key in seeds}
+            realized.update(self.by_grad)
+            for name in self.plan.directives:
+                if name not in realized:
+                    self.emit(
+                        "PC303",
+                        f"directive {name} is never realized: no op or "
+                        f"ready event references the gradient",
+                        directive=name)
+
+    # -- property 2: buffer safety ------------------------------------------
+
+    def check_buffer_safety(self) -> None:
+        """PC201/PC202: no unordered access pair on one buffer region.
+
+        Access model (validated against every strategy frontend):
+        ``encode`` *reads* its gradient's buffer region; a plain
+        ``decode`` (not fused, not ``allocates_output``) *writes* it.
+        Fused ``decode_merge`` / ``merge`` / ``cpu`` aggregation ops
+        accumulate into separate aggregation state and are excluded --
+        treating accumulation as a hazard would flag every valid
+        PS-style plan (an aggregator's own encode is deliberately
+        unordered with other workers' contributions).
+        """
+        ops = self.ops
+        accesses: Dict[Tuple[int, str],
+                       List[Tuple[Optional[int], str, int]]] = {}
+        # Regions with writes drive the whole check, so index the
+        # (rare) plain decodes first and only group the reads of
+        # gradients that have any -- the indexing pass already
+        # classified both sides.
+        written: Set[str] = set()
+        for i in self.plain_decodes:
+            op = ops[i]
+            grad = op.grad
+            if grad is None:  # unreachable: indexed with grad set
+                continue
+            written.add(grad)
+            accesses.setdefault((op.node, grad), []).append(
+                (self.pid(i), "write", i))
+        if not accesses:
+            return
+        for (grad, pid), idxs in self.encodes.items():
+            if grad in written:
+                for i in idxs:
+                    accesses.setdefault((ops[i].node, grad), []).append(
+                        (pid, "read", i))
+
+        # Every aliasing pair with a write must be ordered.  Proving
+        # each pair directly is quadratic in the region's accesses;
+        # instead each partition class is proven by transitivity --
+        # the writes form an ordered chain and every read is ordered
+        # against its neighbouring writes, which together order every
+        # required pair.  Only a broken write chain falls back to the
+        # exhaustive pair scan (to report the precise pairs).
+        for (node, grad), entries in sorted(accesses.items()):
+            if all(mode == "read" for _, mode, _ in entries):
+                continue
+            entries.sort(key=lambda e: e[2])  # restore topo order
+            none_class = [e for e in entries if e[0] is None]
+            classes = sorted({e[0] for e in entries if e[0] is not None})
+            subgroups: List[List[Tuple[Optional[int], str, int]]]
+            if not classes:
+                subgroups = [entries]
+            elif none_class:
+                # Whole-buffer accesses alias every partition: rescan
+                # them inside each class (they are rare).
+                subgroups = []
+                for p in classes:
+                    sub = [e for e in entries if e[0] == p] + none_class
+                    sub.sort(key=lambda e: e[2])
+                    subgroups.append(sub)
+            else:
+                by_pid: Dict[Optional[int],
+                             List[Tuple[Optional[int], str, int]]] = {}
+                for e in entries:
+                    by_pid.setdefault(e[0], []).append(e)
+                subgroups = list(by_pid.values())
+            for sub in subgroups:
+                writes = [e for e in sub if e[1] == "write"]
+                if not writes:
+                    continue
+                chain_ok = True
+                for w in range(len(writes) - 1):
+                    if not self.ordered(writes[w][2], writes[w + 1][2]):
+                        chain_ok = False
+                        break
+                if not chain_ok:
+                    self._pair_scan(node, grad, sub)
+                    continue
+                # Reads: ordered against the nearest write on each
+                # side covers every write by chain transitivity.
+                w = 0
+                nwrites = len(writes)
+                for pid_e, mode, i in sub:
+                    if mode != "read":
+                        if w < nwrites and writes[w][2] == i:
+                            w += 1
+                        continue
+                    if w and not self.ordered(writes[w - 1][2], i):
+                        self._emit_race(node, grad, writes[w - 1][2], i,
+                                        "PC202")
+                    if w < nwrites and not self.ordered(i, writes[w][2]):
+                        self._emit_race(node, grad, i, writes[w][2],
+                                        "PC202")
+
+    def _pair_scan(self, node: int, grad: str,
+                   entries: List[Tuple[Optional[int], str, int]]) -> None:
+        """Exhaustive pair check of one region group (the slow path a
+        broken write chain falls back to, so findings name the exact
+        unordered pairs)."""
+        for x in range(len(entries)):
+            pid_a, mode_a, i_a = entries[x]
+            for y in range(x + 1, len(entries)):
+                pid_b, mode_b, i_b = entries[y]
+                if mode_a == "read" and mode_b == "read":
+                    continue
+                if (pid_a is not None and pid_b is not None
+                        and pid_a != pid_b):
+                    continue  # disjoint partitions never alias
+                if self.ordered(i_a, i_b):
+                    continue
+                self._emit_race(
+                    node, grad, i_a, i_b,
+                    "PC201" if mode_a == mode_b == "write" else "PC202")
+
+    def _emit_race(self, node: int, grad: str, i_a: int, i_b: int,
+                   rule: str) -> None:
+        kind = "write/write" if rule == "PC201" else "read/write"
+        self.emit(
+            rule,
+            f"unordered {kind} pair on buffer "
+            f"(node {node}, gradient {grad!r}): "
+            f"{self.ops[i_a]!r} || {self.ops[i_b]!r}",
+            uid=self.ops[i_b].uid,
+            hint="no happens-before path orders these two "
+                 "accesses to the same buffer region")
+
+    # -- property 4: decision coverage + directive consistency --------------
+
+    def check_directives(self) -> None:
+        """PC403/PC404/PC405: directive intent matches emitted structure."""
+        if self.n == 1:
+            return  # single-node plans synchronize nothing
+        index_of = self.index_of
+        for name in sorted(self.plan.directives):
+            directive = self.plan.directives[name]
+            ops = self.by_grad.get(name, [])
+            if directive.compress:
+                if not ops:
+                    continue  # bucketed elsewhere; PC303 covers absence
+                encodes = [op for op in ops if op.kind == "encode"]
+                if not encodes:
+                    self.emit(
+                        "PC404",
+                        f"directive marks {name} compressed but no "
+                        f"encode op realizes it",
+                        directive=name)
+                    continue
+                pids = {pid for pid in (self.pid(index_of[op.uid])
+                                        for op in encodes)
+                        if pid is not None}
+                if pids and directive.partitions > len(pids):
+                    self.emit(
+                        "PC405",
+                        f"directive plans K={directive.partitions} "
+                        f"partitions for {name} but ops realize only "
+                        f"{len(pids)}",
+                        directive=name,
+                        hint="PartitionPass and the expansion disagree "
+                             "on the partition count")
+            else:
+                bad = [op for op in ops
+                       if op.kind in ("encode", "decode", "decode_merge")
+                       or op.size.compressed]
+                if bad:
+                    self.emit(
+                        "PC403",
+                        f"directive marks {name} raw but "
+                        f"{len(bad)} compression op(s) remain "
+                        f"(e.g. {bad[0]!r})",
+                        uid=bad[0].uid)
+
+    def check_decisions(self) -> None:
+        """PC401/PC402: the DecisionMap and the plan agree exactly."""
+        decisions = None if self.pctx is None else self.pctx.decisions
+        if decisions is None:
+            return
+        for name in sorted(decisions.decisions):
+            if name not in self.plan.directives:
+                self.emit(
+                    "PC401",
+                    f"decision targets gradient {name!r}, which has no "
+                    f"directive in the plan")
+        partitioned = "partition" in (
+            self.plan.meta.get("passes") or ())
+        for name in sorted(self.plan.directives):
+            directive = self.plan.directives[name]
+            dec = decisions.get(name)
+            if dec is None:
+                self.emit(
+                    "PC401",
+                    f"gradient {name!r} has a directive but no adaptive "
+                    f"decision",
+                    directive=name)
+                continue
+            if directive.compress != dec.compress:
+                self.emit(
+                    "PC402",
+                    f"directive {name}: compress={directive.compress} "
+                    f"contradicts decision compress={dec.compress}",
+                    directive=name)
+            elif directive.algorithm != dec.algorithm:
+                self.emit(
+                    "PC402",
+                    f"directive {name}: algorithm="
+                    f"{directive.algorithm!r} contradicts decision "
+                    f"algorithm={dec.algorithm!r}",
+                    directive=name)
+            elif (partitioned and dec.partitions is not None
+                    and directive.partitions != max(1, dec.partitions)):
+                self.emit(
+                    "PC402",
+                    f"directive {name}: K={directive.partitions} "
+                    f"contradicts decision partitions={dec.partitions}",
+                    directive=name)
+
+    # -- pass policy ---------------------------------------------------------
+
+    def check_bulk_policy(self) -> None:
+        """PC501: every bulk-routed send was eligible and under threshold."""
+        for op in self.bulk_sends:
+            if not op.attrs.get("bulk_eligible"):
+                self.emit(
+                    "PC501",
+                    f"{op!r} is bulk-routed but was never marked "
+                    f"bulk_eligible by its frontend",
+                    uid=op.uid,
+                    hint="serial ring hops must never ride the "
+                         "coordinator (per-hop flush delays accumulate)")
+            elif self.pctx is not None:
+                wire = self.wire_of(op)
+                threshold = self.pctx.config.bulk_eligible_bytes
+                if wire >= threshold:
+                    self.emit(
+                        "PC501",
+                        f"{op!r} is bulk-routed but its wire size "
+                        f"{wire:.0f} B is not below the coordinator "
+                        f"threshold {threshold:.0f} B",
+                        uid=op.uid)
+
+    def run(self) -> List[Diagnostic]:
+        self.check_byte_flow()
+        self.check_buffer_safety()
+        self.check_directives()
+        self.check_decisions()
+        self.check_bulk_policy()
+        return self.findings
+
+
+def check_recipe(plan: SyncPlan, recipe: Any,
+                 pctx: Optional[PassContext] = None,
+                 name: Optional[str] = None) -> List[Diagnostic]:
+    """PC6xx: cross-check a lowered recipe against its source plan.
+
+    Lowering must be a pure re-encoding: one spec per op, same node /
+    label / destination, dependency tuples that mirror the op's deps
+    (``("t", index)`` for op uids, ``("r", node, gradient)`` for ready
+    events) and never point forward, non-negative costs, and -- when a
+    :class:`~repro.casync.passes.PassContext` is supplied -- send wire
+    sizes that agree with the shared size model.
+
+    The plan must be structurally valid (topologically ordered ops);
+    the checks themselves run in the analyzer's recipe mirror
+    (:meth:`_PlanAnalyzer._check_recipe_specs`, against the shared
+    :class:`~repro.casync.index.PlanIndex`), and this entry point just
+    filters out the non-recipe rule families.
+    """
+    analyzer = _PlanAnalyzer(plan, pctx, plan_file(plan, name),
+                             recipe=recipe)
+    return [d for d in analyzer.findings if d.rule.startswith("PC6")]
+
+
+def check_plan(plan: SyncPlan, pctx: Optional[PassContext] = None,
+               recipe: Any = None, name: Optional[str] = None,
+               structural: Optional[bool] = None) -> PlanReport:
+    """Prove the four PlanCheck properties over one plan.
+
+    ``pctx`` enables the context-dependent rules (PC402/PC501 wire
+    thresholds, PC606); ``recipe`` adds the PC6xx lowering cross-checks.
+    ``structural`` controls whether the PC1xx structural pass re-runs:
+    the default (None) skips it for plans the pipeline already verified
+    (``meta["verified"]``), which is what keeps strict cache admission
+    cheap; pass True to force it (the CLI does).
+
+    Deep analyses assume topological op order, so any structural error
+    short-circuits the report to just the PC1xx findings.
+    """
+    file = plan_file(plan, name)
+    run_structural = (structural if structural is not None
+                      else not plan.meta.get("verified"))
+    diagnostics: List[Diagnostic] = []
+    if run_structural:
+        diagnostics.extend(verify_diagnostics(plan, name=file))
+        # A structural re-verify means the plan's provenance is not
+        # trusted (hand-built, or possibly mutated since the pipeline
+        # indexed it) -- so any cached structural index is not either.
+        invalidate_index(plan)
+    if not diagnostics:
+        # The analyzer's transient index structures (one preds list per
+        # op) are exactly the allocation pattern that trips generational
+        # GC mid-run while the heap already holds the full plan; pausing
+        # collection for the call is worth ~1/3 of admission latency on
+        # large plans and frees the same garbage right after.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            diagnostics.extend(
+                _PlanAnalyzer(plan, pctx, file, recipe=recipe).run())
+        finally:
+            if was_enabled:
+                gc.enable()
+    return PlanReport(
+        name=file, strategy=plan.strategy, num_nodes=plan.num_nodes,
+        num_ops=len(plan.ops), diagnostics=tuple(diagnostics))
+
+
+# -- CLI: the golden-config + adaptive-policy sweep --------------------------
+
+def _case_model() -> Any:
+    """The equivalence-matrix model shape: sizes straddling every pass
+    threshold so selective/partition/fuse/bulk all have work to do."""
+    from ..models import GradientSpec, ModelSpec
+    kb, mb = 1024, 1024 * 1024
+    sizes = (8 * mb, 2 * mb, 900 * kb, 64 * kb, 16 * kb)
+    grads = tuple(GradientSpec(f"eq.g{i}", s) for i, s in enumerate(sizes))
+    return ModelSpec(name="plancheck-tiny", gradients=grads, batch_size=8,
+                     batch_unit="images", v100_iteration_s=0.012)
+
+
+def _planner_kind(strategy_name: str) -> str:
+    return "ring" if "ring" in strategy_name else "ps_colocated"
+
+
+def iter_cases() -> Iterator[Tuple[str, Callable[[], Tuple[SyncPlan,
+                                                           PassContext,
+                                                           Any]]]]:
+    """Yield ``(case_name, builder)`` covering the golden matrix + policies.
+
+    The first 22 cases mirror the graph-equivalence suite exactly
+    (sorted SYSTEMS x algorithms, then the casync ablation ladder); the
+    remainder run each PR-7 adaptive policy's iteration-0 DecisionMap
+    through both CaSync strategies.  Builders return
+    ``(plan, pctx, recipe)`` so every case is checked through lowering.
+    """
+    from ..cluster import ec2_v100_cluster
+    from ..experiments.common import SYSTEMS, default_algorithm
+    from ..strategies import get_strategy
+    from ..training import make_plans
+
+    model = _case_model()
+    cluster = ec2_v100_cluster(4)
+    algorithms = ("onebit", "dgc", "tbq")
+    ablation = (
+        ("none", dict(pipelining=False, bulk=False, selective=False)),
+        ("pipe", dict(pipelining=True, bulk=False, selective=False)),
+        ("pipe+bulk", dict(pipelining=True, bulk=True, selective=False)),
+        ("pipe+bulk+secopa",
+         dict(pipelining=True, bulk=True, selective=True)),
+    )
+
+    def make_builder(strategy_name: str, algo_name: Optional[str],
+                     flags: Dict[str, Any], selective: bool,
+                     ) -> Callable[[], Tuple[SyncPlan, PassContext, Any]]:
+        def build() -> Tuple[SyncPlan, PassContext, Any]:
+            from ..casync.lower import lower_plan
+            from ..casync.passes import PassContext, build_plan
+            algorithm = (default_algorithm(algo_name)
+                         if algo_name is not None else None)
+            plans = None
+            if selective:
+                plans = make_plans(model, cluster, algorithm,
+                                   _planner_kind(strategy_name))
+            strategy = get_strategy(strategy_name, **flags)
+            pctx = PassContext(
+                num_nodes=cluster.num_nodes, cluster=cluster,
+                algorithm=algorithm, plans=plans)
+            plan = build_plan(strategy, pctx, model)
+            return plan, pctx, lower_plan(plan, pctx)
+        return build
+
+    for key in sorted(SYSTEMS):
+        config = SYSTEMS[key]
+        algos: Tuple[Optional[str], ...] = (
+            algorithms if config.compression else (None,))
+        for algo in algos:
+            yield (f"{key}/{algo or 'raw'}/n4",
+                   make_builder(config.strategy, algo, {},
+                                config.planner_kind is not None))
+    for strategy_name in ("casync-ps", "casync-ring"):
+        for stage, flags in ablation:
+            yield (f"{strategy_name}:{stage}/onebit/n4",
+                   make_builder(strategy_name, "onebit", dict(flags),
+                                bool(flags["selective"])))
+
+    def make_adaptive_builder(strategy_name: str, policy_kind: str,
+                              ) -> Callable[[], Tuple[SyncPlan,
+                                                      PassContext, Any]]:
+        def build() -> Tuple[SyncPlan, PassContext, Any]:
+            from ..adaptive.controller import PolicyController
+            from ..adaptive.policy import CompressionPolicy
+            from ..casync.lower import lower_plan
+            from ..casync.passes import PassContext, build_plan
+            policy = {
+                "size": CompressionPolicy.size_adaptive,
+                "bandwidth": CompressionPolicy.bandwidth_adaptive,
+                "accordion": CompressionPolicy.accordion,
+            }[policy_kind]()
+            controller = PolicyController(
+                policy, model, cluster,
+                planner_kind=_planner_kind(strategy_name))
+            decisions = controller.decide(0)
+            default_key = {"size": "large", "bandwidth": "algorithm",
+                           "accordion": "conservative"}[policy_kind]
+            strategy = get_strategy(strategy_name, selective=False,
+                                    adaptive=True)
+            pctx = PassContext(
+                num_nodes=cluster.num_nodes, cluster=cluster,
+                algorithm=controller.palette[default_key],
+                decisions=decisions)
+            plan = build_plan(strategy, pctx, model)
+            return plan, pctx, lower_plan(plan, pctx)
+        return build
+
+    for strategy_name in ("casync-ps", "casync-ring"):
+        for policy_kind in ("size", "bandwidth", "accordion"):
+            yield (f"adaptive:{strategy_name}/{policy_kind}/n4",
+                   make_adaptive_builder(strategy_name, policy_kind))
+
+
+def _run_mutants(out: Any) -> int:
+    from . import planmutants
+    results = planmutants.run_corpus()
+    failed = 0
+    for result in results:
+        status = "caught" if (result.caught and result.verify_missed) \
+            else "MISSED"
+        if status == "MISSED":
+            failed += 1
+        rules = ",".join(sorted(result.rules)) or "-"
+        print(f"{status:>7} {result.name:<26} pass={result.target_pass:<18}"
+              f" expected={result.expected_rule} got={rules}"
+              f" verify_missed={result.verify_missed}", file=out)
+    print(f"{len(results) - failed}/{len(results)} mutants caught with "
+          f"their expected typed finding (all invisible to verify_plan)",
+          file=out)
+    return 1 if failed else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.plancheck",
+        description="Whole-plan concurrency analyzer over the golden "
+                    "SYSTEMS configurations and adaptive policies.")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings-as-errors exit policy")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the JSON findings report here")
+    parser.add_argument("--case", metavar="SUBSTR",
+                        help="only run cases whose name contains SUBSTR")
+    parser.add_argument("--list", action="store_true",
+                        help="list case names and exit")
+    parser.add_argument("--mutants", action="store_true",
+                        help="run the pass-mutant corpus instead of the "
+                             "golden sweep")
+    args = parser.parse_args(argv)
+
+    if args.mutants:
+        return _run_mutants(sys.stdout)
+
+    reports: List[PlanReport] = []
+    for case_name, build in iter_cases():
+        if args.list:
+            print(case_name)
+            continue
+        if args.case and args.case not in case_name:
+            continue
+        plan, pctx, recipe = build()
+        report = check_plan(plan, pctx=pctx, recipe=recipe,
+                            name=case_name, structural=True)
+        reports.append(report)
+        if args.format == "text":
+            print(report.render_text())
+    if args.list:
+        return 0
+
+    all_diags = [d for r in reports for d in r.diagnostics]
+    payload = {
+        "cases": [r.to_json_obj() for r in reports],
+        "summary": {
+            "cases": len(reports),
+            "counts": count_by_severity(all_diags),
+            "ok": not has_errors(all_diags, strict=args.strict),
+        },
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        counts = count_by_severity(all_diags)
+        print(f"checked {len(reports)} case(s): {counts['error']} "
+              f"error(s), {counts['warning']} warning(s)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+    return exit_code(all_diags, strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -27,6 +27,14 @@ Python AST of ``src/repro`` and enforces the determinism contract:
   ``if ... is not None`` / truthiness test).  Unguarded calls make the
   telemetry-off path pay attribute/call overhead and can raise when the
   sink is absent.  ``repro/telemetry/`` itself is exempt.
+* ``SIM106`` (warning): iteration whose *order* leaks into an identity
+  -- looping over ``os.environ`` anywhere (the env block's order is
+  inherited from the parent process), or over ``dict.items()`` /
+  ``.keys()`` / ``.values()`` / ``vars(...)`` inside a function that
+  builds a cache key, token, digest, fingerprint, or content identity.
+  Dict order is insertion order, which varies across code paths that
+  populate the dict differently, so two equal-content inputs can hash
+  to different keys; wrap the iterable in ``sorted(...)``.
 * ``SIM900`` (info): an allowlist entry matched nothing -- stale
   suppressions rot.
 * ``SIM000`` (error): a file simlint could not parse.
@@ -51,6 +59,7 @@ from __future__ import annotations
 import argparse
 import ast
 import fnmatch
+import re
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -95,6 +104,13 @@ _SEEDABLE_CONSTRUCTORS = {
     "numpy.random.default_rng", "numpy.random.RandomState",
     "random.Random",
 }
+
+#: Function names that build an identity: a cache key, plan digest,
+#: content token, fingerprint.  Iteration order inside these functions
+#: becomes part of the identity (SIM106).
+_KEYFUNC_RE = re.compile(
+    r"(^|_)(key|keys|token|tokens|digest|fingerprint|content|identity)"
+    r"($|_)")
 
 
 @dataclass
@@ -187,6 +203,8 @@ class _FileLinter(ast.NodeVisitor):
         self.aliases: Dict[str, str] = {}
         #: nesting depth of `is not None` / truthiness guards
         self._guard_depth = 0
+        #: enclosing function names, innermost last (for SIM106)
+        self._func_stack: List[str] = []
 
     # -- helpers -------------------------------------------------------------
 
@@ -251,11 +269,15 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
 
     # -- SIM104: unordered set iteration --------------------------------------
 
@@ -283,11 +305,57 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_set_iteration(node.iter, "a for loop")
+        self._check_ordering_iteration(node.iter, "a for loop")
         self.generic_visit(node)
 
     def _visit_comprehension_generators(self, node) -> None:
         for gen in node.generators:
             self._check_set_iteration(gen.iter, "a comprehension")
+            self._check_ordering_iteration(gen.iter, "a comprehension")
+
+    # -- SIM106: iteration order leaking into an identity ----------------------
+
+    def _in_keyfunc(self) -> bool:
+        return any(_KEYFUNC_RE.search(name) for name in self._func_stack)
+
+    def _check_ordering_iteration(self, iter_node: ast.AST,
+                                  where: str) -> None:
+        target = iter_node
+        view = ""
+        if (isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Attribute)
+                and iter_node.func.attr in ("items", "keys", "values")
+                and not iter_node.args and not iter_node.keywords):
+            target = iter_node.func.value
+            view = f".{iter_node.func.attr}()"
+        if self._canonical(target) == "os.environ":
+            self._emit(
+                "SIM106", WARNING, iter_node,
+                f"iteration over os.environ{view} in {where}: the "
+                f"environment block's order is inherited from the "
+                f"parent process, not reproducible",
+                hint="look up the variables you need explicitly, or "
+                     "iterate over sorted(os.environ)")
+            return
+        if not self._in_keyfunc():
+            return
+        if view:
+            self._emit(
+                "SIM106", WARNING, iter_node,
+                f"dict{view} iteration in {where} inside "
+                f"{self._func_stack[-1]}(): insertion order leaks into "
+                f"the identity this function builds",
+                hint="iterate over sorted(...) so equal-content inputs "
+                     "produce equal keys")
+        elif (isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id == "vars"):
+            self._emit(
+                "SIM106", WARNING, iter_node,
+                f"vars(...) iteration in {where} inside "
+                f"{self._func_stack[-1]}(): attribute insertion order "
+                f"leaks into the identity this function builds",
+                hint="iterate over sorted(vars(...)) instead")
 
     def visit_ListComp(self, node: ast.ListComp) -> None:
         self._visit_comprehension_generators(node)

@@ -59,6 +59,12 @@ constants live in :class:`PassConfig` (``simulate_iteration(...,
 pass_config=...)``), lowered graphs are memoized in
 :func:`default_graph_cache`, and :func:`sync_plan_dump` captures the IR
 of every graph built inside a ``with`` block.  See ``docs/SYNC_IR.md``.
+
+:func:`check_plan` proves whole-plan concurrency properties (deadlock
+freedom, buffer safety, byte-flow conservation, decision coverage) over
+a built plan and returns a :class:`PlanReport`;
+``GraphCache(admission="strict")`` (or ``REPRO_PLANCHECK=1``) gates
+cache admission on the same proof.  See ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -77,6 +83,12 @@ from .algorithms import (
     get_algorithm,
     register_algorithm,
 )
+from .analysis.plancheck import (
+    PlanCheckError,
+    PlanReport,
+    check_plan,
+    check_recipe,
+)
 from .casync import (
     DEFAULT_PASS_CONFIG,
     AdaptivePass,
@@ -88,6 +100,7 @@ from .casync import (
     get_pass,
     list_passes,
     register_pass,
+    verify_diagnostics,
     verify_plan,
 )
 from .casync.lower import (
@@ -164,6 +177,9 @@ __all__ = [
     "AdaptivePass", "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig",
     "SyncPlan", "build_plan", "default_graph_cache", "get_pass",
     "list_passes", "register_pass", "sync_plan_dump", "verify_plan",
+    # whole-plan analyzer (see docs/ANALYSIS.md)
+    "PlanCheckError", "PlanReport", "check_plan", "check_recipe",
+    "verify_diagnostics",
     # adaptive control plane (see docs/ADAPTIVE.md)
     "CompressionPolicy", "DecisionLog", "DecisionMap", "GradientDecision",
     "PolicyController", "PolicyRun", "parse_policy", "run_policy",

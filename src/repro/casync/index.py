@@ -1,0 +1,235 @@
+"""PlanIndex: the canonical derived structural view of a SyncPlan.
+
+Several consumers of a built plan each used to re-derive the same
+structural facts with their own ad-hoc walks:
+
+* :func:`repro.casync.lower.lower_plan` resolved every dependency uid to
+  an op position to encode spec dependencies;
+* :mod:`repro.analysis.plancheck` rebuilt the same position map plus
+  predecessor lists, sink flags, ready-event seeds, per-gradient op
+  groups and buffer-region classifications on every admission check;
+* ad-hoc scripts grouped ops by gradient yet again.
+
+:class:`PlanIndex` computes all of it in one pass and is cached per
+plan object (:func:`plan_index`), so the pipeline derives the structure
+exactly once: :func:`~repro.casync.passes.build_plan` populates the
+cache right after verification, lowering consumes the dependency
+encodings, and the whole-plan analyzer consumes everything else.  That
+sharing is what keeps strict :class:`~repro.casync.lower.GraphCache`
+admission cheap relative to a cold build.
+
+The index is a *pure derivation* of ``plan.ops`` -- it restates the
+plan's structure in a different shape and never summarizes a judgement
+about it, so consuming it does not weaken any downstream proof: an
+analyzer reading ``preds`` sees exactly the dependency edges a buggy
+optimization pass left in the plan.  Anything that *evaluates* a rule
+(size models, happens-before searches, coverage) stays with the
+analyzer.
+
+The builder assumes a structurally valid plan (unique uids, deps
+referencing earlier ops) -- the shape :func:`~repro.casync.passes.
+verify_diagnostics` proves.  A dangling dependency raises ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ir import Op, ReadyRef, SyncPlan
+
+__all__ = ["PlanIndex", "invalidate", "plan_index", "region_pid"]
+
+
+#: The region tag grammar: ``.p3`` / ``.c3`` name partition (or chunk)
+#: regions of a gradient's buffer; anything else aliases whole-buffer.
+REGION_PATTERN = r"\.[pc](\d+)(?![A-Za-z0-9_])"
+
+
+def region_pid(op: Op) -> Optional[int]:
+    """The partition id an op touches, or None for whole-buffer aliasing.
+
+    Hand-rolled right-to-left scan for the last :data:`REGION_PATTERN`
+    match outside the gradient's own name: this runs once per
+    encode/decode while indexing, where the regex engine's ~2x overhead
+    is measurable.
+    """
+    label = op.label
+    grad = op.grad
+    lo = 0
+    if grad:
+        if label.startswith(grad):
+            # Fast path: every frontend labels region ops
+            # "<grad>.p3..."; bounding the scan below the prefix
+            # avoids the string copy a replace() would allocate.
+            lo = len(grad)
+        else:
+            label = label.replace(grad, "")
+    end = len(label)
+    while True:
+        p = label.rfind(".p", lo, end)
+        c = label.rfind(".c", lo, end)
+        at = p if p > c else c
+        if at < 0:
+            return None
+        digits = at + 2
+        stop = digits
+        size = len(label)
+        while stop < size and label[stop].isdigit():
+            stop += 1
+        if stop > digits and (stop == size
+                              or not (label[stop].isalnum()
+                                      or label[stop] == "_")):
+            return int(label[digits:stop])
+        end = at + 1  # keep scanning left past the non-match
+
+
+@dataclass
+class PlanIndex:
+    """One-pass structural index of a (verified) SyncPlan.
+
+    All fields are positional (op-list indexes), not uid-keyed, except
+    ``index_of`` which is the uid -> position map itself.  Consumers
+    must treat every field as read-only; lists are shared, not copied.
+    """
+
+    #: Number of ops indexed (staleness guard for :func:`plan_index`).
+    num_ops: int
+    #: op uid -> position in ``plan.ops``.
+    index_of: Dict[int, int]
+    #: Position-indexed predecessor lists (ReadyRefs excluded).
+    preds: List[List[int]]
+    #: Per-op dependency encodings, one entry per dep in dep order:
+    #: ``("t", position)`` or ``("r", node, gradient)`` -- the exact
+    #: shape :class:`~repro.casync.lower.TaskSpec` records.
+    dep_encodings: List[Tuple[Tuple[object, ...], ...]]
+    #: consumed[i] == 1 when some later op depends on op i (non-sink).
+    consumed: bytearray
+    #: gradient -> [(op position, ready node), ...] per ReadyRef use.
+    ready_seeds: Dict[str, List[Tuple[int, int]]]
+    #: gradient -> ops referencing it, in plan order.
+    by_grad: Dict[str, List[Op]]
+    #: (gradient, region pid) -> encode op positions, in plan order.
+    encodes: Dict[Tuple[str, Optional[int]], List[int]]
+    #: encode/plain-decode position -> its :func:`region_pid`.
+    region_pids: Dict[int, Optional[int]]
+    #: Plain gradient-buffer decodes (not fused, not allocating).
+    plain_decodes: List[int]
+    #: Positions of bulk-flagged sends.
+    bulk_sends: List[int]
+    #: is_enc[i] == 1 when op i is an encode.
+    is_enc: bytearray
+    #: (producer, consumer) position pairs whose producer is an encode.
+    encode_out_edges: List[Tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, plan: SyncPlan) -> "PlanIndex":
+        ops = plan.ops
+        n_ops = len(ops)
+        index_of: Dict[int, int] = {}
+        preds: List[List[int]] = []
+        dep_encodings: List[Tuple[Tuple[object, ...], ...]] = []
+        consumed = bytearray(n_ops)
+        ready_seeds: Dict[str, List[Tuple[int, int]]] = {}
+        by_grad: Dict[str, List[Op]] = {}
+        encodes: Dict[Tuple[str, Optional[int]], List[int]] = {}
+        region_pids: Dict[int, Optional[int]] = {}
+        plain_decodes: List[int] = []
+        bulk_sends: List[int] = []
+        is_enc = bytearray(n_ops)
+        encode_out_edges: List[Tuple[int, int]] = []
+        preds_append = preds.append
+        enc_append = dep_encodings.append
+        edges_append = encode_out_edges.append
+        ready_get = ready_seeds.get
+        by_grad_get = by_grad.get
+        encodes_get = encodes.get
+        for i, op in enumerate(ops):
+            index_of[op.uid] = i
+            uid_deps: List[int] = []
+            enc_row: List[Tuple[object, ...]] = []
+            for dep in op.deps:
+                if type(dep) is ReadyRef:
+                    g = dep.gradient
+                    seeds = ready_get(g)
+                    if seeds is None:
+                        ready_seeds[g] = [(i, dep.node)]
+                    else:
+                        seeds.append((i, dep.node))
+                    enc_row.append(("r", dep.node, g))
+                else:
+                    j = index_of[dep]
+                    uid_deps.append(j)
+                    consumed[j] = 1
+                    if is_enc[j]:
+                        edges_append((j, i))
+                    enc_row.append(("t", j))
+            preds_append(uid_deps)
+            enc_append(tuple(enc_row))
+            grad = op.grad
+            kind = op.kind
+            if grad is not None:
+                glist = by_grad_get(grad)
+                if glist is None:
+                    by_grad[grad] = [op]
+                else:
+                    glist.append(op)
+            if kind == "encode":
+                is_enc[i] = 1
+                if grad is not None:
+                    pid = region_pids[i] = region_pid(op)
+                    ekey = (grad, pid)
+                    elist = encodes_get(ekey)
+                    if elist is None:
+                        encodes[ekey] = [i]
+                    else:
+                        elist.append(i)
+            elif kind == "send":
+                if op.attrs.get("bulk"):
+                    bulk_sends.append(i)
+            elif kind == "decode":
+                if (grad is not None and not op.attrs.get("fused")
+                        and not op.attrs.get("allocates_output")):
+                    plain_decodes.append(i)
+                    region_pids[i] = region_pid(op)
+        return cls(
+            num_ops=n_ops, index_of=index_of, preds=preds,
+            dep_encodings=dep_encodings, consumed=consumed,
+            ready_seeds=ready_seeds, by_grad=by_grad, encodes=encodes,
+            region_pids=region_pids, plain_decodes=plain_decodes,
+            bulk_sends=bulk_sends, is_enc=is_enc,
+            encode_out_edges=encode_out_edges)
+
+
+#: Per-plan-object cache; entries die with their plan.
+_INDEX_CACHE: "weakref.WeakKeyDictionary[SyncPlan, PlanIndex]" = (
+    weakref.WeakKeyDictionary())
+
+
+def plan_index(plan: SyncPlan) -> PlanIndex:
+    """The cached :class:`PlanIndex` of ``plan`` (built on first use).
+
+    The cache is keyed by object identity and guarded by op count, so a
+    plan mutated *in place* after indexing (outside the build pipeline,
+    which indexes only after its last pass) should be re-indexed by the
+    caller if the op count happens to match; ``build_plan`` output is
+    final and always safe.
+    """
+    idx = _INDEX_CACHE.get(plan)
+    if idx is None or idx.num_ops != len(plan.ops):
+        idx = PlanIndex.build(plan)
+        _INDEX_CACHE[plan] = idx
+    return idx
+
+
+def invalidate(plan: SyncPlan) -> None:
+    """Drop ``plan``'s cached index.
+
+    Required after mutating an already-indexed plan in place (ops,
+    deps, or attrs) whenever the op count happens to stay the same --
+    the cheap staleness guard above cannot see such edits, and a stale
+    index would make every index consumer (lowering, the whole-plan
+    analyzer) silently analyze the pre-mutation structure.
+    """
+    _INDEX_CACHE.pop(plan, None)

@@ -37,7 +37,8 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 __all__ = [
     "OP_KINDS",
@@ -57,7 +58,20 @@ OP_KINDS = ("encode", "decode", "merge", "decode_merge", "copy", "cpu",
 
 
 class PlanVerificationError(ValueError):
-    """The verifier pass rejected a malformed SyncPlan."""
+    """The verifier pass rejected a malformed SyncPlan.
+
+    ``diagnostics`` carries the structured findings
+    (:class:`~repro.analysis.diagnostics.Diagnostic` records, one per
+    violation) when the error was raised by
+    :func:`~repro.casync.passes.verify_diagnostics`-backed callers; the
+    message is their rendered text, so ``str(exc)`` keeps the historical
+    substrings tests match on.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: Sequence[Any] = ()) -> None:
+        super().__init__(message)
+        self.diagnostics: Tuple[Any, ...] = tuple(diagnostics)
 
 
 @dataclass(frozen=True)
@@ -72,7 +86,7 @@ class SizeExpr:
     nbytes: float
     compressed: bool = False
 
-    def wire(self, sizer) -> float:
+    def wire(self, sizer: Callable[[float], float]) -> float:
         """Bytes on the wire, given ``sizer: raw_nbytes -> compressed``."""
         return sizer(self.nbytes) if self.compressed else self.nbytes
 
@@ -112,7 +126,7 @@ class Op:
     grad: Optional[str] = None      # owning gradient (None for fused work)
     attrs: Dict[str, object] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in OP_KINDS:
             raise ValueError(f"unknown op kind {self.kind!r}")
         if self.kind == "send" and self.dst is None:
@@ -186,7 +200,7 @@ class SyncPlan:
     """A declarative synchronization plan for one training iteration."""
 
     def __init__(self, strategy: str, num_nodes: int,
-                 algorithm: Optional[str] = None):
+                 algorithm: Optional[str] = None) -> None:
         if num_nodes < 1:
             raise ValueError("need at least one node")
         self.strategy = strategy
@@ -205,7 +219,7 @@ class SyncPlan:
     def add(self, kind: str, node: int, label: str,
             size: SizeExpr = ZERO_SIZE, deps: Iterable[Dep] = (),
             dst: Optional[int] = None, grad: Optional[str] = None,
-            **attrs) -> int:
+            **attrs: object) -> int:
         """Append an op; returns its uid (usable as a dependency)."""
         uid = self._next_uid
         self._next_uid += 1
@@ -277,6 +291,24 @@ class SyncPlan:
                            sorted(op.attrs.items()) if op.attrs else ())
                           ).encode())
         return h.hexdigest()
+
+    def directive_lines(self) -> Dict[str, int]:
+        """1-based line of each directive in the :meth:`format_text` dump.
+
+        Diagnostics (:mod:`repro.analysis.plancheck` and the verifier)
+        use these spans so a finding points straight into the plan dump
+        the user can print with ``--dump-sync-plan``.
+        """
+        base = 1 + (1 if self.meta else 0) + 1  # header [+ meta] + section
+        return {name: base + i + 1
+                for i, name in enumerate(sorted(self.directives))}
+
+    def op_lines(self) -> Dict[int, int]:
+        """1-based line of each op (by uid) in the :meth:`format_text` dump."""
+        base = (1 + (1 if self.meta else 0)    # header [+ meta]
+                + 1 + len(self.directives)     # directives section
+                + 1)                           # ops summary line
+        return {op.uid: base + i + 1 for i, op in enumerate(self.ops)}
 
     def format_text(self) -> str:
         """Human-readable dump (the text form of ``--dump-sync-plan``)."""

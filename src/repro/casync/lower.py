@@ -25,12 +25,14 @@ written as ``<strategy>-<digest12>.json`` + ``.txt``.
 from __future__ import annotations
 
 import hashlib
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..algorithms.base import CompressionAlgorithm
-from .ir import Op, ReadyRef, SyncPlan
+from .index import plan_index
+from .ir import Op, SyncPlan
 from .passes import DEFAULT_PASS_CONFIG, PassContext, build_plan
 from .planner import plans_to_json
 from .tasks import Task, TaskGraph
@@ -160,17 +162,14 @@ def lower_plan(plan: SyncPlan, pctx: PassContext) -> LoweredRecipe:
             builders[key] = chosen
         return chosen
 
-    index_of: Dict[int, int] = {}
+    # The uid->position map and dependency encodings come from the shared
+    # structural index (computed once per plan at the end of build_plan);
+    # specs reference the index's tuples directly, so the whole-plan
+    # analyzer can cross-check recipe deps by identity.
+    encodings = plan_index(plan).dep_encodings
     specs: List[TaskSpec] = []
-    for op in plan.ops:
-        deps = []
-        for dep in op.deps:
-            if isinstance(dep, ReadyRef):
-                deps.append(("r", dep.node, dep.gradient))
-            else:
-                deps.append(("t", index_of[dep]))
-        index_of[op.uid] = len(specs)
-        specs.append(_spec_for(op, builder_for(op), pctx, tuple(deps)))
+    for i, op in enumerate(plan.ops):
+        specs.append(_spec_for(op, builder_for(op), pctx, encodings[i]))
     return LoweredRecipe(specs=specs, plan_digest=plan.digest(),
                          strategy=plan.strategy, num_nodes=plan.num_nodes,
                          meta=dict(plan.meta))
@@ -270,15 +269,38 @@ def cache_key(strategy, model, pctx: PassContext) -> Tuple:
 
 
 class GraphCache:
-    """FIFO-bounded cache of lowered recipes keyed by :func:`cache_key`."""
+    """FIFO-bounded cache of lowered recipes keyed by :func:`cache_key`.
 
-    def __init__(self, maxsize: int = 128):
+    ``admission`` selects the cache's admission policy: ``"off"`` (the
+    default) caches every recipe the miss path builds; ``"strict"`` runs
+    :func:`repro.analysis.plancheck.check_plan` over the plan *and* its
+    lowered recipe first, and a plan that fails any whole-plan property
+    raises :class:`~repro.analysis.plancheck.PlanCheckError` instead of
+    being cached (so a buggy pass can never poison warm iterations).
+    The ``REPRO_PLANCHECK`` environment variable overrides the policy
+    per process: ``1``/``on``/``true``/``strict`` force strict
+    admission, ``0``/``off``/``false`` force it off.
+    """
+
+    def __init__(self, maxsize: int = 128, admission: str = "off"):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
+        if admission not in ("off", "strict"):
+            raise ValueError("admission must be 'off' or 'strict'")
         self.maxsize = maxsize
+        self.admission = admission
         self._recipes: Dict[Tuple, LoweredRecipe] = {}
         self.hits = 0
         self.misses = 0
+
+    def strict_admission(self) -> bool:
+        """Effective policy: ``REPRO_PLANCHECK`` wins over ``admission``."""
+        override = os.environ.get("REPRO_PLANCHECK", "").strip().lower()
+        if override in ("1", "on", "true", "strict"):
+            return True
+        if override in ("0", "off", "false"):
+            return False
+        return self.admission == "strict"
 
     def get(self, key: Tuple) -> Optional[LoweredRecipe]:
         recipe = self._recipes.get(key)
@@ -377,6 +399,11 @@ def build_graph(strategy, ctx, model,
         recipe = lower_plan(plan, pctx)
         if span is not None:
             tel.finish(span, ctx.env.now, tasks=len(recipe.specs))
+        if store.strict_admission():
+            # Strict admission: the plan (and its recipe) must prove the
+            # whole-graph properties before it may serve warm iterations.
+            from ..analysis.plancheck import check_plan
+            check_plan(plan, pctx=pctx, recipe=recipe).raise_if_failed()
         store.put(key, recipe)
     else:
         if tel is not None:

@@ -46,10 +46,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
+from ..analysis.diagnostics import Diagnostic, ERROR, render_text
 from ..errors import ConfigError
 from .decisions import DecisionMap
+from .index import plan_index
 from .ir import (
     Directive,
     Op,
@@ -75,6 +77,7 @@ __all__ = [
     "get_pass",
     "list_passes",
     "register_pass",
+    "verify_diagnostics",
     "verify_plan",
     "wire_nbytes",
 ]
@@ -104,7 +107,7 @@ class PassConfig:
     #: byte-identical with the pass on.
     fanin_collapse_threshold: int = 96
 
-    def token(self) -> tuple:
+    def token(self) -> Tuple[float, float, float, float, int]:
         """Hashable identity for cache keys."""
         return (self.bulk_eligible_bytes, self.default_part_bytes,
                 self.coordinator_batch_bytes, self.coordinator_timeout_s,
@@ -114,7 +117,7 @@ class PassConfig:
 DEFAULT_PASS_CONFIG = PassConfig()
 
 
-def wire_nbytes(algorithm, nbytes: float) -> float:
+def wire_nbytes(algorithm: Any, nbytes: float) -> float:
     """Compressed wire size of a ``nbytes`` float32 payload.
 
     The single size model shared by the pass pipeline, the lowering stage,
@@ -135,8 +138,8 @@ class PassContext:
     """
 
     num_nodes: int
-    cluster: object
-    algorithm: Optional[object] = None
+    cluster: Any
+    algorithm: Optional[Any] = None
     plans: Optional[Dict[str, GradientPlan]] = None
     config: PassConfig = DEFAULT_PASS_CONFIG
     #: Per-gradient adaptive decisions for this iteration (None = the
@@ -144,11 +147,11 @@ class PassContext:
     #: different graph-cache keys -- see ``lower.cache_key``).
     decisions: Optional[DecisionMap] = None
 
-    def wire(self, size) -> float:
+    def wire(self, size: Any) -> float:
         """Resolve a :class:`~repro.casync.ir.SizeExpr` to wire bytes."""
-        return size.wire(lambda raw: wire_nbytes(self.algorithm, raw))
+        return float(size.wire(lambda raw: wire_nbytes(self.algorithm, raw)))
 
-    def algorithm_for(self, grad: Optional[str]):
+    def algorithm_for(self, grad: Optional[str]) -> Any:
         """The codec a gradient's payload moves through.
 
         The plan-wide default unless an adaptive decision names a palette
@@ -159,10 +162,10 @@ class PassContext:
             return self.algorithm
         return self.decisions.algorithm_for(grad, default=self.algorithm)
 
-    def wire_op(self, op) -> float:
+    def wire_op(self, op: Op) -> float:
         """Wire bytes of an op's payload under its *own* gradient's codec."""
-        return op.size.wire(
-            lambda raw: wire_nbytes(self.algorithm_for(op.grad), raw))
+        return float(op.size.wire(
+            lambda raw: wire_nbytes(self.algorithm_for(op.grad), raw)))
 
 
 class Pass:
@@ -175,7 +178,7 @@ class Pass:
     def run(self, plan: SyncPlan, pctx: PassContext) -> None:
         raise NotImplementedError
 
-    def cache_token(self) -> tuple:
+    def cache_token(self) -> Tuple[Any, ...]:
         """Hashable parameter identity, folded into the graph-cache key.
 
         The key used to record only pass *names*, so a pass carrying
@@ -183,7 +186,7 @@ class Pass:
         default covers scalar (and scalar-tuple) instance attributes;
         passes with richer state must override.
         """
-        items = []
+        items: List[Tuple[str, Any]] = []
         state = vars(self)
         for key in sorted(state):
             value = state[key]
@@ -493,115 +496,189 @@ def _sizes_match(a: float, b: float) -> bool:
     return abs(a - b) <= 1e-6 * max(abs(a), abs(b), 1.0)
 
 
-def _check_flow(send: Op, consumer: Op) -> None:
-    """Byte conservation along one cross-node edge."""
+#: Location of one structural finding inside a plan: an op uid, a
+#: directive name, or nothing.
+_Loc = Union[Tuple[str, int], Tuple[str, str], None]
+_Finding = Tuple[str, str, _Loc]
+
+
+def _flow_findings(send: Op, consumer: Op) -> List[str]:
+    """Byte-conservation violations along one cross-node edge (PC110)."""
+    out: List[str] = []
+    mismatch = (f"byte-count mismatch along {send!r} -> {consumer!r}: "
+                f"{send.size.nbytes} != {consumer.size.nbytes}")
     if consumer.kind in ("decode", "decode_merge"):
         if not send.size.compressed:
-            raise PlanVerificationError(
+            out.append(
                 f"{consumer!r} decodes {send!r}, which is not compressed")
         if not _sizes_match(send.size.nbytes, consumer.size.nbytes):
-            raise PlanVerificationError(
-                f"byte-count mismatch along {send!r} -> {consumer!r}: "
-                f"{send.size.nbytes} != {consumer.size.nbytes}")
+            out.append(mismatch)
     elif consumer.kind == "merge":
         if send.size.compressed:
-            raise PlanVerificationError(
+            out.append(
                 f"{consumer!r} merges compressed payload from {send!r} "
                 "without a decode")
         if not _sizes_match(send.size.nbytes, consumer.size.nbytes):
-            raise PlanVerificationError(
-                f"byte-count mismatch along {send!r} -> {consumer!r}: "
-                f"{send.size.nbytes} != {consumer.size.nbytes}")
+            out.append(mismatch)
     elif consumer.kind == "copy":
         if not _sizes_match(send.size.nbytes, consumer.size.nbytes):
-            raise PlanVerificationError(
-                f"byte-count mismatch along {send!r} -> {consumer!r}: "
-                f"{send.size.nbytes} != {consumer.size.nbytes}")
+            out.append(mismatch)
     elif consumer.kind == "cpu":
         if (consumer.attrs.get("duration_s") is None
                 and consumer.size.nbytes
                 and not _sizes_match(send.size.nbytes,
                                      consumer.size.nbytes)):
-            raise PlanVerificationError(
-                f"byte-count mismatch along {send!r} -> {consumer!r}: "
-                f"{send.size.nbytes} != {consumer.size.nbytes}")
+            out.append(mismatch)
     # send->send forwarding and barriers carry no payload contract.
+    return out
 
 
-def verify_plan(plan: SyncPlan) -> None:
-    """Structural verification of a SyncPlan.
+def plan_file(plan: SyncPlan, name: Optional[str] = None) -> str:
+    """The ``file`` field plan diagnostics carry (spans index the dump)."""
+    return name if name else f"<syncplan:{plan.strategy}>"
+
+
+def _materialize(plan: SyncPlan, findings: List[_Finding],
+                 name: Optional[str]) -> List[Diagnostic]:
+    """Turn (rule, message, loc) rows into located Diagnostics.
+
+    Line numbers index :meth:`SyncPlan.format_text` -- the dump a user
+    can print with ``--dump-sync-plan`` -- and are only computed when
+    there is something to report.
+    """
+    if not findings:
+        return []
+    file = plan_file(plan, name)
+    op_lines = plan.op_lines()
+    dir_lines = plan.directive_lines()
+    out: List[Diagnostic] = []
+    for rule, message, loc in findings:
+        line = 0
+        if loc is not None:
+            kind, key = loc
+            if kind == "op" and isinstance(key, int):
+                line = op_lines.get(key, 0)
+            elif kind == "dir" and isinstance(key, str):
+                line = dir_lines.get(key, 0)
+        out.append(Diagnostic(rule=rule, severity=ERROR, message=message,
+                              file=file, line=line))
+    return out
+
+
+def verify_diagnostics(plan: SyncPlan,
+                       name: Optional[str] = None) -> List[Diagnostic]:
+    """Structural verification of a SyncPlan, as typed diagnostics.
 
     Checks, in the spirit of the CompLL layout proofs (PR 3):
 
     * ops appear in topological order and reference only earlier ops
-      (acyclicity) with unique uids;
-    * every node / send destination is inside the cluster, no self-sends;
-    * ready-event dependencies are local to the consuming node;
+      (acyclicity) with unique uids (PC101, PC106);
+    * every node / send destination is inside the cluster, no self-sends
+      (PC102-PC104), sizes are non-negative (PC105);
+    * ready-event dependencies are local to the consuming node (PC107);
     * every cross-node dependency is backed by a matching ``send`` whose
-      destination is the consuming node ("every recv matched to a send");
-    * every send is consumed by at least one op on its destination;
+      destination is the consuming node ("every recv matched to a send",
+      PC108);
+    * every send is consumed by at least one op on its destination
+      (PC109);
     * bytes are conserved along each send -> consumer flow, and
-      compressed payloads are only consumed by decoding ops.
+      compressed payloads are only consumed by decoding ops (PC110).
+
+    Returns *all* violations (the legacy :func:`verify_plan` stopped at
+    the first), each carrying a PC1xx rule id and a line span into
+    :meth:`SyncPlan.format_text`.  ``name`` overrides the diagnostics'
+    ``file`` field (defaults to ``<syncplan:STRATEGY>``).
     """
     n = plan.num_nodes
-    for name in plan.directives:
-        directive = plan.directives[name]
+    findings: List[_Finding] = []
+    for dname in plan.directives:
+        directive = plan.directives[dname]
         if directive.partitions < 1:
-            raise PlanVerificationError(
-                f"directive {name}: partitions must be >= 1, "
-                f"got {directive.partitions}")
+            findings.append((
+                "PC100",
+                f"directive {dname}: partitions must be >= 1, "
+                f"got {directive.partitions}",
+                ("dir", dname)))
     seen: Dict[int, Op] = {}
     consumers: Dict[int, List[Op]] = {}
     for op in plan.ops:
+        loc: _Loc = ("op", op.uid)
         if op.uid in seen:
-            raise PlanVerificationError(f"duplicate op uid {op.uid}")
+            findings.append(("PC101", f"duplicate op uid {op.uid}", loc))
         if op.kind not in ("encode", "decode", "merge", "decode_merge",
                            "copy", "cpu", "send", "barrier"):
-            raise PlanVerificationError(f"unknown op kind {op.kind!r}")
+            findings.append(("PC102", f"unknown op kind {op.kind!r}", loc))
         if not 0 <= op.node < n:
-            raise PlanVerificationError(f"{op!r}: node out of range")
+            findings.append(("PC103", f"{op!r}: node out of range", loc))
         if op.kind == "send":
             if op.dst is None or not 0 <= op.dst < n:
-                raise PlanVerificationError(
-                    f"{op!r}: send destination out of range")
-            if op.dst == op.node:
-                raise PlanVerificationError(f"{op!r}: self-send")
+                findings.append((
+                    "PC103", f"{op!r}: send destination out of range", loc))
+            elif op.dst == op.node:
+                findings.append(("PC104", f"{op!r}: self-send", loc))
         if op.size.nbytes < 0:
-            raise PlanVerificationError(f"{op!r}: negative size")
+            findings.append(("PC105", f"{op!r}: negative size", loc))
         for dep in op.deps:
             if isinstance(dep, ReadyRef):
                 if not 0 <= dep.node < n:
-                    raise PlanVerificationError(
-                        f"{op!r}: ready ref node out of range")
-                if dep.node != op.node:
-                    raise PlanVerificationError(
+                    findings.append((
+                        "PC103", f"{op!r}: ready ref node out of range",
+                        loc))
+                elif dep.node != op.node:
+                    findings.append((
+                        "PC107",
                         f"{op!r} depends on gradient readiness of remote "
-                        f"node {dep.node}; ready events are node-local")
+                        f"node {dep.node}; ready events are node-local",
+                        loc))
                 continue
             dep_op = seen.get(dep)
             if dep_op is None:
-                raise PlanVerificationError(
+                findings.append((
+                    "PC106",
                     f"{op!r} depends on unknown or later op #{dep} "
-                    "(cycle or dangling edge)")
+                    "(cycle or dangling edge)", loc))
+                continue
             consumers.setdefault(dep, []).append(op)
             if dep_op.node != op.node:
                 if dep_op.kind != "send" or dep_op.dst != op.node:
-                    raise PlanVerificationError(
+                    findings.append((
+                        "PC108",
                         f"{op!r} receives from node {dep_op.node} but "
                         f"dependency {dep_op!r} is not a send targeting "
-                        f"node {op.node}")
-                _check_flow(dep_op, op)
+                        f"node {op.node}", loc))
+                else:
+                    for message in _flow_findings(dep_op, op):
+                        findings.append(("PC110", message, loc))
         seen[op.uid] = op
     for op in plan.ops:
         if op.kind != "send":
             continue
+        if op.dst is None or not 0 <= op.dst < n:
+            continue  # already PC103
         if not any(c.node == op.dst for c in consumers.get(op.uid, [])):
-            raise PlanVerificationError(
-                f"{op!r} is never consumed on destination node {op.dst}")
+            findings.append((
+                "PC109",
+                f"{op!r} is never consumed on destination node {op.dst}",
+                ("op", op.uid)))
+    return _materialize(plan, findings, name)
 
 
-def build_plan(strategy, pctx: PassContext, model, telemetry=None,
-               now: float = 0.0) -> SyncPlan:
+def verify_plan(plan: SyncPlan, name: Optional[str] = None) -> None:
+    """Structural verification of a SyncPlan (see :func:`verify_diagnostics`).
+
+    Raises :class:`~repro.casync.ir.PlanVerificationError` carrying the
+    rendered findings as its message (historical substrings intact) and
+    the structured records on ``exc.diagnostics``.
+    """
+    diags = verify_diagnostics(plan, name=name)
+    if diags:
+        raise PlanVerificationError(
+            render_text(diags, summary=False), diagnostics=diags)
+
+
+def build_plan(strategy: Any, pctx: PassContext, model: Any,
+               telemetry: Any = None, now: float = 0.0,
+               check: bool = False) -> SyncPlan:
     """Run the full frontend pipeline: directives -> expand -> op passes.
 
     ``strategy`` supplies :meth:`~repro.strategies.base.Strategy.expand`
@@ -609,6 +686,12 @@ def build_plan(strategy, pctx: PassContext, model, telemetry=None,
     optimization list).  :class:`VerifyPass` always runs last, whether or
     not the strategy requested it.  ``telemetry`` records one span per
     pass (category ``syncplan``) at simulated time ``now``.
+
+    ``check=True`` is strict mode: after verification the whole-plan
+    analyzer (:func:`repro.analysis.plancheck.check_plan`) proves the
+    deadlock-freedom / buffer-safety / byte-flow / decision-coverage
+    properties and raises
+    :class:`~repro.analysis.plancheck.PlanCheckError` on any finding.
     """
     algo_name = None
     if pctx.algorithm is not None:
@@ -620,7 +703,7 @@ def build_plan(strategy, pctx: PassContext, model, telemetry=None,
             compress=strategy.compression)
     applied: List[str] = []
 
-    def run_stage(name, fn):
+    def run_stage(name: str, fn: Callable[[], None]) -> None:
         span = None
         if telemetry is not None:
             span = telemetry.begin(f"syncplan:{name}", category="syncplan",
@@ -645,5 +728,15 @@ def build_plan(strategy, pctx: PassContext, model, telemetry=None,
     # which golden plan dumps pin).
     CollapseFanInPass().run(plan, pctx)
     run_stage("verify", lambda: VerifyPass().run(plan, pctx))
+    # Populate the shared structural index of the finished plan (see
+    # repro.casync.index): lowering and the whole-plan analyzer both
+    # consume it, so it is derived once here as part of every cold
+    # build.  Like CollapseFanInPass, not a strategy-selectable stage.
+    plan_index(plan)
     plan.meta["passes"] = applied
+    if check:
+        # Deferred import: plancheck sits above the IR layer and imports
+        # this module; strict mode is the only edge back down.
+        from ..analysis.plancheck import check_plan
+        check_plan(plan, pctx=pctx).raise_if_failed()
     return plan

@@ -1,0 +1,413 @@
+"""Tests for PlanCheck (the whole-plan analyzer) and the PlanIndex.
+
+Four layers:
+
+* the golden sweep -- every CLI case must prove clean, and the
+  pass-mutant corpus must be caught with its expected typed finding
+  while ``verify_plan`` (the local verifier) misses all of them;
+* hand-built plans that pin the buffer-race rules (PC201/PC202) and
+  the lowered-recipe cross-checks (PC601-PC606) on minimal examples;
+* the strict-admission surface: ``raise_if_failed`` raising the typed
+  ``PlanCheckError``, the ``REPRO_PLANCHECK`` override, and the
+  end-to-end gated build;
+* the shared PlanIndex: lowering reuses the index's dependency
+  encodings by identity, the per-plan cache rebuilds on op-count
+  change, and ``invalidate`` makes in-place mutation visible.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import planmutants
+from repro.analysis.plancheck import (
+    PLANCHECK_RULES,
+    PlanCheckError,
+    check_plan,
+    check_recipe,
+    iter_cases,
+)
+from repro.analysis.plancheck import main as plancheck_main
+from repro.casync.index import PlanIndex, invalidate, plan_index, region_pid
+from repro.casync.ir import (
+    Directive,
+    PlanVerificationError,
+    ReadyRef,
+    SizeExpr,
+    SyncPlan,
+)
+from repro.casync.lower import GraphCache, default_graph_cache, lower_plan
+from repro.casync.passes import DEFAULT_PASS_CONFIG, PassContext, build_plan
+from repro.cluster import ec2_v100_cluster
+from repro.experiments.common import default_algorithm
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import BytePS, CaSyncPS, CaSyncRing
+from repro.training import simulate_iteration
+
+MB = 1024 * 1024
+
+
+def small_model(sizes=(8 * MB, MB, 64 * 1024), name="m"):
+    grads = tuple(GradientSpec(f"{name}.g{i}", s)
+                  for i, s in enumerate(sizes))
+    return ModelSpec(name=name, gradients=grads, batch_size=4,
+                     batch_unit="images", v100_iteration_s=0.002)
+
+
+def pctx_for(n=3, algorithm="tbq"):
+    return PassContext(
+        num_nodes=n, cluster=ec2_v100_cluster(n),
+        algorithm=default_algorithm(algorithm) if algorithm else None,
+        plans=None, config=DEFAULT_PASS_CONFIG)
+
+
+def built_plan(n=3, **flags):
+    """A real, pipeline-verified CaSync-PS plan plus its context."""
+    flags.setdefault("selective", False)
+    pctx = pctx_for(n)
+    return build_plan(CaSyncPS(**flags), pctx, small_model()), pctx
+
+
+# -- the golden sweep and the mutant corpus ----------------------------------
+
+CASES = list(iter_cases())
+
+
+def test_case_matrix_shape():
+    names = [name for name, _ in CASES]
+    assert len(names) == len(set(names))
+    assert len(names) >= 28
+    assert any(name.startswith("adaptive:") for name in names)
+
+
+@pytest.mark.parametrize("case_name,build", CASES,
+                         ids=[name for name, _ in CASES])
+def test_golden_case_proves_clean(case_name, build):
+    plan, pctx, recipe = build()
+    report = check_plan(plan, pctx=pctx, recipe=recipe, name=case_name,
+                        structural=True)
+    assert report.ok(strict=True), report.render_text()
+    assert report.diagnostics == ()
+    assert report.num_ops == len(plan.ops)
+
+
+def test_mutant_corpus_caught_with_typed_findings():
+    results = planmutants.run_corpus()
+    assert len(results) == len(planmutants.MUTANTS) == 6
+    for result in results:
+        assert result.verify_missed, (
+            f"{result.name}: verify_plan rejected it -- not a PlanCheck "
+            f"mutant any more")
+        assert result.caught, (
+            f"{result.name}: expected {result.expected_rule}, "
+            f"got {result.rules}")
+        assert result.expected_rule in PLANCHECK_RULES
+    # The six mutants must exercise six *distinct* rules (one per class
+    # of seeded pass bug), not six hits on one blanket check.
+    assert len({r.expected_rule for r in results}) == 6
+
+
+def test_build_mutant_invalidates_stale_index():
+    # build_mutant corrupts the plan in place *after* the pipeline
+    # indexed it; the corpus only works because it drops that index.
+    plan, pctx = planmutants.build_mutant("bulk-ineligible-route")
+    report = check_plan(plan, pctx=pctx)
+    assert "PC501" in {d.rule for d in report.diagnostics}
+
+
+# -- hand-built buffer-race plans (PC201/PC202) ------------------------------
+
+def _race_plan():
+    """A structurally valid single-node plan to hang accesses off."""
+    plan = SyncPlan("hand", num_nodes=1)
+    plan.directives["m.g0"] = Directive("m.g0", nbytes=1024, compress=True)
+    return plan
+
+
+def _rules(plan, pctx=None):
+    return {d.rule for d in check_plan(plan, pctx=pctx).diagnostics}
+
+
+def test_unordered_read_write_pair_is_pc202():
+    plan = _race_plan()
+    size = SizeExpr(1024, compressed=True)
+    plan.add("encode", 0, "m.g0.enc", size=size,
+             deps=(ReadyRef(0, "m.g0"),), grad="m.g0")
+    plan.add("decode", 0, "m.g0.dec", size=size,
+             deps=(ReadyRef(0, "m.g0"),), grad="m.g0")
+    assert _rules(plan) == {"PC202"}
+
+
+def test_ordered_read_write_pair_is_clean():
+    plan = _race_plan()
+    size = SizeExpr(1024, compressed=True)
+    enc = plan.add("encode", 0, "m.g0.enc", size=size,
+                   deps=(ReadyRef(0, "m.g0"),), grad="m.g0")
+    plan.add("decode", 0, "m.g0.dec", size=size, deps=(enc,),
+             grad="m.g0")
+    assert _rules(plan) == set()
+
+
+def test_unordered_write_write_pair_is_pc201():
+    plan = _race_plan()
+    size = SizeExpr(1024, compressed=True)
+    for copy in range(2):
+        plan.add("decode", 0, f"m.g0.dec{copy}", size=size,
+                 deps=(ReadyRef(0, "m.g0"),), grad="m.g0")
+    assert _rules(plan) == {"PC201"}
+
+
+def test_disjoint_partition_writes_do_not_alias():
+    # Same gradient, different .pK regions: unordered writes are fine.
+    plan = _race_plan()
+    size = SizeExpr(512, compressed=True)
+    for part in range(2):
+        plan.add("decode", 0, f"m.g0.p{part}", size=size,
+                 deps=(ReadyRef(0, "m.g0"),), grad="m.g0")
+    assert _rules(plan) == set()
+
+
+def test_structural_error_short_circuits_deep_analysis():
+    plan = _race_plan()
+    size = SizeExpr(1024, compressed=True)
+    plan.add("encode", 0, "m.g0.enc", size=size, deps=(17,), grad="m.g0")
+    rules = _rules(plan)
+    assert rules == {"PC106"}  # dangling dep only; no deep rules ran
+
+
+# -- lowered-recipe cross-checks (PC6xx) -------------------------------------
+
+def _lowered():
+    plan, pctx = built_plan()
+    return plan, pctx, lower_plan(plan, pctx)
+
+
+def _tampered(recipe, i, **changes):
+    specs = list(recipe.specs)
+    specs[i] = dataclasses.replace(specs[i], **changes)
+    return dataclasses.replace(recipe, specs=specs)
+
+
+def test_check_recipe_clean_on_real_lowering():
+    plan, pctx, recipe = _lowered()
+    assert check_recipe(plan, recipe, pctx=pctx) == []
+
+
+def test_check_recipe_spec_count_mismatch_is_pc601():
+    plan, pctx, recipe = _lowered()
+    short = dataclasses.replace(recipe, specs=list(recipe.specs)[:-1])
+    assert {d.rule for d in check_recipe(plan, short, pctx=pctx)} \
+        == {"PC601"}
+
+
+def test_check_recipe_label_mismatch_is_pc602():
+    plan, pctx, recipe = _lowered()
+    bad = _tampered(recipe, 0, label=recipe.specs[0].label + ".oops")
+    assert "PC602" in {d.rule for d in check_recipe(plan, bad, pctx=pctx)}
+
+
+def test_check_recipe_dep_rewrite_is_pc603_pc604():
+    plan, pctx, recipe = _lowered()
+    i = next(i for i, s in enumerate(recipe.specs) if s.deps)
+    bad = _tampered(recipe, i, deps=(("t", i),))  # self-reference
+    rules = {d.rule for d in check_recipe(plan, bad, pctx=pctx)}
+    assert {"PC603", "PC604"} <= rules
+
+
+def test_check_recipe_negative_cost_is_pc605():
+    plan, pctx, recipe = _lowered()
+    bad = _tampered(recipe, 3, duration=-1.0)
+    assert "PC605" in {d.rule for d in check_recipe(plan, bad, pctx=pctx)}
+
+
+def test_check_recipe_wire_size_drift_is_pc606():
+    plan, pctx, recipe = _lowered()
+    i = next(i for i, s in enumerate(recipe.specs) if s.kind == "send")
+    bad = _tampered(recipe, i, nbytes=recipe.specs[i].nbytes * 3 + 7)
+    assert "PC606" in {d.rule for d in check_recipe(plan, bad, pctx=pctx)}
+
+
+def test_check_recipe_reports_only_pc6xx():
+    # Even on a plan with non-recipe findings, check_recipe filters.
+    plan, pctx = planmutants.build_mutant("bulk-ineligible-route")
+    recipe = lower_plan(plan, pctx)
+    rules = {d.rule for d in check_recipe(plan, recipe, pctx=pctx)}
+    assert all(rule.startswith("PC6") for rule in rules)
+
+
+# -- strict admission ---------------------------------------------------------
+
+def test_raise_if_failed_is_typed_and_catchable():
+    plan, pctx = planmutants.build_mutant("fanin-dropped-dep")
+    report = check_plan(plan, pctx=pctx)
+    with pytest.raises(PlanCheckError) as excinfo:
+        report.raise_if_failed()
+    # Subclasses the verifier's error so existing guards keep working,
+    # and carries the structured findings.
+    assert isinstance(excinfo.value, PlanVerificationError)
+    assert excinfo.value.diagnostics
+    clean, pctx2 = built_plan()
+    check_plan(clean, pctx=pctx2).raise_if_failed(strict=True)
+
+
+def test_admission_policy_and_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_PLANCHECK", raising=False)
+    assert GraphCache().strict_admission() is False
+    assert GraphCache(admission="strict").strict_admission() is True
+    with pytest.raises(ValueError):
+        GraphCache(admission="paranoid")
+    monkeypatch.setenv("REPRO_PLANCHECK", "1")
+    assert GraphCache().strict_admission() is True
+    monkeypatch.setenv("REPRO_PLANCHECK", "off")
+    assert GraphCache(admission="strict").strict_admission() is False
+
+
+def test_strict_admission_end_to_end(monkeypatch):
+    # With the override on, the cold build routes through check_plan
+    # before the recipe is admitted; a clean plan must still build.
+    monkeypatch.setenv("REPRO_PLANCHECK", "strict")
+    default_graph_cache().clear()
+    model = small_model()
+    cluster = ec2_v100_cluster(3)
+    result = simulate_iteration(model, cluster, CaSyncPS(selective=False),
+                                algorithm=default_algorithm("tbq"))
+    assert result.iteration_time > 0
+    default_graph_cache().clear()
+
+
+# -- pipeline-output property -------------------------------------------------
+
+@st.composite
+def _pipeline_inputs(draw):
+    num_nodes = draw(st.integers(2, 5))
+    sizes = tuple(draw(st.lists(
+        st.sampled_from((16 * 1024, 300 * 1024, MB, 6 * MB)),
+        min_size=1, max_size=4)))
+    kind = draw(st.sampled_from(("ps", "ring", "byteps")))
+    pipelining = draw(st.booleans())
+    bulk = draw(st.booleans())
+    return num_nodes, sizes, kind, pipelining, bulk
+
+
+@settings(max_examples=20, deadline=None)
+@given(_pipeline_inputs())
+def test_pipeline_output_always_proves_clean(inputs):
+    """Whatever the pass pipeline emits, PlanCheck proves clean --
+    the mutants show the rules have teeth; this shows they are not
+    over-eager on any valid (strategy, shape, flags) point."""
+    num_nodes, sizes, kind, pipelining, bulk = inputs
+    if kind == "byteps":
+        strategy, algorithm = BytePS(), None
+    else:
+        cls = CaSyncPS if kind == "ps" else CaSyncRing
+        strategy = cls(selective=False, pipelining=pipelining, bulk=bulk)
+        algorithm = default_algorithm("tbq")
+    pctx = PassContext(
+        num_nodes=num_nodes, cluster=ec2_v100_cluster(num_nodes),
+        algorithm=algorithm, plans=None, config=DEFAULT_PASS_CONFIG)
+    plan = build_plan(strategy, pctx, small_model(sizes))
+    recipe = lower_plan(plan, pctx)
+    report = check_plan(plan, pctx=pctx, recipe=recipe, structural=True)
+    assert report.ok(strict=True), report.render_text()
+    assert report.diagnostics == ()
+
+
+# -- the shared PlanIndex -----------------------------------------------------
+
+def test_lowering_reuses_index_encodings_by_identity():
+    plan, pctx = built_plan()
+    idx = plan_index(plan)
+    recipe = lower_plan(plan, pctx)
+    assert len(recipe.specs) == idx.num_ops == len(plan.ops)
+    for i, spec in enumerate(recipe.specs):
+        assert spec.deps is idx.dep_encodings[i]
+
+
+def test_index_structure_matches_plan():
+    plan, _ = built_plan()
+    idx = plan_index(plan)
+    assert isinstance(idx, PlanIndex)
+    assert sorted(idx.index_of.values()) == list(range(len(plan.ops)))
+    consumed = set()
+    for i, op in enumerate(plan.ops):
+        assert idx.index_of[op.uid] == i
+        assert all(j < i for j in idx.preds[i])
+        assert bool(idx.is_enc[i]) == (op.kind == "encode")
+        encoded = []
+        for dep in op.deps:
+            if isinstance(dep, ReadyRef):
+                encoded.append(("r", dep.node, dep.gradient))
+            else:
+                encoded.append(("t", idx.index_of[dep]))
+                consumed.add(idx.index_of[dep])
+        assert list(idx.dep_encodings[i]) == encoded
+    assert {i for i in range(len(plan.ops)) if idx.consumed[i]} == consumed
+
+
+def test_index_cached_per_plan_and_rebuilt_on_growth():
+    plan, _ = built_plan()
+    idx = plan_index(plan)
+    assert plan_index(plan) is idx
+    plan.add("barrier", 0, "late.barrier")
+    rebuilt = plan_index(plan)
+    assert rebuilt is not idx
+    assert rebuilt.num_ops == idx.num_ops + 1
+
+
+def test_invalidate_makes_in_place_mutation_visible():
+    plan, pctx = built_plan()
+    idx = plan_index(plan)
+    victim = next(op for op in plan.ops if op.kind == "send")
+    victim.attrs["bulk"] = True  # same op count: the cache can't tell
+    victim.attrs["bulk_eligible"] = False
+    assert plan_index(plan) is idx
+    invalidate(plan)
+    fresh = plan_index(plan)
+    assert fresh is not idx
+    assert idx.index_of[victim.uid] in fresh.bulk_sends
+    rules = {d.rule
+             for d in check_plan(plan, pctx=pctx).diagnostics}
+    assert "PC501" in rules
+
+
+@pytest.mark.parametrize("label,grad,expected", [
+    ("m.g0.p3", "m.g0", 3),
+    ("m.g0.c12", "m.g0", 12),
+    ("m.g0.p1.enc", "m.g0", 1),
+    ("m.g0", "m.g0", None),
+    ("m.g0.part2", "m.g0", None),     # not a region marker
+    ("m.g0.p2x", "m.g0", None),       # trailing junk breaks the boundary
+    ("srv.m.g0.p4.dec", "m.g0", 4),   # prefix fast path not applicable
+])
+def test_region_pid_parsing(label, grad, expected):
+    plan = SyncPlan("hand", num_nodes=1)
+    plan.add("barrier", 0, label, grad=grad)
+    assert region_pid(plan.ops[0]) == expected
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_list_and_single_case_json(tmp_path, capsys):
+    assert plancheck_main(["--list"]) == 0
+    listed = capsys.readouterr().out.splitlines()
+    assert [name for name, _ in CASES] == listed
+
+    name = listed[0]
+    out = tmp_path / "findings.json"
+    assert plancheck_main(["--case", name, "--format", "json",
+                           "--out", str(out)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["summary"] == {
+        "cases": 1, "ok": True,
+        "counts": {"error": 0, "warning": 0, "info": 0}}
+    assert payload["cases"][0]["name"] == name
+    assert payload["cases"][0]["diagnostics"] == []
+
+
+def test_cli_mutant_mode_passes(capsys):
+    assert plancheck_main(["--mutants"]) == 0
+    out = capsys.readouterr().out
+    assert "6/6 mutants caught" in out

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Typing gate: strict mypy for the SyncPlan core, baseline for the rest.
+
+Two bars, one run:
+
+* **Strict modules** (the ``[[tool.mypy.overrides]]`` block in
+  ``pyproject.toml``: ``repro.casync.ir``, ``repro.casync.index``,
+  ``repro.casync.passes``, ``repro.analysis.plancheck``,
+  ``repro.analysis.diagnostics``) must be completely clean -- any mypy
+  error there fails the gate.
+* **Everything else** runs under the lenient global config and is
+  compared against ``tools/mypy_baseline``: pre-existing errors are
+  tolerated, *new* ones fail.  Fixing an error makes the corresponding
+  baseline entry stale (reported, never fatal); run with
+  ``--update-baseline`` to rewrite the file after fixing or annotating.
+
+If ``tools/mypy_baseline`` does not exist yet, the current lenient
+errors become the baseline (written to disk, gate passes) so the gate
+can be introduced without a flag day; commit the generated file to make
+it binding.  If mypy itself is not installed the gate is skipped with
+exit 0 -- the container image does not ship a type checker, CI installs
+one.
+
+Usage::
+
+    python tools/check_typing.py [--update-baseline] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "mypy_baseline"
+
+#: Source files held to the strict bar (mirrors pyproject's overrides).
+STRICT_FILES = (
+    "src/repro/casync/ir.py",
+    "src/repro/casync/index.py",
+    "src/repro/casync/passes.py",
+    "src/repro/analysis/plancheck.py",
+    "src/repro/analysis/diagnostics.py",
+)
+
+#: ``path:line: error: message  [code]`` -- mypy's stable output shape.
+_ERROR_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+)(?::\d+)?: "
+                       r"error: (?P<message>.*)$")
+
+
+def run_mypy() -> Optional[List[str]]:
+    """Run mypy via the pyproject config; None when mypy is absent."""
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--no-error-summary",
+             "--config-file", str(REPO_ROOT / "pyproject.toml")],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+    except OSError:
+        return None
+    if "No module named mypy" in proc.stderr:
+        return None
+    return proc.stdout.splitlines()
+
+
+def normalize(line: str) -> Optional[Tuple[str, str]]:
+    """(posix-path, message) for an error line; line numbers drift and
+    are deliberately not part of the baseline identity."""
+    match = _ERROR_RE.match(line.strip())
+    if match is None:
+        return None
+    path = match.group("path").replace("\\", "/")
+    return path, match.group("message").strip()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite tools/mypy_baseline from this run")
+    parser.add_argument("--verbose", action="store_true",
+                        help="echo raw mypy output")
+    args = parser.parse_args(argv)
+
+    lines = run_mypy()
+    if lines is None:
+        print("check_typing: mypy is not installed; skipping "
+              "(pip install mypy to enable the gate)")
+        return 0
+    if args.verbose:
+        for line in lines:
+            print(f"  mypy: {line}")
+
+    strict_errors: List[str] = []
+    lenient: List[Tuple[str, str]] = []
+    for line in lines:
+        norm = normalize(line)
+        if norm is None:
+            continue
+        if norm[0] in STRICT_FILES:
+            strict_errors.append(line.strip())
+        else:
+            lenient.append(norm)
+
+    failed = False
+    if strict_errors:
+        failed = True
+        print(f"check_typing: {len(strict_errors)} error(s) in strict "
+              f"modules (no baseline applies there):")
+        for line in strict_errors:
+            print(f"  {line}")
+
+    entries: Set[str] = {f"{path}: {message}" for path, message in lenient}
+    if args.update_baseline or not BASELINE.exists():
+        BASELINE.write_text(
+            "# mypy baseline: pre-existing lenient-tree errors tolerated\n"
+            "# by tools/check_typing.py.  Regenerate with\n"
+            "#   python tools/check_typing.py --update-baseline\n"
+            + "".join(f"{entry}\n" for entry in sorted(entries)))
+        verb = "updated" if args.update_baseline else "created"
+        print(f"check_typing: {verb} {BASELINE.relative_to(REPO_ROOT)} "
+              f"({len(entries)} entr{'y' if len(entries) == 1 else 'ies'})")
+    else:
+        baseline = {
+            line.strip() for line in BASELINE.read_text().splitlines()
+            if line.strip() and not line.startswith("#")}
+        new = sorted(entries - baseline)
+        stale = sorted(baseline - entries)
+        if new:
+            failed = True
+            print(f"check_typing: {len(new)} new error(s) outside the "
+                  f"baseline:")
+            for entry in new:
+                print(f"  {entry}")
+        for entry in stale:
+            print(f"check_typing: stale baseline entry (fixed? run "
+                  f"--update-baseline): {entry}")
+
+    if failed:
+        return 1
+    print(f"check_typing: ok ({len(strict_errors)} strict, "
+          f"{len(entries)} baselined lenient)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
