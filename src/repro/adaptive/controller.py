@@ -131,8 +131,13 @@ class PolicyController:
         self.tracker: Optional[BandwidthTracker] = None
         self.regime: Optional[AccordionController] = None
         if policy.kind == "bandwidth":
+            # Track the *bottleneck* link: under BSP the slowest NIC paces
+            # synchronization, so that is the rate the measured goodput
+            # converges to.  On a uniform network this is exactly the core
+            # rate the tracker always used.
+            bottleneck = cluster.network.bottleneck(cluster.num_nodes)
             self.tracker = BandwidthTracker(
-                cluster.network.bytes_per_second,
+                bottleneck.bottleneck_bytes_per_s,
                 smoothing=policy.knob("smoothing", 0.5),
                 quantum_gbps=policy.knob("quantum_gbps", 2.0))
         elif policy.kind == "accordion":
@@ -148,8 +153,17 @@ class PolicyController:
         cache_key = (key, gbps)
         plans = self._plans_cache.get(cache_key)
         if plans is None:
-            cluster = (self.cluster if gbps is None
-                       else self.cluster.with_bandwidth(gbps))
+            if gbps is None:
+                cluster = self.cluster
+            elif self.cluster.network.wan is not None:
+                # A WAN tier has absolute link rates, so "set the core to
+                # gbps" is ambiguous (with_bandwidth raises ConfigError);
+                # treat the measurement as congestion scaling every link
+                # proportionally instead.
+                cluster = self.cluster.with_bandwidth_scale(
+                    gbps / self.cluster.network.bandwidth_gbps)
+            else:
+                cluster = self.cluster.with_bandwidth(gbps)
             cost = CostModel(cluster, self.palette[key],
                              strategy=self.planner_kind)
             plans = SelectivePlanner(cost).plan_model(self.model.gradients)

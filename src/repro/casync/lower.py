@@ -254,13 +254,16 @@ def cache_key(strategy, model, pctx: PassContext) -> Tuple:
     Passes contribute their *name and parameter token* (a name alone
     would alias two differently-tuned instances of the same pass), and
     adaptive decision maps are content-keyed via :func:`_decisions_token`.
+    Hardware identity comes from :meth:`ClusterSpec.hardware_token`,
+    which covers per-node specs and per-link straggler/WAN descriptors
+    -- perturbing a single node's hardware or link is a cache miss.
     """
     return (
         (strategy.name,
          tuple((p.name, p.cache_token()) for p in strategy.passes()),
          strategy.cache_token()),
         (model.name, tuple((g.name, g.nbytes) for g in model.gradients)),
-        (pctx.num_nodes, repr(pctx.cluster.node), repr(pctx.cluster.network)),
+        pctx.cluster.hardware_token(),
         _algorithm_token(pctx.algorithm),
         _plans_token(pctx.plans),
         pctx.config.token(),

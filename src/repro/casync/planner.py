@@ -25,11 +25,12 @@ Step-count presets:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..algorithms.base import CompressionAlgorithm, FLOAT_BYTES
 from ..cluster import ClusterSpec
 from ..models import GradientSpec
+from ..net import LinkSpec
 
 __all__ = ["StepCounts", "STEP_COUNT_PRESETS", "CostModel", "GradientPlan",
            "SelectivePlanner", "plans_to_json", "plans_from_json"]
@@ -56,7 +57,7 @@ def _ps_colocated_counts(n: int, k: int) -> StepCounts:
     return StepCounts(alpha=2 * (n - 1), beta=max(k, 1), gamma=n)
 
 
-STEP_COUNT_PRESETS = {
+STEP_COUNT_PRESETS: Dict[str, Callable[[int, int], StepCounts]] = {
     "ring": _ring_counts,
     "ps": _ps_counts,
     "ps_colocated": _ps_colocated_counts,
@@ -64,11 +65,21 @@ STEP_COUNT_PRESETS = {
 
 
 class CostModel:
-    """Evaluates Eqs. (1)-(2) for one (cluster, algorithm, strategy) triple."""
+    """Evaluates Eqs. (1)-(2) for one (cluster, algorithm, strategy) triple.
+
+    On a heterogeneous cluster the model plans against the *bottleneck*:
+    the slowest participating link for ``t_send`` and the slowest GPU for
+    ``t_enc`` / ``t_dec``, because under BSP every synchronization step
+    finishes when the slowest participant has.  The per-node variants
+    (``t_send_at`` / ``t_enc_at`` / ``t_dec_at``) expose each node's own
+    cost for diagnostics and per-node scheduling.  On a homogeneous
+    cluster with a uniform network every path is bit-identical to the
+    scalar model this generalizes.
+    """
 
     def __init__(self, cluster: ClusterSpec,
                  algorithm: CompressionAlgorithm,
-                 strategy: str = "ps_colocated"):
+                 strategy: str = "ps_colocated") -> None:
         if strategy not in STEP_COUNT_PRESETS:
             raise ValueError(
                 f"unknown strategy {strategy!r}; "
@@ -77,18 +88,57 @@ class CostModel:
         self.algorithm = algorithm
         self.strategy = strategy
         self._counts = STEP_COUNT_PRESETS[strategy]
+        #: Slowest participating link capacities (== the core link on a
+        #: uniform network, so homogeneous costing is unchanged).
+        self._bottleneck = cluster.network.bottleneck(cluster.num_nodes)
+        #: Distinct GPU models, computed once (cost evaluation is in the
+        #: planner's K-search inner loop; iterating num_nodes GPUs per
+        #: call would be O(N) for what is usually one distinct model).
+        self._distinct_gpus = tuple(
+            {spec.gpu: None for spec in cluster.distinct_nodes()})
+        self._links: Optional[Tuple[LinkSpec, ...]] = None
+
+    def _node_link(self, node: int) -> LinkSpec:
+        if self._links is None:
+            self._links = self.cluster.network.links(self.cluster.num_nodes)
+        return self._links[node]
 
     # -- profiled primitives (Table 2) ---------------------------------------
 
     def t_send(self, nbytes: float) -> float:
-        return self.cluster.network.transfer_time(nbytes)
+        """Send cost through the slowest participating link."""
+        return self._bottleneck.transfer_time(nbytes)
 
     def t_enc(self, nbytes: float) -> float:
-        return self.algorithm.encode_time(nbytes, self.cluster.node.gpu)
+        """Encode cost on the slowest participating GPU."""
+        if len(self._distinct_gpus) == 1:
+            return self.algorithm.encode_time(nbytes, self._distinct_gpus[0])
+        return max(self.algorithm.encode_time(nbytes, gpu)
+                   for gpu in self._distinct_gpus)
 
     def t_dec(self, nbytes: float) -> float:
-        """Decode cost, parameterized by the *original* gradient size."""
-        return self.algorithm.decode_time(nbytes, self.cluster.node.gpu)
+        """Decode cost, parameterized by the *original* gradient size, on
+        the slowest participating GPU."""
+        if len(self._distinct_gpus) == 1:
+            return self.algorithm.decode_time(nbytes, self._distinct_gpus[0])
+        return max(self.algorithm.decode_time(nbytes, gpu)
+                   for gpu in self._distinct_gpus)
+
+    # -- per-node primitives ---------------------------------------------------
+
+    def t_send_at(self, node: int, nbytes: float) -> float:
+        """Uncontended send cost through node ``node``'s own link."""
+        return self._node_link(node).transfer_time(nbytes)
+
+    def t_enc_at(self, node: int, nbytes: float) -> float:
+        """Encode cost on node ``node``'s own GPU model."""
+        return self.algorithm.encode_time(
+            nbytes, self.cluster.node_at(node).gpu)
+
+    def t_dec_at(self, node: int, nbytes: float) -> float:
+        """Decode cost on node ``node``'s own GPU model."""
+        return self.algorithm.decode_time(
+            nbytes, self.cluster.node_at(node).gpu)
 
     def compression_rate(self, nbytes: float) -> float:
         elements = max(1, int(nbytes) // FLOAT_BYTES)
@@ -134,7 +184,7 @@ class SelectivePlanner:
     """
 
     def __init__(self, cost_model: CostModel,
-                 max_partitions: Optional[int] = None):
+                 max_partitions: Optional[int] = None) -> None:
         self.cost_model = cost_model
         n = cost_model.cluster.num_nodes
         # §3.3 relaxes K beyond N by grouping partitions into ceil(K/N)
@@ -153,6 +203,7 @@ class SelectivePlanner:
                 key = (cost, compress, k)
                 if best is None or cost < best[0]:
                     best = key
+        assert best is not None  # the K >= 1 loop always runs
         cost, compress, k = best
         return GradientPlan(name=gradient.name, nbytes=gradient.nbytes,
                             compress=compress, partitions=k,
@@ -195,7 +246,7 @@ def plans_from_json(text: str) -> Dict[str, GradientPlan]:
     """Inverse of :func:`plans_to_json`."""
     import json
     raw = json.loads(text)
-    plans = {}
+    plans: Dict[str, GradientPlan] = {}
     for name, fields in raw.items():
         plans[name] = GradientPlan(
             name=name, nbytes=int(fields["nbytes"]),

@@ -572,17 +572,19 @@ class NodeEngine:
                 task.completed.succeed()
             return
         sender, receiver = fabric.nics[src], fabric.nics[dst]
-        serialize = task.nbytes / fabric.spec.bytes_per_second
-        up_finish = max(now, sender.up_free) + serialize
-        down_finish = max(now, receiver.down_free) + serialize
+        up_ser = task.nbytes / sender.link.up_bytes_per_s
+        down_ser = task.nbytes / receiver.link.down_bytes_per_s
+        up_finish = max(now, sender.up_free) + up_ser
+        down_finish = max(now, receiver.down_free) + down_ser
         sender.up_free = up_finish
         receiver.down_free = down_finish
-        sender.up_busy += serialize
-        receiver.down_busy += serialize
+        sender.up_busy += up_ser
+        receiver.down_busy += down_ser
         finish = max(up_finish, down_finish)
+        latency = max(sender.link.latency_s, receiver.link.latency_s)
         done = env._acquire_carrier(True, task)
         done.callbacks.append(self._finish_send)
-        env.schedule(done, delay=finish + fabric.spec.latency_s - now)
+        env.schedule(done, delay=finish + latency - now)
 
     def _finish_send(self, event: Event) -> None:
         task = event._value
@@ -617,7 +619,8 @@ class NodeEngine:
         membership = self.membership
         env = self.env
         fabric = self.fabric
-        expected = fabric.spec.transfer_time(task.nbytes)
+        expected = fabric.pair_transfer_time(self.node, task.dst,
+                                             task.nbytes)
         dst = task.dst
         while True:
             target = membership.route(dst) if membership is not None else dst

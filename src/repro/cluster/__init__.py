@@ -6,8 +6,11 @@ from .spec import (
     InterconnectSpec,
     NodeSpec,
     ec2_v100_cluster,
+    ec2_v100_straggler_cluster,
     get_cluster,
+    hetero_mixed_cluster,
     local_1080ti_cluster,
+    wan_edge_cluster,
 )
 from .spec import NVLINK, PCIE3
 
@@ -19,6 +22,9 @@ __all__ = [
     "NVLINK",
     "PCIE3",
     "ec2_v100_cluster",
+    "ec2_v100_straggler_cluster",
     "get_cluster",
+    "hetero_mixed_cluster",
     "local_1080ti_cluster",
+    "wan_edge_cluster",
 ]

@@ -3,20 +3,40 @@
 A :class:`ClusterSpec` is everything a synchronization strategy needs to
 know about the hardware: how many nodes, GPUs per node, intra-node
 interconnect (NVLink / PCIe) for local aggregation, and the inter-node
-network.  The two profiles mirror the paper's §6.1 machine configurations.
+network.  The two base profiles mirror the paper's §6.1 machine
+configurations; they are *homogeneous* -- one :class:`NodeSpec` repeated
+``num_nodes`` times -- which is the fast path every pre-heterogeneity
+consumer was written against.
+
+Heterogeneity enters two ways (see docs/CLUSTERS.md):
+
+* per-node hardware -- ``ClusterSpec.heterogeneous([...])`` carries one
+  :class:`NodeSpec` per node (mixed GPU generations, differing CPU
+  aggregation rates).  ``cluster.nodes`` is the per-node view either way;
+  ``cluster.node`` remains the homogeneous template / representative.
+* per-link network -- the :class:`~repro.net.NetworkSpec` carries
+  optional :class:`~repro.net.StragglerProfile` /
+  :class:`~repro.net.WanTier` descriptors resolving to per-NIC
+  :class:`~repro.net.LinkSpec` capacities.
+
+Everything that distinguishes one cluster's hardware from another's folds
+into :meth:`ClusterSpec.hardware_token`, the plan-cache key component.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ConfigError
 from ..faults.schedule import FaultSchedule
 from ..gpu import GTX1080TI, GpuSpec, V100
-from ..net import NetworkSpec
+from ..net import NetworkSpec, StragglerProfile, WanTier
 
 __all__ = ["InterconnectSpec", "NodeSpec", "ClusterSpec",
            "ec2_v100_cluster", "local_1080ti_cluster",
+           "ec2_v100_straggler_cluster", "wan_edge_cluster",
+           "hetero_mixed_cluster",
            "CLUSTER_PRESETS", "get_cluster"]
 
 
@@ -28,7 +48,7 @@ class InterconnectSpec:
     bandwidth_gbs: float  # GB/s per direction
     latency_us: float = 2.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.bandwidth_gbs <= 0:
             raise ValueError("interconnect bandwidth must be positive")
 
@@ -61,9 +81,13 @@ class NodeSpec:
     interconnect: InterconnectSpec
     cpu_agg_bytes_per_s: float = 30e9
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.gpus_per_node < 1:
             raise ValueError("need at least one GPU per node")
+        if self.cpu_agg_bytes_per_s <= 0:
+            raise ValueError(
+                f"cpu_agg_bytes_per_s must be positive, got "
+                f"{self.cpu_agg_bytes_per_s}")
 
     def local_aggregation_time(self, nbytes: float) -> float:
         """Time for an intra-node allreduce of ``nbytes`` across local GPUs.
@@ -83,7 +107,19 @@ class NodeSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """The full testbed: ``num_nodes`` identical nodes plus a network."""
+    """The full testbed: ``num_nodes`` nodes plus a network.
+
+    The common case is homogeneous: ``node`` is the single hardware
+    profile every node shares and ``node_specs`` is None.  A
+    heterogeneous cluster (built via :meth:`heterogeneous`) additionally
+    carries one :class:`NodeSpec` per node; ``node`` then holds the
+    representative (first) spec so untouched legacy call sites keep a
+    meaningful value, while converted consumers read :attr:`nodes` /
+    :meth:`node_at`.  ``node_specs`` stays None for homogeneous clusters
+    -- even a tuple of identical specs counts as heterogeneous and takes
+    the per-node code paths, which is exactly what the equivalence
+    property tests rely on.
+    """
 
     name: str
     num_nodes: int
@@ -93,25 +129,144 @@ class ClusterSpec:
     #: (None -- the default -- keeps every simulation on the pristine,
     #: fault-free code path).
     faults: Optional[FaultSchedule] = None
+    #: Per-node hardware, or None for the homogeneous fast path.
+    node_specs: Optional[Tuple[NodeSpec, ...]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("need at least one node")
+        if self.node_specs is not None:
+            if len(self.node_specs) != self.num_nodes:
+                raise ValueError(
+                    f"node_specs has {len(self.node_specs)} entries for "
+                    f"{self.num_nodes} nodes")
+            # Normalize to a tuple so the spec stays hashable/frozen even
+            # when a caller passed a list.
+            if not isinstance(self.node_specs, tuple):
+                object.__setattr__(self, "node_specs",
+                                   tuple(self.node_specs))
         if self.faults is not None:
             self.faults.validate_for(self.num_nodes)
 
+    @staticmethod
+    def heterogeneous(name: str, nodes: Sequence[NodeSpec],
+                      network: NetworkSpec,
+                      faults: Optional[FaultSchedule] = None
+                      ) -> "ClusterSpec":
+        """Constructor sugar for a per-node cluster: one spec per node."""
+        specs = tuple(nodes)
+        if not specs:
+            raise ValueError("need at least one node")
+        return ClusterSpec(name=name, num_nodes=len(specs), node=specs[0],
+                           network=network, faults=faults, node_specs=specs)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when on the single-``node`` fast path.  Deliberately NOT
+        collapsed for a tuple of identical specs: expressing a uniform
+        cluster through ``node_specs`` exercises the per-node code paths
+        (the homogeneous-equivalence property depends on this)."""
+        return self.node_specs is None
+
+    @property
+    def nodes(self) -> Tuple[NodeSpec, ...]:
+        """The per-node hardware view, valid for either form."""
+        if self.node_specs is None:
+            return (self.node,) * self.num_nodes
+        return self.node_specs
+
+    def node_at(self, index: int) -> NodeSpec:
+        """Node ``index``'s hardware without materializing :attr:`nodes`."""
+        if not 0 <= index < self.num_nodes:
+            raise ValueError(
+                f"node {index} outside [0, {self.num_nodes})")
+        if self.node_specs is None:
+            return self.node
+        return self.node_specs[index]
+
+    def distinct_nodes(self) -> Tuple[NodeSpec, ...]:
+        """The distinct hardware profiles, first-appearance order.  Cost
+        models iterate this instead of :attr:`nodes` so per-node kernel
+        timing is computed once per profile, not once per node."""
+        if self.node_specs is None:
+            return (self.node,)
+        seen: List[NodeSpec] = []
+        for spec in self.node_specs:
+            if spec not in seen:
+                seen.append(spec)
+        return tuple(seen)
+
     @property
     def total_gpus(self) -> int:
-        return self.num_nodes * self.node.gpus_per_node
+        if self.node_specs is None:
+            return self.num_nodes * self.node.gpus_per_node
+        return sum(spec.gpus_per_node for spec in self.node_specs)
+
+    def hardware_token(self) -> Tuple[object, ...]:
+        """Everything that distinguishes this cluster's hardware, as a
+        hashable key component.
+
+        ``GraphCache`` folds this into ``cache_key`` so a plan built for
+        one hardware shape is never served for another: node count, every
+        node's hardware (dataclass reprs cover GPU, interconnect, and CPU
+        aggregation rate), and the network including its straggler/WAN
+        descriptors (their reprs cover seeds, fractions, and rates).
+        Perturbing any single node's speed changes the token.
+        """
+        per_node = (None if self.node_specs is None
+                    else tuple(repr(spec) for spec in self.node_specs))
+        return (self.num_nodes, repr(self.node), per_node,
+                repr(self.network))
 
     def with_nodes(self, num_nodes: int) -> "ClusterSpec":
         """Same hardware, different scale (for weak-scaling sweeps)."""
+        if self.node_specs is not None and num_nodes != self.num_nodes:
+            raise ConfigError(
+                "cluster-rescale", self.name,
+                ["ClusterSpec.heterogeneous"],
+                hint=f"cannot rescale a per-node cluster from "
+                     f"{self.num_nodes} to {num_nodes} nodes; rebuild it "
+                     f"with ClusterSpec.heterogeneous and an explicit "
+                     f"NodeSpec per node")
         return replace(self, num_nodes=num_nodes)
 
     def with_bandwidth(self, bandwidth_gbps: float) -> "ClusterSpec":
-        """Same cluster with a different network (for Fig. 12a sweeps)."""
+        """Same cluster with a different core bandwidth (Fig. 12a sweeps).
+
+        Straggler profiles are *relative* (per-node multipliers on the
+        core rate), so they rescale proportionally and are kept.  A WAN
+        tier carries *absolute* link rates, so "set the bandwidth to X"
+        is ambiguous -- should the WAN links move too? -- and raises a
+        typed :class:`ConfigError`; use :meth:`with_bandwidth_scale` to
+        scale every link proportionally instead.
+        """
+        if self.network.wan is not None:
+            raise ConfigError(
+                "bandwidth-override", bandwidth_gbps,
+                ["with_bandwidth_scale"],
+                hint=f"cluster {self.name!r} has a WAN tier with absolute "
+                     f"link rates; setting the core bandwidth alone is "
+                     f"ambiguous -- use with_bandwidth_scale(factor) to "
+                     f"scale all links proportionally")
         return replace(self, network=replace(
             self.network, bandwidth_gbps=bandwidth_gbps))
+
+    def with_bandwidth_scale(self, factor: float) -> "ClusterSpec":
+        """Scale *every* link's bandwidth by ``factor`` (latencies and
+        straggler multipliers unchanged).  Unlike :meth:`with_bandwidth`
+        this is never ambiguous: core and WAN rates move together."""
+        if factor <= 0:
+            raise ValueError(f"bandwidth scale must be positive, got "
+                             f"{factor}")
+        network = replace(
+            self.network,
+            bandwidth_gbps=self.network.bandwidth_gbps * factor)
+        if network.wan is not None:
+            network = replace(network, wan=replace(
+                network.wan,
+                up_gbps=network.wan.up_gbps * factor,
+                down_gbps=network.wan.down_gbps * factor))
+        return replace(self, network=network)
 
     def with_faults(self, schedule: Optional[FaultSchedule]) -> "ClusterSpec":
         """Same cluster with a fault schedule attached (None removes it)."""
@@ -145,14 +300,75 @@ def local_1080ti_cluster(num_nodes: int = 16,
     )
 
 
-def _scaled(factory, default_nodes: int):
+def ec2_v100_straggler_cluster(num_nodes: int = 16,
+                               bandwidth_gbps: float = 100.0,
+                               severity: float = 4.0,
+                               fraction: float = 0.125,
+                               seed: int = 0) -> ClusterSpec:
+    """The EC2 testbed with a deterministic straggler tail: ``fraction``
+    of the NICs degraded by ``severity`` (the multi-tenant-fabric regime
+    of "Beyond Throughput and Compression Ratios")."""
+    base = ec2_v100_cluster(num_nodes, bandwidth_gbps)
+    return replace(
+        base,
+        name=f"ec2-v100-straggler-{num_nodes}n",
+        network=replace(base.network, straggler=StragglerProfile(
+            fraction=fraction, severity=severity, seed=seed)))
+
+
+def wan_edge_cluster(num_nodes: int = 16,
+                     bandwidth_gbps: float = 100.0,
+                     wan_up_gbps: float = 1.0,
+                     wan_down_gbps: float = 4.0,
+                     wan_latency_us: float = 20_000.0,
+                     fraction: float = 0.25,
+                     seed: int = 0) -> ClusterSpec:
+    """EC2 hardware with ``fraction`` of the nodes behind WAN links:
+    asymmetric 1/4 Gbps up/down and 20 ms one-way latency by default (the
+    geo-distributed / federated-edge regime where the compress-or-not
+    verdict flips)."""
+    base = ec2_v100_cluster(num_nodes, bandwidth_gbps)
+    return replace(
+        base,
+        name=f"wan-edge-{num_nodes}n",
+        network=replace(base.network, wan=WanTier(
+            fraction=fraction, up_gbps=wan_up_gbps,
+            down_gbps=wan_down_gbps, latency_us=wan_latency_us,
+            seed=seed)))
+
+
+def hetero_mixed_cluster(num_nodes: int = 16,
+                         bandwidth_gbps: float = 56.0,
+                         fast_fraction: float = 0.5) -> ClusterSpec:
+    """A mixed-generation fleet: the first ``fast_fraction`` of the nodes
+    are V100 boxes, the rest 1080 Ti boxes with weak host CPUs -- the
+    mixed-procurement cluster both heterogeneity papers study.  Uses the
+    local testbed's 56 Gbps network (the slower site's fabric)."""
+    if not 0 < fast_fraction < 1:
+        raise ValueError(
+            f"fast_fraction must be in (0, 1), got {fast_fraction}")
+    fast = NodeSpec(gpus_per_node=8, gpu=V100, interconnect=NVLINK)
+    slow = NodeSpec(gpus_per_node=2, gpu=GTX1080TI, interconnect=PCIE3,
+                    cpu_agg_bytes_per_s=6e9)
+    n_fast = max(1, min(num_nodes - 1, int(round(fast_fraction * num_nodes))))
+    specs = (fast,) * n_fast + (slow,) * (num_nodes - n_fast)
+    return ClusterSpec.heterogeneous(
+        name=f"hetero-mixed-{num_nodes}n",
+        nodes=specs,
+        network=NetworkSpec(bandwidth_gbps=bandwidth_gbps, latency_us=3.0,
+                            efficiency=0.55))
+
+
+def _scaled(factory: Callable[..., ClusterSpec],
+            default_nodes: int) -> Callable[..., ClusterSpec]:
     """A preset factory with a different default scale.
 
     The returned factory still accepts ``num_nodes=`` explicitly, so
     weak-scaling sweeps can keep using one preset name while overriding
     the node count per job.
     """
-    def build(num_nodes: Optional[int] = None, **overrides) -> ClusterSpec:
+    def build(num_nodes: Optional[int] = None,
+              **overrides: Any) -> ClusterSpec:
         return factory(num_nodes=default_nodes if num_nodes is None
                        else num_nodes, **overrides)
     return build
@@ -162,16 +378,21 @@ def _scaled(factory, default_nodes: int):
 #: ``TrainingJob(..., cluster="ec2-v100")``).  The ``-256`` / ``-1024``
 #: variants are the paper's EC2 hardware at datacenter scale, used by the
 #: fig7-scale sweeps that exercise the high-throughput simulator core.
-CLUSTER_PRESETS = {
+CLUSTER_PRESETS: Dict[str, Callable[..., ClusterSpec]] = {
     "ec2-v100": ec2_v100_cluster,
     "local-1080ti": local_1080ti_cluster,
     "ec2-v100-256": _scaled(ec2_v100_cluster, 256),
     "ec2-v100-1024": _scaled(ec2_v100_cluster, 1024),
+    # Heterogeneous regimes (see docs/CLUSTERS.md): a straggler tail on
+    # the EC2 fabric, a WAN/edge tier, and a mixed-generation fleet.
+    "ec2-v100-straggler": ec2_v100_straggler_cluster,
+    "wan-edge": wan_edge_cluster,
+    "hetero-mixed": hetero_mixed_cluster,
 }
 
 
 def get_cluster(name: str, num_nodes: Optional[int] = None,
-                **overrides) -> ClusterSpec:
+                **overrides: Any) -> ClusterSpec:
     """Build a preset cluster by name (mirrors the algorithm registry).
 
     ``num_nodes=None`` keeps the preset's own default scale (16 for the

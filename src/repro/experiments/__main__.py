@@ -39,8 +39,8 @@ import time
 from pathlib import Path
 
 from . import (
-    adaptive, fig7, fig8, fig9, fig10, fig11, fig12, fig13, kernel_speed,
-    table1, table5, table6, table7,
+    adaptive, fig7, fig8, fig9, fig10, fig11, fig12, fig13, heterogeneous,
+    kernel_speed, table1, table5, table6, table7,
 )
 from .runner import ExperimentRunner, ResultCache, RunJournal, artifact_plans
 
@@ -82,6 +82,10 @@ def build_registry(quick: bool):
         "fig11": _runner(fig11, num_nodes=nodes),
         "fig12": _fig12_runner(num_nodes=nodes),
         "fig13": _runner(fig13),
+        "heterogeneous": _runner(
+            heterogeneous, num_nodes=nodes,
+            severities=(4.0,) if quick else (2.0, 4.0, 8.0),
+            wan_up_gbps=(1.0,) if quick else (0.5, 1.0, 4.0)),
         "kernel_speed": _runner(kernel_speed),
     }
 

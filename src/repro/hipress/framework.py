@@ -130,17 +130,21 @@ class TrainingJob:
 
     def profile(self, probe_sizes=(64 * 1024, 1 << 20, 16 << 20, 128 << 20)
                 ) -> Profile:
-        """Measure the cost-model primitives (the first-iteration pass)."""
+        """Measure the cost-model primitives (the first-iteration pass).
+
+        Probes go through the bottleneck-aware :class:`CostModel`, so on a
+        heterogeneous cluster the profile reflects the slowest GPU and the
+        slowest link -- what BSP planning must cost against.  Homogeneous
+        clusters profile identically to the single-spec model.
+        """
         if self._profile is None:
-            gpu = self.cluster.node.gpu
-            net = self.cluster.network
+            cost = CostModel(self.cluster, self.algorithm,
+                             strategy=self._planner_kind)
             self._profile = Profile(
                 probe_sizes=tuple(probe_sizes),
-                t_enc=tuple(self.algorithm.encode_time(s, gpu)
-                            for s in probe_sizes),
-                t_dec=tuple(self.algorithm.decode_time(s, gpu)
-                            for s in probe_sizes),
-                t_send=tuple(net.transfer_time(s) for s in probe_sizes),
+                t_enc=tuple(cost.t_enc(s) for s in probe_sizes),
+                t_dec=tuple(cost.t_dec(s) for s in probe_sizes),
+                t_send=tuple(cost.t_send(s) for s in probe_sizes),
                 compression_rate=tuple(
                     self.algorithm.compression_rate(s // 4)
                     for s in probe_sizes))

@@ -56,13 +56,23 @@ class AffineFit:
 
 def _run_kernel_probe(cluster: ClusterSpec, duration_fn,
                       sizes: Sequence[int]) -> AffineFit:
+    """Probe every distinct GPU model and keep the worst time per size.
+
+    BSP planning must cost against the slowest participant; on a
+    homogeneous cluster there is exactly one model, so the measured
+    curve is identical to the single-GPU probe this generalizes.
+    """
     times = []
     for nbytes in sizes:
-        env = Environment()
-        gpu = Gpu(env, cluster.node.gpu)
-        proc = env.process(gpu.run_kernel(duration_fn(nbytes)))
-        env.run_until_complete(proc)
-        times.append(env.now)
+        worst = 0.0
+        for node_spec in cluster.distinct_nodes():
+            env = Environment()
+            gpu = Gpu(env, node_spec.gpu)
+            proc = env.process(
+                gpu.run_kernel(duration_fn(nbytes, node_spec.gpu)))
+            env.run_until_complete(proc)
+            worst = max(worst, env.now)
+        times.append(worst)
     return AffineFit.from_points(list(sizes), times)
 
 
@@ -70,23 +80,35 @@ def measure_encode(cluster: ClusterSpec, algorithm: CompressionAlgorithm,
                    sizes: Sequence[int] = DEFAULT_PROBES) -> AffineFit:
     """Fit T_enc by actually running encode kernels on the simulated GPU."""
     return _run_kernel_probe(
-        cluster, lambda m: algorithm.encode_time(m, cluster.node.gpu), sizes)
+        cluster, lambda m, gpu: algorithm.encode_time(m, gpu), sizes)
 
 
 def measure_decode(cluster: ClusterSpec, algorithm: CompressionAlgorithm,
                    sizes: Sequence[int] = DEFAULT_PROBES) -> AffineFit:
     return _run_kernel_probe(
-        cluster, lambda m: algorithm.decode_time(m, cluster.node.gpu), sizes)
+        cluster, lambda m, gpu: algorithm.decode_time(m, gpu), sizes)
 
 
 def measure_send(cluster: ClusterSpec,
                  sizes: Sequence[int] = DEFAULT_PROBES) -> AffineFit:
-    """Fit T_send by running point-to-point transfers over the fabric."""
+    """Fit T_send by running point-to-point transfers over the fabric.
+
+    The probed pair is the *bottleneck* pair -- the narrowest uplink
+    sending to the narrowest downlink (excluding itself) -- so straggler
+    and WAN links dominate the fitted curve exactly as they dominate real
+    synchronization steps.  On a uniform network the pair is (0, 1) and
+    the measurement matches the two-node probe this generalizes.
+    """
+    num = max(2, cluster.num_nodes)
+    links = cluster.network.links(num)
+    src = min(range(num), key=lambda i: links[i].up_bytes_per_s)
+    dst = min((i for i in range(num) if i != src),
+              key=lambda i: links[i].down_bytes_per_s)
     times = []
     for nbytes in sizes:
         env = Environment()
-        fabric = Fabric(env, 2, cluster.network)
-        proc = env.process(fabric.transfer(0, 1, nbytes))
+        fabric = Fabric(env, num, cluster.network)
+        proc = env.process(fabric.transfer(src, dst, nbytes))
         env.run_until_complete(proc)
         times.append(env.now)
     return AffineFit.from_points(list(sizes), times)

@@ -1,5 +1,7 @@
 """Network fabric model (full-duplex NICs, tagged message passing)."""
 
-from .fabric import Fabric, Message, NetworkSpec, Nic, TransferStats
+from .fabric import (Fabric, LinkSpec, Message, NetworkSpec, Nic,
+                     StragglerProfile, TransferStats, WanTier)
 
-__all__ = ["Fabric", "Message", "NetworkSpec", "Nic", "TransferStats"]
+__all__ = ["Fabric", "LinkSpec", "Message", "NetworkSpec", "Nic",
+           "StragglerProfile", "TransferStats", "WanTier"]

@@ -1,28 +1,168 @@
 """Network fabric model: full-duplex NICs, point-to-point transfers, mailboxes.
 
-The model matches the assumptions the paper's cost analysis (§3.3) is built
-on: homogeneous nodes, each with a full-duplex NIC, where sending an
-``m``-byte message costs ``latency + m / bandwidth`` and the two directions
-of a NIC are independent resources (Ring-allreduce exploits exactly this:
-each node sends to its successor while receiving from its predecessor).
+The model generalizes the assumptions the paper's cost analysis (§3.3) is
+built on: every node has a full-duplex NIC whose two directions are
+independent resources (Ring-allreduce exploits exactly this: each node
+sends to its successor while receiving from its predecessor), and sending
+an ``m``-byte message costs ``latency + m / bandwidth``.  The paper's
+clusters are *uniform* -- one scalar bandwidth for every NIC -- but a
+:class:`NetworkSpec` can additionally carry per-NIC capacity profiles:
+
+* :class:`StragglerProfile` -- a deterministically seeded distribution of
+  per-node bandwidth multipliers (a fraction of nodes degraded by a
+  severity divisor, plus optional jitter on every node);
+* :class:`WanTier` -- a deterministically seeded subset of nodes sitting
+  behind WAN-grade links: asymmetric up/down bandwidth and millisecond
+  latency, the geo-distributed / edge-training regime.
+
+The resolved capacity of node ``i``'s NIC is its :class:`LinkSpec`
+(``spec.links(num_nodes)[i]``).  A uniform spec resolves every node to
+the same link, and every code path below is bit-identical to the scalar
+model in that case.
 
 Contention is modelled by serializing transfers per NIC direction: a
-transfer holds the sender's *uplink* and the receiver's *downlink* for its
-serialization time.  Wire latency is added after serialization and does not
-occupy either endpoint, so back-to-back messages pipeline.
+transfer holds the sender's *uplink* at the sender's uplink rate and the
+receiver's *downlink* at the receiver's downlink rate.  Wire latency (the
+slower endpoint's) is added after serialization and does not occupy
+either endpoint, so back-to-back messages pipeline.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
-                    Tuple)
+from typing import (Any, Callable, Dict, Generator, Hashable, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
-from ..sim import Environment, Event, Interrupt, Store
+from ..sim import Environment, Event, Interrupt, Process, Store
 
-__all__ = ["NetworkSpec", "Nic", "Fabric", "Message", "TransferStats"]
+__all__ = ["LinkSpec", "NetworkSpec", "Nic", "Fabric", "Message",
+           "StragglerProfile", "TransferStats", "WanTier"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Resolved capacity of one node's NIC: per-direction rate + latency."""
+
+    up_bytes_per_s: float
+    down_bytes_per_s: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.up_bytes_per_s <= 0 or self.down_bytes_per_s <= 0:
+            raise ValueError(
+                f"link rates must be positive, got "
+                f"{self.up_bytes_per_s}/{self.down_bytes_per_s}")
+        if self.latency_s < 0:
+            raise ValueError(
+                f"link latency must be non-negative, got {self.latency_s}")
+
+    @property
+    def bottleneck_bytes_per_s(self) -> float:
+        """The slower of the two directions."""
+        return min(self.up_bytes_per_s, self.down_bytes_per_s)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Uncontended time to move ``nbytes`` through this link's
+        slower direction."""
+        return self.latency_s + nbytes / self.bottleneck_bytes_per_s
+
+
+def _profile_rng(tag: str, seed: int, num_nodes: int) -> np.random.Generator:
+    """Seeded RNG for a per-node profile draw.
+
+    crc32 (not ``hash()``) keys the generator because str hashing is
+    PYTHONHASHSEED-salted; the draw is a pure function of
+    ``(tag, seed, num_nodes)``, so profiles resolve identically across
+    processes and runs.
+    """
+    key = f"{tag}:{seed}:{num_nodes}"
+    return np.random.default_rng(zlib.crc32(key.encode("utf-8")))
+
+
+@dataclass(frozen=True)
+class StragglerProfile:
+    """Deterministic per-node bandwidth-multiplier distribution.
+
+    ``fraction`` of the nodes (chosen by a seeded permutation) have both
+    NIC directions slowed by ``severity``; ``jitter`` additionally scales
+    *every* node's bandwidth by a uniform draw from ``[1 - jitter, 1)``,
+    modelling the background contention real multi-tenant fabrics show.
+    ``multipliers(num_nodes)`` is a pure function of
+    ``(seed, num_nodes)`` -- same cluster size, same stragglers.
+    """
+
+    fraction: float = 0.125
+    severity: float = 4.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fraction <= 1:
+            raise ValueError(
+                f"straggler fraction must be in [0, 1], got {self.fraction}")
+        if self.severity < 1:
+            raise ValueError(
+                f"straggler severity must be >= 1, got {self.severity}")
+        if not 0 <= self.jitter < 1:
+            raise ValueError(
+                f"straggler jitter must be in [0, 1), got {self.jitter}")
+
+    def count(self, num_nodes: int) -> int:
+        """How many nodes are degraded at scale ``num_nodes``."""
+        if self.fraction == 0 or self.severity == 1:
+            return 0
+        return max(1, int(round(self.fraction * num_nodes)))
+
+    def multipliers(self, num_nodes: int) -> Tuple[float, ...]:
+        """Per-node bandwidth multipliers in ``(0, 1]``, deterministic."""
+        rng = _profile_rng("straggler", self.seed, num_nodes)
+        mult = np.ones(num_nodes, dtype=np.float64)
+        picks = rng.permutation(num_nodes)[:self.count(num_nodes)]
+        mult[picks] = 1.0 / self.severity
+        if self.jitter:
+            mult *= 1.0 - self.jitter * rng.random(num_nodes)
+        return tuple(float(m) for m in mult)
+
+
+@dataclass(frozen=True)
+class WanTier:
+    """A deterministically chosen subset of nodes behind WAN-grade links.
+
+    Members keep their node identity but their NIC is replaced by an
+    *asymmetric* link -- edge uplinks are typically far narrower than
+    downlinks -- with millisecond-class one-way latency.  ``up_gbps`` /
+    ``down_gbps`` are line rates; the owning :class:`NetworkSpec`'s
+    ``efficiency`` applies to them like to the core links.
+    """
+
+    fraction: float = 0.25
+    up_gbps: float = 1.0
+    down_gbps: float = 4.0
+    latency_us: float = 20_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1:
+            raise ValueError(
+                f"WAN fraction must be in (0, 1], got {self.fraction}")
+        if self.up_gbps <= 0 or self.down_gbps <= 0:
+            raise ValueError(
+                f"WAN rates must be positive, got "
+                f"{self.up_gbps}/{self.down_gbps}")
+        if self.latency_us < 0:
+            raise ValueError(
+                f"WAN latency must be non-negative, got {self.latency_us}")
+
+    def members(self, num_nodes: int) -> Tuple[int, ...]:
+        """The WAN-resident node indices, deterministic in
+        ``(seed, num_nodes)`` and sorted."""
+        count = min(num_nodes, max(1, int(round(self.fraction * num_nodes))))
+        rng = _profile_rng("wan", self.seed, num_nodes)
+        picks = rng.permutation(num_nodes)[:count]
+        return tuple(sorted(int(p) for p in picks))
 
 
 @dataclass(frozen=True)
@@ -34,13 +174,21 @@ class NetworkSpec:
     latency_us: one-way wire latency in microseconds.
     efficiency: achievable fraction of line rate (protocol overheads);
         RDMA fabrics typically reach ~0.9.
+    straggler: optional per-node bandwidth-multiplier distribution
+        (None = every NIC at full rate).
+    wan: optional WAN tier (None = all nodes on the core network).
+
+    With both profiles None the spec is *uniform* and every consumer is
+    bit-identical to the pre-heterogeneity scalar model.
     """
 
     bandwidth_gbps: float
     latency_us: float = 5.0
     efficiency: float = 0.9
+    straggler: Optional[StragglerProfile] = None
+    wan: Optional[WanTier] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.bandwidth_gbps <= 0:
             raise ValueError(f"bandwidth must be positive, got {self.bandwidth_gbps}")
         if self.latency_us < 0:
@@ -50,15 +198,72 @@ class NetworkSpec:
 
     @property
     def bytes_per_second(self) -> float:
-        """Effective payload bandwidth in bytes/s per direction."""
+        """Effective payload bandwidth in bytes/s per direction (the
+        *core* rate; per-node profiles modify it -- see :meth:`links`)."""
         return self.bandwidth_gbps * 1e9 / 8 * self.efficiency
 
     @property
     def latency_s(self) -> float:
         return self.latency_us * 1e-6
 
+    @property
+    def is_uniform(self) -> bool:
+        """True when every NIC resolves to the same :class:`LinkSpec`."""
+        return self.straggler is None and self.wan is None
+
+    def links(self, num_nodes: int) -> Tuple[LinkSpec, ...]:
+        """Resolve every node's NIC capacity at scale ``num_nodes``.
+
+        Pure in ``(self, num_nodes)``: profile membership and multipliers
+        come from seeded draws, so the same spec resolves to the same
+        links in every process.  WAN links replace the core rate/latency
+        outright; straggler multipliers then apply to whatever rate the
+        node ended up with (a WAN node can also be a straggler).
+        """
+        base = self.bytes_per_second
+        lat = self.latency_s
+        if self.is_uniform:
+            link = LinkSpec(base, base, lat)
+            return (link,) * num_nodes
+        up = [base] * num_nodes
+        down = [base] * num_nodes
+        latency = [lat] * num_nodes
+        if self.wan is not None:
+            wan_up = self.wan.up_gbps * 1e9 / 8 * self.efficiency
+            wan_down = self.wan.down_gbps * 1e9 / 8 * self.efficiency
+            wan_lat = self.wan.latency_us * 1e-6
+            for member in self.wan.members(num_nodes):
+                up[member] = wan_up
+                down[member] = wan_down
+                latency[member] = wan_lat
+        if self.straggler is not None:
+            for i, mult in enumerate(self.straggler.multipliers(num_nodes)):
+                up[i] *= mult
+                down[i] *= mult
+        return tuple(LinkSpec(u, d, l)
+                     for u, d, l in zip(up, down, latency))
+
+    def bottleneck(self, num_nodes: int) -> LinkSpec:
+        """The slowest participating capacities at scale ``num_nodes``:
+        min uplink rate, min downlink rate, max latency.
+
+        This is what a bottleneck-aware cost model plans against -- under
+        BSP, synchronization finishes when the slowest link has.  Uniform
+        specs resolve to the core link unchanged.
+        """
+        if self.is_uniform:
+            base = self.bytes_per_second
+            return LinkSpec(base, base, self.latency_s)
+        links = self.links(num_nodes)
+        return LinkSpec(
+            min(link.up_bytes_per_s for link in links),
+            min(link.down_bytes_per_s for link in links),
+            max(link.latency_s for link in links))
+
     def transfer_time(self, nbytes: float) -> float:
-        """Uncontended time to move ``nbytes`` point-to-point."""
+        """Uncontended time to move ``nbytes`` point-to-point over the
+        *core* network (per-node profiles excluded; see
+        :meth:`bottleneck` for the planning-grade worst case)."""
         return self.latency_s + nbytes / self.bytes_per_second
 
 
@@ -86,9 +291,16 @@ class Nic:
     would allow.
     """
 
-    def __init__(self, env: Environment, spec: NetworkSpec):
+    def __init__(self, env: Environment, spec: NetworkSpec,
+                 link: Optional[LinkSpec] = None) -> None:
         self.env = env
         self.spec = spec
+        #: This NIC's resolved capacity (rate per direction + latency).
+        #: Defaults to the spec's core link for standalone construction.
+        if link is None:
+            base = spec.bytes_per_second
+            link = LinkSpec(base, base, spec.latency_s)
+        self.link = link
         #: Simulated timestamps at which each direction becomes free.
         self.up_free = 0.0
         self.down_free = 0.0
@@ -122,24 +334,40 @@ class Fabric:
       global barriers.
     """
 
-    def __init__(self, env: Environment, num_nodes: int, spec: NetworkSpec):
+    def __init__(self, env: Environment, num_nodes: int,
+                 spec: NetworkSpec) -> None:
         if num_nodes < 1:
             raise ValueError(f"need at least 1 node, got {num_nodes}")
         self.env = env
         self.spec = spec
         self.num_nodes = num_nodes
-        self.nics = [Nic(env, spec) for _ in range(num_nodes)]
+        #: Per-node resolved NIC capacities (uniform specs resolve every
+        #: node to the same link; see :meth:`NetworkSpec.links`).
+        self.links: Tuple[LinkSpec, ...] = spec.links(num_nodes)
+        self.nics = [Nic(env, spec, link)
+                     for link in self.links]
+        # Column views of the links for the vectorized bulk path.  With a
+        # uniform spec every entry equals the scalar the pre-heterogeneity
+        # code divided by / added, so the elementwise arithmetic below is
+        # bit-identical to the scalar arithmetic it replaced.
+        self._up_rates = np.array(
+            [link.up_bytes_per_s for link in self.links], dtype=np.float64)
+        self._down_rates = np.array(
+            [link.down_bytes_per_s for link in self.links], dtype=np.float64)
+        self._latencies = np.array(
+            [link.latency_s for link in self.links], dtype=np.float64)
         self._mailboxes: Dict[Tuple[int, Hashable], Store] = {}
         self.stats = TransferStats()
         #: Optional :class:`~repro.faults.injector.FaultState` attached by a
         #: FaultInjector.  None means the pristine (and byte-identical to
         #: the pre-fault-subsystem) transfer path.
-        self.faults = None
+        self.faults: Any = None
 
     # -- timing-only transfers -------------------------------------------
 
     def transfer(self, src: int, dst: int, nbytes: float,
-                 span_parent=None):
+                 span_parent: Optional[Any] = None
+                 ) -> Generator[Any, Any, None]:
         """Generator: completes when ``nbytes`` from src arrive at dst.
 
         Holds src's uplink and dst's downlink for the serialization time;
@@ -180,27 +408,32 @@ class Fabric:
         tel.metrics.counter("net.messages").inc()
         tel.metrics.histogram("net.transfer_s").observe(span.duration)
 
-    def _transfer_pristine(self, src: int, dst: int, nbytes: float):
+    def _transfer_pristine(self, src: int, dst: int,
+                           nbytes: float) -> Generator[Any, Any, None]:
         """The fault-free transfer path (no FaultState attached)."""
         env = self.env
         sender, receiver = self.nics[src], self.nics[dst]
-        serialize = nbytes / self.spec.bytes_per_second
+        up_ser = nbytes / sender.link.up_bytes_per_s
+        down_ser = nbytes / receiver.link.down_bytes_per_s
         # Each direction is an independent fluid FIFO: the sender's uplink
         # and the receiver's downlink each process the bytes when they get
-        # to them, and delivery completes when the slower side has.  This
-        # avoids convoy collapse under incast (an idle uplink is never
-        # blocked just because the peer's downlink is backed up).
-        up_finish = max(env.now, sender.up_free) + serialize
-        down_finish = max(env.now, receiver.down_free) + serialize
+        # to them, at their own link's rate, and delivery completes when
+        # the slower side has.  This avoids convoy collapse under incast
+        # (an idle uplink is never blocked just because the peer's
+        # downlink is backed up).
+        up_finish = max(env.now, sender.up_free) + up_ser
+        down_finish = max(env.now, receiver.down_free) + down_ser
         sender.up_free = up_finish
         receiver.down_free = down_finish
-        sender.up_busy += serialize
-        receiver.down_busy += serialize
+        sender.up_busy += up_ser
+        receiver.down_busy += down_ser
         finish = max(up_finish, down_finish)
-        yield env.timeout(finish + self.spec.latency_s - env.now)
+        latency = max(sender.link.latency_s, receiver.link.latency_s)
+        yield env.timeout(finish + latency - env.now)
         self.stats.record(src, nbytes)
 
-    def _transfer_faulty(self, src: int, dst: int, nbytes: float):
+    def _transfer_faulty(self, src: int, dst: int,
+                         nbytes: float) -> Generator[Any, Any, None]:
         """The transfer path when a FaultState is attached.
 
         Semantics of the fault model:
@@ -234,10 +467,11 @@ class Fabric:
                 record.drop(env.now, "src-dead")
                 raise TransferError(src, dst, nbytes, "source node is dead")
             sender, receiver = self.nics[src], self.nics[dst]
-            serialize = (nbytes / self.spec.bytes_per_second
-                         * faults.link_factor(src, dst))
+            factor = faults.link_factor(src, dst)
+            up_ser = nbytes / sender.link.up_bytes_per_s * factor
+            down_ser = nbytes / receiver.link.down_bytes_per_s * factor
             if faults.take_transient(src, dst):
-                partial = serialize * 0.5
+                partial = up_ser * 0.5
                 up_finish = max(env.now, sender.up_free) + partial
                 sender.up_free = up_finish
                 sender.up_busy += partial
@@ -245,14 +479,15 @@ class Fabric:
                 record.drop(env.now, "transient")
                 raise TransferError(src, dst, nbytes,
                                     "transient send failure")
-            up_finish = max(env.now, sender.up_free) + serialize
-            down_finish = max(env.now, receiver.down_free) + serialize
+            up_finish = max(env.now, sender.up_free) + up_ser
+            down_finish = max(env.now, receiver.down_free) + down_ser
             sender.up_free = up_finish
             receiver.down_free = down_finish
-            sender.up_busy += serialize
-            receiver.down_busy += serialize
+            sender.up_busy += up_ser
+            receiver.down_busy += down_ser
             finish = max(up_finish, down_finish)
-            yield env.timeout(finish + self.spec.latency_s - env.now)
+            latency = max(sender.link.latency_s, receiver.link.latency_s)
+            yield env.timeout(finish + latency - env.now)
             if faults.is_dead(dst):
                 record.drop(env.now, "dst-dead")
                 raise TransferError(src, dst, nbytes,
@@ -266,7 +501,8 @@ class Fabric:
     # -- vectorized bulk transfers ---------------------------------------
 
     def bulk_transfer(self, transfers: Sequence[Tuple[int, int, float]],
-                      handler: Optional[Callable[[int], None]] = None):
+                      handler: Optional[Callable[[int], None]] = None
+                      ) -> Optional[List[Any]]:
         """Issue a batch of point-to-point transfers in one reservation pass.
 
         ``transfers`` is a sequence of ``(src, dst, nbytes)`` triples, all
@@ -310,21 +546,28 @@ class Fabric:
             return self._bulk_fallback(transfers, handler)
         now = env.now
         srcs, dsts, sizes = self._bulk_arrays(transfers, n)
-        serialize = sizes / self.spec.bytes_per_second
         loop = srcs == dsts
         if loop.any():
             wire = np.flatnonzero(~loop)
             wire_srcs, wire_dsts = srcs[wire], dsts[wire]
-            wire_ser = serialize[wire]
+            wire_sizes = sizes[wire]
         else:
             wire = None
-            wire_srcs, wire_dsts, wire_ser = srcs, dsts, serialize
-        up_finish = self._reserve_direction(wire_srcs, wire_ser, now,
+            wire_srcs, wire_dsts, wire_sizes = srcs, dsts, sizes
+        # Per-message serialization at each endpoint's own link rate, and
+        # the slower endpoint's wire latency.  With a uniform spec every
+        # gathered rate/latency equals the old scalar, so the elementwise
+        # arithmetic is bit-identical to the scalar broadcast it replaced.
+        up_ser = wire_sizes / self._up_rates[wire_srcs]
+        down_ser = wire_sizes / self._down_rates[wire_dsts]
+        wire_lat = np.maximum(self._latencies[wire_srcs],
+                              self._latencies[wire_dsts])
+        up_finish = self._reserve_direction(wire_srcs, up_ser, now,
                                             up=True)
-        down_finish = self._reserve_direction(wire_dsts, wire_ser, now,
+        down_finish = self._reserve_direction(wire_dsts, down_ser, now,
                                               up=False)
         wire_delays = (np.maximum(up_finish, down_finish)
-                       + self.spec.latency_s - now)
+                       + wire_lat - now)
         if wire is None:
             delays = wire_delays.tolist()
         else:
@@ -348,6 +591,7 @@ class Fabric:
                     continue
                 carrier = acquire(True, (src_list[i], size_list[i],
                                          handler, i))
+                assert carrier.callbacks is not None
                 carrier.callbacks.append(done)
                 schedule(carrier, delay=delays[i])
             return None
@@ -359,12 +603,15 @@ class Fabric:
             event._ok = True
             event._value = (src_list[i], dst_list[i], size_list[i])
             if not loop_list[i]:
+                assert event.callbacks is not None
                 event.callbacks.append(record)
             env.schedule(event, delay=delays[i])
             events.append(event)
         return events
 
-    def _bulk_arrays(self, transfers, n: int):
+    def _bulk_arrays(self, transfers: Sequence[Tuple[int, int, float]],
+                     n: int) -> Tuple["np.ndarray", "np.ndarray",
+                                      "np.ndarray"]:
         """Validated (srcs, dsts, sizes) column arrays for a bulk batch."""
         arr = np.asarray(transfers, dtype=np.float64)
         if arr.shape != (n, 3):
@@ -381,7 +628,8 @@ class Fabric:
             raise ValueError("negative transfer size in bulk")
         return srcs, dsts, sizes
 
-    def _reserve_direction(self, nodes, serialize, now: float,
+    def _reserve_direction(self, nodes: "np.ndarray",
+                           serialize: "np.ndarray", now: float,
                            up: bool) -> "np.ndarray":
         """Per-NIC-direction FIFO reservation for one side of a batch.
 
@@ -470,17 +718,18 @@ class Fabric:
         result[order] = finish_sorted
         return result
 
-    def _bulk_handler_done(self, event) -> None:
+    def _bulk_handler_done(self, event: Event) -> None:
         src, nbytes, handler, index = event._value
         self.stats.record(src, nbytes)
         handler(index)
 
-    def _bulk_record_done(self, event) -> None:
+    def _bulk_record_done(self, event: Event) -> None:
         src, _dst, nbytes = event._value
         self.stats.record(src, nbytes)
 
     def bulk_transfer_batched(self, transfers: Sequence[Tuple[int, int,
-                                                              float]]):
+                                                              float]]
+                              ) -> Event:
         """A whole bulk step with ONE completion event.
 
         Like :meth:`bulk_transfer`, but instead of per-message completion
@@ -507,7 +756,8 @@ class Fabric:
             def note(index: int) -> None:
                 times[index] = env.now
 
-            def collect():
+            def collect() -> Generator[Any, Any,
+                                       Tuple[Optional[float], ...]]:
                 if n:
                     yield env.all_of(self._bulk_fallback(transfers, note))
                 return tuple(times)
@@ -521,25 +771,33 @@ class Fabric:
             return event
         now = env.now
         srcs, dsts, sizes = self._bulk_arrays(transfers, n)
-        serialize = sizes / self.spec.bytes_per_second
         loop = srcs == dsts
         if loop.any():
             wire = np.flatnonzero(~loop)
-            up_finish = self._reserve_direction(srcs[wire], serialize[wire],
+            wire_srcs, wire_dsts = srcs[wire], dsts[wire]
+            up_ser = sizes[wire] / self._up_rates[wire_srcs]
+            down_ser = sizes[wire] / self._down_rates[wire_dsts]
+            wire_lat = np.maximum(self._latencies[wire_srcs],
+                                  self._latencies[wire_dsts])
+            up_finish = self._reserve_direction(wire_srcs, up_ser,
                                                 now, up=True)
-            down_finish = self._reserve_direction(dsts[wire],
-                                                  serialize[wire], now,
+            down_finish = self._reserve_direction(wire_dsts,
+                                                  down_ser, now,
                                                   up=False)
             delivery = np.full(n, now, dtype=np.float64)
             delivery[wire] = (np.maximum(up_finish, down_finish)
-                              + self.spec.latency_s)
+                              + wire_lat)
         else:
-            up_finish = self._reserve_direction(srcs, serialize, now,
+            up_ser = sizes / self._up_rates[srcs]
+            down_ser = sizes / self._down_rates[dsts]
+            wire_lat = np.maximum(self._latencies[srcs],
+                                  self._latencies[dsts])
+            up_finish = self._reserve_direction(srcs, up_ser, now,
                                                 up=True)
-            down_finish = self._reserve_direction(dsts, serialize, now,
+            down_finish = self._reserve_direction(dsts, down_ser, now,
                                                   up=False)
             delivery = (np.maximum(up_finish, down_finish)
-                        + self.spec.latency_s)
+                        + wire_lat)
         tel = env.telemetry
         if tel is not None:
             tel.metrics.counter("net.bulk_batches").inc()
@@ -550,13 +808,15 @@ class Fabric:
         wire_order = order[~loop[order]] if loop.any() else order
         event._ok = True
         event._value = tuple(delivery.tolist())
+        assert event.callbacks is not None
         event.callbacks.append(self._bulk_batch_done(
             srcs[wire_order].tolist(), sizes[wire_order].tolist()))
         env.schedule(event, delay=float(delivery.max()) - now)
         return event
 
-    def _bulk_batch_done(self, src_ord, size_ord):
-        def record(_event):
+    def _bulk_batch_done(self, src_ord: List[Any],
+                         size_ord: List[Any]) -> Callable[[Event], None]:
+        def record(_event: Event) -> None:
             stats = self.stats
             bytes_sent = stats.bytes_sent
             per_node = stats.per_node_bytes
@@ -568,7 +828,9 @@ class Fabric:
             stats.messages += len(size_ord)
         return record
 
-    def _bulk_fallback(self, transfers, handler):
+    def _bulk_fallback(self, transfers: Any,
+                       handler: Optional[Callable[[int], None]]
+                       ) -> List[Any]:
         """Per-message oracle path: one transfer process per message."""
         if isinstance(transfers, np.ndarray):
             transfers = transfers.tolist()
@@ -580,7 +842,9 @@ class Fabric:
                 name=f"bulk:{src}->{dst}"))
         return results
 
-    def _bulk_one(self, src, dst, nbytes, handler, index):
+    def _bulk_one(self, src: int, dst: int, nbytes: float,
+                  handler: Optional[Callable[[int], None]],
+                  index: int) -> Generator[Any, Any, None]:
         yield from self.transfer(src, dst, nbytes)
         if handler is not None:
             handler(index)
@@ -596,11 +860,11 @@ class Fabric:
         return box
 
     def send(self, src: int, dst: int, tag: Hashable, payload: Any,
-             nbytes: float):
+             nbytes: float) -> Process:
         """Start an asynchronous tagged send; returns the transfer Process."""
         sent_at = self.env.now
 
-        def _send():
+        def _send() -> Generator[Any, Any, None]:
             yield from self.transfer(src, dst, nbytes)
             msg = Message(src=src, dst=dst, tag=tag, payload=payload,
                           nbytes=nbytes, sent_at=sent_at,
@@ -609,7 +873,7 @@ class Fabric:
 
         return self.env.process(_send(), name=f"send:{src}->{dst}:{tag}")
 
-    def recv(self, dst: int, tag: Hashable):
+    def recv(self, dst: int, tag: Hashable) -> Event:
         """Event firing with the next :class:`Message` for (dst, tag)."""
         self._check_node(dst)
         return self._mailbox(dst, tag).get()
@@ -619,6 +883,15 @@ class Fabric:
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+
+    def pair_transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Uncontended time to move ``nbytes`` from src to dst through the
+        pair's actual links: limited by the slower of src's uplink and
+        dst's downlink, plus the slower endpoint's wire latency.  Uniform
+        specs reduce this to ``spec.transfer_time(nbytes)`` exactly."""
+        a, b = self.links[src], self.links[dst]
+        rate = min(a.up_bytes_per_s, b.down_bytes_per_s)
+        return max(a.latency_s, b.latency_s) + nbytes / rate
 
     def utilization(self, horizon: Optional[float] = None) -> float:
         """Mean busy fraction across all NIC directions over ``horizon``."""

@@ -75,7 +75,13 @@ class SyncContext:
 
 
 class TaskBuilder:
-    """Constructs correctly-costed tasks for one context."""
+    """Constructs correctly-costed tasks for one context.
+
+    Every task-building method takes the executing ``node``, and costing
+    uses *that node's* GPU / CPU hardware.  On a homogeneous cluster the
+    per-node lookup short-circuits to the shared spec (``gpu_spec``), so
+    the costed durations are bit-identical to the single-spec model.
+    """
 
     #: Host-side (CPU) throughput penalty per byte relative to the GPU,
     #: calibrated to the paper's 35.6x on-CPU vs on-GPU compression gap.
@@ -83,8 +89,28 @@ class TaskBuilder:
 
     def __init__(self, ctx: SyncContext):
         self.ctx = ctx
-        self.gpu_spec = ctx.cluster.node.gpu
+        cluster = ctx.cluster
+        #: Representative GPU (the shared spec on a homogeneous cluster).
+        self.gpu_spec = cluster.node.gpu
         self._launch = self.gpu_spec.kernel_launch_us * 1e-6
+        if cluster.is_homogeneous:
+            self._gpus: Optional[Tuple] = None
+            self._launches: Optional[Tuple[float, ...]] = None
+        else:
+            self._gpus = tuple(spec.gpu for spec in cluster.nodes)
+            self._launches = tuple(
+                gpu.kernel_launch_us * 1e-6 for gpu in self._gpus)
+
+    def _gpu(self, node: int):
+        """Node ``node``'s GPU spec (shared spec when homogeneous)."""
+        if self._gpus is None:
+            return self.gpu_spec
+        return self._gpus[node]
+
+    def _launch_at(self, node: int) -> float:
+        if self._launches is None:
+            return self._launch
+        return self._launches[node]
 
     # -- size bookkeeping --------------------------------------------------
 
@@ -99,10 +125,10 @@ class TaskBuilder:
     def encode(self, node: int, nbytes: float, label: str = "encode",
                on_cpu: bool = False) -> Task:
         algo = self.ctx.algorithm
-        duration = algo.encode_time(nbytes, self.gpu_spec)
+        duration = algo.encode_time(nbytes, self._gpu(node))
         if on_cpu:
             duration *= self.CPU_FACTOR
-        launch = self._launch * algo.profile.encode_kernels
+        launch = self._launch_at(node) * algo.profile.encode_kernels
         return Task(node, "encode", label, duration=duration,
                     launch_overhead=launch, nbytes=nbytes,
                     out_nbytes=self.compressed_nbytes(nbytes))
@@ -117,10 +143,10 @@ class TaskBuilder:
         ``allocates_output=True`` for their separate output allocations.
         """
         algo = self.ctx.algorithm
-        duration = algo.decode_time(nbytes, self.gpu_spec)
+        duration = algo.decode_time(nbytes, self._gpu(node))
         if on_cpu:
             duration *= self.CPU_FACTOR
-        launch = self._launch * algo.profile.decode_kernels
+        launch = self._launch_at(node) * algo.profile.decode_kernels
         return Task(node, "decode", label, duration=duration,
                     launch_overhead=launch, nbytes=nbytes,
                     out_nbytes=nbytes if allocates_output else None)
@@ -130,10 +156,12 @@ class TaskBuilder:
         """CaSync's fused decode-and-aggregate kernel (§5: "we also fuse
         the decode and merge operators")."""
         algo = self.ctx.algorithm
-        duration = (algo.decode_time(nbytes, self.gpu_spec)
-                    + self.gpu_spec.kernel_time(nbytes, kernels=1)
-                    - self._launch)
-        launch = self._launch * algo.profile.decode_kernels
+        gpu = self._gpu(node)
+        launch_s = self._launch_at(node)
+        duration = (algo.decode_time(nbytes, gpu)
+                    + gpu.kernel_time(nbytes, kernels=1)
+                    - launch_s)
+        launch = launch_s * algo.profile.decode_kernels
         return Task(node, "decode", label, duration=duration,
                     launch_overhead=launch, nbytes=nbytes)
 
@@ -148,37 +176,39 @@ class TaskBuilder:
         algo = self.ctx.algorithm
         if algo is not None and algo.category == "sparsification":
             compressed = self.compressed_nbytes(nbytes)
-            duration = self.gpu_spec.kernel_time(3 * compressed, kernels=1)
+            duration = self._gpu(node).kernel_time(3 * compressed, kernels=1)
             if on_cpu:
                 duration *= self.CPU_FACTOR
             return Task(node, "merge", label, duration=duration,
-                        launch_overhead=self._launch, nbytes=compressed)
+                        launch_overhead=self._launch_at(node),
+                        nbytes=compressed)
         return self.decode_merge(node, nbytes, label)
 
     def merge(self, node: int, nbytes: float, label: str = "merge",
               on_cpu: bool = False) -> Task:
-        duration = self.gpu_spec.kernel_time(3 * nbytes, kernels=1)
+        gpu = self._gpu(node)
+        duration = gpu.kernel_time(3 * nbytes, kernels=1)
         if on_cpu:
             # Host summation: memory-bound at host DRAM speed; fold the
             # GPU<->host PCIe hops into the same factor-of-slower model.
-            duration = self.gpu_spec.kernel_time(3 * nbytes, kernels=1) * 6
+            duration = gpu.kernel_time(3 * nbytes, kernels=1) * 6
         return Task(node, "merge", label, duration=duration,
-                    launch_overhead=self._launch, nbytes=nbytes)
+                    launch_overhead=self._launch_at(node), nbytes=nbytes)
 
     def copy(self, node: int, nbytes: float, label: str = "copy") -> Task:
-        duration = self.gpu_spec.kernel_time(2 * nbytes, kernels=1)
+        duration = self._gpu(node).kernel_time(2 * nbytes, kernels=1)
         return Task(node, "copy", label, duration=duration,
-                    launch_overhead=self._launch, nbytes=nbytes,
+                    launch_overhead=self._launch_at(node), nbytes=nbytes,
                     out_nbytes=nbytes)
 
     def cpu_aggregate(self, node: int, nbytes: float,
                       label: str = "cpu-agg") -> Task:
         """Host-side summation of an ``nbytes`` partition (BytePS server).
 
-        Bandwidth comes from the node spec: the PCIe hop plus vectorized
-        summation the host can sustain.
+        Bandwidth comes from *this node's* spec: the PCIe hop plus
+        vectorized summation its host can sustain.
         """
-        duration = nbytes / self.ctx.cluster.node.cpu_agg_bytes_per_s
+        duration = nbytes / self.ctx.cluster.node_at(node).cpu_agg_bytes_per_s
         return Task(node, "cpu", label, duration=duration, nbytes=nbytes)
 
     def cpu_work(self, node: int, duration: float,

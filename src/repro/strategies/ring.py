@@ -76,10 +76,13 @@ class RingAllreduce(Strategy):
             return self.NCCL_STEP_OVERHEAD_S
         total_gpus = ctx.cluster.total_gpus
         gpu_steps = 2 * (total_gpus - 1)
-        per_step = ctx.cluster.network.latency_s + self.NCCL_STEP_OVERHEAD_S
+        # A ring step is paced by the slowest participating link (on a
+        # uniform network this is exactly the core latency).
+        latency = ctx.cluster.network.bottleneck(n).latency_s
+        per_step = latency + self.NCCL_STEP_OVERHEAD_S
         # Latency of the full GPU ring, minus what the node-level transfers
         # already pay, spread over the node-level steps.
-        extra = gpu_steps * per_step - node_steps * ctx.cluster.network.latency_s
+        extra = gpu_steps * per_step - node_steps * latency
         return max(0.0, extra / node_steps)
 
     def expand(self, plan: SyncPlan, pctx: PassContext,

@@ -179,7 +179,7 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
     if tel is not None:
         tel.start_run(f"{model.name}/{strategy.name}/{cluster.num_nodes}n")
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
-    gpus = [Gpu(env, cluster.node.gpu, index=i)
+    gpus = [Gpu(env, cluster.node_at(i).gpu, index=i)
             for i in range(cluster.num_nodes)]
     pconf = pass_config if pass_config is not None else DEFAULT_PASS_CONFIG
     coordinator = (Coordinator(env, fabric,
@@ -206,13 +206,22 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
                       pass_config=pconf, decisions=decisions)
     graph = strategy.build(ctx, model)
 
-    gpu_spec = cluster.node.gpu
-    forward = model.forward_time(gpu_spec)
-    backward = list(model.backward_schedule(gpu_spec))
-    compute_time = model.iteration_time(gpu_spec) * (1 + OPTIMIZER_FRACTION)
+    # Per-GPU-model timing, computed once per distinct model (one entry on
+    # a homogeneous cluster).  Under BSP the iteration is paced by the
+    # slowest node's compute, hence the max below.
+    timings = {}
+    for node_spec in cluster.distinct_nodes():
+        if node_spec.gpu not in timings:
+            timings[node_spec.gpu] = (
+                model.forward_time(node_spec.gpu),
+                list(model.backward_schedule(node_spec.gpu)),
+                model.iteration_time(node_spec.gpu)
+                * (1 + OPTIMIZER_FRACTION))
+    compute_time = max(t[2] for t in timings.values())
 
     def compute_pass(node: int, slowdown: float):
         gpu = gpus[node]
+        forward, backward, _ = timings[cluster.node_at(node).gpu]
         layers = f"node{node}/layers"
         span = (tel.begin("forward", category="phase", track=layers,
                           at=env.now) if tel is not None else None)
@@ -234,7 +243,8 @@ def simulate_iteration(model: ModelSpec, cluster: ClusterSpec,
             if event.triggered:
                 continue  # already produced before a crash
             if local_aggregation:
-                delay = cluster.node.local_aggregation_time(grad.nbytes)
+                delay = cluster.node_at(node).local_aggregation_time(
+                    grad.nbytes)
                 _fire_later(env, event, delay)
             else:
                 event.succeed()

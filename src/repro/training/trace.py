@@ -115,7 +115,7 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
         tel.start_run(
             f"trace:{model.name}/{strategy.name}/{cluster.num_nodes}n")
     fabric = Fabric(env, cluster.num_nodes, cluster.network)
-    gpus = [Gpu(env, cluster.node.gpu, index=i)
+    gpus = [Gpu(env, cluster.node_at(i).gpu, index=i)
             for i in range(cluster.num_nodes)]
     pconf = pass_config if pass_config is not None else DEFAULT_PASS_CONFIG
     coordinator = (Coordinator(env, fabric,
@@ -140,12 +140,17 @@ def trace_iteration(model: ModelSpec, cluster: ClusterSpec,
                       pass_config=pconf, decisions=decisions)
     graph = strategy.build(ctx, model)
 
-    gpu_spec = cluster.node.gpu
-    forward = model.forward_time(gpu_spec)
-    backward = list(model.backward_schedule(gpu_spec))
+    # One timing entry per distinct GPU model (one on homogeneous).
+    timings = {}
+    for node_spec in cluster.distinct_nodes():
+        if node_spec.gpu not in timings:
+            timings[node_spec.gpu] = (
+                model.forward_time(node_spec.gpu),
+                list(model.backward_schedule(node_spec.gpu)))
 
     def node_process(node: int):
         gpu = gpus[node]
+        forward, backward = timings[cluster.node_at(node).gpu]
         recover_delay = 0.0
         while True:
             try:

@@ -34,6 +34,8 @@ TINY = {
     "fig11": {"num_nodes": 2},
     "fig12": {"num_nodes": 2},
     "fig13": {"steps": 30, "eval_every": 15, "workers": 2, "num_nodes": 2},
+    "heterogeneous": {"num_nodes": 2, "severities": (4.0,),
+                      "wan_up_gbps": (1.0,)},
 }
 
 ALL_ARTIFACTS = sorted(artifact_plans())

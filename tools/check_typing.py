@@ -6,8 +6,10 @@ Two bars, one run:
 * **Strict modules** (the ``[[tool.mypy.overrides]]`` block in
   ``pyproject.toml``: ``repro.casync.ir``, ``repro.casync.index``,
   ``repro.casync.passes``, ``repro.analysis.plancheck``,
-  ``repro.analysis.diagnostics``) must be completely clean -- any mypy
-  error there fails the gate.
+  ``repro.analysis.diagnostics``, plus the heterogeneous-cluster
+  surface ``repro.cluster.spec``, ``repro.casync.planner`` and
+  ``repro.net.fabric``) must be completely clean -- any mypy error
+  there fails the gate.
 * **Everything else** runs under the lenient global config and is
   compared against ``tools/mypy_baseline``: pre-existing errors are
   tolerated, *new* ones fail.  Fixing an error makes the corresponding
@@ -45,6 +47,9 @@ STRICT_FILES = (
     "src/repro/casync/passes.py",
     "src/repro/analysis/plancheck.py",
     "src/repro/analysis/diagnostics.py",
+    "src/repro/cluster/spec.py",
+    "src/repro/casync/planner.py",
+    "src/repro/net/fabric.py",
 )
 
 #: ``path:line: error: message  [code]`` -- mypy's stable output shape.
