@@ -37,6 +37,11 @@ _API_NAMES = frozenset({
     "ExperimentRunner", "JobSpec", "ResultCache", "RunJournal", "RunReport",
     "artifact_plans", "job_digest", "run_artifacts",
     "ConfigError",
+    "CandidateVerdict", "ElasticRunReport", "EpochOutcome",
+    "MembershipBound", "MembershipSchedule", "NodeJoin", "NodeLeave",
+    "Recommendation", "Roster", "bind_roster",
+    "random_membership_schedule", "recommend", "run_elastic",
+    "static_membership",
     "AdaptivePass", "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig",
     "SyncPlan", "build_plan", "default_graph_cache", "get_pass",
     "list_passes", "register_pass", "sync_plan_dump", "verify_plan",

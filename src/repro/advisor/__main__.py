@@ -1,0 +1,112 @@
+"""CLI: end-to-end utility verdicts from cached sweep results.
+
+Usage::
+
+    python -m repro.advisor recommend --cluster wan-1
+    python -m repro.advisor recommend --source elastic --cluster wan-light
+    python -m repro.advisor recommend --cache-dir results/.cache \\
+        --require-cached --json advisor.json
+    python -m repro.advisor scenarios [--source elastic] [--quick]
+
+``recommend`` rebuilds the named scenario's job manifest and runs it
+through the experiment runner against ``--cache-dir``.  With a cache
+warmed by an earlier sweep (``python -m repro.experiments heterogeneous
+--cache-dir DIR``) every verdict is served from disk; ``--require-cached``
+makes that a hard contract -- the command fails if any job had to
+execute, so CI can prove the advisor recomputes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..errors import ConfigError
+from ..experiments.runner import ExperimentRunner, ResultCache
+from . import TARGET_ITERATIONS, _scenario_keys, recommend
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--source", default="heterogeneous",
+                        choices=("heterogeneous", "elastic"),
+                        help="which artifact's scenarios to judge")
+    parser.add_argument("--quick", action="store_true",
+                        help="match the sweep's --quick parameterization "
+                             "(digests must match the cached run)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.advisor",
+        description="Rank compression policies by end-to-end "
+                    "time-to-target utility.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("recommend",
+                         help="judge one scenario's policy space")
+    _add_common(rec)
+    rec.add_argument("--model", default="vgg19")
+    rec.add_argument("--cluster", default="baseline",
+                     help="scenario key (see the `scenarios` subcommand)")
+    rec.add_argument("--cache-dir", metavar="DIR",
+                     help="result cache from an earlier sweep; without "
+                          "it every job executes in-process")
+    rec.add_argument("--require-cached", action="store_true",
+                     help="fail unless every verdict was served from "
+                          "the cache (zero jobs executed)")
+    rec.add_argument("--target-iterations", type=int,
+                     default=TARGET_ITERATIONS, metavar="N",
+                     help="iterations the uncompressed run needs to "
+                          "reach the target")
+    rec.add_argument("--json", metavar="FILE",
+                     help="also write the recommendation as JSON "
+                          "('-' for stdout)")
+
+    lst = sub.add_parser("scenarios",
+                         help="list the scenario keys --cluster accepts")
+    _add_common(lst)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "scenarios":
+        from ..experiments.runner import artifact_plans
+        kwargs = {k: v for k, v in dict(
+            artifact_plans(quick=args.quick)[args.source].kwargs).items()
+            if k != "model"}
+        print("\n".join(_scenario_keys(args.source, kwargs)))
+        return 0
+
+    cache = ResultCache(Path(args.cache_dir)) if args.cache_dir else None
+    runner = ExperimentRunner(cache=cache)
+    try:
+        rec_result = recommend(
+            model=args.model, cluster=args.cluster, source=args.source,
+            runner=runner, quick=args.quick,
+            target_iterations=args.target_iterations)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(rec_result.render())
+    if args.json:
+        text = json.dumps(rec_result.to_json_obj(), indent=2,
+                          sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"[json -> {args.json}]")
+
+    if args.require_cached and rec_result.executed:
+        print(f"error: --require-cached, but {rec_result.executed} job(s) "
+              f"executed instead of being served from the cache "
+              f"(wrong --cache-dir, mismatched --quick/--model, or the "
+              f"sweep never ran)", file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,11 @@ cache admission on the same proof.  See ``docs/ANALYSIS.md``.
 
 from __future__ import annotations
 
+from .advisor import (
+    CandidateVerdict,
+    Recommendation,
+    recommend,
+)
 from .adaptive import (
     CompressionPolicy,
     DecisionLog,
@@ -116,6 +121,14 @@ from .cluster import (
     local_1080ti_cluster,
 )
 from .errors import ConfigError
+from .faults import (
+    MembershipSchedule,
+    NodeJoin,
+    NodeLeave,
+    Roster,
+    random_membership_schedule,
+    static_membership,
+)
 from .experiments.common import SYSTEMS, JobSpec, SystemConfig, run_system
 from .experiments.runner import (
     ExperimentRunner,
@@ -130,7 +143,9 @@ from .hipress import Profile, TrainingJob
 from .models import MODEL_NAMES, ModelSpec, all_models, get_model
 from .strategies import (
     DEPRECATED_ALIASES,
+    MembershipBound,
     Strategy,
+    bind_roster,
     available_strategies,
     get_strategy,
     register_strategy,
@@ -151,7 +166,13 @@ from .telemetry import (
     utilization_series,
     write_chrome_trace,
 )
-from .training import IterationResult, simulate_iteration
+from .training import (
+    ElasticRunReport,
+    EpochOutcome,
+    IterationResult,
+    run_elastic,
+    simulate_iteration,
+)
 
 __all__ = [
     # models
@@ -173,6 +194,12 @@ __all__ = [
     "artifact_plans", "job_digest", "run_artifacts",
     # errors
     "ConfigError",
+    # elastic membership + utility advisor (see docs/ELASTIC.md)
+    "CandidateVerdict", "ElasticRunReport", "EpochOutcome",
+    "MembershipBound", "MembershipSchedule", "NodeJoin", "NodeLeave",
+    "Recommendation", "Roster", "bind_roster",
+    "random_membership_schedule", "recommend", "run_elastic",
+    "static_membership",
     # sync-plan IR (see docs/SYNC_IR.md)
     "AdaptivePass", "DEFAULT_PASS_CONFIG", "GraphCache", "PassConfig",
     "SyncPlan", "build_plan", "default_graph_cache", "get_pass",

@@ -46,7 +46,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Type, Union)
 
 from ..analysis.diagnostics import Diagnostic, ERROR, render_text
 from ..errors import ConfigError
@@ -68,6 +69,7 @@ __all__ = [
     "FuseDecodeMergePass",
     "PartitionPass",
     "CollapseFanInPass",
+    "MembershipPass",
     "Pass",
     "PassConfig",
     "PassContext",
@@ -437,6 +439,54 @@ class VerifyPass(Pass):
         plan.meta["verified"] = True
 
 
+class MembershipPass(Pass):
+    """Bind a plan to one elastic epoch's roster (directive phase).
+
+    The elastic training loop re-plans every epoch: the strategy expands
+    its SyncPlan groups over the *current* roster's dense local ranks,
+    and this pass is the roster's representative inside the pass
+    pipeline.  It validates that the plan really was sized for the
+    roster (a stale plan re-used across a membership change is a typed
+    error, never a silent wrong-sized collective) and stamps the
+    provenance into ``plan.meta``.
+
+    Caching: :func:`repro.casync.lower.cache_key` folds every pass's
+    ``(name, cache_token())`` into the graph-cache key, and this pass's
+    token carries the member tuple plus the epoch -- so each epoch's
+    roster is its own cache entry, a flipped join/leave event is a
+    guaranteed miss, and an identical schedule replays warm.
+    """
+
+    name = "membership"
+    phase = "directive"
+
+    def __init__(self, roster: Sequence[int] = (), epoch: int = 0) -> None:
+        self.roster: Tuple[int, ...] = tuple(int(n) for n in roster)
+        self.epoch = int(epoch)
+        if list(self.roster) != sorted(set(self.roster)):
+            raise ConfigError(
+                "roster", list(self.roster),
+                ["sorted unique global node ids"],
+                hint="a membership roster lists each enrolled node once, "
+                     "in ascending order")
+
+    def run(self, plan: SyncPlan, pctx: PassContext) -> None:
+        if not self.roster:
+            raise ConfigError(
+                "roster", [], ["a non-empty member list"],
+                hint="MembershipPass needs the epoch's enrolled nodes")
+        if len(self.roster) != pctx.num_nodes:
+            raise ConfigError(
+                "roster", list(self.roster),
+                [f"{pctx.num_nodes} members"],
+                hint=f"the plan is sized for {pctx.num_nodes} local ranks "
+                     f"but the roster enrolls {len(self.roster)} nodes -- "
+                     f"re-plan on the roster's sub-cluster instead of "
+                     f"reusing a stale plan across a membership change")
+        plan.meta["roster"] = ",".join(str(n) for n in self.roster)
+        plan.meta["epoch"] = self.epoch
+
+
 # -- pass registry -----------------------------------------------------------
 #
 # Strategies assemble their pipelines from pass *names*, and third-party
@@ -487,7 +537,7 @@ def list_passes() -> List[str]:
 
 for _cls in (SelectivePass, AdaptivePass, PartitionPass,
              FuseDecodeMergePass, BulkRoutePass, CollapseFanInPass,
-             VerifyPass):
+             VerifyPass, MembershipPass):
     register_pass(_cls)
 del _cls
 

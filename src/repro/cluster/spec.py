@@ -220,6 +220,13 @@ class ClusterSpec:
 
     def with_nodes(self, num_nodes: int) -> "ClusterSpec":
         """Same hardware, different scale (for weak-scaling sweeps)."""
+        if self.network.link_overrides is not None \
+                and num_nodes != self.num_nodes:
+            raise ConfigError(
+                "cluster-rescale", self.name, ["ClusterSpec.subset"],
+                hint=f"cluster {self.name!r} pins one link per node (an "
+                     f"elastic sub-cluster); derive a different roster "
+                     f"with subset() on the original cluster instead")
         if self.node_specs is not None and num_nodes != self.num_nodes:
             raise ConfigError(
                 "cluster-rescale", self.name,
@@ -230,16 +237,72 @@ class ClusterSpec:
                      f"NodeSpec per node")
         return replace(self, num_nodes=num_nodes)
 
+    def subset(self, members: Sequence[int]) -> "ClusterSpec":
+        """The sub-cluster of the given member nodes (elastic rosters).
+
+        ``members`` are global node indices, sorted and unique; the
+        result renumbers them to dense local ranks ``0..len-1``.  Each
+        survivor keeps its *own* hardware: per-node :class:`NodeSpec`s
+        are gathered, and -- because per-link profiles resolve links as a
+        seeded function of node index and cluster size -- the already
+        resolved per-node :class:`LinkSpec`s are frozen into
+        ``network.link_overrides`` rather than re-drawn at the new size.
+        A WAN-resident straggler stays exactly that after renumbering.
+
+        The full roster is the identity: ``subset(range(num_nodes)) is
+        self``, which is what makes the elastic layer a provable no-op
+        for a static membership.  Any attached fault schedule is dropped
+        (its node ids are in the old numbering; the elastic loop derives
+        per-epoch schedules itself).
+        """
+        roster = tuple(int(n) for n in members)
+        if list(roster) != sorted(set(roster)):
+            raise ConfigError(
+                "roster", list(roster), ["sorted unique node indices"],
+                hint="a cluster subset must list each member once, "
+                     "in ascending order")
+        for node in roster:
+            if not 0 <= node < self.num_nodes:
+                raise ConfigError(
+                    "roster", node, [f"0..{self.num_nodes - 1}"],
+                    hint=f"cluster {self.name!r} has only "
+                         f"{self.num_nodes} nodes")
+        if not roster:
+            raise ConfigError(
+                "roster", [], ["at least one member"],
+                hint="an empty roster cannot form a cluster")
+        if roster == tuple(range(self.num_nodes)) and self.faults is None:
+            return self
+        node_specs = (None if self.node_specs is None
+                      else tuple(self.node_at(i) for i in roster))
+        network = self.network
+        if not network.is_uniform:
+            links = network.links(self.num_nodes)
+            network = replace(
+                network, straggler=None, wan=None,
+                link_overrides=tuple(links[i] for i in roster))
+        return replace(
+            self, num_nodes=len(roster), node_specs=node_specs,
+            network=network, faults=None)
+
     def with_bandwidth(self, bandwidth_gbps: float) -> "ClusterSpec":
         """Same cluster with a different core bandwidth (Fig. 12a sweeps).
 
         Straggler profiles are *relative* (per-node multipliers on the
         core rate), so they rescale proportionally and are kept.  A WAN
-        tier carries *absolute* link rates, so "set the bandwidth to X"
-        is ambiguous -- should the WAN links move too? -- and raises a
+        tier carries *absolute* link rates -- as does a pinned
+        ``link_overrides`` table -- so "set the bandwidth to X" is
+        ambiguous -- should those links move too? -- and raises a
         typed :class:`ConfigError`; use :meth:`with_bandwidth_scale` to
         scale every link proportionally instead.
         """
+        if self.network.link_overrides is not None:
+            raise ConfigError(
+                "bandwidth-override", bandwidth_gbps,
+                ["with_bandwidth_scale"],
+                hint=f"cluster {self.name!r} pins per-node links "
+                     f"(an elastic sub-cluster); use "
+                     f"with_bandwidth_scale(factor) instead")
         if self.network.wan is not None:
             raise ConfigError(
                 "bandwidth-override", bandwidth_gbps,
@@ -261,6 +324,13 @@ class ClusterSpec:
         network = replace(
             self.network,
             bandwidth_gbps=self.network.bandwidth_gbps * factor)
+        if network.link_overrides is not None:
+            from ..net import LinkSpec
+            network = replace(network, link_overrides=tuple(
+                LinkSpec(link.up_bytes_per_s * factor,
+                         link.down_bytes_per_s * factor,
+                         link.latency_s)
+                for link in network.link_overrides))
         if network.wan is not None:
             network = replace(network, wan=replace(
                 network.wan,

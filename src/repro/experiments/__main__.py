@@ -39,8 +39,8 @@ import time
 from pathlib import Path
 
 from . import (
-    adaptive, fig7, fig8, fig9, fig10, fig11, fig12, fig13, heterogeneous,
-    kernel_speed, table1, table5, table6, table7,
+    adaptive, elastic, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
+    heterogeneous, kernel_speed, table1, table5, table6, table7,
 )
 from .runner import ExperimentRunner, ResultCache, RunJournal, artifact_plans
 
@@ -86,6 +86,10 @@ def build_registry(quick: bool):
             heterogeneous, num_nodes=nodes,
             severities=(4.0,) if quick else (2.0, 4.0, 8.0),
             wan_up_gbps=(1.0,) if quick else (0.5, 1.0, 4.0)),
+        "elastic": _runner(
+            elastic, num_nodes=nodes, epochs=2 if quick else 3,
+            churns=("static", "light") if quick
+            else ("static", "light", "heavy")),
         "kernel_speed": _runner(kernel_speed),
     }
 

@@ -50,8 +50,8 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
 
 from ..casync.lower import _algorithm_token
 from ..casync.passes import PassConfig
-from . import (adaptive, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-               heterogeneous,
+from . import (adaptive, elastic, fig7, fig8, fig9, fig10, fig11, fig12,
+               fig13, heterogeneous,
                kernel_speed, table1, table5, table6, table7)
 from .common import JobSpec, canonical_json, default_algorithm, execute_job
 
@@ -615,6 +615,11 @@ def artifact_plans(quick: bool = False,
             {"num_nodes": nodes,
              "severities": (4.0,) if quick else (2.0, 4.0, 8.0),
              "wan_up_gbps": (1.0,) if quick else (0.5, 1.0, 4.0)}),
+        "elastic": ArtifactPlan(
+            "elastic", elastic,
+            {"num_nodes": nodes, "epochs": 2 if quick else 3,
+             "churns": ("static", "light") if quick
+             else ("static", "light", "heavy")}),
         "kernel_speed": ArtifactPlan("kernel_speed", kernel_speed),
     }
     for name, extra in (overrides or {}).items():

@@ -35,6 +35,12 @@ from .invariants import (
     check_exactly_once,
     check_monotone_clocks,
 )
+from .elastic import (
+    MembershipSchedule,
+    Roster,
+    random_membership_schedule,
+    static_membership,
+)
 from .membership import Membership
 from .retry import RetryPolicy
 from .runner import (
@@ -51,6 +57,8 @@ from .schedule import (
     LinkPartition,
     LinkRestore,
     NodeCrash,
+    NodeJoin,
+    NodeLeave,
     NodeRestart,
     TransientSendFailure,
     random_schedule,
@@ -72,11 +80,15 @@ __all__ = [
     "LinkPartition",
     "LinkRestore",
     "Membership",
+    "MembershipSchedule",
     "NodeCrash",
+    "NodeJoin",
+    "NodeLeave",
     "NodeRestart",
     "PeerDeadError",
     "RetryPolicy",
     "RobustSyncReport",
+    "Roster",
     "SyncAborted",
     "TransferError",
     "TransferLog",
@@ -87,6 +99,8 @@ __all__ = [
     "check_drain_or_raise",
     "check_exactly_once",
     "check_monotone_clocks",
+    "random_membership_schedule",
     "random_schedule",
     "run_graph_robust",
+    "static_membership",
 ]

@@ -1,0 +1,338 @@
+"""Elastic membership: who participates in which training epoch.
+
+The fault subsystem models what breaks *inside* one synchronization
+round; this module models the roster changing *between* rounds -- the
+unreliable-internet / volunteer-compute setting (Hivemind, SNIPPETS.md
+§1) where nodes join and leave a long-running job.
+
+Two coordinates, one schedule:
+
+* :class:`~repro.faults.schedule.NodeJoin` /
+  :class:`~repro.faults.schedule.NodeLeave` events live on the **epoch
+  axis**: ``at`` counts epochs.  Joins are admitted at the next epoch
+  boundary (``ceil(at)``).  Integral leaves are clean boundary
+  departures; a fractional leave at ``e + f`` fail-stops the node at
+  fraction ``f`` of epoch ``e``'s horizon (lowered to a
+  :class:`~repro.faults.schedule.NodeCrash` inside that epoch).
+* Node ids are **global** and stable for the whole run: a fleet of
+  ``num_nodes`` machines exists, and each epoch's :class:`Roster` is the
+  subset currently enrolled.  The training layer renumbers a roster to
+  dense local ranks for the simulator; :meth:`Roster.local_rank` /
+  :meth:`Roster.global_id` translate.
+
+A :class:`MembershipSchedule` is data, like a
+:class:`~repro.faults.schedule.FaultSchedule`: validation and roster
+queries are pure, so two replays of the same schedule are byte-identical
+-- the determinism the churn battery (tests/test_elastic_properties.py)
+locks in.  Infeasible transitions (leaving a node that is not enrolled,
+joining one that already is, shrinking below ``min_roster``) raise a
+typed :class:`~repro.errors.ConfigError` at validation time, never a
+crash mid-run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+from .schedule import FaultEvent, FaultSchedule, NodeJoin, NodeLeave
+
+__all__ = [
+    "Roster",
+    "MembershipSchedule",
+    "random_membership_schedule",
+    "static_membership",
+]
+
+#: Fewest enrolled nodes that still constitute a distributed run.  Data
+#: parallelism over one node is a local job: every strategy degenerates,
+#: and the elastic loop treats such a roster as infeasible.
+MIN_ROSTER = 2
+
+
+@dataclass(frozen=True)
+class Roster:
+    """One epoch's enrolled nodes: sorted, unique, global ids."""
+
+    nodes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        nodes = tuple(int(n) for n in self.nodes)
+        if list(nodes) != sorted(set(nodes)):
+            raise ValueError(f"roster must be sorted and unique, got {nodes}")
+        if nodes and nodes[0] < 0:
+            raise ValueError(f"negative node id in roster {nodes}")
+        object.__setattr__(self, "nodes", nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.nodes
+
+    def local_rank(self, node: int) -> int:
+        """Dense simulator rank of global node ``node`` in this roster."""
+        try:
+            return self.nodes.index(node)
+        except ValueError:
+            raise KeyError(f"node {node} is not enrolled in {self.nodes}") \
+                from None
+
+    def global_id(self, rank: int) -> int:
+        """Global node id behind dense local ``rank``."""
+        return self.nodes[rank]
+
+    def token(self) -> str:
+        """Stable identity for cache keys: ``r<crc32 of the id list>``.
+
+        Pure in the member set (crc32, like the per-link profile seeds --
+        never ``hash()``, which is salted per process).
+        """
+        blob = ",".join(str(n) for n in self.nodes).encode()
+        return f"r{len(self.nodes)}-{zlib.crc32(blob):08x}"
+
+    def __repr__(self) -> str:
+        return f"Roster({list(self.nodes)!r})"
+
+
+def _membership_events(events: Iterable[FaultEvent]
+                       ) -> Tuple[FaultEvent, ...]:
+    for event in events:
+        if not isinstance(event, (NodeJoin, NodeLeave)):
+            raise ConfigError(
+                "membership-event", type(event).__name__,
+                ["NodeJoin", "NodeLeave"],
+                hint="fault events (crashes, partitions, slowdowns) attach "
+                     "to ClusterSpec.with_faults; a MembershipSchedule "
+                     "carries only roster changes")
+    return tuple(events)
+
+
+@dataclass(frozen=True)
+class MembershipSchedule:
+    """A fleet plus its join/leave history -- the run's roster ground truth.
+
+    ``num_nodes`` is the fleet size (global ids ``0..num_nodes-1``);
+    ``initial`` is the epoch-0 roster (default: the whole fleet);
+    ``events`` are :class:`NodeJoin` / :class:`NodeLeave` on the epoch
+    axis, stably sorted by (epoch, authoring order) like every
+    :class:`FaultSchedule`.
+    """
+
+    num_nodes: int
+    initial: Optional[Tuple[int, ...]] = None
+    events: Tuple[FaultEvent, ...] = ()
+    min_roster: int = MIN_ROSTER
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < self.min_roster:
+            raise ConfigError(
+                "fleet-size", self.num_nodes, [f">= {self.min_roster}"],
+                hint="an elastic fleet needs enough machines to ever form "
+                     "a feasible roster")
+        if self.initial is None:
+            object.__setattr__(self, "initial",
+                               tuple(range(self.num_nodes)))
+        else:
+            object.__setattr__(self, "initial",
+                               tuple(int(n) for n in self.initial))
+        object.__setattr__(
+            self, "events",
+            FaultSchedule(_membership_events(self.events)).events)
+        self._validate()
+
+    # -- validation -------------------------------------------------------
+
+    def _validate(self) -> None:
+        roster = set(self.initial)
+        if tuple(sorted(roster)) != self.initial or len(roster) != len(
+                self.initial):
+            raise ConfigError(
+                "initial-roster", list(self.initial), ["sorted unique ids"],
+                hint="the epoch-0 roster must be sorted and duplicate-free")
+        for node in self.initial:
+            if not 0 <= node < self.num_nodes:
+                raise ConfigError(
+                    "initial-roster", node,
+                    [f"0..{self.num_nodes - 1}"],
+                    hint="initial roster references a node outside the fleet")
+        if len(roster) < self.min_roster:
+            raise ConfigError(
+                "initial-roster", sorted(roster),
+                [f">= {self.min_roster} nodes"],
+                hint="the epoch-0 roster is already infeasible")
+        for event in self.events:
+            node = event.node  # type: ignore[attr-defined]
+            if not 0 <= node < self.num_nodes:
+                raise ConfigError(
+                    "membership-event", node, [f"0..{self.num_nodes - 1}"],
+                    hint=f"{event!r} references a node outside the fleet")
+            if isinstance(event, NodeJoin):
+                if node in roster:
+                    raise ConfigError(
+                        "membership-event", f"join({node})@{event.at:g}",
+                        sorted(set(range(self.num_nodes)) - roster),
+                        hint="node is already enrolled at that epoch; a "
+                             "join must name an absent node")
+                roster.add(node)
+            else:
+                if node not in roster:
+                    raise ConfigError(
+                        "membership-event", f"leave({node})@{event.at:g}",
+                        sorted(roster),
+                        hint="node is not enrolled at that epoch; a leave "
+                             "must name a member")
+                roster.discard(node)
+        # Feasibility at epoch granularity (events at one boundary may
+        # transiently swap members, so the invariant holds on entering
+        # rosters, not between individual events).
+        for epoch in range(self.epochs()):
+            entering = self.roster_entering(epoch)
+            if len(entering) < self.min_roster:
+                raise ConfigError(
+                    "membership-event", sorted(entering.nodes),
+                    [f">= {self.min_roster} nodes entering epoch {epoch}"],
+                    hint=f"the schedule drains the roster below "
+                         f"min_roster={self.min_roster} at epoch {epoch}; "
+                         f"keep enough members enrolled or add a join "
+                         f"before that boundary")
+
+    # -- roster queries ----------------------------------------------------
+
+    @property
+    def is_static(self) -> bool:
+        """True when the roster never changes (the no-op guarantee path)."""
+        return not self.events
+
+    def epochs(self) -> int:
+        """Epochs the schedule spans: every event has settled by the end."""
+        if not self.events:
+            return 1
+        return int(math.floor(max(e.at for e in self.events))) + 2
+
+    def roster_entering(self, epoch: int) -> Roster:
+        """The roster at the *start* of ``epoch``.
+
+        A join at ``at`` is enrolled from epoch ``ceil(at)`` (a
+        fractional join waits for the boundary); a leave at ``at`` is
+        gone from epoch ``floor(at) + 1`` if fractional (it dies
+        mid-epoch ``floor(at)``) or from epoch ``at`` if integral.
+        """
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        roster = set(self.initial)
+        for event in self.events:
+            if isinstance(event, NodeJoin):
+                if math.ceil(event.at) <= epoch:
+                    roster.add(event.node)
+            else:
+                gone_from = (event.at if float(event.at).is_integer()
+                             else math.floor(event.at) + 1)
+                if gone_from <= epoch:
+                    roster.discard(event.node)
+        return Roster(tuple(sorted(roster)))
+
+    def departures_during(self, epoch: int) -> Tuple[Tuple[int, float], ...]:
+        """Mid-epoch fail-stops in ``epoch``: ``(global node, fraction)``.
+
+        Only fractional :class:`NodeLeave` events land here; the
+        fraction is the point in the epoch's horizon where the node's
+        NIC goes dark.
+        """
+        out: List[Tuple[int, float]] = []
+        for event in self.events:
+            if isinstance(event, NodeLeave) and \
+                    not float(event.at).is_integer() and \
+                    math.floor(event.at) == epoch:
+                out.append((event.node, event.at - math.floor(event.at)))
+        return tuple(out)
+
+    def token(self) -> str:
+        """Stable schedule identity (cache keys, provenance digests)."""
+        parts = [f"fleet={self.num_nodes}",
+                 "init=" + ",".join(str(n) for n in self.initial)]
+        for event in self.events:
+            kind = "j" if isinstance(event, NodeJoin) else "l"
+            parts.append(f"{kind}{event.node}@{event.at:.9g}")  # type: ignore
+        return f"m{zlib.crc32(';'.join(parts).encode()):08x}"
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """JSON-value form (job params, CLI artifacts)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "initial": list(self.initial),
+            "events": [[("join" if isinstance(e, NodeJoin) else "leave"),
+                        e.at, e.node]  # type: ignore[attr-defined]
+                       for e in self.events],
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, Any]) -> "MembershipSchedule":
+        events: List[FaultEvent] = []
+        for kind, at, node in obj.get("events", ()):
+            if kind == "join":
+                events.append(NodeJoin(at=float(at), node=int(node)))
+            elif kind == "leave":
+                events.append(NodeLeave(at=float(at), node=int(node)))
+            else:
+                raise ConfigError("membership-event", kind,
+                                  ["join", "leave"])
+        initial = obj.get("initial")
+        return cls(num_nodes=int(obj["num_nodes"]),
+                   initial=None if initial is None else tuple(initial),
+                   events=tuple(events))
+
+
+def static_membership(num_nodes: int) -> MembershipSchedule:
+    """The degenerate schedule: everyone enrolled, nobody moves."""
+    return MembershipSchedule(num_nodes=num_nodes)
+
+
+def random_membership_schedule(seed: int, num_nodes: int, epochs: int,
+                               churn_rate: float = 0.5,
+                               rejoin_probability: float = 0.5,
+                               min_roster: int = MIN_ROSTER
+                               ) -> MembershipSchedule:
+    """Draw a deterministic churn history from ``seed``.
+
+    Per epoch boundary each enrolled node (beyond ``min_roster``) leaves
+    with probability ``churn_rate / num_nodes`` -- half of those
+    departures are mid-epoch fail-stops (fractional ``at``) -- and each
+    absent node rejoins with ``rejoin_probability * churn_rate /
+    num_nodes``.  The walk tracks feasibility, so every generated
+    schedule validates: the roster never shrinks below ``min_roster``.
+    Pure in ``(seed, parameters)``: no global randomness, no wall clock.
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    rng = random.Random(seed)
+    enrolled = set(range(num_nodes))
+    events: List[FaultEvent] = []
+    p_leave = min(1.0, churn_rate / max(num_nodes, 1))
+    p_join = min(1.0, rejoin_probability * churn_rate / max(num_nodes, 1))
+    for epoch in range(epochs):
+        for node in sorted(enrolled):
+            if len(enrolled) <= min_roster:
+                break
+            if rng.random() < p_leave:
+                if rng.random() < 0.5:
+                    frac = rng.uniform(0.1, 0.9)
+                    events.append(NodeLeave(at=epoch + frac, node=node))
+                else:
+                    events.append(NodeLeave(at=float(epoch), node=node))
+                enrolled.discard(node)
+        for node in sorted(set(range(num_nodes)) - enrolled):
+            if rng.random() < p_join:
+                events.append(NodeJoin(at=float(epoch + 1), node=node))
+                enrolled.add(node)
+    return MembershipSchedule(num_nodes=num_nodes, events=tuple(events),
+                              min_roster=min_roster)

@@ -29,6 +29,8 @@ from .schedule import (
     LinkPartition,
     LinkRestore,
     NodeCrash,
+    NodeJoin,
+    NodeLeave,
     NodeRestart,
     TransientSendFailure,
 )
@@ -206,6 +208,16 @@ class FaultInjector:
             else:
                 raise ValueError("pass num_nodes when no fabric/gpus given")
         schedule.validate_for(num_nodes)
+        for event in schedule:
+            if isinstance(event, (NodeJoin, NodeLeave)):
+                # Membership events live on the epoch axis and belong to
+                # the elastic loop (repro.faults.elastic / the training
+                # layer), which lowers mid-epoch departures to NodeCrash
+                # before any injector sees them.
+                raise ValueError(
+                    f"{type(event).__name__} is a membership event, not a "
+                    f"fault: drive it through a MembershipSchedule "
+                    f"(repro.faults.elastic), not a FaultInjector")
         self.env = env
         self.schedule = schedule
         self.state = FaultState(env, num_nodes)

@@ -25,6 +25,8 @@ __all__ = [
     "FaultEvent",
     "NodeCrash",
     "NodeRestart",
+    "NodeJoin",
+    "NodeLeave",
     "LinkDegrade",
     "LinkPartition",
     "LinkRestore",
@@ -64,6 +66,45 @@ class NodeCrash(FaultEvent):
 class NodeRestart(FaultEvent):
     """A previously crashed node comes back (it rejoins *future* rounds;
     peers that already declared it dead do not re-admit it mid-round)."""
+
+    node: int = 0
+
+    def involves(self, node: int) -> bool:
+        return node == self.node
+
+
+@dataclass(frozen=True)
+class NodeJoin(FaultEvent):
+    """Node ``node`` *joins the membership* (elastic training).
+
+    Unlike the fault events, membership events use the **epoch
+    coordinate**: ``at`` counts training epochs, not simulated seconds,
+    and a join is admitted at the next epoch boundary (``ceil(at)``) --
+    a joiner never enters a round already in flight.  Membership events
+    are interpreted by :class:`~repro.faults.elastic.MembershipSchedule`
+    / the elastic training loop; the :class:`FaultInjector` (which
+    replays wall-clock faults inside one round) rejects them.
+    """
+
+    node: int = 0
+
+    def involves(self, node: int) -> bool:
+        return node == self.node
+
+
+@dataclass(frozen=True)
+class NodeLeave(FaultEvent):
+    """Node ``node`` *leaves the membership* (elastic training).
+
+    ``at`` is the epoch coordinate (see :class:`NodeJoin`).  An integral
+    ``at`` is a clean boundary departure: the node is present through
+    epoch ``at - 1`` and gone from epoch ``at``.  A fractional part
+    ``f`` makes the departure *mid-epoch*: during epoch ``floor(at)``
+    the node fail-stops at fraction ``f`` of the epoch's horizon (the
+    elastic loop lowers it to a :class:`NodeCrash` inside that epoch's
+    fault schedule, reusing the event-cancellation path for the departed
+    NIC), and the roster entering the next epoch excludes it.
+    """
 
     node: int = 0
 
@@ -170,7 +211,8 @@ class GpuSlowdown(FaultEvent):
 
 
 def _max_node(event: FaultEvent) -> int:
-    if isinstance(event, (NodeCrash, NodeRestart, GpuSlowdown)):
+    if isinstance(event, (NodeCrash, NodeRestart, NodeJoin, NodeLeave,
+                          GpuSlowdown)):
         return event.node
     if isinstance(event, (LinkDegrade, LinkPartition, LinkRestore,
                           TransientSendFailure)):

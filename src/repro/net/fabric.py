@@ -177,9 +177,18 @@ class NetworkSpec:
     straggler: optional per-node bandwidth-multiplier distribution
         (None = every NIC at full rate).
     wan: optional WAN tier (None = all nodes on the core network).
+    link_overrides: optional explicit per-node :class:`LinkSpec` tuple.
+        Profiles resolve links as a seeded function of ``num_nodes`` and
+        node *index*, so renumbering a roster subset would scramble who
+        is slow; an elastic sub-cluster (``ClusterSpec.subset``) instead
+        freezes each surviving node's already-resolved link here,
+        preserving per-node identity across epochs.  When set it *is*
+        the link table: profiles are ignored and ``links(n)`` demands
+        ``n == len(link_overrides)``.
 
-    With both profiles None the spec is *uniform* and every consumer is
-    bit-identical to the pre-heterogeneity scalar model.
+    With both profiles and the override None the spec is *uniform* and
+    every consumer is bit-identical to the pre-heterogeneity scalar
+    model.
     """
 
     bandwidth_gbps: float
@@ -187,6 +196,7 @@ class NetworkSpec:
     efficiency: float = 0.9
     straggler: Optional[StragglerProfile] = None
     wan: Optional[WanTier] = None
+    link_overrides: Optional[Tuple[LinkSpec, ...]] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_gbps <= 0:
@@ -195,6 +205,16 @@ class NetworkSpec:
             raise ValueError(f"latency must be non-negative, got {self.latency_us}")
         if not 0 < self.efficiency <= 1:
             raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.link_overrides is not None:
+            links = tuple(self.link_overrides)
+            if not links:
+                raise ValueError("link_overrides may not be empty")
+            for link in links:
+                if not isinstance(link, LinkSpec):
+                    raise TypeError(
+                        f"link_overrides entries must be LinkSpec, "
+                        f"got {link!r}")
+            object.__setattr__(self, "link_overrides", links)
 
     @property
     def bytes_per_second(self) -> float:
@@ -209,7 +229,8 @@ class NetworkSpec:
     @property
     def is_uniform(self) -> bool:
         """True when every NIC resolves to the same :class:`LinkSpec`."""
-        return self.straggler is None and self.wan is None
+        return (self.straggler is None and self.wan is None
+                and self.link_overrides is None)
 
     def links(self, num_nodes: int) -> Tuple[LinkSpec, ...]:
         """Resolve every node's NIC capacity at scale ``num_nodes``.
@@ -218,8 +239,15 @@ class NetworkSpec:
         come from seeded draws, so the same spec resolves to the same
         links in every process.  WAN links replace the core rate/latency
         outright; straggler multipliers then apply to whatever rate the
-        node ended up with (a WAN node can also be a straggler).
+        node ended up with (a WAN node can also be a straggler).  An
+        explicit ``link_overrides`` table short-circuits resolution.
         """
+        if self.link_overrides is not None:
+            if num_nodes != len(self.link_overrides):
+                raise ValueError(
+                    f"spec pins {len(self.link_overrides)} per-node links "
+                    f"but was resolved for {num_nodes} nodes")
+            return self.link_overrides
         base = self.bytes_per_second
         lat = self.latency_s
         if self.is_uniform:
@@ -362,6 +390,55 @@ class Fabric:
         #: FaultInjector.  None means the pristine (and byte-identical to
         #: the pre-fault-subsystem) transfer path.
         self.faults: Any = None
+        #: Nodes whose NIC has been torn down (elastic departures).
+        #: Normally empty, in which case every path below is untouched.
+        self._inactive: set = set()
+
+    # -- elastic link teardown / bring-up ---------------------------------
+
+    def node_active(self, node: int) -> bool:
+        """Whether ``node``'s NIC is up (True unless torn down)."""
+        self._check_node(node)
+        return node not in self._inactive
+
+    def deactivate_node(self, node: int) -> None:
+        """Tear down ``node``'s NIC (an elastic departure).
+
+        Queued mailbox messages addressed to the departed node are
+        dropped -- nobody will ever ``recv`` them -- and any transfer
+        touching the node from now on fails fast with a typed
+        :class:`~repro.faults.errors.TransferError` instead of
+        serializing bytes into a dark NIC.  Idempotent.
+        """
+        self._check_node(node)
+        if node in self._inactive:
+            return
+        self._inactive.add(node)
+        for key in sorted(self._mailboxes, key=repr):
+            if key[0] == node:
+                # Drop undelivered payloads in place: popping via get()
+                # would schedule stray succeed events into the calendar.
+                self._mailboxes[key]._items.clear()
+
+    def activate_node(self, node: int) -> None:
+        """Bring ``node``'s NIC back up with a clean serialization queue
+        (an elastic join / rejoin).  Idempotent."""
+        self._check_node(node)
+        if node not in self._inactive:
+            return
+        self._inactive.discard(node)
+        # A rejoining NIC starts cold: fresh free/busy clocks, same
+        # resolved LinkSpec (per-node identity survives the bounce).
+        self.nics[node] = Nic(self.env, self.spec, self.links[node])
+
+    def _check_active(self, src: int, dst: int, nbytes: float) -> None:
+        if self._inactive and (src in self._inactive
+                               or dst in self._inactive):
+            from ..faults.errors import TransferError  # local: avoids cycle
+            down = src if src in self._inactive else dst
+            raise TransferError(src, dst, nbytes,
+                                f"node {down}'s NIC is torn down "
+                                f"(departed the membership)")
 
     # -- timing-only transfers -------------------------------------------
 
@@ -380,6 +457,8 @@ class Fabric:
         """
         self._check_node(src)
         self._check_node(dst)
+        if self._inactive:
+            self._check_active(src, dst, nbytes)
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         if src == dst:
@@ -500,6 +579,12 @@ class Fabric:
 
     # -- vectorized bulk transfers ---------------------------------------
 
+    def _check_active_bulk(self, transfers: Sequence[Tuple[int, int, float]]
+                           ) -> None:
+        if self._inactive:
+            for src, dst, nbytes in transfers:
+                self._check_active(src, dst, nbytes)
+
     def bulk_transfer(self, transfers: Sequence[Tuple[int, int, float]],
                       handler: Optional[Callable[[int], None]] = None
                       ) -> Optional[List[Any]]:
@@ -541,6 +626,7 @@ class Fabric:
         n = len(transfers)
         if n == 0:
             return None if handler is not None else []
+        self._check_active_bulk(transfers)
         env = self.env
         if self.faults is not None or not env.engine.vector_bulk:
             return self._bulk_fallback(transfers, handler)
@@ -750,6 +836,7 @@ class Fabric:
         """
         env = self.env
         n = len(transfers)
+        self._check_active_bulk(transfers)
         if self.faults is not None or not env.engine.vector_bulk:
             times: List[Optional[float]] = [None] * n
 

@@ -8,7 +8,8 @@ the same way compression algorithms are looked up.  The historical
 DeprecationWarning.
 """
 
-from .base import Strategy, SyncContext, TaskBuilder
+from .base import (MembershipBound, Strategy, SyncContext, TaskBuilder,
+                   bind_roster)
 from .casync import CaSyncPS, CaSyncRing
 from .oss import BytePSOSSCompression, RingOSSCompression
 from .ps import BytePS, partition_sizes
@@ -34,12 +35,14 @@ __all__ = [
     "CaSyncPS",
     "CaSyncRing",
     "DEPRECATED_ALIASES",
+    "MembershipBound",
     "RingAllreduce",
     "RingOSSCompression",
     "Strategy",
     "SyncContext",
     "TaskBuilder",
     "available_strategies",
+    "bind_roster",
     "bucketize",
     "get_strategy",
     "partition_sizes",

@@ -23,12 +23,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.base import CompressionAlgorithm
 from ..casync.decisions import DecisionMap
 from ..casync.ir import SyncPlan
-from ..casync.passes import Pass, PassConfig, PassContext
+from ..casync.passes import MembershipPass, Pass, PassConfig, PassContext
 from ..casync.planner import GradientPlan
 from ..casync.tasks import Coordinator, NodeEngine, Task, TaskGraph
 from ..cluster import ClusterSpec
@@ -37,7 +37,8 @@ from ..models import GradientSpec, ModelSpec
 from ..net import Fabric
 from ..sim import Environment, Event
 
-__all__ = ["SyncContext", "Strategy", "TaskBuilder"]
+__all__ = ["MembershipBound", "SyncContext", "Strategy", "TaskBuilder",
+           "bind_roster"]
 
 
 @dataclass
@@ -287,3 +288,51 @@ class Strategy(ABC):
 
     def __repr__(self) -> str:
         return f"<Strategy {self.name}>"
+
+
+class MembershipBound(Strategy):
+    """A strategy bound to one elastic epoch's roster.
+
+    Elastic training re-plans at every roster change instead of reusing
+    (and crashing, or silently mis-sizing) the previous epoch's graph.
+    This wrapper is how: it delegates expansion and configuration to the
+    wrapped strategy -- so ``ring`` stays ``ring`` -- and appends a
+    :class:`~repro.casync.passes.MembershipPass` to the pipeline, which
+    validates the plan against the roster and keys the graph cache per
+    (roster, epoch).  Because the wrapped strategy's ``cache_token`` and
+    pass list are folded in unchanged, a bound strategy over the full
+    static roster lowers to the *identical* task graph (the golden no-op
+    guarantee); only the cache key gains the membership component.
+    """
+
+    def __init__(self, inner: Strategy, membership: Pass) -> None:
+        self.inner = inner
+        self.membership = membership
+        #: Delegated identity: the graph cache and the experiment tables
+        #: see the wrapped strategy's name/compression flags.
+        self.name = inner.name
+        self.compression = inner.compression
+
+    def expand(self, plan: SyncPlan, pctx: PassContext,
+               model: ModelSpec) -> None:
+        self.inner.expand(plan, pctx, model)
+
+    def passes(self) -> List[Pass]:
+        return list(self.inner.passes()) + [self.membership]
+
+    def cache_token(self) -> tuple:
+        return self.inner.cache_token()
+
+    def build(self, ctx: SyncContext, model: ModelSpec) -> TaskGraph:
+        return self.inner.build(ctx, model) if type(self.inner).build \
+            is not Strategy.build else super().build(ctx, model)
+
+    def __repr__(self) -> str:
+        return f"<Strategy {self.name} bound to {self.membership!r}>"
+
+
+def bind_roster(strategy: Strategy, roster: Sequence[int],
+                epoch: int = 0) -> MembershipBound:
+    """Bind ``strategy`` to the given member nodes for ``epoch``."""
+    return MembershipBound(strategy,
+                           MembershipPass(roster=roster, epoch=epoch))

@@ -1,5 +1,21 @@
 """Training-iteration simulation and metrics."""
 
+from .elastic import (
+    ElasticRunReport,
+    EpochOutcome,
+    elastic_trace_hashes,
+    epoch_inputs,
+    run_elastic,
+)
 from .loop import IterationResult, make_plans, simulate_iteration
 
-__all__ = ["IterationResult", "make_plans", "simulate_iteration"]
+__all__ = [
+    "ElasticRunReport",
+    "EpochOutcome",
+    "IterationResult",
+    "elastic_trace_hashes",
+    "epoch_inputs",
+    "make_plans",
+    "run_elastic",
+    "simulate_iteration",
+]

@@ -1,0 +1,149 @@
+"""Property battery for elastic membership (churn/replay chaos tests).
+
+The contract under test, for *arbitrary* seeded join/leave schedules
+drawn by hypothesis, across every synchronization strategy family:
+
+* an elastic run always terminates with every epoch either completed
+  (possibly on a degraded roster) or aborted with a typed reason --
+  membership churn can never make the loop crash or hang;
+* rosters never shrink below the feasibility floor, and the epoch the
+  loop actually ran matches the schedule's roster ground truth;
+* the byte-conservation ledger holds per surviving roster on every
+  epoch that injected a mid-epoch fail-stop;
+* replaying the identical schedule is bit-identical, per-epoch trace
+  hash for trace hash.
+
+``derandomize=True`` pins hypothesis's example stream, so CI failures
+reproduce exactly (the churn content itself is driven by drawn seeds
+through :func:`random_membership_schedule`, which is pure in its
+arguments).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import OneBit
+from repro.cluster import ec2_v100_cluster
+from repro.errors import ConfigError
+from repro.faults import random_membership_schedule
+from repro.faults.elastic import MIN_ROSTER
+from repro.models import GradientSpec, ModelSpec
+from repro.strategies import BytePS, CaSyncPS, RingAllreduce
+from repro.training import run_elastic
+from repro.training.elastic import elastic_trace_hashes
+
+NUM_NODES = 5
+EPOCHS = 3
+
+
+def small_model():
+    grads = (GradientSpec("ep.g0", 256 * 1024),
+             GradientSpec("ep.g1", 64 * 1024))
+    return ModelSpec(name="ep", gradients=grads, batch_size=4,
+                     batch_unit="images", v100_iteration_s=0.001)
+
+
+def _make(strategy_name):
+    if strategy_name == "byteps":
+        return BytePS(), None
+    if strategy_name == "ring":
+        return RingAllreduce(), None
+    return CaSyncPS(bulk=False, selective=False), OneBit()
+
+
+def _strategies():
+    return st.sampled_from(["byteps", "ring", "casync-ps"])
+
+
+def _schedules():
+    return st.builds(
+        random_membership_schedule,
+        seed=st.integers(0, 2 ** 16),
+        num_nodes=st.just(NUM_NODES),
+        epochs=st.just(EPOCHS),
+        churn_rate=st.floats(0.0, 4.0, allow_nan=False),
+        rejoin_probability=st.floats(0.0, 1.0, allow_nan=False))
+
+
+@given(schedule=_schedules(), strategy_name=_strategies())
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_churn_completes_or_aborts_typed(schedule, strategy_name):
+    strategy, algo = _make(strategy_name)
+    report = run_elastic(small_model(), ec2_v100_cluster(NUM_NODES),
+                         strategy, schedule, epochs=EPOCHS, algorithm=algo)
+    assert len(report.epochs) == EPOCHS
+    for outcome in report.epochs:
+        assert outcome.status in ("ok", "aborted")
+        # the loop honored the schedule's roster ground truth
+        assert outcome.roster == \
+            schedule.roster_entering(outcome.epoch).nodes
+        assert len(outcome.roster) >= MIN_ROSTER
+        assert outcome.departures == \
+            schedule.departures_during(outcome.epoch)
+        if outcome.status == "ok":
+            assert outcome.result is not None
+            assert outcome.elapsed_s > 0.0
+        else:
+            assert outcome.abort_reason
+    # goodput only accrues on completed epochs
+    assert (report.samples > 0) == any(o.ok for o in report.epochs)
+
+
+@given(schedule=_schedules())
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_byte_conservation_per_surviving_roster(schedule):
+    report = run_elastic(small_model(), ec2_v100_cluster(NUM_NODES),
+                         BytePS(), schedule, epochs=EPOCHS)
+    checked = 0
+    for outcome in report.epochs:
+        if outcome.result is None or outcome.result.fault_report is None:
+            continue
+        state = outcome.result.fault_report.state
+        if state is None:
+            continue
+        log = state.log
+        in_flight = sum(r.nbytes for r in log.in_flight())
+        assert log.delivered_bytes + log.dropped_bytes + in_flight == \
+            pytest.approx(log.attempted_bytes, rel=1e-9)
+        checked += 1
+    if any(schedule.departures_during(e) for e in range(EPOCHS)):
+        assert checked, "mid-epoch fail-stops ran without a fault ledger"
+
+
+@given(seed=st.integers(0, 2 ** 16), strategy_name=_strategies(),
+       churn_rate=st.floats(0.5, 4.0, allow_nan=False))
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_replay_is_bit_identical(seed, strategy_name, churn_rate):
+    schedule = random_membership_schedule(
+        seed=seed, num_nodes=NUM_NODES, epochs=EPOCHS,
+        churn_rate=churn_rate)
+
+    def hashes():
+        strategy, algo = _make(strategy_name)
+        return elastic_trace_hashes(
+            small_model(), ec2_v100_cluster(NUM_NODES), strategy, schedule,
+            epochs=EPOCHS, algorithm=algo)
+
+    first = hashes()
+    assert len(first) == EPOCHS
+    assert first == hashes()
+
+
+@given(seed=st.integers(0, 2 ** 16),
+       num_nodes=st.integers(MIN_ROSTER, 12),
+       epochs=st.integers(1, 6),
+       churn_rate=st.floats(0.0, 8.0, allow_nan=False),
+       rejoin=st.floats(0.0, 1.0, allow_nan=False))
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_generated_schedules_are_always_feasible(seed, num_nodes, epochs,
+                                                 churn_rate, rejoin):
+    """The generator's feasibility walk is airtight: every drawn schedule
+    validates and keeps every epoch's roster at or above the floor."""
+    try:
+        schedule = random_membership_schedule(
+            seed=seed, num_nodes=num_nodes, epochs=epochs,
+            churn_rate=churn_rate, rejoin_probability=rejoin)
+    except ConfigError as exc:  # pragma: no cover - the property's point
+        pytest.fail(f"generator produced an infeasible schedule: {exc}")
+    for epoch in range(schedule.epochs()):
+        assert len(schedule.roster_entering(epoch)) >= MIN_ROSTER

@@ -152,6 +152,45 @@ def test_byte_conservation_holds_under_arbitrary_schedules(schedule):
     assert total == pytest.approx(state.log.attempted_bytes, rel=1e-9)
 
 
+@given(at=st.floats(0.0, 4.0, allow_nan=False),
+       node=st.integers(1, NUM_NODES - 1),
+       kind=st.sampled_from(["join", "leave"]))
+@settings(max_examples=25, deadline=None)
+def test_injector_rejects_membership_events(at, node, kind):
+    """Join/leave live on the epoch axis: a FaultInjector must refuse
+    them with a pointer at the elastic layer, for any event placement."""
+    from repro.faults import FaultInjector, NodeJoin, NodeLeave
+    from repro.sim import Environment
+
+    if kind == "join":
+        # a join only composes into a valid schedule if the node is absent
+        schedule = FaultSchedule((NodeLeave(at=0.0, node=node),
+                                  NodeJoin(at=at + 1.0, node=node)))
+    else:
+        schedule = FaultSchedule((NodeLeave(at=at, node=node),))
+    with pytest.raises(ValueError, match="MembershipSchedule"):
+        FaultInjector(Environment(), schedule, num_nodes=NUM_NODES)
+
+
+@given(events=st.lists(
+    st.builds(NodeCrash, at=st.floats(0.0, HORIZON_S, allow_nan=False),
+              node=st.integers(0, NUM_NODES - 1)),
+    min_size=0, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_membership_events_sort_stably_with_faults(events):
+    """Mixing epoch-axis membership events into a FaultSchedule keeps the
+    (time, authoring order) sort contract that replay relies on."""
+    from repro.faults import NodeLeave
+
+    mixed = list(events) + [NodeLeave(at=1.0, node=0),
+                            NodeLeave(at=2.0, node=1)]
+    schedule = FaultSchedule(tuple(mixed))
+    times = [e.at for e in schedule]
+    assert times == sorted(times)
+    # stable: equal timestamps preserve authoring order
+    assert [e for e in schedule] == sorted(mixed, key=lambda e: e.at)
+
+
 @given(seed=st.integers(0, 2 ** 16), strategy_name=_strategies())
 @settings(max_examples=15, deadline=None)
 def test_same_schedule_same_outcome(seed, strategy_name):

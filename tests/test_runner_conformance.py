@@ -36,12 +36,14 @@ TINY = {
     "fig13": {"steps": 30, "eval_every": 15, "workers": 2, "num_nodes": 2},
     "heterogeneous": {"num_nodes": 2, "severities": (4.0,),
                       "wan_up_gbps": (1.0,)},
+    "elastic": {"num_nodes": 4, "epochs": 2, "model": "resnet50",
+                "profiles": ("baseline",), "churns": ("static", "light")},
 }
 
 ALL_ARTIFACTS = sorted(artifact_plans())
 
 #: Subset exercised through real worker pools (1 and 4 workers).
-POOL_SUBSET = ("table1", "fig10", "kernel_speed", "fig13")
+POOL_SUBSET = ("table1", "fig10", "kernel_speed", "fig13", "elastic")
 
 
 def tiny_plan(name):
@@ -94,14 +96,46 @@ def test_runner_matches_serial_across_workers(name, workers, baselines):
     assert plan.render(plan.assemble(report.payloads)) == serial_text
 
 
-def test_runner_matches_serial_under_spawn(baselines):
-    plan = tiny_plan("table6")
-    serial_payloads, serial_text = baselines["table6"]
+@pytest.mark.parametrize("name", ["table6", "elastic"])
+def test_runner_matches_serial_under_spawn(name, baselines):
+    plan = tiny_plan(name)
+    serial_payloads, serial_text = baselines[name]
     report = ExperimentRunner(max_workers=2,
                               mp_context="spawn").run(plan.specs())
     assert report.ok
     assert canonical_json(report.payloads) == canonical_json(serial_payloads)
     assert plan.render(plan.assemble(report.payloads)) == serial_text
+
+
+def test_crash_resume_mid_churn_sweep(baselines, tmp_path):
+    """Kill the harness halfway through the elastic churn sweep; the
+    resumed run replays the finished churn points from the cache and
+    recomputes only the remainder, byte-identically."""
+    from repro.experiments.runner import ResultCache, RunJournal
+    from tests.test_runner_resume import HarnessKiller
+    from repro.faults import FaultSchedule, NodeCrash
+
+    plan = tiny_plan("elastic")
+    specs = plan.specs()
+    assert len(specs) >= 4
+    kill_after = len(specs) // 2
+    serial_payloads, serial_text = baselines["elastic"]
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    killer = HarnessKiller(FaultSchedule((NodeCrash(at=float(kill_after)),)))
+
+    with pytest.raises(KeyboardInterrupt):
+        ExperimentRunner(cache=cache, journal=journal,
+                         progress=killer).run(specs)
+    assert len(journal.completed()) == kill_after
+
+    resumed = ExperimentRunner(cache=cache, journal=journal,
+                               resume=True).run(specs)
+    assert resumed.ok
+    assert resumed.resumed == kill_after
+    assert resumed.executed == len(specs) - kill_after
+    assert canonical_json(resumed.payloads) == canonical_json(serial_payloads)
+    assert plan.render(plan.assemble(resumed.payloads)) == serial_text
 
 
 def test_row_ordering_stable_across_reruns(baselines):
